@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # quick profile, every experiment
+//	experiments -exp fig2,table2 -full   # paper-scale fault counts
+//	experiments -exp fig6 -bench kmeans,knn
+//
+// Experiments: table1, fig2, chart2 (ASCII candlesticks), table2, fig3,
+// fig5, fig6, chart6, table3, fig7, fig8, fig9 (includes table4),
+// overhead (§VIII-A), mtfft (§VIII-B).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchprog"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiments, or all")
+		full    = flag.Bool("full", false, "paper-scale fault counts (slow)")
+		medium  = flag.Bool("medium", false, "intermediate fault counts (~1h single-core)")
+		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
+		seed    = flag.Int64("seed", 2022, "experiment seed")
+		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	profile := "quick"
+	if *medium {
+		profile = "medium"
+	}
+	if *full {
+		profile = "full"
+	}
+	if err := run(*exp, profile, *benches, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expList, profile, benchList string, seed int64, workers int) error {
+	p := harness.Quick()
+	switch profile {
+	case "medium":
+		p = harness.Medium()
+	case "full":
+		p = harness.Full()
+	}
+	p.Seed = seed
+	p.Workers = workers
+	r := harness.NewRunner(p)
+
+	bs := benchprog.Eleven()
+	if benchList != "" {
+		bs = bs[:0]
+		for _, name := range strings.Split(benchList, ",") {
+			b, ok := benchprog.ByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown benchmark %q", name)
+			}
+			bs = append(bs, b)
+		}
+	}
+
+	exps := strings.Split(expList, ",")
+	if expList == "all" {
+		exps = []string{"table1", "fig2", "chart2", "table2", "fig3", "fig5",
+			"fig6", "chart6", "table3", "fig7", "fig8", "fig9", "overhead",
+			"overlap", "errorbars", "mtfft"}
+	}
+
+	w := os.Stdout
+	for _, e := range exps {
+		var err error
+		switch strings.TrimSpace(e) {
+		case "table1":
+			err = harness.Table1(w)
+		case "fig2":
+			err = harness.Fig2(r, bs, w)
+		case "chart2":
+			err = harness.CoverageChart(r, bs, false, w)
+		case "chart6":
+			err = harness.CoverageChart(r, bs, true, w)
+		case "table2":
+			err = harness.Table2(r, bs, w)
+		case "fig3":
+			err = harness.Fig3(r, w)
+		case "fig5":
+			err = harness.Fig5(w)
+		case "fig6":
+			err = harness.Fig6(r, bs, w)
+		case "table3":
+			err = harness.Table3(r, bs, w)
+		case "fig7":
+			_, err = harness.Fig7(r, bs, w)
+		case "fig8":
+			err = harness.Fig8(r, bs, w)
+		case "fig9", "table4":
+			_, err = harness.Fig9(r, w)
+		case "overhead":
+			err = harness.OverheadVariance(r, bs, w)
+		case "overlap":
+			err = harness.LevelOverlap(r, bs, w)
+		case "errorbars":
+			err = harness.ErrorBars(r, bs, w)
+		case "mtfft":
+			err = harness.MTFFT(r, w)
+		default:
+			err = fmt.Errorf("unknown experiment %q", e)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

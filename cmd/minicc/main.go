@@ -1,0 +1,184 @@
+// Command minicc is the MiniC developer tool: it compiles MiniC source to
+// the project's IR, optionally optimizes it, and can print, verify, run,
+// or trace the result.
+//
+// Usage:
+//
+//	minicc -src prog.mc -emit-ir            # compile and dump IR text
+//	minicc -src prog.mc -run -args 10,3.5   # compile and execute main(10, 3.5)
+//	minicc -src prog.mc -run -trace 50      # trace the first 50 instructions
+//	minicc -ir prog.ir -run                 # load IR text instead of MiniC
+//
+// Scalar arguments are comma separated; values containing '.' or 'e' bind
+// as floats, everything else as signed integers. Dynamically sized global
+// arrays can be bound with -global name=v1;v2;... (repeatable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minicc"
+	"repro/internal/passes"
+)
+
+// globalFlags collects repeated -global bindings.
+type globalFlags map[string][]uint64
+
+func (g globalFlags) String() string { return fmt.Sprintf("%d globals", len(g)) }
+
+// Set parses "name=v1;v2;...".
+func (g globalFlags) Set(s string) error {
+	name, vals, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=v1;v2;..., got %q", s)
+	}
+	var words []uint64
+	if vals != "" {
+		for _, tok := range strings.Split(vals, ";") {
+			w, err := parseScalar(tok)
+			if err != nil {
+				return err
+			}
+			words = append(words, w)
+		}
+	}
+	g[name] = words
+	return nil
+}
+
+func parseScalar(tok string) (uint64, error) {
+	tok = strings.TrimSpace(tok)
+	if strings.ContainsAny(tok, ".eE") {
+		f, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad float %q: %v", tok, err)
+		}
+		return math.Float64bits(f), nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad int %q: %v", tok, err)
+	}
+	return uint64(v), nil
+}
+
+func main() {
+	globals := globalFlags{}
+	var (
+		src      = flag.String("src", "", "MiniC source file")
+		irFile   = flag.String("ir", "", "IR text file (alternative to -src)")
+		emitIR   = flag.String("emit-ir", "", "write IR text to this file ('-' for stdout)")
+		optimize = flag.Bool("O", true, "run the standard optimization pipeline")
+		runProg  = flag.Bool("run", false, "execute main")
+		args     = flag.String("args", "", "comma-separated scalar arguments for main")
+		trace    = flag.Int64("trace", 0, "trace the first N executed instructions")
+		stats    = flag.Bool("stats", false, "print execution statistics")
+	)
+	flag.Var(globals, "global", "bind a global array: name=v1;v2;... (repeatable)")
+	flag.Parse()
+
+	if err := run(*src, *irFile, *emitIR, *optimize, *runProg, *args, globals, *trace, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(src, irFile, emitIR string, optimize, runProg bool, argList string,
+	globals map[string][]uint64, trace int64, stats bool) error {
+
+	var mod *ir.Module
+	switch {
+	case src != "":
+		text, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		mod, err = minicc.Compile(src, string(text))
+		if err != nil {
+			return err
+		}
+		if optimize {
+			if err := passes.Optimize(mod); err != nil {
+				return err
+			}
+		}
+	case irFile != "":
+		text, err := os.ReadFile(irFile)
+		if err != nil {
+			return err
+		}
+		mod, err = ir.ParseModule(string(text))
+		if err != nil {
+			return err
+		}
+		if err := ir.Verify(mod); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -src or -ir is required")
+	}
+
+	if emitIR != "" {
+		if emitIR == "-" {
+			fmt.Print(mod.String())
+		} else if err := os.WriteFile(emitIR, []byte(mod.String()), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if !runProg {
+		if emitIR == "" {
+			fmt.Printf("%s: %d functions, %d instructions, %d blocks (verified)\n",
+				mod.Name, len(mod.Funcs), mod.NumInstrs(), mod.NumBlocks())
+		}
+		return nil
+	}
+
+	bind := interp.Binding{Globals: globals}
+	if argList != "" {
+		for _, tok := range strings.Split(argList, ",") {
+			w, err := parseScalar(tok)
+			if err != nil {
+				return err
+			}
+			bind.Args = append(bind.Args, w)
+		}
+	}
+
+	entry := mod.Entry()
+	if entry < 0 {
+		return fmt.Errorf("no main function")
+	}
+	if want := len(mod.Funcs[entry].Params); len(bind.Args) != want {
+		return fmt.Errorf("main takes %d arguments, got %d", want, len(bind.Args))
+	}
+
+	r := interp.NewRunner(mod, interp.Config{})
+	var res interp.Result
+	if trace > 0 {
+		res = r.RunTraced(bind, nil, &interp.Tracer{W: os.Stderr, Limit: trace})
+	} else {
+		res = r.Run(bind, nil, nil)
+	}
+
+	if res.Status != interp.StatusOK {
+		return fmt.Errorf("execution ended with %s (%s)", res.Status, res.Trap)
+	}
+	// Print outputs, typed by the emitting instruction where determinable:
+	// we print both interpretations when ambiguous; emiti/emitf order is
+	// program knowledge, so print raw int and float forms.
+	for i, w := range res.Output {
+		fmt.Printf("out[%d] = %d (as float: %g)\n", i, int64(w), math.Float64frombits(w))
+	}
+	if stats {
+		fmt.Printf("dynamic instructions: %d, modeled cycles: %d\n", res.DynInstrs, res.Cycles)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSrc = `
+var data[] int;
+func main(n int, scale float) {
+	var s float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		s = s + float(data[i % len(data)]) * scale;
+	}
+	emitf(s);
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileAndRun(t *testing.T) {
+	src := writeTemp(t, "prog.mc", testSrc)
+	globals := globalFlags{}
+	if err := globals.Set("data=1;2;3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(src, "", "", true, true, "6,2.0", globals, 0, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestEmitAndReloadIR(t *testing.T) {
+	src := writeTemp(t, "prog.mc", `func main(x int) { emiti(x * 3); }`)
+	irPath := filepath.Join(t.TempDir(), "prog.ir")
+	if err := run(src, "", irPath, true, false, "", nil, 0, false); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	if err := run("", irPath, "", false, true, "7", nil, 0, false); err != nil {
+		t.Fatalf("reload+run: %v", err)
+	}
+}
+
+func TestTraceRuns(t *testing.T) {
+	src := writeTemp(t, "prog.mc", `func main() { emiti(1 + 2); }`)
+	if err := run(src, "", "", true, true, "", nil, 5, false); err != nil {
+		t.Fatalf("trace run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "", true, false, "", nil, 0, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	src := writeTemp(t, "bad.mc", `not minic`)
+	if err := run(src, "", "", true, false, "", nil, 0, false); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	good := writeTemp(t, "good.mc", `func main(x int) { emiti(x); }`)
+	if err := run(good, "", "", true, true, "", nil, 0, false); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := run(good, "", "", true, true, "1,2", nil, 0, false); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestGlobalFlagParsing(t *testing.T) {
+	g := globalFlags{}
+	if err := g.Set("xs=1;2.5;3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g["xs"]) != 3 {
+		t.Fatalf("parsed %d words", len(g["xs"]))
+	}
+	if err := g.Set("noequals"); err == nil {
+		t.Fatal("malformed binding accepted")
+	}
+	if err := g.Set("bad=1;x;3"); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+	if g.String() == "" {
+		t.Fatal("String empty")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunProtectsBenchmark(t *testing.T) {
+	if err := run("pathfinder", "sid", 0.3, true, 1, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("nope", "sid", 0.3, true, 1, false); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if err := run("pathfinder", "bogus", 0.3, true, 1, false); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}

@@ -1,0 +1,374 @@
+package benchprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// runRef runs a benchmark on its reference input.
+func runRef(t *testing.T, b *Benchmark) interp.Result {
+	t.Helper()
+	m, err := b.Module()
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	r := interp.NewRunner(m, b.ExecConfig())
+	return r.Run(b.Bind(b.Reference), nil, nil)
+}
+
+func TestAllBenchmarksCompileAndRunOnReference(t *testing.T) {
+	for _, b := range All() {
+		t.Run(b.Name, func(t *testing.T) {
+			res := runRef(t, b)
+			if res.Status != interp.StatusOK {
+				t.Fatalf("status = %v (trap %q)", res.Status, res.Trap)
+			}
+			if len(res.Output) == 0 {
+				t.Fatal("no output emitted")
+			}
+			if res.DynInstrs > b.MaxGoldenInstrs {
+				t.Fatalf("reference run used %d instrs, budget %d", res.DynInstrs, b.MaxGoldenInstrs)
+			}
+			if res.DynInstrs < 2000 {
+				t.Fatalf("reference run too small to be interesting: %d instrs", res.DynInstrs)
+			}
+			t.Logf("%s: %d instrs, %d cycles, %d outputs", b.Name, res.DynInstrs, res.Cycles, len(res.Output))
+		})
+	}
+}
+
+func TestElevenMatchesPaperTable(t *testing.T) {
+	names := map[string]string{
+		"pathfinder": "Rodinia", "knn": "Rodinia", "bfs": "Rodinia",
+		"backprop": "Rodinia", "needle": "Rodinia", "kmeans": "Rodinia",
+		"lu": "Rodinia", "particlefilter": "Rodinia",
+		"hpccg": "Mantevo", "xsbench": "CESAR", "fft": "SPLASH-2",
+	}
+	eleven := Eleven()
+	if len(eleven) != 11 {
+		t.Fatalf("Eleven() returned %d benchmarks", len(eleven))
+	}
+	for _, b := range eleven {
+		suite, ok := names[b.Name]
+		if !ok {
+			t.Errorf("unexpected benchmark %q", b.Name)
+			continue
+		}
+		if b.Suite != suite {
+			t.Errorf("%s suite = %q, want %q", b.Name, b.Suite, suite)
+		}
+	}
+	if _, ok := ByName("fft-mt"); !ok {
+		t.Error("fft-mt missing from registry")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a nonexistent benchmark")
+	}
+}
+
+func TestRandomInputsAreAdmissible(t *testing.T) {
+	// Paper §III-A2: generated inputs must not error out and must stay
+	// within the dynamic-instruction budget. Validate a sample per
+	// benchmark.
+	rng := rand.New(rand.NewSource(99))
+	for _, b := range Eleven() {
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.MustModule()
+			r := interp.NewRunner(m, b.ExecConfig())
+			bad := 0
+			for i := 0; i < 8; i++ {
+				in := b.Spec.Random(rng)
+				if err := b.Spec.Validate(in); err != nil {
+					t.Fatalf("generated invalid input: %v", err)
+				}
+				res := r.Run(b.Bind(in), nil, nil)
+				if res.Status != interp.StatusOK {
+					bad++
+					t.Logf("input %s -> %v (%s)", b.Spec.String(in), res.Status, res.Trap)
+				}
+			}
+			if bad > 0 {
+				t.Fatalf("%d/8 random inputs failed (inputs must be admissible by construction)", bad)
+			}
+		})
+	}
+}
+
+func TestDifferentInputsChangeExecution(t *testing.T) {
+	// The premise of the paper: execution behavior (paths, outputs) is
+	// input dependent. Check that two different inputs give different
+	// dynamic profiles for every benchmark.
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range Eleven() {
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.MustModule()
+			r := interp.NewRunner(m, b.ExecConfig())
+			a := r.Run(b.Bind(b.Reference), nil, nil)
+			in2 := b.Spec.Random(rng)
+			c := r.Run(b.Bind(in2), nil, nil)
+			if a.DynInstrs == c.DynInstrs && outputEqual(a.Output, c.Output) {
+				t.Errorf("reference and random input produced identical executions (input %s)", b.Spec.String(in2))
+			}
+		})
+	}
+}
+
+func outputEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBindIsDeterministic(t *testing.T) {
+	for _, b := range All() {
+		b1 := b.Bind(b.Reference)
+		b2 := b.Bind(b.Reference)
+		if len(b1.Args) != len(b2.Args) {
+			t.Fatalf("%s: arg count differs", b.Name)
+		}
+		for i := range b1.Args {
+			if b1.Args[i] != b2.Args[i] {
+				t.Fatalf("%s: arg %d differs across binds", b.Name, i)
+			}
+		}
+		for name, g1 := range b1.Globals {
+			g2 := b2.Globals[name]
+			if !outputEqual(g1, g2) {
+				t.Fatalf("%s: global %s differs across binds", b.Name, name)
+			}
+		}
+	}
+}
+
+func TestFFTCorrectness(t *testing.T) {
+	// FFT of a constant signal concentrates all energy in bin 0:
+	// re[0] = n*c, all other bins ~0.
+	b, _ := ByName("fft")
+	m := b.MustModule()
+	n := int64(64) // m = 6
+	re := make([]float64, n)
+	for i := range re {
+		re[i] = 1.0
+	}
+	bind := interp.Binding{
+		Args: []uint64{6},
+		Globals: map[string][]uint64{
+			"re": floats(re), "im": zeros(n),
+		},
+	}
+	r := interp.NewRunner(m, b.ExecConfig())
+	res := r.Run(bind, nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	// Output: sum(re), sum(im), re[1], im[n/2].
+	sr := math.Float64frombits(res.Output[0])
+	re1 := math.Float64frombits(res.Output[2])
+	if math.Abs(sr-float64(n)) > 1e-6 {
+		t.Errorf("sum(re) = %g, want %g", sr, float64(n))
+	}
+	if math.Abs(re1) > 1e-6 {
+		t.Errorf("re[1] = %g, want 0", re1)
+	}
+}
+
+func TestFFTMTMatchesSingleThread(t *testing.T) {
+	st, _ := ByName("fft")
+	mt, _ := ByName("fft-mt")
+	mST := st.MustModule()
+	mMT := mt.MustModule()
+
+	for _, nt := range []int64{1, 2, 4} {
+		inST := st.Reference.Clone()
+		inST.I[0], inST.I[1] = 6, 4242
+		reST := interp.NewRunner(mST, st.ExecConfig()).Run(st.Bind(inST), nil, nil)
+
+		inMT := mt.Reference.Clone()
+		inMT.I[0], inMT.I[1], inMT.I[2] = 6, nt, 4242
+		reMT := interp.NewRunner(mMT, mt.ExecConfig()).Run(mt.Bind(inMT), nil, nil)
+
+		if reMT.Status != interp.StatusOK {
+			t.Fatalf("nt=%d: status %v (%s)", nt, reMT.Status, reMT.Trap)
+		}
+		// First two outputs (sum re, sum im) must agree bit-exactly: the
+		// threads partition the butterflies deterministically.
+		for i := 0; i < 2; i++ {
+			if reST.Output[i] != reMT.Output[i] {
+				t.Errorf("nt=%d output[%d]: %x vs %x", nt, i,
+					reST.Output[i], reMT.Output[i])
+			}
+		}
+	}
+}
+
+func TestLUComputesCorrectDeterminant(t *testing.T) {
+	// 2x2 known case via direct binding: [[3,1],[1,2]] -> det 5.
+	b, _ := ByName("lu")
+	m := b.MustModule()
+	bind := interp.Binding{
+		Args:    []uint64{2},
+		Globals: map[string][]uint64{"a": floats([]float64{3, 1, 1, 2})},
+	}
+	r := interp.NewRunner(m, b.ExecConfig())
+	res := r.Run(bind, nil, nil)
+	det := math.Float64frombits(res.Output[0])
+	if math.Abs(det-5) > 1e-9 {
+		t.Fatalf("det = %g, want 5", det)
+	}
+}
+
+func TestBFSVisitsReachableNodes(t *testing.T) {
+	// A 4-node path graph 0->1->2->3: all visited, dist sum = 0+1+2+3.
+	b, _ := ByName("bfs")
+	m := b.MustModule()
+	g := GraphCSR{Off: []int64{0, 1, 2, 3, 3}, Edges: []int64{1, 2, 3}}
+	r := interp.NewRunner(m, b.ExecConfig())
+	res := r.Run(BindBFS(g, 0), nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status %v (%s)", res.Status, res.Trap)
+	}
+	if int64(res.Output[0]) != 4 || int64(res.Output[1]) != 6 {
+		t.Fatalf("bfs output = %v, want [4 6]", res.Output)
+	}
+}
+
+func TestPathfinderMinimumPath(t *testing.T) {
+	// 2x3 grid where column 1 is cheap: min path = 1+1 = 2.
+	b, _ := ByName("pathfinder")
+	m := b.MustModule()
+	bind := interp.Binding{
+		Args:    []uint64{2, 3},
+		Globals: map[string][]uint64{"wall": ints([]int64{9, 1, 9, 9, 1, 9})},
+	}
+	r := interp.NewRunner(m, b.ExecConfig())
+	res := r.Run(bind, nil, nil)
+	if int64(res.Output[0]) != 2 {
+		t.Fatalf("min path = %d, want 2", int64(res.Output[0]))
+	}
+}
+
+func TestGoldenRunsProduceProfiles(t *testing.T) {
+	for _, b := range Eleven() {
+		m := b.MustModule()
+		g, err := fault.RunGolden(m, b.Bind(b.Reference), b.ExecConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		ids := m.InjectableIDs(true)
+		executed := 0
+		for _, id := range ids {
+			if g.Profile.InstrCount[id] > 0 {
+				executed++
+			}
+		}
+		if executed < 20 {
+			t.Errorf("%s: only %d injectable instructions executed", b.Name, executed)
+		}
+	}
+}
+
+func TestRngHelpers(t *testing.T) {
+	r := newRng(1)
+	for i := 0; i < 1000; i++ {
+		if f := r.f64(); f < 0 || f >= 1 {
+			t.Fatalf("f64 out of range: %f", f)
+		}
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	// norm should be roughly centered.
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		sum += r.norm()
+	}
+	if math.Abs(sum/10000) > 0.1 {
+		t.Errorf("norm mean = %f, want ~0", sum/10000)
+	}
+	// Different seeds diverge.
+	a, b := newRng(1), newRng(2)
+	if a.next() == b.next() {
+		t.Error("different seeds produced identical first draw")
+	}
+}
+
+func TestBenchmarkModulesRoundTripThroughIRText(t *testing.T) {
+	// print -> parse -> verify -> identical text and identical execution,
+	// for every benchmark module (post-optimization, phi-bearing IR).
+	for _, b := range All() {
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.MustModule()
+			text := m.String()
+			parsed, err := ir.ParseModule(text)
+			if err != nil {
+				t.Fatalf("ParseModule: %v", err)
+			}
+			if err := ir.Verify(parsed); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			if got := parsed.String(); got != text {
+				t.Fatal("round trip changed module text")
+			}
+			bind := b.Bind(b.Reference)
+			a := interp.NewRunner(m, b.ExecConfig()).Run(bind, nil, nil)
+			c := interp.NewRunner(parsed, b.ExecConfig()).Run(bind, nil, nil)
+			if a.Status != c.Status || a.DynInstrs != c.DynInstrs || !outputEqual(a.Output, c.Output) {
+				t.Fatalf("parsed module executes differently: %v/%d vs %v/%d",
+					a.Status, a.DynInstrs, c.Status, c.DynInstrs)
+			}
+		})
+	}
+}
+
+func TestFaultOutcomeDistributionsAreSane(t *testing.T) {
+	// For every benchmark, a small FI campaign on the reference input must
+	// produce a sane outcome mix: trials conserved, a nonzero manifestation
+	// rate (not everything benign), no detections (unprotected code), and
+	// SDC rates within the broad band IR-level studies report.
+	for _, b := range Eleven() {
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.MustModule()
+			bind := b.Bind(b.Reference)
+			g, err := fault.RunGolden(m, bind, b.ExecConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &fault.Campaign{Mod: m, Bind: bind, Cfg: b.ExecConfig(), Golden: g}
+			res := c.Run(250, 7)
+			if res.Trials != 250 {
+				t.Fatalf("trials = %d", res.Trials)
+			}
+			var total int64
+			for _, n := range res.Counts {
+				total += n
+			}
+			if total != res.Trials {
+				t.Fatalf("outcome counts %v do not sum to trials", res.Counts)
+			}
+			if res.Counts[fault.OutcomeDetected] != 0 {
+				t.Error("detected outcomes on unprotected program")
+			}
+			sdc := res.Rate(fault.OutcomeSDC)
+			if sdc < 0.02 || sdc > 0.90 {
+				t.Errorf("SDC rate %.3f outside the plausible band", sdc)
+			}
+			if res.Rate(fault.OutcomeBenign) == 0 {
+				t.Error("no benign outcomes at all")
+			}
+			t.Logf("%s: sdc=%.2f crash=%.2f hang=%.2f benign=%.2f",
+				b.Name, sdc, res.Rate(fault.OutcomeCrash),
+				res.Rate(fault.OutcomeHang), res.Rate(fault.OutcomeBenign))
+		})
+	}
+}

@@ -1,0 +1,417 @@
+package benchprog
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// These tests validate each MiniC kernel against an independent Go
+// reference implementation on the benchmark's reference input: the
+// compiled program must compute the same result the textbook algorithm
+// computes. This pins down the benchmark implementations themselves, not
+// just their plumbing.
+
+// bindArrays regenerates the exact arrays a benchmark binder derives,
+// by reading them back out of the binding.
+func f64sOf(bind interp.Binding, name string) []float64 {
+	raw := bind.Globals[name]
+	out := make([]float64, len(raw))
+	for i, w := range raw {
+		out[i] = math.Float64frombits(w)
+	}
+	return out
+}
+
+func i64sOf(bind interp.Binding, name string) []int64 {
+	raw := bind.Globals[name]
+	out := make([]int64, len(raw))
+	for i, w := range raw {
+		out[i] = int64(w)
+	}
+	return out
+}
+
+func runBench(t *testing.T, b *Benchmark, bind interp.Binding) interp.Result {
+	t.Helper()
+	r := interp.NewRunner(b.MustModule(), b.ExecConfig())
+	res := r.Run(bind, nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status %v (%s)", res.Status, res.Trap)
+	}
+	return res
+}
+
+func TestPathfinderAgainstReference(t *testing.T) {
+	b, _ := ByName("pathfinder")
+	bind := b.Bind(b.Reference)
+	rows, cols := int64(bind.Args[0]), int64(bind.Args[1])
+	wall := i64sOf(bind, "wall")
+
+	dst := append([]int64(nil), wall[:cols]...)
+	src := make([]int64, cols)
+	for i := int64(1); i < rows; i++ {
+		copy(src, dst)
+		for j := int64(0); j < cols; j++ {
+			best := src[j]
+			if j > 0 && src[j-1] < best {
+				best = src[j-1]
+			}
+			if j < cols-1 && src[j+1] < best {
+				best = src[j+1]
+			}
+			dst[j] = wall[i*cols+j] + best
+		}
+	}
+	mn, sum := dst[0], int64(0)
+	for _, v := range dst {
+		sum += v
+		if v < mn {
+			mn = v
+		}
+	}
+
+	res := runBench(t, b, bind)
+	if int64(res.Output[0]) != mn || int64(res.Output[1]) != sum {
+		t.Fatalf("pathfinder: got (%d,%d), reference (%d,%d)",
+			int64(res.Output[0]), int64(res.Output[1]), mn, sum)
+	}
+}
+
+func TestKNNAgainstReference(t *testing.T) {
+	b, _ := ByName("knn")
+	bind := b.Bind(b.Reference)
+	n, k := int64(bind.Args[0]), int64(bind.Args[1])
+	qx := math.Float64frombits(bind.Args[2])
+	qy := math.Float64frombits(bind.Args[3])
+	px, py := f64sOf(bind, "px"), f64sOf(bind, "py")
+
+	type pd struct {
+		d   float64
+		idx int
+	}
+	ds := make([]pd, n)
+	for i := int64(0); i < n; i++ {
+		dx, dy := px[i]-qx, py[i]-qy
+		ds[i] = pd{math.Sqrt(dx*dx + dy*dy), int(i)}
+	}
+	sort.SliceStable(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	var acc float64
+	var idxsum int64
+	for j := int64(0); j < k; j++ {
+		acc += ds[j].d
+		idxsum += int64(ds[j].idx)
+	}
+
+	res := runBench(t, b, bind)
+	got := math.Float64frombits(res.Output[0])
+	if math.Abs(got-acc) > 1e-9 {
+		t.Fatalf("knn distance sum: got %g, reference %g", got, acc)
+	}
+	if int64(res.Output[1]) != idxsum {
+		t.Fatalf("knn index sum: got %d, reference %d", int64(res.Output[1]), idxsum)
+	}
+}
+
+func TestBFSAgainstReference(t *testing.T) {
+	b, _ := ByName("bfs")
+	bind := b.Bind(b.Reference)
+	n, src := int64(bind.Args[0]), int64(bind.Args[1])
+	off, edges := i64sOf(bind, "off"), i64sOf(bind, "edges")
+
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int64{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for e := off[u]; e < off[u+1]; e++ {
+			if v := edges[e]; dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	var visited, sum int64
+	for _, d := range dist {
+		if d >= 0 {
+			visited++
+			sum += d
+		}
+	}
+
+	res := runBench(t, b, bind)
+	if int64(res.Output[0]) != visited || int64(res.Output[1]) != sum {
+		t.Fatalf("bfs: got (%d,%d), reference (%d,%d)",
+			int64(res.Output[0]), int64(res.Output[1]), visited, sum)
+	}
+}
+
+func TestNeedleAgainstReference(t *testing.T) {
+	b, _ := ByName("needle")
+	bind := b.Bind(b.Reference)
+	n, penalty := int64(bind.Args[0]), int64(bind.Args[1])
+	seq1, seq2 := i64sOf(bind, "seq1"), i64sOf(bind, "seq2")
+
+	w := n + 1
+	mat := make([]int64, w*w)
+	for i := int64(0); i <= n; i++ {
+		mat[i] = -i * penalty
+		mat[i*w] = -i * penalty
+	}
+	max2 := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for i := int64(1); i <= n; i++ {
+		for j := int64(1); j <= n; j++ {
+			sc := int64(-1)
+			if seq1[i-1] == seq2[j-1] {
+				sc = 2
+			}
+			mat[i*w+j] = max2(mat[(i-1)*w+j-1]+sc,
+				max2(mat[(i-1)*w+j]-penalty, mat[i*w+j-1]-penalty))
+		}
+	}
+	var lastRow int64
+	for j := int64(0); j <= n; j++ {
+		lastRow += mat[n*w+j]
+	}
+
+	res := runBench(t, b, bind)
+	if int64(res.Output[0]) != mat[n*w+n] || int64(res.Output[1]) != lastRow {
+		t.Fatalf("needle: got (%d,%d), reference (%d,%d)",
+			int64(res.Output[0]), int64(res.Output[1]), mat[n*w+n], lastRow)
+	}
+}
+
+func TestKmeansAgainstReference(t *testing.T) {
+	b, _ := ByName("kmeans")
+	bind := b.Bind(b.Reference)
+	n, k, iters := int64(bind.Args[0]), int64(bind.Args[1]), int64(bind.Args[2])
+	fx, fy := f64sOf(bind, "fx"), f64sOf(bind, "fy")
+
+	cx := append([]float64(nil), fx[:k]...)
+	cy := append([]float64(nil), fy[:k]...)
+	assign := make([]int64, n)
+	for it := int64(0); it < iters; it++ {
+		sx := make([]float64, k)
+		sy := make([]float64, k)
+		cnt := make([]int64, k)
+		for i := int64(0); i < n; i++ {
+			best, bd := int64(0), math.MaxFloat64
+			for j := int64(0); j < k; j++ {
+				dx, dy := fx[i]-cx[j], fy[i]-cy[j]
+				if d := dx*dx + dy*dy; d < bd {
+					bd, best = d, j
+				}
+			}
+			assign[i] = best
+			sx[best] += fx[i]
+			sy[best] += fy[i]
+			cnt[best]++
+		}
+		for j := int64(0); j < k; j++ {
+			if cnt[j] > 0 {
+				cx[j] = sx[j] / float64(cnt[j])
+				cy[j] = sy[j] / float64(cnt[j])
+			}
+		}
+	}
+	var asum int64
+	for _, a := range assign {
+		asum += a
+	}
+	var csum float64
+	for j := int64(0); j < k; j++ {
+		csum += cx[j] + cy[j]
+	}
+
+	res := runBench(t, b, bind)
+	if int64(res.Output[0]) != asum {
+		t.Fatalf("kmeans assignment sum: got %d, reference %d", int64(res.Output[0]), asum)
+	}
+	if got := math.Float64frombits(res.Output[1]); math.Abs(got-csum) > 1e-9 {
+		t.Fatalf("kmeans centroid sum: got %g, reference %g", got, csum)
+	}
+}
+
+func TestLUAgainstReference(t *testing.T) {
+	b, _ := ByName("lu")
+	bind := b.Bind(b.Reference)
+	n := int64(bind.Args[0])
+	a := f64sOf(bind, "a")
+	orig := append([]float64(nil), a...)
+
+	for k := int64(0); k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= a[i*n+k] * a[k*n+j]
+			}
+		}
+	}
+	det := 1.0
+	for k := int64(0); k < n; k++ {
+		det *= a[k*n+k]
+	}
+
+	res := runBench(t, b, bind)
+	if got := math.Float64frombits(res.Output[0]); math.Abs(got-det) > math.Abs(det)*1e-12 {
+		t.Fatalf("lu det: got %g, reference %g", got, det)
+	}
+
+	// Reconstruction check: L*U must reproduce the original matrix.
+	for i := int64(0); i < n; i++ {
+		for j := int64(0); j < n; j++ {
+			var lu float64
+			for kk := int64(0); kk <= i && kk <= j; kk++ {
+				l := a[i*n+kk]
+				if kk == i {
+					l = 1
+				}
+				if kk > i {
+					l = 0
+				}
+				lu += l * a[kk*n+j]
+			}
+			if math.Abs(lu-orig[i*n+j]) > 1e-8 {
+				t.Fatalf("L*U[%d,%d] = %g, want %g", i, j, lu, orig[i*n+j])
+			}
+		}
+	}
+}
+
+func TestHPCCGConverges(t *testing.T) {
+	b, _ := ByName("hpccg")
+	bind := b.Bind(b.Reference)
+	res := runBench(t, b, bind)
+	// Output: final residual, x checksum. CG on an SPD stencil matrix must
+	// shrink the residual dramatically versus ||b||^2.
+	rtr := math.Float64frombits(res.Output[0])
+	bb := f64sOf(bind, "b")
+	var b2 float64
+	for _, v := range bb {
+		b2 += v * v
+	}
+	if rtr >= b2*1e-3 {
+		t.Fatalf("hpccg residual %g did not converge (||b||^2 = %g)", rtr, b2)
+	}
+}
+
+func TestXsbenchAgainstReference(t *testing.T) {
+	b, _ := ByName("xsbench")
+	bind := b.Bind(b.Reference)
+	lookups, nuc, gp := int64(bind.Args[0]), int64(bind.Args[1]), int64(bind.Args[2])
+	egrid := f64sOf(bind, "egrid")
+	xsdata := f64sOf(bind, "xsdata")
+	le := f64sOf(bind, "lookups")
+
+	var acc float64
+	for l := int64(0); l < lookups; l++ {
+		e := le[l]
+		lo, hi := int64(0), gp-1
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			if egrid[mid] > e {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		f := (e - egrid[lo]) / (egrid[hi] - egrid[lo])
+		for m := int64(0); m < nuc; m++ {
+			acc += xsdata[m*gp+lo]*(1-f) + xsdata[m*gp+hi]*f
+		}
+	}
+
+	res := runBench(t, b, bind)
+	if got := math.Float64frombits(res.Output[0]); math.Abs(got-acc) > math.Abs(acc)*1e-12 {
+		t.Fatalf("xsbench: got %g, reference %g", got, acc)
+	}
+}
+
+func TestFFTAgainstReferenceDFT(t *testing.T) {
+	b, _ := ByName("fft")
+	bind := b.Bind(b.Reference)
+	m := int64(bind.Args[0])
+	n := int64(1) << uint(m)
+	re := f64sOf(bind, "re")
+	im := f64sOf(bind, "im")
+
+	// Direct O(n^2) DFT as the independent reference.
+	dftRe := make([]float64, n)
+	dftIm := make([]float64, n)
+	for k := int64(0); k < n; k++ {
+		for t := int64(0); t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			c, s := math.Cos(ang), math.Sin(ang)
+			dftRe[k] += re[t]*c - im[t]*s
+			dftIm[k] += re[t]*s + im[t]*c
+		}
+	}
+	var sumRe, sumIm float64
+	for k := int64(0); k < n; k++ {
+		sumRe += dftRe[k]
+		sumIm += dftIm[k]
+	}
+
+	res := runBench(t, b, bind)
+	gotRe := math.Float64frombits(res.Output[0])
+	gotIm := math.Float64frombits(res.Output[1])
+	if math.Abs(gotRe-sumRe) > 1e-6 || math.Abs(gotIm-sumIm) > 1e-6 {
+		t.Fatalf("fft sums: got (%g,%g), DFT reference (%g,%g)", gotRe, gotIm, sumRe, sumIm)
+	}
+	// Check one specific bin too.
+	gotRe1 := math.Float64frombits(res.Output[2])
+	if math.Abs(gotRe1-dftRe[1]) > 1e-6 {
+		t.Fatalf("fft re[1]: got %g, DFT %g", gotRe1, dftRe[1])
+	}
+}
+
+func TestParticlefilterTracksTruth(t *testing.T) {
+	b, _ := ByName("particlefilter")
+	bind := b.Bind(b.Reference)
+	res := runBench(t, b, bind)
+	// The filter's per-frame estimates must track the measurements (which
+	// are near the true trajectory): last estimate within a few units of
+	// the last measurement.
+	meas := f64sOf(bind, "meas")
+	last := math.Float64frombits(res.Output[len(res.Output)-1])
+	want := meas[len(meas)-1]
+	if math.Abs(last-want) > 3.0 {
+		t.Fatalf("particlefilter estimate %g far from measurement %g", last, want)
+	}
+}
+
+func TestBackpropLearns(t *testing.T) {
+	b, _ := ByName("backprop")
+	in := b.Reference
+	bind := b.Bind(in)
+	res := runBench(t, b, bind)
+	out := math.Float64frombits(res.Output[0])
+	if out <= 0 || out >= 1 {
+		t.Fatalf("sigmoid output %g outside (0,1)", out)
+	}
+
+	// One gradient step with target 0.8 must move the (recomputed) output
+	// toward the target: re-run with the updated weights approximated by
+	// running twice and comparing |target - out|. Since the program runs a
+	// single step, check instead that weight checksums changed (learning
+	// happened).
+	c1 := math.Float64frombits(res.Output[1])
+	var w1sum float64
+	for _, v := range f64sOf(bind, "w1") {
+		w1sum += v
+	}
+	if math.Abs(c1-w1sum) < 1e-12 {
+		t.Fatal("backprop did not update w1")
+	}
+}

@@ -1,0 +1,543 @@
+package benchprog
+
+// MiniC sources for the 11 benchmarks of the paper (Table I), re-implemented
+// at reduced problem sizes. Each preserves the original kernel's algorithm
+// and control structure; array data and scratch buffers are bound from the
+// input generator at run time.
+
+// srcPathfinder: Rodinia Pathfinder — dynamic programming over a grid,
+// keeping a rolling pair of row-cost buffers.
+const srcPathfinder = `
+var wall[] int;     // rows*cols grid weights
+var rsrc[64] int;   // previous row costs (cols <= 48)
+var rdst[64] int;   // current row costs
+
+func imin2(a int, b int) int {
+	if (a < b) { return a; }
+	return b;
+}
+
+func main(rows int, cols int) {
+	for (var j int = 0; j < cols; j = j + 1) {
+		rdst[j] = wall[j];
+	}
+	for (var i int = 1; i < rows; i = i + 1) {
+		for (var j int = 0; j < cols; j = j + 1) {
+			rsrc[j] = rdst[j];
+		}
+		for (var j int = 0; j < cols; j = j + 1) {
+			var best int = rsrc[j];
+			if (j > 0) { best = imin2(best, rsrc[j - 1]); }
+			if (j < cols - 1) { best = imin2(best, rsrc[j + 1]); }
+			rdst[j] = wall[i * cols + j] + best;
+		}
+	}
+	var mn int = rdst[0];
+	var sum int = 0;
+	for (var j int = 0; j < cols; j = j + 1) {
+		sum = sum + rdst[j];
+		mn = imin2(mn, rdst[j]);
+	}
+	emiti(mn);
+	emiti(sum);
+}
+`
+
+// srcKNN: Rodinia kNN — Euclidean distances to a query point, then k
+// rounds of minimum selection.
+const srcKNN = `
+var px[] float;       // point x coordinates
+var py[] float;       // point y coordinates
+var dist[256] float;  // computed distances (n <= 256)
+var used[256] int;    // selection marks
+
+func main(n int, k int, qx float, qy float) {
+	for (var i int = 0; i < n; i = i + 1) {
+		var dx float = px[i] - qx;
+		var dy float = py[i] - qy;
+		dist[i] = sqrt(dx * dx + dy * dy);
+		used[i] = 0;
+	}
+	var acc float = 0.0;
+	var idxsum int = 0;
+	for (var j int = 0; j < k; j = j + 1) {
+		var best int = 0;
+		var bestd float = 1.0e300;
+		for (var i int = 0; i < n; i = i + 1) {
+			if (used[i] == 0 && dist[i] < bestd) {
+				bestd = dist[i];
+				best = i;
+			}
+		}
+		used[best] = 1;
+		acc = acc + bestd;
+		idxsum = idxsum + best;
+	}
+	emitf(acc);
+	emiti(idxsum);
+}
+`
+
+// srcBFS: Rodinia BFS — frontier-queue breadth-first search over a CSR
+// graph.
+const srcBFS = `
+var off[] int;    // CSR row offsets, length n+1
+var edges[] int;  // CSR adjacency
+var dst[] int;    // distance per node (scratch, length n)
+var queue[] int;  // worklist (scratch, length n)
+
+func main(n int, src int) {
+	for (var i int = 0; i < n; i = i + 1) {
+		dst[i] = 0 - 1;
+	}
+	dst[src] = 0;
+	queue[0] = src;
+	var head int = 0;
+	var tail int = 1;
+	while (head < tail) {
+		var u int = queue[head];
+		head = head + 1;
+		for (var e int = off[u]; e < off[u + 1]; e = e + 1) {
+			var v int = edges[e];
+			if (dst[v] < 0) {
+				dst[v] = dst[u] + 1;
+				queue[tail] = v;
+				tail = tail + 1;
+			}
+		}
+	}
+	var visited int = 0;
+	var sum int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (dst[i] >= 0) {
+			visited = visited + 1;
+			sum = sum + dst[i];
+		}
+	}
+	emiti(visited);
+	emiti(sum);
+}
+`
+
+// srcBackprop: Rodinia Backprop — one forward and one backward pass of a
+// single-hidden-layer network on one sample.
+const srcBackprop = `
+var input[] float;    // ni activations
+var w1[] float;       // ni*nh input->hidden weights
+var w2[] float;       // nh hidden->output weights
+var hidden[64] float; // hidden activations (nh <= 64)
+
+func sigmoid(x float) float {
+	return 1.0 / (1.0 + exp(0.0 - x));
+}
+
+func main(ni int, nh int, target float, eta float) {
+	for (var j int = 0; j < nh; j = j + 1) {
+		var s float = 0.0;
+		for (var i int = 0; i < ni; i = i + 1) {
+			s = s + input[i] * w1[i * nh + j];
+		}
+		hidden[j] = sigmoid(s);
+	}
+	var out float = 0.0;
+	for (var j int = 0; j < nh; j = j + 1) {
+		out = out + hidden[j] * w2[j];
+	}
+	out = sigmoid(out);
+
+	var delta float = (target - out) * out * (1.0 - out);
+	for (var j int = 0; j < nh; j = j + 1) {
+		var dh float = delta * w2[j] * hidden[j] * (1.0 - hidden[j]);
+		w2[j] = w2[j] + eta * delta * hidden[j];
+		for (var i int = 0; i < ni; i = i + 1) {
+			w1[i * nh + j] = w1[i * nh + j] + eta * dh * input[i];
+		}
+	}
+	var c1 float = 0.0;
+	for (var i int = 0; i < ni * nh; i = i + 1) { c1 = c1 + w1[i]; }
+	var c2 float = 0.0;
+	for (var j int = 0; j < nh; j = j + 1) { c2 = c2 + w2[j]; }
+	emitf(out);
+	emitf(c1);
+	emitf(c2);
+}
+`
+
+// srcNeedle: Rodinia Needleman-Wunsch — global sequence alignment by
+// dynamic programming with a gap penalty.
+const srcNeedle = `
+var seq1[] int;  // n symbols in [0,4)
+var seq2[] int;  // n symbols in [0,4)
+var mat[] int;   // (n+1)*(n+1) score matrix (scratch)
+
+func imax2(a int, b int) int {
+	if (a > b) { return a; }
+	return b;
+}
+
+func main(n int, penalty int) {
+	var w int = n + 1;
+	for (var i int = 0; i <= n; i = i + 1) {
+		mat[i] = 0 - i * penalty;
+		mat[i * w] = 0 - i * penalty;
+	}
+	for (var i int = 1; i <= n; i = i + 1) {
+		for (var j int = 1; j <= n; j = j + 1) {
+			var sc int = 0 - 1;
+			if (seq1[i - 1] == seq2[j - 1]) { sc = 2; }
+			var diag int = mat[(i - 1) * w + j - 1] + sc;
+			var up int = mat[(i - 1) * w + j] - penalty;
+			var left int = mat[i * w + j - 1] - penalty;
+			mat[i * w + j] = imax2(diag, imax2(up, left));
+		}
+	}
+	emiti(mat[n * w + n]);
+	var sum int = 0;
+	for (var j int = 0; j <= n; j = j + 1) {
+		sum = sum + mat[n * w + j];
+	}
+	emiti(sum);
+}
+`
+
+// srcKmeans: Rodinia Kmeans — Lloyd's algorithm on 2-D points.
+const srcKmeans = `
+var fx[] float;      // point x coordinates
+var fy[] float;      // point y coordinates
+var assign[] int;    // cluster assignment per point (scratch)
+var cx[16] float;    // centroid x (k <= 16)
+var cy[16] float;
+var sx[16] float;    // per-iteration accumulators
+var sy[16] float;
+var cnt[16] int;
+
+func main(n int, k int, iters int) {
+	for (var j int = 0; j < k; j = j + 1) {
+		cx[j] = fx[j];
+		cy[j] = fy[j];
+	}
+	for (var it int = 0; it < iters; it = it + 1) {
+		for (var j int = 0; j < k; j = j + 1) {
+			sx[j] = 0.0;
+			sy[j] = 0.0;
+			cnt[j] = 0;
+		}
+		for (var i int = 0; i < n; i = i + 1) {
+			var best int = 0;
+			var bd float = 1.0e300;
+			for (var j int = 0; j < k; j = j + 1) {
+				var dx float = fx[i] - cx[j];
+				var dy float = fy[i] - cy[j];
+				var d float = dx * dx + dy * dy;
+				if (d < bd) {
+					bd = d;
+					best = j;
+				}
+			}
+			assign[i] = best;
+			sx[best] = sx[best] + fx[i];
+			sy[best] = sy[best] + fy[i];
+			cnt[best] = cnt[best] + 1;
+		}
+		for (var j int = 0; j < k; j = j + 1) {
+			if (cnt[j] > 0) {
+				cx[j] = sx[j] / float(cnt[j]);
+				cy[j] = sy[j] / float(cnt[j]);
+			}
+		}
+	}
+	var asum int = 0;
+	for (var i int = 0; i < n; i = i + 1) { asum = asum + assign[i]; }
+	var csum float = 0.0;
+	for (var j int = 0; j < k; j = j + 1) { csum = csum + cx[j] + cy[j]; }
+	emiti(asum);
+	emitf(csum);
+}
+`
+
+// srcLU: Rodinia LUD — in-place LU decomposition without pivoting on a
+// diagonally dominant matrix.
+const srcLU = `
+var a[] float;  // n*n matrix, row major
+
+func main(n int) {
+	for (var k int = 0; k < n; k = k + 1) {
+		for (var i int = k + 1; i < n; i = i + 1) {
+			a[i * n + k] = a[i * n + k] / a[k * n + k];
+			for (var j int = k + 1; j < n; j = j + 1) {
+				a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+			}
+		}
+	}
+	var det float = 1.0;
+	for (var k int = 0; k < n; k = k + 1) {
+		det = det * a[k * n + k];
+	}
+	var sum float = 0.0;
+	for (var i int = 0; i < n * n; i = i + 1) {
+		sum = sum + a[i];
+	}
+	emitf(det);
+	emitf(sum);
+}
+`
+
+// srcParticlefilter: Rodinia Particlefilter — 1-D Bayesian tracking with
+// Gaussian likelihood weights and systematic resampling.
+const srcParticlefilter = `
+var noise[] float;  // t*n process noise
+var meas[] float;   // t measurements
+var xs[] float;     // n particle states (scratch)
+var ws[] float;     // n weights (scratch)
+var xs2[] float;    // n resampling buffer (scratch)
+
+func main(n int, t int, x0 float) {
+	for (var i int = 0; i < n; i = i + 1) {
+		xs[i] = x0;
+	}
+	for (var f int = 0; f < t; f = f + 1) {
+		for (var i int = 0; i < n; i = i + 1) {
+			xs[i] = xs[i] + 1.0 + noise[f * n + i];
+		}
+		var wsum float = 0.0;
+		for (var i int = 0; i < n; i = i + 1) {
+			var d float = xs[i] - meas[f];
+			ws[i] = exp(0.0 - d * d / 2.0) + 1.0e-12;
+			wsum = wsum + ws[i];
+		}
+		var est float = 0.0;
+		for (var i int = 0; i < n; i = i + 1) {
+			ws[i] = ws[i] / wsum;
+			est = est + xs[i] * ws[i];
+		}
+		emitf(est);
+		// Systematic resampling.
+		var c float = ws[0];
+		var idx int = 0;
+		for (var j int = 0; j < n; j = j + 1) {
+			var u float = (float(j) + 0.5) / float(n);
+			while (c < u && idx < n - 1) {
+				idx = idx + 1;
+				c = c + ws[idx];
+			}
+			xs2[j] = xs[idx];
+		}
+		for (var i int = 0; i < n; i = i + 1) {
+			xs[i] = xs2[i];
+		}
+	}
+}
+`
+
+// srcHPCCG: Mantevo HPCCG — conjugate gradient on an implicit 27/7-point
+// 3-D chimney-domain stencil (7-point variant).
+const srcHPCCG = `
+var b[] float;   // rhs, length nx*ny*nz
+var x[] float;   // solution (scratch)
+var r[] float;   // residual (scratch)
+var p[] float;   // search direction (scratch)
+var ap[] float;  // A*p (scratch)
+
+func spmv(nx int, ny int, nz int) {
+	for (var k int = 0; k < nz; k = k + 1) {
+		for (var j int = 0; j < ny; j = j + 1) {
+			for (var i int = 0; i < nx; i = i + 1) {
+				var id int = (k * ny + j) * nx + i;
+				var s float = 7.0 * p[id];
+				if (i > 0) { s = s - p[id - 1]; }
+				if (i < nx - 1) { s = s - p[id + 1]; }
+				if (j > 0) { s = s - p[id - nx]; }
+				if (j < ny - 1) { s = s - p[id + nx]; }
+				if (k > 0) { s = s - p[id - nx * ny]; }
+				if (k < nz - 1) { s = s - p[id + nx * ny]; }
+				ap[id] = s;
+			}
+		}
+	}
+}
+
+func main(nx int, ny int, nz int, maxiter int) {
+	var n int = nx * ny * nz;
+	var rtr float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		x[i] = 0.0;
+		r[i] = b[i];
+		p[i] = b[i];
+		rtr = rtr + r[i] * r[i];
+	}
+	for (var it int = 0; it < maxiter; it = it + 1) {
+		spmv(nx, ny, nz);
+		var pap float = 0.0;
+		for (var i int = 0; i < n; i = i + 1) {
+			pap = pap + p[i] * ap[i];
+		}
+		var alpha float = rtr / pap;
+		var rtr2 float = 0.0;
+		for (var i int = 0; i < n; i = i + 1) {
+			x[i] = x[i] + alpha * p[i];
+			r[i] = r[i] - alpha * ap[i];
+			rtr2 = rtr2 + r[i] * r[i];
+		}
+		var beta float = rtr2 / rtr;
+		rtr = rtr2;
+		for (var i int = 0; i < n; i = i + 1) {
+			p[i] = r[i] + beta * p[i];
+		}
+		if (rtr < 1.0e-12) { break; }
+	}
+	var xsum float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		xsum = xsum + x[i];
+	}
+	emitf(rtr);
+	emitf(xsum);
+}
+`
+
+// srcXsbench: CESAR XSBench — macroscopic cross-section lookups: binary
+// search over a unionized energy grid plus linear interpolation per
+// nuclide.
+const srcXsbench = `
+var egrid[] float;   // gp sorted energies in [0,1]
+var xsdata[] float;  // nuc*gp cross sections
+var lookups[] float; // L lookup energies in [0,1)
+
+func main(L int, nuc int, gp int) {
+	var acc float = 0.0;
+	for (var l int = 0; l < L; l = l + 1) {
+		var e float = lookups[l];
+		var lo int = 0;
+		var hi int = gp - 1;
+		while (hi - lo > 1) {
+			var mid int = (lo + hi) / 2;
+			if (egrid[mid] > e) {
+				hi = mid;
+			} else {
+				lo = mid;
+			}
+		}
+		var f float = (e - egrid[lo]) / (egrid[hi] - egrid[lo]);
+		for (var m int = 0; m < nuc; m = m + 1) {
+			var v float = xsdata[m * gp + lo] * (1.0 - f) + xsdata[m * gp + hi] * f;
+			acc = acc + v;
+		}
+	}
+	emitf(acc);
+}
+`
+
+// srcFFT: SPLASH-2 FFT — iterative radix-2 decimation-in-time transform
+// with bit-reversal permutation.
+const srcFFT = `
+var re[] float;  // real parts, length 1<<m
+var im[] float;  // imaginary parts
+
+func main(m int) {
+	var n int = 1 << m;
+	// Bit-reversal permutation.
+	var j int = 0;
+	for (var i int = 0; i < n - 1; i = i + 1) {
+		if (i < j) {
+			var tr float = re[i]; re[i] = re[j]; re[j] = tr;
+			var ti float = im[i]; im[i] = im[j]; im[j] = ti;
+		}
+		var k int = n >> 1;
+		while (k <= j && k > 0) {
+			j = j - k;
+			k = k >> 1;
+		}
+		j = j + k;
+	}
+	// Butterfly stages.
+	var le int = 1;
+	for (var s int = 0; s < m; s = s + 1) {
+		var le2 int = le * 2;
+		var ang float = (0.0 - 3.14159265358979323846) / float(le);
+		for (var g int = 0; g < le; g = g + 1) {
+			var wr float = cos(ang * float(g));
+			var wi float = sin(ang * float(g));
+			for (var p int = g; p < n; p = p + le2) {
+				var q int = p + le;
+				var tr float = wr * re[q] - wi * im[q];
+				var ti float = wr * im[q] + wi * re[q];
+				re[q] = re[p] - tr;
+				im[q] = im[p] - ti;
+				re[p] = re[p] + tr;
+				im[p] = im[p] + ti;
+			}
+		}
+		le = le2;
+	}
+	var sr float = 0.0;
+	var si float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		sr = sr + re[i];
+		si = si + im[i];
+	}
+	emitf(sr);
+	emitf(si);
+	emitf(re[1]);
+	emitf(im[n / 2]);
+}
+`
+
+// srcFFTMT: multi-threaded FFT (paper §VIII-B) — the same butterfly
+// kernel with the twiddle groups of each stage split across simulated
+// threads, synchronized per stage.
+const srcFFTMT = `
+var re[] float;
+var im[] float;
+
+// stage runs the butterflies of twiddle groups g = tid, tid+nt, ... for
+// the stage with half-size le on an n-point transform.
+func stage(tid int, nt int, le int, n int) {
+	var le2 int = le * 2;
+	var ang float = (0.0 - 3.14159265358979323846) / float(le);
+	for (var g int = tid; g < le; g = g + nt) {
+		var wr float = cos(ang * float(g));
+		var wi float = sin(ang * float(g));
+		for (var p int = g; p < n; p = p + le2) {
+			var q int = p + le;
+			var tr float = wr * re[q] - wi * im[q];
+			var ti float = wr * im[q] + wi * re[q];
+			re[q] = re[p] - tr;
+			im[q] = im[p] - ti;
+			re[p] = re[p] + tr;
+			im[p] = im[p] + ti;
+		}
+	}
+}
+
+func main(m int, nt int) {
+	var n int = 1 << m;
+	var j int = 0;
+	for (var i int = 0; i < n - 1; i = i + 1) {
+		if (i < j) {
+			var tr float = re[i]; re[i] = re[j]; re[j] = tr;
+			var ti float = im[i]; im[i] = im[j]; im[j] = ti;
+		}
+		var k int = n >> 1;
+		while (k <= j && k > 0) {
+			j = j - k;
+			k = k >> 1;
+		}
+		j = j + k;
+	}
+	var le int = 1;
+	for (var s int = 0; s < m; s = s + 1) {
+		for (var t int = 0; t < nt; t = t + 1) {
+			spawn stage(t, nt, le, n);
+		}
+		sync;
+		le = le * 2;
+	}
+	var sr float = 0.0;
+	var si float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		sr = sr + re[i];
+		si = si + im[i];
+	}
+	emitf(sr);
+	emitf(si);
+}
+`

@@ -1,0 +1,291 @@
+// Package core is the high-level API of the MINPSID reproduction: it ties
+// the MiniC compiler, the IR interpreter, the fault injector, baseline
+// selective instruction duplication, and the MINPSID input-search pipeline
+// into a small set of types a downstream user can drive directly.
+//
+// Typical use:
+//
+//	prog, _ := core.FromBenchmark("kmeans")
+//	prot, _ := prog.Protect(core.TechniqueMINPSID, 0.5, core.QuickOptions())
+//	cov, _ := prot.EvaluateCoverage(prog.RandomInput(rng), 1000, 1)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minicc"
+	"repro/internal/minpsid"
+	"repro/internal/passes"
+	"repro/internal/sid"
+)
+
+// Technique selects the protection scheme.
+type Technique uint8
+
+// The available protection techniques.
+const (
+	TechniqueSID     Technique = iota // baseline: reference input only
+	TechniqueMINPSID                  // input-search hardened
+)
+
+// String returns the technique name.
+func (t Technique) String() string {
+	if t == TechniqueMINPSID {
+		return "minpsid"
+	}
+	return "sid"
+}
+
+// ParseTechnique resolves a technique by name ("sid" or "minpsid").
+func ParseTechnique(s string) (Technique, error) {
+	switch s {
+	case "sid", "baseline":
+		return TechniqueSID, nil
+	case "minpsid":
+		return TechniqueMINPSID, nil
+	default:
+		return 0, fmt.Errorf("core: unknown technique %q (want sid or minpsid)", s)
+	}
+}
+
+// Program is a compiled program together with its input space.
+type Program struct {
+	Name      string
+	Module    *ir.Module
+	Spec      *inputgen.Spec
+	Reference inputgen.Input
+	Bind      func(inputgen.Input) interp.Binding
+	Exec      interp.Config
+}
+
+// FromBenchmark loads one of the built-in paper benchmarks.
+func FromBenchmark(name string) (*Program, error) {
+	b, ok := benchprog.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		Name:      b.Name,
+		Module:    m,
+		Spec:      b.Spec,
+		Reference: b.Reference,
+		Bind:      b.Bind,
+		Exec:      b.ExecConfig(),
+	}, nil
+}
+
+// BenchmarkNames lists the built-in benchmarks.
+func BenchmarkNames() []string {
+	var names []string
+	for _, b := range benchprog.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// CompileMiniC builds a Program from MiniC source. The caller supplies the
+// input space, the reference input used for protection, and the binder;
+// optimize selects whether the standard pass pipeline runs.
+func CompileMiniC(name, src string, spec *inputgen.Spec, reference inputgen.Input, bind func(inputgen.Input) interp.Binding, optimize bool) (*Program, error) {
+	m, err := minicc.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	if optimize {
+		if err := passes.Optimize(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := spec.Validate(reference); err != nil {
+		return nil, fmt.Errorf("core: reference input: %w", err)
+	}
+	return &Program{
+		Name:      name,
+		Module:    m,
+		Spec:      spec,
+		Reference: reference,
+		Bind:      bind,
+		Exec:      interp.Config{},
+	}, nil
+}
+
+// RandomInput draws a random input from the program's input space.
+func (p *Program) RandomInput(rng *rand.Rand) inputgen.Input {
+	return p.Spec.Random(rng)
+}
+
+// Run executes the program fault-free on one input.
+func (p *Program) Run(in inputgen.Input) interp.Result {
+	r := interp.NewRunner(p.Module, p.Exec)
+	return r.Run(p.Bind(in), nil, nil)
+}
+
+// Options tunes protection.
+type Options struct {
+	// FaultsPerInstr is the per-instruction FI budget (paper: 100).
+	FaultsPerInstr int
+	// Search configures the MINPSID input search (ignored for SID).
+	SearchMaxInputs int
+	SearchPatience  int
+	PopSize         int
+	MaxGenerations  int
+	// SearchStrategy selects the MINPSID input-search engine (GA by
+	// default; random and simulated-annealing variants are available).
+	SearchStrategy minpsid.Strategy
+	// Seed drives all stochastic steps; Workers bounds FI parallelism.
+	Seed    int64
+	Workers int
+}
+
+// DefaultOptions returns paper-scale settings.
+func DefaultOptions() Options {
+	return Options{FaultsPerInstr: 100, SearchMaxInputs: 20, SearchPatience: 3, PopSize: 8, MaxGenerations: 6, Seed: 1}
+}
+
+// QuickOptions returns reduced settings for interactive experimentation.
+func QuickOptions() Options {
+	return Options{FaultsPerInstr: 15, SearchMaxInputs: 5, SearchPatience: 2, PopSize: 5, MaxGenerations: 3, Seed: 1}
+}
+
+func (o Options) searchConfig() minpsid.Config {
+	return minpsid.Config{
+		FaultsPerInstr: o.FaultsPerInstr,
+		MaxInputs:      o.SearchMaxInputs,
+		Patience:       o.SearchPatience,
+		PopSize:        o.PopSize,
+		MaxGenerations: o.MaxGenerations,
+		Strategy:       o.SearchStrategy,
+		Seed:           o.Seed,
+		Workers:        o.Workers,
+	}
+}
+
+// Protection is a protected program.
+type Protection struct {
+	Program   *Program
+	Technique Technique
+	Level     float64
+	Module    *ir.Module // the protected binary
+	// Chosen lists the selected instruction IDs (original module numbering).
+	Chosen []int
+	// ExpectedCoverage is the technique's own coverage estimate.
+	ExpectedCoverage float64
+	// Incubative lists incubative instruction IDs (MINPSID only).
+	Incubative []int
+	// Timing is the one-time analysis cost breakdown (MINPSID only).
+	Timing minpsid.Timing
+}
+
+// Protect applies the chosen technique at the given protection level.
+func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protection, error) {
+	tgt := minpsid.Target{Mod: p.Module, Spec: p.Spec, Bind: p.Bind, Exec: p.Exec}
+	switch tech {
+	case TechniqueMINPSID:
+		res, err := minpsid.Apply(tgt, p.Reference, level, opts.searchConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &Protection{
+			Program:          p,
+			Technique:        tech,
+			Level:            level,
+			Module:           res.Protected,
+			Chosen:           res.Selection.Chosen,
+			ExpectedCoverage: res.Selection.ExpectedCoverage,
+			Incubative:       res.Search.Incubative,
+			Timing:           res.Timing,
+		}, nil
+	default:
+		res, err := sid.Apply(p.Module, p.Bind(p.Reference), sid.Config{
+			Exec:           p.Exec,
+			FaultsPerInstr: opts.FaultsPerInstr,
+			Seed:           opts.Seed,
+			Workers:        opts.Workers,
+		}, level, sid.MethodDP)
+		if err != nil {
+			return nil, err
+		}
+		return &Protection{
+			Program:          p,
+			Technique:        tech,
+			Level:            level,
+			Module:           res.Module,
+			Chosen:           res.Selection.Chosen,
+			ExpectedCoverage: res.Selection.ExpectedCoverage,
+		}, nil
+	}
+}
+
+// CoverageReport is one coverage evaluation of a protected program.
+type CoverageReport struct {
+	Coverage float64 // detected / (detected + SDC); 1 if no corruptions occurred
+	Defined  bool    // false when no SDC-or-detected outcome was observed
+	Result   fault.CampaignResult
+}
+
+// EvaluateCoverage injects n random faults into the protected program
+// running with the given input and reports the measured SDC coverage.
+func (pr *Protection) EvaluateCoverage(in inputgen.Input, n int, seed int64) (CoverageReport, error) {
+	bind := pr.Program.Bind(in)
+	golden, err := fault.RunGolden(pr.Module, bind, pr.Program.Exec)
+	if err != nil {
+		return CoverageReport{}, fmt.Errorf("core: input inadmissible: %w", err)
+	}
+	c := &fault.Campaign{Mod: pr.Module, Bind: bind, Cfg: pr.Program.Exec, Golden: golden}
+	res := c.Run(n, seed)
+	cov, ok := res.SDCCoverage()
+	if !ok {
+		cov = 1
+	}
+	return CoverageReport{Coverage: cov, Defined: ok, Result: res}, nil
+}
+
+// InjectionCampaign runs a program-level FI campaign on the *unprotected*
+// program under one input: the raw resilience characterization step.
+func (p *Program) InjectionCampaign(in inputgen.Input, n int, seed int64) (fault.CampaignResult, error) {
+	bind := p.Bind(in)
+	golden, err := fault.RunGolden(p.Module, bind, p.Exec)
+	if err != nil {
+		return fault.CampaignResult{}, err
+	}
+	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden}
+	return c.Run(n, seed), nil
+}
+
+// TrueCoverageReport is the paper-definition coverage measurement.
+type TrueCoverageReport struct {
+	Coverage float64 // mitigated / would-be-SDC faults
+	Defined  bool    // false when no SDC fault was observed
+	Result   fault.TrueCoverageResult
+}
+
+// EvaluateTrueCoverage measures SDC coverage in the paper's sense: n
+// faults are sampled on the unprotected program, and the SDC-producing
+// ones are replayed against the protected binary; coverage is the
+// fraction detected. This is the metric behind Figs. 2/6/9. (The simpler
+// EvaluateCoverage reports the protected program's own detected/(detected
+// + SDC) ratio, which also counts detections of faults that would have
+// been masked.)
+func (pr *Protection) EvaluateTrueCoverage(in inputgen.Input, n int, seed int64) (TrueCoverageReport, error) {
+	idMap := sid.ProtectedMap(pr.Program.Module, pr.Chosen)
+	res, err := fault.TrueCoverage(pr.Program.Module, pr.Module, idMap,
+		pr.Program.Bind(in), pr.Program.Exec, n, seed, 0)
+	if err != nil {
+		return TrueCoverageReport{}, err
+	}
+	cov, ok := res.Coverage()
+	if !ok {
+		cov = 1
+	}
+	return TrueCoverageReport{Coverage: cov, Defined: ok, Result: res}, nil
+}

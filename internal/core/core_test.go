@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/inputgen"
+	"repro/internal/interp"
+)
+
+func TestFromBenchmark(t *testing.T) {
+	p, err := FromBenchmark("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.Run(p.Reference)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("reference run: %v", res.Status)
+	}
+	if _, err := FromBenchmark("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if len(BenchmarkNames()) != 12 {
+		t.Fatalf("BenchmarkNames = %v", BenchmarkNames())
+	}
+}
+
+func TestParseTechnique(t *testing.T) {
+	for s, want := range map[string]Technique{"sid": TechniqueSID, "baseline": TechniqueSID, "minpsid": TechniqueMINPSID} {
+		got, err := ParseTechnique(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTechnique(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTechnique("other"); err == nil {
+		t.Error("bad technique accepted")
+	}
+	if TechniqueSID.String() != "sid" || TechniqueMINPSID.String() != "minpsid" {
+		t.Error("technique names wrong")
+	}
+}
+
+func TestProtectAndEvaluateBothTechniques(t *testing.T) {
+	p, err := FromBenchmark("backprop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.FaultsPerInstr = 8
+	opts.SearchMaxInputs = 2
+	rng := rand.New(rand.NewSource(3))
+	in := p.RandomInput(rng)
+
+	for _, tech := range []Technique{TechniqueSID, TechniqueMINPSID} {
+		prot, err := p.Protect(tech, 0.5, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+		if prot.ExpectedCoverage < 0 || prot.ExpectedCoverage > 1 {
+			t.Errorf("%v expected coverage %f", tech, prot.ExpectedCoverage)
+		}
+		if len(prot.Chosen) == 0 {
+			t.Errorf("%v chose nothing", tech)
+		}
+		rep, err := prot.EvaluateCoverage(in, 200, 7)
+		if err != nil {
+			t.Fatalf("%v evaluate: %v", tech, err)
+		}
+		if rep.Coverage < 0 || rep.Coverage > 1 {
+			t.Errorf("%v coverage %f", tech, rep.Coverage)
+		}
+		if tech == TechniqueMINPSID && prot.Timing.Total() <= 0 {
+			t.Error("minpsid timing missing")
+		}
+	}
+}
+
+func TestCompileMiniC(t *testing.T) {
+	src := `
+func main(n int) {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) { s = s + i * i; }
+	emiti(s);
+}`
+	spec := &inputgen.Spec{Params: []inputgen.Param{inputgen.IntParam("n", 10, 100)}}
+	bind := func(in inputgen.Input) interp.Binding {
+		return interp.Binding{Args: []uint64{uint64(in.I[0])}}
+	}
+	ref := inputgen.Input{I: []int64{50}, F: make([]float64, 1)}
+	p, err := CompileMiniC("squares", src, spec, ref, bind, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := inputgen.Input{I: []int64{10}, F: make([]float64, 1)}
+	res := p.Run(in)
+	if res.Status != interp.StatusOK || int64(res.Output[0]) != 285 {
+		t.Fatalf("run: %v %v", res.Status, res.Output)
+	}
+
+	camp, err := p.InjectionCampaign(in, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Trials != 100 {
+		t.Fatalf("campaign trials = %d", camp.Trials)
+	}
+
+	if _, err := CompileMiniC("bad", "not minic", spec, ref, bind, false); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestEvaluateCoverageRejectsInadmissibleInput(t *testing.T) {
+	src := `func main(n int) { emiti(100 / n); }`
+	spec := &inputgen.Spec{Params: []inputgen.Param{inputgen.IntParam("n", 0, 10)}}
+	bind := func(in inputgen.Input) interp.Binding {
+		return interp.Binding{Args: []uint64{uint64(in.I[0])}}
+	}
+	ref := inputgen.Input{I: []int64{5}, F: make([]float64, 1)}
+	p, err := CompileMiniC("div", src, spec, ref, bind, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := p.Protect(TechniqueSID, 0.5, Options{FaultsPerInstr: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := inputgen.Input{I: []int64{0}, F: make([]float64, 1)}
+	if _, err := prot.EvaluateCoverage(bad, 10, 1); err == nil {
+		t.Fatal("crashing input accepted for evaluation")
+	}
+}
+
+func TestEvaluateTrueCoverage(t *testing.T) {
+	p, err := FromBenchmark("knn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.FaultsPerInstr = 6
+	opts.SearchMaxInputs = 2
+	prot, err := p.Protect(TechniqueSID, 0.6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := prot.EvaluateTrueCoverage(p.Reference, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage < 0 || rep.Coverage > 1 {
+		t.Fatalf("true coverage %f out of range", rep.Coverage)
+	}
+	if rep.Defined && rep.Result.SDCFaults == 0 {
+		t.Fatal("defined coverage with zero SDC faults")
+	}
+	t.Logf("true coverage on reference at 60%% level: %.3f (%d/%d SDC faults mitigated)",
+		rep.Coverage, rep.Result.Mitigated, rep.Result.SDCFaults)
+}

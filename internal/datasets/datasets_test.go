@@ -1,0 +1,141 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+)
+
+func TestSocialGraphsAreWellFormed(t *testing.T) {
+	graphs := SocialGraphs(10, 42)
+	if len(graphs) != 10 {
+		t.Fatalf("got %d graphs", len(graphs))
+	}
+	for _, g := range graphs {
+		if int64(len(g.Graph.Off)) != g.Nodes+1 {
+			t.Fatalf("%s: offsets length %d, nodes %d", g.Name, len(g.Graph.Off), g.Nodes)
+		}
+		prev := int64(0)
+		for _, o := range g.Graph.Off {
+			if o < prev {
+				t.Fatalf("%s: offsets not monotone", g.Name)
+			}
+			prev = o
+		}
+		for _, e := range g.Graph.Edges {
+			if e < 0 || e >= g.Nodes {
+				t.Fatalf("%s: edge target %d out of range", g.Name, e)
+			}
+		}
+		if len(g.Graph.Edges) == 0 {
+			t.Fatalf("%s: no edges", g.Name)
+		}
+	}
+}
+
+func TestSocialGraphsAreHeavyTailed(t *testing.T) {
+	// Scale-free graphs concentrate degree mass: the top decile of nodes
+	// should own far more than 10% of the edge endpoints. Uniform random
+	// graphs sit near ~17-20%; preferential attachment should exceed 25%.
+	graphs := SocialGraphs(10, 7)
+	var tails float64
+	for _, g := range graphs {
+		tails += DegreeTail(g.Graph)
+	}
+	avg := tails / float64(len(graphs))
+	if avg < 0.25 {
+		t.Errorf("average top-decile degree share = %.3f, want >= 0.25 (heavy tail)", avg)
+	}
+
+	// Compare against the uniform generator used in the main evaluation.
+	r := uniformTail(t)
+	if avg <= r {
+		t.Errorf("preferential attachment tail %.3f not heavier than uniform %.3f", avg, r)
+	}
+}
+
+func uniformTail(t *testing.T) float64 {
+	t.Helper()
+	var tails float64
+	for i := int64(0); i < 10; i++ {
+		g := benchprog.RandomGraphSeeded(150, 3, 1000+i)
+		tails += DegreeTail(g)
+	}
+	return tails / 10
+}
+
+func TestSocialGraphsRunThroughBFS(t *testing.T) {
+	b, ok := benchprog.ByName("bfs")
+	if !ok {
+		t.Fatal("bfs benchmark missing")
+	}
+	m := b.MustModule()
+	r := interp.NewRunner(m, b.ExecConfig())
+	for _, g := range SocialGraphs(5, 11) {
+		res := r.Run(g.BindBFS(), nil, nil)
+		if res.Status != interp.StatusOK {
+			t.Fatalf("%s: status %v (%s)", g.Name, res.Status, res.Trap)
+		}
+		visited := int64(res.Output[0])
+		if visited < 1 || visited > g.Nodes {
+			t.Fatalf("%s: visited %d of %d nodes", g.Name, visited, g.Nodes)
+		}
+	}
+}
+
+func TestClusterDatasetsRunThroughKmeans(t *testing.T) {
+	b, ok := benchprog.ByName("kmeans")
+	if !ok {
+		t.Fatal("kmeans benchmark missing")
+	}
+	m := b.MustModule()
+	r := interp.NewRunner(m, b.ExecConfig())
+	for _, d := range ClusterDatasets(5, 3) {
+		if len(d.X) != len(d.Y) || len(d.X) == 0 {
+			t.Fatalf("%s: bad point arrays", d.Name)
+		}
+		res := r.Run(d.BindKmeans(5), nil, nil)
+		if res.Status != interp.StatusOK {
+			t.Fatalf("%s: status %v (%s)", d.Name, res.Status, res.Trap)
+		}
+	}
+}
+
+func TestDatasetsAreDeterministic(t *testing.T) {
+	a := SocialGraphs(3, 5)
+	b := SocialGraphs(3, 5)
+	for i := range a {
+		if len(a[i].Graph.Edges) != len(b[i].Graph.Edges) {
+			t.Fatal("graph generation not deterministic")
+		}
+		for j := range a[i].Graph.Edges {
+			if a[i].Graph.Edges[j] != b[i].Graph.Edges[j] {
+				t.Fatal("graph generation not deterministic")
+			}
+		}
+	}
+	c := ClusterDatasets(3, 5)
+	d := ClusterDatasets(3, 5)
+	for i := range c {
+		for j := range c[i].X {
+			if c[i].X[j] != d[i].X[j] {
+				t.Fatal("cluster generation not deterministic")
+			}
+		}
+	}
+	// Different seeds produce different datasets.
+	e := SocialGraphs(1, 6)
+	if len(a[0].Graph.Edges) == len(e[0].Graph.Edges) {
+		same := true
+		for j := range e[0].Graph.Edges {
+			if a[0].Graph.Edges[j] != e[0].Graph.Edges[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// TrueCoverageResult reports an SDC-coverage measurement in the paper's
+// sense: of the faults that cause an SDC in the *unprotected* program, the
+// fraction the protected program detects.
+type TrueCoverageResult struct {
+	Trials    int64 // faults sampled on the unprotected program
+	SDCFaults int64 // of those, how many corrupted the unprotected output
+	Mitigated int64 // of the SDC faults, how many the protection detected
+	Unprotect CampaignResult
+}
+
+// Coverage returns Mitigated / SDCFaults; ok is false when no SDC fault
+// was observed (coverage undefined for this input).
+func (r TrueCoverageResult) Coverage() (float64, bool) {
+	if r.SDCFaults == 0 {
+		return 0, false
+	}
+	return float64(r.Mitigated) / float64(r.SDCFaults), true
+}
+
+// TrueCoverage measures the SDC coverage of a protected program exactly as
+// the paper defines it (§II-A: "the percentage of SDCs that has been
+// mitigated by a used protection technique"):
+//
+//  1. sample n fault sites uniformly over the dynamic instructions of the
+//     ORIGINAL program and classify each outcome there;
+//  2. replay every SDC-producing site against the PROTECTED program (the
+//     duplication transform preserves the dynamic behavior of original
+//     instructions, so (instruction, occurrence, bit) identifies the same
+//     physical fault — idMap translates static instruction IDs);
+//  3. coverage = detected replays / SDC sites.
+//
+// This avoids the inflation a protected-program-only campaign suffers,
+// where detections of faults that would have been masked anyway count as
+// coverage.
+func TrueCoverage(orig, prot *ir.Module, idMap map[int]int, bind interp.Binding,
+	exec interp.Config, n int, seed int64, workers int) (TrueCoverageResult, error) {
+
+	goldenO, err := RunGolden(orig, bind, exec)
+	if err != nil {
+		return TrueCoverageResult{}, fmt.Errorf("fault: original golden: %w", err)
+	}
+	goldenP, err := RunGolden(prot, bind, exec)
+	if err != nil {
+		return TrueCoverageResult{}, fmt.Errorf("fault: protected golden: %w", err)
+	}
+
+	// Phase 1: campaign on the original program.
+	rng := rand.New(rand.NewSource(seed))
+	sampler := NewSampler(orig, goldenO, true)
+	sites := make([]interp.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		if s, ok := sampler.RandomSite(rng); ok {
+			sites = append(sites, s)
+		}
+	}
+	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO, Workers: workers}
+	outcomesO := campO.runSites(sites)
+
+	res := TrueCoverageResult{Trials: int64(len(sites))}
+	var replay []interp.Fault
+	for i, o := range outcomesO {
+		res.Unprotect.Add(o)
+		if o != OutcomeSDC {
+			continue
+		}
+		res.SDCFaults++
+		s := sites[i]
+		newID, ok := idMap[s.InstrID]
+		if !ok {
+			return TrueCoverageResult{}, fmt.Errorf("fault: no protected mapping for instr %d", s.InstrID)
+		}
+		replay = append(replay, interp.Fault{InstrID: newID, DynIndex: s.DynIndex, Bit: s.Bit})
+	}
+
+	// Phase 2: replay SDC sites against the protected program.
+	campP := &Campaign{Mod: prot, Bind: bind, Cfg: exec, Golden: goldenP, Workers: workers}
+	outcomesP := campP.runSites(replay)
+	for _, o := range outcomesP {
+		if o == OutcomeDetected {
+			res.Mitigated++
+		}
+	}
+	return res, nil
+}

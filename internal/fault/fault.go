@@ -1,0 +1,415 @@
+// Package fault is the repository's LLFI equivalent: it injects single-bit
+// flips into the return values of randomly chosen dynamic instructions and
+// classifies the outcome of each faulty execution against a golden run.
+//
+// The fault model follows the paper (§II-A): transient faults in processor
+// computing components, modeled as one single-bit flip per run in the
+// destination value of one dynamic instruction. Memory, control logic, and
+// instruction-encoding faults are out of scope (assumed ECC/other
+// protection), as are jumps to illegal addresses — but legal-but-wrong
+// branches arise naturally when a flipped comparison feeds a branch.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Outcome classifies one fault-injection trial.
+type Outcome uint8
+
+// Trial outcomes. Benign means the program completed with output
+// bit-identical to the golden run; SDC means it completed with different
+// output; Detected means a duplication check caught the corruption.
+const (
+	OutcomeBenign Outcome = iota
+	OutcomeSDC
+	OutcomeCrash
+	OutcomeHang
+	OutcomeDetected
+	NumOutcomes
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeDetected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// HangFactor scales the golden run's dynamic instruction count into the
+// hang budget for faulty runs.
+const HangFactor = 20
+
+// Golden is a fault-free reference execution of a module under one input.
+type Golden struct {
+	Output    []uint64
+	DynInstrs int64
+	Cycles    int64
+	Profile   *interp.Profile
+}
+
+// RunGolden executes the module fault-free with profiling and returns the
+// reference execution. It fails if the fault-free program does not run to
+// completion (such inputs are filtered out per §III-A2).
+func RunGolden(m *ir.Module, bind interp.Binding, cfg interp.Config) (*Golden, error) {
+	prof := interp.NewProfile(m)
+	r := interp.NewRunner(m, cfg)
+	res := r.Run(bind, nil, prof)
+	if res.Status != interp.StatusOK {
+		return nil, fmt.Errorf("fault: golden run ended with %s (%s)", res.Status, res.Trap)
+	}
+	return &Golden{
+		Output:    res.Output,
+		DynInstrs: res.DynInstrs,
+		Cycles:    res.Cycles,
+		Profile:   prof,
+	}, nil
+}
+
+// faultyConfig derives the execution bounds for faulty runs from the
+// golden run (a fault can lengthen execution; the hang budget caps it).
+func faultyConfig(cfg interp.Config, g *Golden) interp.Config {
+	cfg.MaxDynInstrs = g.DynInstrs*HangFactor + 10_000
+	return cfg
+}
+
+// Classify compares a faulty run against the golden execution.
+func Classify(g *Golden, res interp.Result) Outcome {
+	switch res.Status {
+	case interp.StatusDetected:
+		return OutcomeDetected
+	case interp.StatusCrash:
+		return OutcomeCrash
+	case interp.StatusHang:
+		return OutcomeHang
+	}
+	if len(res.Output) != len(g.Output) {
+		return OutcomeSDC
+	}
+	for i, w := range g.Output {
+		if res.Output[i] != w {
+			return OutcomeSDC
+		}
+	}
+	return OutcomeBenign
+}
+
+// Sampler draws injection sites. Program-level sites are uniform over all
+// dynamic instances of injectable instructions (weighted by each static
+// instruction's dynamic count in the golden run), matching LLFI's "random
+// dynamic instruction" selection.
+type Sampler struct {
+	mod   *ir.Module
+	g     *Golden
+	ids   []int   // injectable static instruction IDs with count > 0
+	cum   []int64 // cumulative dynamic counts over ids
+	total int64
+}
+
+// NewSampler builds a sampler for m under the golden execution g.
+// excludeDup restricts sites to original program instructions (used when
+// characterizing the unprotected program).
+func NewSampler(m *ir.Module, g *Golden, excludeDup bool) *Sampler {
+	s := &Sampler{mod: m, g: g}
+	for _, id := range m.InjectableIDs(excludeDup) {
+		c := g.Profile.InstrCount[id]
+		if c == 0 {
+			continue
+		}
+		s.total += c
+		s.ids = append(s.ids, id)
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+// Total returns the number of injectable dynamic instruction instances.
+func (s *Sampler) Total() int64 { return s.total }
+
+// RandomSite draws one program-level injection site. ok is false when the
+// program has no injectable dynamic instructions.
+func (s *Sampler) RandomSite(rng *rand.Rand) (interp.Fault, bool) {
+	if s.total == 0 {
+		return interp.Fault{}, false
+	}
+	k := rng.Int63n(s.total)
+	// Binary search the cumulative counts.
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	id := s.ids[lo]
+	base := int64(0)
+	if lo > 0 {
+		base = s.cum[lo-1]
+	}
+	return interp.Fault{
+		InstrID:  id,
+		DynIndex: k - base,
+		Bit:      uint(rng.Intn(int(s.mod.Instrs[id].Type.Bits()))),
+	}, true
+}
+
+// SiteFor draws an injection site targeting one static instruction,
+// uniform over its dynamic instances. ok is false if the instruction never
+// executed under this input or has no result.
+func (s *Sampler) SiteFor(instrID int, rng *rand.Rand) (interp.Fault, bool) {
+	in := s.mod.Instrs[instrID]
+	if !in.IsInjectable() {
+		return interp.Fault{}, false
+	}
+	c := s.g.Profile.InstrCount[instrID]
+	if c == 0 {
+		return interp.Fault{}, false
+	}
+	return interp.Fault{
+		InstrID:  instrID,
+		DynIndex: rng.Int63n(c),
+		Bit:      uint(rng.Intn(int(in.Type.Bits()))),
+	}, true
+}
+
+// CampaignResult aggregates trial outcomes.
+type CampaignResult struct {
+	Counts [NumOutcomes]int64
+	Trials int64
+}
+
+// Add accumulates one outcome.
+func (c *CampaignResult) Add(o Outcome) {
+	c.Counts[o]++
+	c.Trials++
+}
+
+// Merge accumulates another result set.
+func (c *CampaignResult) Merge(o CampaignResult) {
+	for i := range c.Counts {
+		c.Counts[i] += o.Counts[i]
+	}
+	c.Trials += o.Trials
+}
+
+// Rate returns the fraction of trials with outcome o (0 if no trials).
+func (c *CampaignResult) Rate(o Outcome) float64 {
+	if c.Trials == 0 {
+		return 0
+	}
+	return float64(c.Counts[o]) / float64(c.Trials)
+}
+
+// SDCCoverage returns detected / (detected + SDC): the fraction of
+// corruptions mitigated by the protection. The second result is false when
+// no trial produced either outcome (coverage undefined).
+func (c *CampaignResult) SDCCoverage() (float64, bool) {
+	d := c.Counts[OutcomeDetected]
+	s := c.Counts[OutcomeSDC]
+	if d+s == 0 {
+		return 0, false
+	}
+	return float64(d) / float64(d+s), true
+}
+
+// Campaign runs fault-injection trials over a module with one input.
+type Campaign struct {
+	Mod     *ir.Module
+	Bind    interp.Binding
+	Cfg     interp.Config
+	Golden  *Golden
+	Workers int // 0 = GOMAXPROCS
+}
+
+func (c *Campaign) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runSites executes the given fault sites in parallel and returns one
+// outcome per site (index-aligned), deterministic for fixed sites.
+func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
+	outcomes := make([]Outcome, len(sites))
+	cfg := faultyConfig(c.Cfg, c.Golden)
+	nw := c.workers()
+	if nw > len(sites) {
+		nw = len(sites)
+	}
+	if nw <= 1 {
+		r := interp.NewRunner(c.Mod, cfg)
+		for i := range sites {
+			outcomes[i] = Classify(c.Golden, r.Run(c.Bind, &sites[i], nil))
+		}
+		return outcomes
+	}
+	var wg sync.WaitGroup
+	next := make(chan int) // work queue of site indices
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := interp.NewRunner(c.Mod, cfg)
+			for i := range next {
+				outcomes[i] = Classify(c.Golden, r.Run(c.Bind, &sites[i], nil))
+			}
+		}()
+	}
+	for i := range sites {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return outcomes
+}
+
+// Run performs n program-level trials with sites drawn from seed and
+// returns the aggregated outcome counts. The result is deterministic for a
+// fixed (module, input, n, seed) regardless of worker count.
+func (c *Campaign) Run(n int, seed int64) CampaignResult {
+	rng := rand.New(rand.NewSource(seed))
+	sampler := NewSampler(c.Mod, c.Golden, false)
+	sites := make([]interp.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		if site, ok := sampler.RandomSite(rng); ok {
+			sites = append(sites, site)
+		}
+	}
+	var res CampaignResult
+	for _, o := range c.runSites(sites) {
+		res.Add(o)
+	}
+	return res
+}
+
+// InstrStats is the per-instruction fault-injection measurement the SID
+// cost/benefit model consumes.
+type InstrStats struct {
+	InstrID  int
+	Executed bool // the instruction ran at least once under this input
+	Trials   int64
+	SDC      int64
+	Crash    int64
+	Hang     int64
+	Detected int64
+	Benign   int64
+}
+
+// SDCProb returns the measured probability that a fault in this
+// instruction leads to an SDC.
+func (s InstrStats) SDCProb() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.SDC) / float64(s.Trials)
+}
+
+// PerInstruction runs k trials against every injectable original-program
+// instruction (the per-instruction FI step of SID preparation) and returns
+// stats indexed by static instruction ID. Instructions that never execute
+// under this input get Executed=false and zero trials.
+func (c *Campaign) PerInstruction(k int, seed int64) []InstrStats {
+	rng := rand.New(rand.NewSource(seed))
+	sampler := NewSampler(c.Mod, c.Golden, true)
+
+	stats := make([]InstrStats, c.Mod.NumInstrs())
+	var sites []interp.Fault
+	var owner []int // instruction ID per site
+	for _, in := range c.Mod.Instrs {
+		stats[in.ID].InstrID = in.ID
+		if !in.IsInjectable() || in.Dup {
+			continue
+		}
+		if c.Golden.Profile.InstrCount[in.ID] == 0 {
+			continue
+		}
+		stats[in.ID].Executed = true
+		for t := 0; t < k; t++ {
+			site, ok := sampler.SiteFor(in.ID, rng)
+			if !ok {
+				break
+			}
+			sites = append(sites, site)
+			owner = append(owner, in.ID)
+		}
+	}
+	outcomes := c.runSites(sites)
+	for i, o := range outcomes {
+		st := &stats[owner[i]]
+		st.Trials++
+		switch o {
+		case OutcomeSDC:
+			st.SDC++
+		case OutcomeCrash:
+			st.Crash++
+		case OutcomeHang:
+			st.Hang++
+		case OutcomeDetected:
+			st.Detected++
+		default:
+			st.Benign++
+		}
+	}
+	return stats
+}
+
+// RandomMultiBitSite draws a program-level injection site flipping k
+// random distinct bits of the target value — the multi-bit extension of
+// the fault model. k is clamped to the value's width.
+func (s *Sampler) RandomMultiBitSite(rng *rand.Rand, k int) (interp.Fault, bool) {
+	site, ok := s.RandomSite(rng)
+	if !ok {
+		return site, false
+	}
+	bits := int(s.mod.Instrs[site.InstrID].Type.Bits())
+	if k > bits {
+		k = bits
+	}
+	var mask uint64
+	for picked := 0; picked < k; {
+		b := uint(rng.Intn(bits))
+		if mask&(1<<b) == 0 {
+			mask |= 1 << b
+			picked++
+		}
+	}
+	site.Mask = mask
+	return site, true
+}
+
+// RunMultiBit is Run with k-bit flips per trial instead of single-bit.
+func (c *Campaign) RunMultiBit(n int, seed int64, k int) CampaignResult {
+	rng := rand.New(rand.NewSource(seed))
+	sampler := NewSampler(c.Mod, c.Golden, false)
+	sites := make([]interp.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		if site, ok := sampler.RandomMultiBitSite(rng, k); ok {
+			sites = append(sites, site)
+		}
+	}
+	var res CampaignResult
+	for _, o := range c.runSites(sites) {
+		res.Add(o)
+	}
+	return res
+}

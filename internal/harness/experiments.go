@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/benchprog"
+	"repro/internal/sid"
+	"repro/internal/stats"
+)
+
+// newTable returns a tabwriter for aligned text tables.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Table1 prints the benchmark inventory (paper Table I) with static IR
+// statistics from this reproduction.
+func Table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table I: Benchmarks")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tSuite\tStatic Instrs\tBlocks\tRef DynInstrs\tDescription")
+	for _, b := range benchprog.Eleven() {
+		m, err := b.Module()
+		if err != nil {
+			return err
+		}
+		g, err := goldenOf(b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			b.Name, b.Suite, m.NumInstrs(), m.NumBlocks(), g.DynInstrs, b.Description)
+	}
+	return tw.Flush()
+}
+
+// Fig2 prints the baseline-SID coverage candlesticks across inputs
+// (paper Fig. 2): for each benchmark and protection level, the expected
+// coverage (red bar) and the measured distribution over inputs.
+func Fig2(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintf(w, "Fig. 2: Loss of SDC coverage in existing SID (profile %s, %d inputs, %d faults/input)\n",
+		r.P.Name, r.P.EvalInputs, r.P.FaultsPerProgram)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tLevel\tExpected\tMin\tP25\tMedian\tP75\tMax\tLossInputs%")
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		for _, le := range ev.Baseline {
+			s := stats.Summarize(le.Coverage)
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.1f%%\n",
+				b.Name, le.Level*100, le.Expected*100,
+				s.Min*100, s.P25*100, s.Median*100, s.P75*100, s.Max*100,
+				le.LossInputPct())
+		}
+	}
+	return tw.Flush()
+}
+
+// Table2 prints the percentage of coverage-loss inputs under baseline SID
+// (paper Table II).
+func Table2(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintln(w, "Table II: Percentage of Random Coverage-loss Inputs (baseline SID)")
+	return lossTable(r, benches, w, Baseline)
+}
+
+// Table3 prints the percentage of coverage-loss inputs under MINPSID
+// (paper Table III).
+func Table3(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintln(w, "Table III: Percentage of Inputs with Loss of SDC Coverage (MINPSID)")
+	return lossTable(r, benches, w, Minpsid)
+}
+
+func lossTable(r *Runner, benches []*benchprog.Benchmark, w io.Writer, tech Technique) error {
+	levels := r.P.sortedLevels()
+	tw := newTable(w)
+	fmt.Fprint(tw, "Benchmark")
+	for _, l := range levels {
+		fmt.Fprintf(tw, "\t%.0f%% Level", l*100)
+	}
+	fmt.Fprintln(tw)
+	avgs := make([]float64, len(levels))
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		rows := ev.Baseline
+		if tech == Minpsid {
+			rows = ev.Minpsid
+		}
+		fmt.Fprint(tw, b.Name)
+		for i, le := range rows {
+			pct := le.LossInputPct()
+			avgs[i] += pct
+			fmt.Fprintf(tw, "\t%.2f%%", pct)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "Average")
+	for _, a := range avgs {
+		fmt.Fprintf(tw, "\t%.2f%%", a/float64(len(benches)))
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// Fig6 prints the side-by-side mitigation comparison (paper Fig. 6):
+// coverage distributions of baseline SID and MINPSID per benchmark/level.
+func Fig6(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintf(w, "Fig. 6: Mitigation of the loss of SDC coverage by MINPSID vs baseline (profile %s)\n", r.P.Name)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tLevel\tTechnique\tExpected\tMin\tMedian\tMax\tLossInputs%\tIncubative")
+	var mitigated, lossBase, lossMinp float64
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		for i := range ev.Baseline {
+			be, me := ev.Baseline[i], ev.Minpsid[i]
+			bs := stats.Summarize(be.Coverage)
+			ms := stats.Summarize(me.Coverage)
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.1f%%\t-\n",
+				b.Name, be.Level*100, Baseline, be.Expected*100, bs.Min*100, bs.Median*100, bs.Max*100, be.LossInputPct())
+			fmt.Fprintf(tw, "%s\t%.0f%%\t%s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.1f%%\t%d\n",
+				b.Name, me.Level*100, Minpsid, me.Expected*100, ms.Min*100, ms.Median*100, ms.Max*100, me.LossInputPct(), len(ev.Search.Incubative))
+			// Aggregate mitigation: how much of the baseline's worst-case
+			// loss MINPSID recovers.
+			lb := be.Expected - bs.Min
+			lm := me.Expected - ms.Min
+			if lb < 0 {
+				lb = 0
+			}
+			if lm < 0 {
+				lm = 0
+			}
+			lossBase += lb
+			lossMinp += lm
+		}
+	}
+	if lossBase > 0 {
+		mitigated = 100 * (lossBase - lossMinp) / lossBase
+		fmt.Fprintf(tw, "\nAggregate\t\t\t\t\t\t\t\tmitigates %.1f%% of worst-case coverage loss\n", mitigated)
+	}
+	return tw.Flush()
+}
+
+// OverheadVariance prints the §VIII-A analysis: the actual fraction of
+// dynamic instructions duplicated when the protected programs run with the
+// evaluation inputs, versus the target protection level.
+func OverheadVariance(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintln(w, "§VIII-A: Actual duplicated dynamic-instruction fraction across inputs")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Level\tTechnique\tTarget\tActual (mean over benchmarks x inputs)\tShortfall")
+	levels := r.P.sortedLevels()
+	for _, level := range levels {
+		for _, tech := range []Technique{Baseline, Minpsid} {
+			var fracs []float64
+			for _, b := range benches {
+				ev, err := r.Evaluate(b)
+				if err != nil {
+					return err
+				}
+				sel := ev.BaseSel[level]
+				if tech == Minpsid {
+					sel = ev.MinpSel[level]
+				}
+				m := b.MustModule()
+				for _, in := range ev.EvalInputs {
+					prof, err := profileOf(b, in)
+					if err != nil {
+						continue
+					}
+					fracs = append(fracs, sid.DuplicatedDynFraction(m, prof, sel.Chosen))
+				}
+			}
+			actual := stats.Mean(fracs)
+			fmt.Fprintf(tw, "%.0f%%\t%s\t%.0f%%\t%.2f%%\t%.2f%%\n",
+				level*100, tech, level*100, actual*100, (level-actual)*100)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,459 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/benchprog"
+	"repro/internal/datasets"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minpsid"
+	"repro/internal/profile"
+	"repro/internal/sid"
+	"repro/internal/stats"
+)
+
+// goldenOf runs a benchmark's reference input fault-free with profiling.
+func goldenOf(b *benchprog.Benchmark) (*fault.Golden, error) {
+	m, err := b.Module()
+	if err != nil {
+		return nil, err
+	}
+	return fault.RunGolden(m, b.Bind(b.Reference), b.ExecConfig())
+}
+
+// profileOf profiles the original module under one input.
+func profileOf(b *benchprog.Benchmark, in inputgen.Input) (*interp.Profile, error) {
+	m := b.MustModule()
+	g, err := fault.RunGolden(m, b.Bind(in), b.ExecConfig())
+	if err != nil {
+		return nil, err
+	}
+	return g.Profile, nil
+}
+
+// Fig3 reproduces the incubative-instruction case study (paper Fig. 3):
+// it searches the FFT benchmark for incubative instructions and reports
+// the comparisons among them, showing per-input SDC probabilities that
+// are near zero on the reference input but high on a searched input.
+func Fig3(r *Runner, w io.Writer) error {
+	b, _ := benchprog.ByName("fft")
+	ev, err := r.Evaluate(b)
+	if err != nil {
+		return err
+	}
+	m := b.MustModule()
+	fmt.Fprintln(w, "Fig. 3: Incubative instructions in FFT (ref vs searched-input benefit)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "InstrID\tOpcode\tRefBenefit\tMaxBenefit\tRefSDCProb")
+	shown := 0
+	for _, id := range ev.Search.Incubative {
+		in := m.Instrs[id]
+		fmt.Fprintf(tw, "%d\t%s\t%.6f\t%.6f\t%.3f\n",
+			id, in.Op, ev.RefMeas.Benefit[id], ev.Search.MaxBenefit[id], ev.RefMeas.SDCProb[id])
+		shown++
+		if shown >= 12 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Fprintln(tw, "(no incubative instructions found at this profile's search budget)")
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Highlight comparisons specifically, as in the paper's icmp example.
+	cmps := 0
+	for _, id := range ev.Search.Incubative {
+		if op := m.Instrs[id].Op; op == ir.OpICmp || op == ir.OpFCmp {
+			cmps++
+		}
+	}
+	fmt.Fprintf(w, "incubative comparisons (icmp/fcmp, as in the paper's example): %d of %d\n",
+		cmps, len(ev.Search.Incubative))
+	return nil
+}
+
+// Fig5 reproduces the weighted-CFG construction example (paper Fig. 5) on
+// the Pathfinder benchmark: the static CFG, the edge weights of one
+// execution, and the resulting indexed CFG list.
+func Fig5(w io.Writer) error {
+	b, _ := benchprog.ByName("pathfinder")
+	m := b.MustModule()
+	g, err := goldenOf(b)
+	if err != nil {
+		return err
+	}
+	wcfg := profile.NewWeightedCFG(m, g.Profile)
+	list := wcfg.IndexedList()
+
+	fmt.Fprintln(w, "Fig. 5: Weighted CFG construction (Pathfinder, reference input)")
+	fmt.Fprintf(w, "static CFG: %d basic blocks across %d functions\n", m.NumBlocks(), len(m.Funcs))
+
+	type edge struct {
+		from, to int
+		count    int64
+	}
+	var edges []edge
+	for e, c := range wcfg.EdgeCount {
+		edges = append(edges, edge{e[0], e[1], c})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].count > edges[j].count })
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Edge (bb->bb)\tExecutions")
+	for i, e := range edges {
+		if i >= 10 {
+			break
+		}
+		fmt.Fprintf(tw, "bb%d -> bb%d\t%d\n", e.from, e.to, e.count)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprint(w, "indexed CFG list: [")
+	for i, c := range list {
+		if i > 0 {
+			fmt.Fprint(w, " ")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w, "]")
+	return nil
+}
+
+// Fig7Result is the data behind one Fig. 7 curve set. AnnealFound covers
+// the simulated-annealing extension (paper §X future work).
+type Fig7Result struct {
+	Bench       string
+	GATrace     []minpsid.TracePoint
+	RandomTrace []minpsid.TracePoint
+	GAFound     int
+	RandomFound int
+	AnnealFound int
+}
+
+// Fig7 reproduces the search-efficiency comparison (paper Fig. 7): the
+// number of incubative instructions found per measured input by the GA
+// engine versus a blind random searcher, on the same budget.
+func Fig7(r *Runner, benches []*benchprog.Benchmark, w io.Writer) ([]Fig7Result, error) {
+	fmt.Fprintf(w, "Fig. 7: Incubative instructions found by GA search vs random search (profile %s)\n", r.P.Name)
+	var out []Fig7Result
+	var gaTotal, rndTotal int
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tSearcher\tInputs\tIncubative found\tNormalized")
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return nil, err
+		}
+		tgt := target(b)
+		cfgRnd := r.P.searchConfig(r.P.Seed + 17) // same budget and seed as GA
+		cfgRnd.Strategy = minpsid.StrategyRandom
+		rnd := minpsid.Search(tgt, cfgRnd, b.Reference, ev.RefMeas)
+		cfgSA := r.P.searchConfig(r.P.Seed + 17)
+		cfgSA.Strategy = minpsid.StrategyAnneal
+		sa := minpsid.Search(tgt, cfgSA, b.Reference, ev.RefMeas)
+
+		res := Fig7Result{
+			Bench:       b.Name,
+			GATrace:     ev.Search.Trace,
+			RandomTrace: rnd.Trace,
+			GAFound:     len(ev.Search.Incubative),
+			RandomFound: len(rnd.Incubative),
+			AnnealFound: len(sa.Incubative),
+		}
+		out = append(out, res)
+		gaTotal += res.GAFound
+		rndTotal += res.RandomFound
+		max := res.GAFound
+		if res.RandomFound > max {
+			max = res.RandomFound
+		}
+		if res.AnnealFound > max {
+			max = res.AnnealFound
+		}
+		norm := func(v int) float64 {
+			if max == 0 {
+				return 0
+			}
+			return float64(v) / float64(max)
+		}
+		fmt.Fprintf(tw, "%s\tGA\t%d\t%d\t%.2f\n", b.Name, len(ev.Search.Inputs), res.GAFound, norm(res.GAFound))
+		fmt.Fprintf(tw, "%s\trandom\t%d\t%d\t%.2f\n", b.Name, len(rnd.Inputs), res.RandomFound, norm(res.RandomFound))
+		fmt.Fprintf(tw, "%s\tanneal\t%d\t%d\t%.2f\n", b.Name, len(sa.Inputs), res.AnnealFound, norm(res.AnnealFound))
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	if rndTotal > 0 {
+		fmt.Fprintf(w, "GA found %+.1f%% incubative instructions vs random search\n",
+			100*(float64(gaTotal)/float64(rndTotal)-1))
+	}
+	return out, nil
+}
+
+// Fig8 reproduces the execution-time breakdown (paper Fig. 8): wall time
+// of the per-instruction FI on the reference input, the input search
+// engine, and the per-instruction FI for incubative identification.
+func Fig8(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintf(w, "Fig. 8: MINPSID execution time breakdown (profile %s)\n", r.P.Name)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tPer-Inst-FI (Ref)\tSearch Engine\tPer-Inst-FI (Incubative)\tTotal")
+	var totRef, totEng, totFI float64
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		ref := ev.RefFITime.Seconds()
+		eng := ev.Search.EngineTime.Seconds()
+		fi := ev.Search.FITime.Seconds()
+		totRef += ref
+		totEng += eng
+		totFI += fi
+		fmt.Fprintf(tw, "%s\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n", b.Name, ref, eng, fi, ref+eng+fi)
+	}
+	n := float64(len(benches))
+	fmt.Fprintf(tw, "Average\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n", totRef/n, totEng/n, totFI/n, (totRef+totEng+totFI)/n)
+	return tw.Flush()
+}
+
+// CaseStudyEval is the Fig. 9 / Table IV data for one benchmark.
+type CaseStudyEval struct {
+	Bench    string
+	Level    float64
+	Tech     Technique
+	Expected float64
+	Summary  stats.Summary
+	LossPct  float64
+}
+
+// Fig9 reproduces the real-world-input case study (paper Fig. 9 and
+// Table IV): the BFS benchmark evaluated on KONECT-style social graphs
+// and Kmeans on Kaggle-style clustering datasets, under both techniques.
+func Fig9(r *Runner, w io.Writer) ([]CaseStudyEval, error) {
+	fmt.Fprintf(w, "Fig. 9 / Table IV: MINPSID with real-world program inputs (profile %s)\n", r.P.Name)
+
+	nGraphs := r.P.EvalInputs
+	graphs := datasets.SocialGraphs(nGraphs, r.P.Seed+5000)
+	clusters := datasets.ClusterDatasets(max(nGraphs/3, 4), r.P.Seed+6000)
+
+	var out []CaseStudyEval
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tLevel\tTechnique\tExpected\tMin\tMedian\tMax\tLossInputs%")
+
+	evalCase := func(benchName string, binds []interp.Binding) error {
+		b, _ := benchprog.ByName(benchName)
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		for li, level := range r.P.sortedLevels() {
+			for _, tech := range []Technique{Baseline, Minpsid} {
+				prot := ev.BaseProt[level]
+				expected := ev.Baseline[li].Expected
+				if tech == Minpsid {
+					prot = ev.MinpProt[level]
+					expected = ev.Minpsid[li].Expected
+				}
+				var covs []float64
+				loss := 0
+				for i, bind := range binds {
+					cov, ok := measureCoverage(prot, bind, b.ExecConfig(), r.P, r.P.Seed+int64(i)*7)
+					if !ok {
+						continue
+					}
+					covs = append(covs, cov)
+					if cov < expected-1e-9 {
+						loss++
+					}
+				}
+				s := stats.Summarize(covs)
+				lossPct := 0.0
+				if len(covs) > 0 {
+					lossPct = 100 * float64(loss) / float64(len(covs))
+				}
+				out = append(out, CaseStudyEval{
+					Bench: benchName, Level: level, Tech: tech,
+					Expected: expected, Summary: s, LossPct: lossPct,
+				})
+				fmt.Fprintf(tw, "%s\t%.0f%%\t%s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.1f%%\n",
+					benchName, level*100, tech, expected*100,
+					s.Min*100, s.Median*100, s.Max*100, lossPct)
+			}
+		}
+		return nil
+	}
+
+	var bfsBinds []interp.Binding
+	for _, g := range graphs {
+		bfsBinds = append(bfsBinds, g.BindBFS())
+	}
+	if err := evalCase("bfs", bfsBinds); err != nil {
+		return nil, err
+	}
+	var kmBinds []interp.Binding
+	for _, d := range clusters {
+		kmBinds = append(kmBinds, d.BindKmeans(5))
+	}
+	if err := evalCase("kmeans", kmBinds); err != nil {
+		return nil, err
+	}
+	return out, tw.Flush()
+}
+
+// MTFFT reproduces the multi-threaded discussion experiment (§VIII-B):
+// SDC coverage loss of baseline SID vs MINPSID on the threaded FFT with
+// 1, 2, and 4 simulated threads.
+func MTFFT(r *Runner, w io.Writer) error {
+	fmt.Fprintf(w, "§VIII-B: multi-threaded FFT (profile %s)\n", r.P.Name)
+	b, _ := benchprog.ByName("fft-mt")
+	m := b.MustModule()
+	tgt := target(b)
+	level := 0.5
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Threads\tTechnique\tExpected\tMeanCoverage\tMeanLoss")
+	for _, nt := range []int64{1, 2, 4} {
+		ref := b.Reference.Clone()
+		ref.I[1] = nt
+
+		refMeas, err := sid.Measure(m, b.Bind(ref), sid.Config{
+			Exec:           tgt.Exec,
+			FaultsPerInstr: r.P.FaultsPerInstr,
+			Seed:           r.P.Seed,
+			Workers:        r.P.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		search := minpsid.Search(tgt, r.P.searchConfig(r.P.Seed+int64(nt)), ref, refMeas)
+		updated := minpsid.Reprioritize(refMeas, search)
+
+		for _, tech := range []Technique{Baseline, Minpsid} {
+			meas := refMeas
+			if tech == Minpsid {
+				meas = updated
+			}
+			sel := sid.Select(m, meas, level, sid.MethodDP)
+			prot := protection{
+				orig: m,
+				mod:  sid.Duplicate(m, sel.Chosen),
+				ids:  sid.ProtectedMap(m, sel.Chosen),
+			}
+
+			// Evaluate with the same thread count but varied signals.
+			var covs, losses []float64
+			for i := 0; i < max(r.P.EvalInputs/2, 4); i++ {
+				in := ref.Clone()
+				in.I[2] = int64(10_000 + i*131) // new dataset seed
+				cov, ok := measureCoverage(prot, b.Bind(in), tgt.Exec, r.P, r.P.Seed+int64(i))
+				if !ok {
+					continue
+				}
+				covs = append(covs, cov)
+				loss := sel.ExpectedCoverage - cov
+				if loss < 0 {
+					loss = 0
+				}
+				losses = append(losses, loss)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%.2f%%\t%.2f%%\t%.2f%%\n",
+				nt, tech, sel.ExpectedCoverage*100,
+				stats.Mean(covs)*100, stats.Mean(losses)*100)
+		}
+	}
+	return tw.Flush()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LevelOverlap reproduces the §IV observation: the "target" instructions
+// responsible for cross-input SDC coverage loss persist as the protection
+// level rises (the paper reports 54.4% of 30%-level targets persisting at
+// 50%, and 41.3% from 50% to 70%), disappearing only toward full
+// protection. Targets are incubative instructions left unselected at a
+// level.
+func LevelOverlap(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintln(w, "§IV: persistence of unprotected incubative (target) instructions across levels")
+	levels := append(append([]float64(nil), r.P.sortedLevels()...), 0.95)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tLevel\tTargets\tPersist@NextLevel")
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		tgt := target(b)
+		targetsAt := func(level float64) map[int]bool {
+			sel := sid.Select(tgt.Mod, ev.RefMeas, level, sid.MethodDP)
+			out := map[int]bool{}
+			for _, id := range ev.Search.Incubative {
+				if !sel.IsChosen(id) {
+					out[id] = true
+				}
+			}
+			return out
+		}
+		prev := map[int]bool{}
+		for i, level := range levels {
+			cur := targetsAt(level)
+			persist := "-"
+			if i > 0 && len(prev) > 0 {
+				kept := 0
+				for id := range prev {
+					if cur[id] {
+						kept++
+					}
+				}
+				persist = fmt.Sprintf("%.1f%%", 100*float64(kept)/float64(len(prev)))
+			}
+			if i > 0 {
+				fmt.Fprintf(tw, "%s\t%.0f%%->%.0f%%\t%d\t%s\n", b.Name, levels[i-1]*100, level*100, len(cur), persist)
+			} else {
+				fmt.Fprintf(tw, "%s\t%.0f%%\t%d\t\n", b.Name, level*100, len(cur))
+			}
+			prev = cur
+		}
+	}
+	return tw.Flush()
+}
+
+// ErrorBars reports the 95% confidence half-widths of the per-benchmark
+// SDC probability estimates at the paper's campaign size (§III-A3 quotes
+// error bars between 0.26% and 3.10% for its FI measurements).
+func ErrorBars(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
+	fmt.Fprintf(w, "§III-A3: 95%% confidence half-widths of SDC-probability estimates (%d faults)\n", r.P.FaultsPerProgram)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "Benchmark\tSDC rate\tMargin (+/-)")
+	var lo, hi float64 = 1, 0
+	for _, b := range benches {
+		m := b.MustModule()
+		bind := b.Bind(b.Reference)
+		golden, err := fault.RunGolden(m, bind, b.ExecConfig())
+		if err != nil {
+			return err
+		}
+		c := &fault.Campaign{Mod: m, Bind: bind, Cfg: b.ExecConfig(), Golden: golden, Workers: r.P.Workers}
+		res := c.Run(r.P.FaultsPerProgram, r.P.Seed)
+		margin := stats.MarginOfError(res.Counts[fault.OutcomeSDC], res.Trials)
+		if margin < lo {
+			lo = margin
+		}
+		if margin > hi {
+			hi = margin
+		}
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.2f%%\n", b.Name, 100*res.Rate(fault.OutcomeSDC), 100*margin)
+	}
+	fmt.Fprintf(tw, "Range\t\t%.2f%%..%.2f%%\n", 100*lo, 100*hi)
+	return tw.Flush()
+}

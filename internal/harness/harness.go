@@ -1,0 +1,332 @@
+// Package harness drives the paper's experiments end to end: it protects
+// each benchmark with baseline SID and with MINPSID, evaluates the SDC
+// coverage of the protected binaries across freshly generated inputs, and
+// renders every table and figure of the evaluation (Figs. 2/6/7/8/9,
+// Tables I-IV, and the §VIII discussion results) as text.
+//
+// Experiments run under a Profile: Quick (seconds-to-minutes, reduced
+// fault counts, used by tests and `go test -bench`) or Full (paper-scale
+// fault counts, used by cmd/experiments -full).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minpsid"
+	"repro/internal/sid"
+)
+
+// Profile sizes an experiment run.
+type Profile struct {
+	Name             string
+	EvalInputs       int       // inputs for coverage evaluation (paper: 50 in §III, 30 in §VI)
+	FaultsPerProgram int       // program-level faults per input (paper: 1000)
+	FaultsPerInstr   int       // per-instruction FI trials (paper: 100)
+	Levels           []float64 // protection levels (paper: 0.3/0.5/0.7)
+	SearchMaxInputs  int       // MINPSID search budget
+	SearchPatience   int
+	PopSize          int
+	MaxGenerations   int
+	Seed             int64
+	Workers          int // 0 = GOMAXPROCS
+}
+
+// Quick returns the reduced profile used by tests and benchmarks.
+func Quick() Profile {
+	return Profile{
+		Name:             "quick",
+		EvalInputs:       8,
+		FaultsPerProgram: 150,
+		FaultsPerInstr:   10,
+		Levels:           []float64{0.3, 0.5, 0.7},
+		SearchMaxInputs:  4,
+		SearchPatience:   2,
+		PopSize:          4,
+		MaxGenerations:   2,
+		Seed:             2022,
+	}
+}
+
+// Medium returns an intermediate profile: enough fault statistics that
+// coverage estimates carry ~±3% noise instead of Quick's ~±7%, while
+// remaining runnable on one machine in about an hour.
+func Medium() Profile {
+	return Profile{
+		Name:             "medium",
+		EvalInputs:       10,
+		FaultsPerProgram: 400,
+		FaultsPerInstr:   20,
+		Levels:           []float64{0.3, 0.5, 0.7},
+		SearchMaxInputs:  8,
+		SearchPatience:   3,
+		PopSize:          6,
+		MaxGenerations:   4,
+		Seed:             2022,
+	}
+}
+
+// Full returns the paper-scale profile.
+func Full() Profile {
+	return Profile{
+		Name:             "full",
+		EvalInputs:       30,
+		FaultsPerProgram: 1000,
+		FaultsPerInstr:   100,
+		Levels:           []float64{0.3, 0.5, 0.7},
+		SearchMaxInputs:  20,
+		SearchPatience:   3,
+		PopSize:          8,
+		MaxGenerations:   6,
+		Seed:             2022,
+	}
+}
+
+func (p Profile) searchConfig(seed int64) minpsid.Config {
+	return minpsid.Config{
+		FaultsPerInstr: p.FaultsPerInstr,
+		MaxInputs:      p.SearchMaxInputs,
+		Patience:       p.SearchPatience,
+		PopSize:        p.PopSize,
+		MaxGenerations: p.MaxGenerations,
+		Seed:           seed,
+		Workers:        p.Workers,
+	}
+}
+
+// Technique names the two protection schemes under comparison.
+type Technique uint8
+
+// The two techniques.
+const (
+	Baseline Technique = iota // existing SID (reference input only)
+	Minpsid                   // MINPSID (input search + re-prioritization)
+)
+
+// String returns the technique name.
+func (t Technique) String() string {
+	if t == Minpsid {
+		return "MINPSID"
+	}
+	return "Baseline-SID"
+}
+
+// LevelEval is the measured coverage distribution of one (benchmark,
+// technique, level) cell across evaluation inputs.
+type LevelEval struct {
+	Level     float64
+	Expected  float64   // expected coverage reported by the technique
+	Coverage  []float64 // measured SDC coverage per evaluation input
+	LossCount int       // inputs whose measured coverage < expected
+	Inputs    int       // inputs evaluated (coverage defined)
+}
+
+// BenchEval collects both techniques' evaluations for one benchmark.
+type BenchEval struct {
+	Bench    *benchprog.Benchmark
+	Baseline []LevelEval
+	Minpsid  []LevelEval
+
+	RefMeas *sid.Measurement
+	Search  *minpsid.SearchResult
+
+	// Selections per level, on original-module instruction IDs.
+	BaseSel map[float64]sid.Selection
+	MinpSel map[float64]sid.Selection
+
+	// Protected modules per level (with the original module and the
+	// instruction-ID mapping needed for true-coverage replay).
+	BaseProt map[float64]protection
+	MinpProt map[float64]protection
+
+	EvalInputs []inputgen.Input
+
+	// RefFITime is the wall time of the reference per-instruction FI
+	// (component ① of the Fig. 8 breakdown; the search components live in
+	// Search.EngineTime / Search.FITime).
+	RefFITime time.Duration
+}
+
+// Runner executes and caches experiments under one profile.
+type Runner struct {
+	P     Profile
+	cache map[string]*BenchEval
+}
+
+// NewRunner returns a Runner for profile p.
+func NewRunner(p Profile) *Runner {
+	return &Runner{P: p, cache: make(map[string]*BenchEval)}
+}
+
+// target adapts a benchmark to the MINPSID target interface.
+func target(b *benchprog.Benchmark) minpsid.Target {
+	return minpsid.Target{
+		Mod:  b.MustModule(),
+		Spec: b.Spec,
+		Bind: b.Bind,
+		Exec: b.ExecConfig(),
+	}
+}
+
+// admissibleInputs draws n fresh inputs that run to completion within the
+// benchmark's budget (the paper's input filtering, §III-A2).
+func admissibleInputs(b *benchprog.Benchmark, n int, seed int64) []inputgen.Input {
+	rng := rand.New(rand.NewSource(seed))
+	m := b.MustModule()
+	r := interp.NewRunner(m, b.ExecConfig())
+	var out []inputgen.Input
+	for tries := 0; len(out) < n && tries < n*50; tries++ {
+		in := b.Spec.Random(rng)
+		res := r.Run(b.Bind(in), nil, nil)
+		if res.Status != interp.StatusOK {
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Evaluate computes (and caches) the full evaluation of one benchmark:
+// protection by both techniques at every level, then coverage measurement
+// across evaluation inputs.
+func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
+	if ev, ok := r.cache[b.Name]; ok {
+		return ev, nil
+	}
+	p := r.P
+	tgt := target(b)
+
+	// Reference measurement (shared by both techniques).
+	t0 := time.Now()
+	refMeas, err := sid.Measure(tgt.Mod, tgt.Bind(b.Reference), sid.Config{
+		Exec:           tgt.Exec,
+		FaultsPerInstr: p.FaultsPerInstr,
+		Seed:           p.Seed,
+		Workers:        p.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness %s: reference measurement: %w", b.Name, err)
+	}
+	refFITime := time.Since(t0)
+
+	// MINPSID search (once per benchmark; selections per level reuse it).
+	search := minpsid.Search(tgt, p.searchConfig(p.Seed+17), b.Reference, refMeas)
+	updated := minpsid.Reprioritize(refMeas, search)
+
+	ev := &BenchEval{
+		Bench:     b,
+		RefMeas:   refMeas,
+		Search:    search,
+		BaseSel:   make(map[float64]sid.Selection),
+		MinpSel:   make(map[float64]sid.Selection),
+		BaseProt:  make(map[float64]protection),
+		MinpProt:  make(map[float64]protection),
+		RefFITime: refFITime,
+	}
+
+	ev.EvalInputs = admissibleInputs(b, p.EvalInputs, p.Seed+1000)
+
+	for _, level := range p.Levels {
+		baseSel := sid.Select(tgt.Mod, refMeas, level, sid.MethodDP)
+		minpSel := sid.Select(tgt.Mod, updated, level, sid.MethodDP)
+		ev.BaseSel[level] = baseSel
+		ev.MinpSel[level] = minpSel
+
+		baseProt := protection{
+			orig: tgt.Mod,
+			mod:  sid.Duplicate(tgt.Mod, baseSel.Chosen),
+			ids:  sid.ProtectedMap(tgt.Mod, baseSel.Chosen),
+		}
+		minpProt := protection{
+			orig: tgt.Mod,
+			mod:  sid.Duplicate(tgt.Mod, minpSel.Chosen),
+			ids:  sid.ProtectedMap(tgt.Mod, minpSel.Chosen),
+		}
+		ev.BaseProt[level] = baseProt
+		ev.MinpProt[level] = minpProt
+
+		be := LevelEval{Level: level, Expected: baseSel.ExpectedCoverage}
+		me := LevelEval{Level: level, Expected: minpSel.ExpectedCoverage}
+		for i, in := range ev.EvalInputs {
+			seed := p.Seed + int64(i)*31 + int64(level*100)
+			bind := b.Bind(in)
+			if cov, ok := measureCoverage(baseProt, bind, tgt.Exec, p, seed); ok {
+				be.Coverage = append(be.Coverage, cov)
+				be.Inputs++
+				if cov < be.Expected-1e-9 {
+					be.LossCount++
+				}
+			}
+			if cov, ok := measureCoverage(minpProt, bind, tgt.Exec, p, seed); ok {
+				me.Coverage = append(me.Coverage, cov)
+				me.Inputs++
+				if cov < me.Expected-1e-9 {
+					me.LossCount++
+				}
+			}
+		}
+		ev.Baseline = append(ev.Baseline, be)
+		ev.Minpsid = append(ev.Minpsid, me)
+	}
+
+	r.cache[b.Name] = ev
+	return ev, nil
+}
+
+// protection bundles a protected binary with what true-coverage replay
+// needs: the original module and the static instruction-ID mapping.
+type protection struct {
+	orig *ir.Module
+	mod  *ir.Module
+	ids  map[int]int
+}
+
+// measureCoverage measures the paper-definition SDC coverage of a
+// protected program under one input: faults are sampled on the original
+// program and the SDC-producing ones replayed against the protected
+// binary (fault.TrueCoverage). ok is false when the input is inadmissible
+// or no SDC fault was observed (coverage undefined).
+func measureCoverage(prot protection, bind interp.Binding, exec interp.Config, p Profile, seed int64) (float64, bool) {
+	res, err := fault.TrueCoverage(prot.orig, prot.mod, prot.ids, bind, exec, p.FaultsPerProgram, seed, p.Workers)
+	if err != nil {
+		return 0, false
+	}
+	return res.Coverage()
+}
+
+// LossInputPct returns the percentage of evaluation inputs with coverage
+// loss for one cell.
+func (le LevelEval) LossInputPct() float64 {
+	if le.Inputs == 0 {
+		return 0
+	}
+	return 100 * float64(le.LossCount) / float64(le.Inputs)
+}
+
+// MinCoverage returns the lowest measured coverage (1 if none measured).
+func (le LevelEval) MinCoverage() float64 {
+	if len(le.Coverage) == 0 {
+		return 1
+	}
+	min := le.Coverage[0]
+	for _, c := range le.Coverage[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// sortedLevels returns the profile's levels in ascending order.
+func (p Profile) sortedLevels() []float64 {
+	ls := append([]float64(nil), p.Levels...)
+	sort.Float64s(ls)
+	return ls
+}

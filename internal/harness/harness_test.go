@@ -1,0 +1,291 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprog"
+)
+
+// tinyProfile keeps harness tests fast.
+func tinyProfile() Profile {
+	p := Quick()
+	p.EvalInputs = 3
+	p.FaultsPerProgram = 60
+	p.FaultsPerInstr = 5
+	p.SearchMaxInputs = 2
+	p.SearchPatience = 1
+	p.PopSize = 3
+	p.MaxGenerations = 1
+	return p
+}
+
+func benchSubset(t *testing.T, names ...string) []*benchprog.Benchmark {
+	t.Helper()
+	var out []*benchprog.Benchmark
+	for _, n := range names {
+		b, ok := benchprog.ByName(n)
+		if !ok {
+			t.Fatalf("missing benchmark %s", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestEvaluateProducesCompleteData(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	b, _ := benchprog.ByName("knn")
+	ev, err := r.Evaluate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Baseline) != 3 || len(ev.Minpsid) != 3 {
+		t.Fatalf("level evals: %d baseline, %d minpsid", len(ev.Baseline), len(ev.Minpsid))
+	}
+	for i, le := range ev.Baseline {
+		if le.Expected < 0 || le.Expected > 1 {
+			t.Errorf("baseline level %d expected coverage %f", i, le.Expected)
+		}
+		for _, c := range le.Coverage {
+			if c < 0 || c > 1 {
+				t.Errorf("coverage %f out of range", c)
+			}
+		}
+		if le.LossCount > le.Inputs {
+			t.Errorf("loss count %d > inputs %d", le.LossCount, le.Inputs)
+		}
+	}
+	for _, level := range r.P.Levels {
+		if ev.BaseProt[level].mod == nil || ev.MinpProt[level].mod == nil {
+			t.Fatalf("missing protected module for level %f", level)
+		}
+		if ev.BaseProt[level].ids == nil || ev.BaseProt[level].orig == nil {
+			t.Fatalf("protection bundle incomplete for level %f", level)
+		}
+	}
+	if len(ev.EvalInputs) == 0 {
+		t.Fatal("no evaluation inputs generated")
+	}
+
+	// Cached: second call returns the identical object.
+	ev2, err := r.Evaluate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2 != ev {
+		t.Error("Evaluate did not cache")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pathfinder", "xsbench", "fft", "Mantevo", "CESAR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestFig2AndTables(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "pathfinder", "knn")
+	var buf bytes.Buffer
+	if err := Fig2(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig6(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table3(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 2", "Table II", "Fig. 6", "Table III", "MINPSID", "Baseline-SID", "Average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig3AndFig5(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	var buf bytes.Buffer
+	if err := Fig3(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "incubative comparisons") {
+		t.Errorf("Fig3 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "indexed CFG list: [") {
+		t.Errorf("Fig5 output incomplete:\n%s", out)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "needle")
+	var buf bytes.Buffer
+	res, err := Fig7(r, benches, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("Fig7 results = %d", len(res))
+	}
+	if !strings.Contains(buf.String(), "GA") || !strings.Contains(buf.String(), "random") {
+		t.Errorf("Fig7 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "pathfinder")
+	var buf bytes.Buffer
+	if err := Fig8(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Per-Inst-FI (Ref)") {
+		t.Errorf("Fig8 output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestFig9CaseStudy(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	var buf bytes.Buffer
+	res, err := Fig9(r, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benchmarks x 3 levels x 2 techniques.
+	if len(res) != 12 {
+		t.Fatalf("case study rows = %d, want 12", len(res))
+	}
+	for _, cs := range res {
+		if cs.Expected < 0 || cs.Expected > 1 {
+			t.Errorf("%s expected coverage %f", cs.Bench, cs.Expected)
+		}
+	}
+}
+
+func TestOverheadVariance(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "pathfinder")
+	var buf bytes.Buffer
+	if err := OverheadVariance(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Shortfall") {
+		t.Errorf("overhead output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestMTFFT(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	var buf bytes.Buffer
+	if err := MTFFT(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Threads", "MINPSID", "Baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("MTFFT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.FaultsPerProgram >= f.FaultsPerProgram {
+		t.Error("quick profile not smaller than full")
+	}
+	if f.FaultsPerProgram != 1000 || f.FaultsPerInstr != 100 {
+		t.Errorf("full profile does not match the paper: %+v", f)
+	}
+	if len(f.Levels) != 3 {
+		t.Errorf("full profile levels: %v", f.Levels)
+	}
+}
+
+func TestCoverageChart(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "pathfinder")
+	var buf bytes.Buffer
+	if err := CoverageChart(r, benches, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pathfinder") {
+		t.Fatalf("chart missing benchmark name:\n%s", out)
+	}
+	if !strings.Contains(out, "E") {
+		t.Fatalf("chart missing expected marker:\n%s", out)
+	}
+	if !strings.Contains(out, "MINPSID") {
+		t.Fatalf("chart missing MINPSID rows:\n%s", out)
+	}
+	// Every candle line is bracketed and fixed-width.
+	for _, ln := range strings.Split(out, "\n") {
+		if i := strings.Index(ln, "["); i >= 0 {
+			j := strings.Index(ln, "]")
+			if j-i-1 != candleWidth+1 {
+				t.Fatalf("candle width %d, want %d: %q", j-i-1, candleWidth+1, ln)
+			}
+		}
+	}
+}
+
+func TestRenderCandleBounds(t *testing.T) {
+	le := LevelEval{Level: 0.5, Expected: 1.0, Coverage: []float64{0, 0.5, 1.0}}
+	s := renderCandle(le)
+	if len(s) != candleWidth+1 {
+		t.Fatalf("candle length %d", len(s))
+	}
+	if s[0] != '-' {
+		t.Errorf("min marker missing: %q", s)
+	}
+	if s[candleWidth] != 'E' {
+		t.Errorf("expected marker not at right edge: %q", s)
+	}
+	// Empty coverage: only the expected marker.
+	s = renderCandle(LevelEval{Expected: 0})
+	if s[0] != 'E' || strings.ContainsAny(s[1:], "-=|") {
+		t.Errorf("empty candle wrong: %q", s)
+	}
+}
+
+func TestLevelOverlap(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "knn")
+	var buf bytes.Buffer
+	if err := LevelOverlap(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Persist@NextLevel") {
+		t.Fatalf("overlap output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestErrorBars(t *testing.T) {
+	r := NewRunner(tinyProfile())
+	benches := benchSubset(t, "pathfinder")
+	var buf bytes.Buffer
+	if err := ErrorBars(r, benches, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Margin") {
+		t.Fatalf("error-bars output incomplete:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/benchprog"
+	"repro/internal/stats"
+)
+
+// candleWidth is the character width of the 0-100% coverage axis.
+const candleWidth = 50
+
+// renderCandle draws one coverage distribution as an ASCII candlestick on
+// a 0..100% axis: '-' spans min..max, '=' spans the interquartile range,
+// '|' marks the median, and 'E' the expected coverage (the paper's red
+// bar). Collisions favor the most informative glyph.
+func renderCandle(le LevelEval) string {
+	cells := make([]byte, candleWidth+1)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	pos := func(v float64) int {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return int(v * candleWidth)
+	}
+	s := stats.Summarize(le.Coverage)
+	if s.N > 0 {
+		for i := pos(s.Min); i <= pos(s.Max); i++ {
+			cells[i] = '-'
+		}
+		for i := pos(s.P25); i <= pos(s.P75); i++ {
+			cells[i] = '='
+		}
+		cells[pos(s.Median)] = '|'
+	}
+	cells[pos(le.Expected)] = 'E'
+	return string(cells)
+}
+
+// CoverageChart draws the Fig. 2 / Fig. 6-style candlestick chart for the
+// given benchmarks. With both=false only the baseline rows print (Fig. 2);
+// with both=true MINPSID rows are interleaved (Fig. 6).
+func CoverageChart(r *Runner, benches []*benchprog.Benchmark, both bool, w io.Writer) error {
+	fmt.Fprintf(w, "SDC coverage per input, 0%%..100%% ('-' min..max, '=' IQR, '|' median, 'E' expected)\n")
+	axis := "0%" + strings.Repeat(" ", candleWidth-7) + "100%"
+	for _, b := range benches {
+		ev, err := r.Evaluate(b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s%s\n", padRight(b.Name, 26), axis)
+		for i := range ev.Baseline {
+			be := ev.Baseline[i]
+			label := fmt.Sprintf("  %.0f%% %s", be.Level*100, Baseline)
+			fmt.Fprintf(w, "%s[%s]\n", padRight(label, 26), renderCandle(be))
+			if both {
+				me := ev.Minpsid[i]
+				label = fmt.Sprintf("  %.0f%% %s", me.Level*100, Minpsid)
+				fmt.Fprintf(w, "%s[%s]\n", padRight(label, 26), renderCandle(me))
+			}
+		}
+	}
+	return nil
+}
+
+func padRight(s string, n int) string {
+	if len(s) >= n {
+		return s + " "
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

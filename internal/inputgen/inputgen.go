@@ -1,0 +1,211 @@
+// Package inputgen models benchmark program inputs as typed parameter
+// vectors and implements the paper's input-generation rules: random
+// sampling over each parameter's legitimate domain (§III-A2) and the
+// genetic-algorithm mutation / crossover operators (§V-B2: numeric
+// arguments perturbed within ±10%, non-numeric arguments re-enumerated,
+// crossover swapping one argument position between two inputs).
+package inputgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates parameter domains.
+type Kind uint8
+
+// Parameter kinds. KindInt and KindFloat are numeric (GA mutates them
+// within ±10%); KindChoice is non-numeric (GA re-enumerates it); KindSeed
+// is an opaque dataset seed (re-enumerated, like the dataset-randomizing
+// scripts shipped with the benchmark suites).
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindChoice
+	KindSeed
+)
+
+// Param describes one input parameter and its legitimate domain.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Min     int64   // KindInt: inclusive lower bound
+	Max     int64   // KindInt: inclusive upper bound
+	FMin    float64 // KindFloat bounds
+	FMax    float64
+	Choices []int64 // KindChoice: the legal values
+}
+
+// Spec is an ordered parameter list defining a benchmark's input space.
+type Spec struct {
+	Params []Param
+}
+
+// Input is a concrete parameter assignment, parallel to Spec.Params.
+// Integer-like parameters use I; float parameters use F.
+type Input struct {
+	I []int64
+	F []float64
+}
+
+// Clone returns an independent copy of in.
+func (in Input) Clone() Input {
+	return Input{I: append([]int64(nil), in.I...), F: append([]float64(nil), in.F...)}
+}
+
+// Key returns a canonical string identity for deduplication.
+func (in Input) Key() string {
+	var sb strings.Builder
+	for _, v := range in.I {
+		sb.WriteString(strconv.FormatInt(v, 10))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, v := range in.F {
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// String renders the input as name=value pairs for s.
+func (s *Spec) String(in Input) string {
+	parts := make([]string, len(s.Params))
+	for i, p := range s.Params {
+		if p.Kind == KindFloat {
+			parts[i] = fmt.Sprintf("%s=%.4g", p.Name, in.F[i])
+		} else {
+			parts[i] = fmt.Sprintf("%s=%d", p.Name, in.I[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Validate checks that in is inside the spec's domain.
+func (s *Spec) Validate(in Input) error {
+	if len(in.I) != len(s.Params) || len(in.F) != len(s.Params) {
+		return fmt.Errorf("inputgen: input arity %d/%d, want %d", len(in.I), len(in.F), len(s.Params))
+	}
+	for i, p := range s.Params {
+		switch p.Kind {
+		case KindInt, KindSeed:
+			if in.I[i] < p.Min || in.I[i] > p.Max {
+				return fmt.Errorf("inputgen: %s=%d outside [%d,%d]", p.Name, in.I[i], p.Min, p.Max)
+			}
+		case KindFloat:
+			if in.F[i] < p.FMin || in.F[i] > p.FMax {
+				return fmt.Errorf("inputgen: %s=%g outside [%g,%g]", p.Name, in.F[i], p.FMin, p.FMax)
+			}
+		case KindChoice:
+			ok := false
+			for _, c := range p.Choices {
+				ok = ok || c == in.I[i]
+			}
+			if !ok {
+				return fmt.Errorf("inputgen: %s=%d not a legal choice", p.Name, in.I[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Random draws an input uniformly from the spec's domain.
+func (s *Spec) Random(rng *rand.Rand) Input {
+	in := Input{I: make([]int64, len(s.Params)), F: make([]float64, len(s.Params))}
+	for i, p := range s.Params {
+		switch p.Kind {
+		case KindInt, KindSeed:
+			in.I[i] = p.Min + rng.Int63n(p.Max-p.Min+1)
+		case KindFloat:
+			in.F[i] = p.FMin + rng.Float64()*(p.FMax-p.FMin)
+		case KindChoice:
+			in.I[i] = p.Choices[rng.Intn(len(p.Choices))]
+		}
+	}
+	return in
+}
+
+// Mutate returns a mutated copy of in: one randomly selected parameter is
+// perturbed. Numeric parameters move by a random amount within ±10% of
+// their current value (clamped to the domain); choice and seed parameters
+// are re-enumerated from their domain (§V-B2).
+func (s *Spec) Mutate(in Input, rng *rand.Rand) Input {
+	out := in.Clone()
+	i := rng.Intn(len(s.Params))
+	p := s.Params[i]
+	switch p.Kind {
+	case KindInt:
+		delta := int64(float64(out.I[i]) * (rng.Float64()*0.2 - 0.1))
+		if delta == 0 {
+			if rng.Intn(2) == 0 {
+				delta = 1
+			} else {
+				delta = -1
+			}
+		}
+		out.I[i] = clampI(out.I[i]+delta, p.Min, p.Max)
+	case KindFloat:
+		delta := out.F[i] * (rng.Float64()*0.2 - 0.1)
+		if delta == 0 {
+			delta = (p.FMax - p.FMin) * 0.01 * (rng.Float64() - 0.5)
+		}
+		out.F[i] = clampF(out.F[i]+delta, p.FMin, p.FMax)
+	case KindChoice:
+		out.I[i] = p.Choices[rng.Intn(len(p.Choices))]
+	case KindSeed:
+		out.I[i] = p.Min + rng.Int63n(p.Max-p.Min+1)
+	}
+	return out
+}
+
+// Crossover swaps one randomly chosen parameter position between a and b,
+// returning two offspring (§V-B2).
+func (s *Spec) Crossover(a, b Input, rng *rand.Rand) (Input, Input) {
+	ca, cb := a.Clone(), b.Clone()
+	i := rng.Intn(len(s.Params))
+	ca.I[i], cb.I[i] = cb.I[i], ca.I[i]
+	ca.F[i], cb.F[i] = cb.F[i], ca.F[i]
+	return ca, cb
+}
+
+func clampI(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// IntParam builds an integer parameter with an inclusive range.
+func IntParam(name string, min, max int64) Param {
+	return Param{Name: name, Kind: KindInt, Min: min, Max: max}
+}
+
+// FloatParam builds a float parameter with an inclusive range.
+func FloatParam(name string, min, max float64) Param {
+	return Param{Name: name, Kind: KindFloat, FMin: min, FMax: max}
+}
+
+// ChoiceParam builds a non-numeric parameter over an explicit value set.
+func ChoiceParam(name string, choices ...int64) Param {
+	return Param{Name: name, Kind: KindChoice, Choices: choices}
+}
+
+// SeedParam builds a dataset-seed parameter.
+func SeedParam(name string) Param {
+	return Param{Name: name, Kind: KindSeed, Min: 0, Max: 1 << 30}
+}

@@ -1,0 +1,196 @@
+package inputgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() *Spec {
+	return &Spec{Params: []Param{
+		IntParam("n", 10, 100),
+		FloatParam("eps", 0.001, 1.0),
+		ChoiceParam("mode", 1, 2, 4, 8),
+		SeedParam("seed"),
+	}}
+}
+
+func TestRandomRespectsDomain(t *testing.T) {
+	s := testSpec()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		in := s.Random(rng)
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("random input invalid: %v", err)
+		}
+	}
+}
+
+func TestRandomCoversDomain(t *testing.T) {
+	s := testSpec()
+	rng := rand.New(rand.NewSource(2))
+	seenChoice := map[int64]bool{}
+	minN, maxN := int64(1<<62), int64(-1)
+	for i := 0; i < 2000; i++ {
+		in := s.Random(rng)
+		seenChoice[in.I[2]] = true
+		if in.I[0] < minN {
+			minN = in.I[0]
+		}
+		if in.I[0] > maxN {
+			maxN = in.I[0]
+		}
+	}
+	if len(seenChoice) != 4 {
+		t.Errorf("choices seen = %v, want all 4", seenChoice)
+	}
+	if minN > 15 || maxN < 95 {
+		t.Errorf("int range poorly covered: [%d,%d]", minN, maxN)
+	}
+}
+
+func TestMutatePerturbsOneParam(t *testing.T) {
+	s := testSpec()
+	rng := rand.New(rand.NewSource(3))
+	base := s.Random(rng)
+	for i := 0; i < 500; i++ {
+		m := s.Mutate(base, rng)
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("mutated input invalid: %v", err)
+		}
+		diffs := 0
+		for j := range s.Params {
+			if m.I[j] != base.I[j] || m.F[j] != base.F[j] {
+				diffs++
+			}
+		}
+		if diffs > 1 {
+			t.Fatalf("mutation changed %d params, want <= 1", diffs)
+		}
+	}
+}
+
+func TestMutateNumericStaysWithin10Percent(t *testing.T) {
+	s := &Spec{Params: []Param{IntParam("n", 0, 1_000_000)}}
+	rng := rand.New(rand.NewSource(4))
+	base := Input{I: []int64{1000}, F: []float64{0}}
+	for i := 0; i < 500; i++ {
+		m := s.Mutate(base, rng)
+		d := m.I[0] - 1000
+		if d < -100 || d > 100 {
+			t.Fatalf("int mutation moved by %d, want within ±10%%", d)
+		}
+	}
+	sf := &Spec{Params: []Param{FloatParam("x", 0, 1e9)}}
+	basef := Input{I: []int64{0}, F: []float64{500}}
+	for i := 0; i < 500; i++ {
+		m := sf.Mutate(basef, rng)
+		if math.Abs(m.F[0]-500) > 50+1e-9 {
+			t.Fatalf("float mutation moved by %g, want within ±10%%", m.F[0]-500)
+		}
+	}
+}
+
+func TestMutateAlwaysMoves(t *testing.T) {
+	// Even at value 0 (where ±10% is 0) mutation must not be a no-op for
+	// int params: the search would stall otherwise.
+	s := &Spec{Params: []Param{IntParam("n", 0, 10)}}
+	rng := rand.New(rand.NewSource(5))
+	base := Input{I: []int64{0}, F: []float64{0}}
+	moved := false
+	for i := 0; i < 50; i++ {
+		if m := s.Mutate(base, rng); m.I[0] != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("mutation of 0 never moved")
+	}
+}
+
+func TestCrossoverSwapsOnePosition(t *testing.T) {
+	s := testSpec()
+	rng := rand.New(rand.NewSource(6))
+	a := s.Random(rng)
+	b := s.Random(rng)
+	ca, cb := s.Crossover(a, b, rng)
+	if err := s.Validate(ca); err != nil {
+		t.Fatalf("offspring a invalid: %v", err)
+	}
+	if err := s.Validate(cb); err != nil {
+		t.Fatalf("offspring b invalid: %v", err)
+	}
+	// Exactly the swapped positions differ, and they are complementary.
+	diffs := 0
+	for j := range s.Params {
+		if ca.I[j] != a.I[j] || ca.F[j] != a.F[j] {
+			diffs++
+			if ca.I[j] != b.I[j] || cb.I[j] != a.I[j] {
+				t.Fatalf("position %d not a swap", j)
+			}
+		}
+	}
+	if diffs > 1 {
+		t.Fatalf("crossover changed %d positions, want <= 1", diffs)
+	}
+}
+
+func TestKeyAndClone(t *testing.T) {
+	s := testSpec()
+	rng := rand.New(rand.NewSource(7))
+	a := s.Random(rng)
+	b := a.Clone()
+	if a.Key() != b.Key() {
+		t.Fatal("clone has different key")
+	}
+	b.I[0]++
+	if a.Key() == b.Key() {
+		t.Fatal("mutated clone has same key")
+	}
+	if a.I[0] == b.I[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	s := testSpec()
+	good := Input{I: []int64{50, 0, 2, 1}, F: []float64{0, 0.5, 0, 0}}
+	if err := s.Validate(good); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	cases := []Input{
+		{I: []int64{5, 0, 2, 1}, F: []float64{0, 0.5, 0, 0}},   // n too small
+		{I: []int64{50, 0, 3, 1}, F: []float64{0, 0.5, 0, 0}},  // bad choice
+		{I: []int64{50, 0, 2, 1}, F: []float64{0, 2.0, 0, 0}},  // eps too big
+		{I: []int64{50, 0, 2, -1}, F: []float64{0, 0.5, 0, 0}}, // seed negative
+		{I: []int64{50}, F: []float64{0}},                      // arity
+	}
+	for i, in := range cases {
+		if err := s.Validate(in); err == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+}
+
+// Property: mutation and crossover always stay inside the domain.
+func TestOperatorsClosedOverDomainProperty(t *testing.T) {
+	s := testSpec()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := s.Random(rng), s.Random(rng)
+		for i := 0; i < 20; i++ {
+			a = s.Mutate(a, rng)
+			var cb Input
+			a, cb = s.Crossover(a, b, rng)
+			b = cb
+			if s.Validate(a) != nil || s.Validate(b) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

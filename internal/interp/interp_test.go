@@ -1,0 +1,784 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildSum builds main(n) { s = sum 0..n-1; emiti(s) }.
+func buildSum(t testing.TB) *ir.Module {
+	t.Helper()
+	m := ir.NewModule("sum")
+	f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+
+	sVar := b.Alloca(ir.ConstI(1))
+	iVar := b.Alloca(ir.ConstI(1))
+	b.Store(ir.ConstI(0), sVar)
+	b.Store(ir.ConstI(0), iVar)
+
+	cond := b.NewBlock("cond")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	i := b.Load(ir.I64, iVar)
+	c := b.ICmp(ir.PredLT, i, ir.Reg(0, ir.I64))
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	s := b.Load(ir.I64, sVar)
+	i2 := b.Load(ir.I64, iVar)
+	b.Store(b.Bin(ir.OpAdd, s, i2), sVar)
+	b.Store(b.Bin(ir.OpAdd, i2, ir.ConstI(1)), iVar)
+	b.Br(cond)
+
+	b.SetBlock(exit)
+	b.CallB(ir.BuiltinEmitI, b.Load(ir.I64, sVar))
+	b.RetVoid()
+
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func run(t testing.TB, m *ir.Module, args []uint64) Result {
+	t.Helper()
+	r := NewRunner(m, Config{})
+	return r.Run(Binding{Args: args}, nil, nil)
+}
+
+func TestSumLoop(t *testing.T) {
+	m := buildSum(t)
+	res := run(t, m, []uint64{10})
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v (trap %q)", res.Status, res.Trap)
+	}
+	if len(res.Output) != 1 || int64(res.Output[0]) != 45 {
+		t.Fatalf("output = %v, want [45]", res.Output)
+	}
+	if res.DynInstrs <= 0 || res.Cycles < res.DynInstrs {
+		t.Fatalf("bogus accounting: dyn=%d cycles=%d", res.DynInstrs, res.Cycles)
+	}
+}
+
+func TestRunnerIsReusableAndDeterministic(t *testing.T) {
+	m := buildSum(t)
+	r := NewRunner(m, Config{})
+	a := r.Run(Binding{Args: []uint64{100}}, nil, nil)
+	b := r.Run(Binding{Args: []uint64{100}}, nil, nil)
+	if a.Status != b.Status || a.DynInstrs != b.DynInstrs || a.Cycles != b.Cycles {
+		t.Fatalf("non-deterministic reuse: %+v vs %+v", a, b)
+	}
+	if a.Output[0] != b.Output[0] {
+		t.Fatalf("outputs differ: %v vs %v", a.Output, b.Output)
+	}
+	c := r.Run(Binding{Args: []uint64{5}}, nil, nil)
+	if int64(c.Output[0]) != 10 {
+		t.Fatalf("third run output = %v, want [10]", c.Output)
+	}
+}
+
+func TestFloatArithmeticAndBuiltins(t *testing.T) {
+	m := ir.NewModule("fl")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	x := b.Bin(ir.OpFAdd, ir.ConstF(1.5), ir.ConstF(2.25)) // 3.75
+	y := b.CallB(ir.BuiltinSqrt, ir.ConstF(16))            // 4
+	z := b.Bin(ir.OpFMul, x, y)                            // 15
+	w := b.Bin(ir.OpFDiv, z, ir.ConstF(2))                 // 7.5
+	b.CallB(ir.BuiltinEmitF, w)
+	b.CallB(ir.BuiltinEmitF, b.CallB(ir.BuiltinPow, ir.ConstF(2), ir.ConstF(10)))
+	b.CallB(ir.BuiltinEmitF, b.CallB(ir.BuiltinFabs, ir.ConstF(-3)))
+	b.CallB(ir.BuiltinEmitF, b.CallB(ir.BuiltinFloor, ir.ConstF(2.9)))
+	b.CallB(ir.BuiltinEmitI, b.CallB(ir.BuiltinIAbs, ir.ConstI(-42)))
+	b.RetVoid()
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	res := run(t, m, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+	want := []float64{7.5, 1024, 3, 2}
+	for i, w := range want {
+		if got := math.Float64frombits(res.Output[i]); got != w {
+			t.Errorf("output[%d] = %g, want %g", i, got, w)
+		}
+	}
+	if int64(res.Output[4]) != 42 {
+		t.Errorf("iabs output = %d, want 42", int64(res.Output[4]))
+	}
+}
+
+func TestConversionsAndSelect(t *testing.T) {
+	m := ir.NewModule("conv")
+	f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+	fv := b.IToF(ir.Reg(0, ir.I64))
+	iv := b.FToI(b.Bin(ir.OpFMul, fv, ir.ConstF(2.5)))
+	c := b.ICmp(ir.PredGT, iv, ir.ConstI(10))
+	sel := b.Select(c, ir.ConstI(1), ir.ConstI(0))
+	b.CallB(ir.BuiltinEmitI, iv)
+	b.CallB(ir.BuiltinEmitI, sel)
+	b.RetVoid()
+	m.Finalize()
+
+	res := run(t, m, []uint64{6})
+	if int64(res.Output[0]) != 15 || int64(res.Output[1]) != 1 {
+		t.Fatalf("output = %v, want [15 1]", res.Output)
+	}
+	res = run(t, m, []uint64{2})
+	if int64(res.Output[0]) != 5 || int64(res.Output[1]) != 0 {
+		t.Fatalf("output = %v, want [5 0]", res.Output)
+	}
+}
+
+func TestCrashOutcomes(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *ir.Builder)
+	}{
+		{"div-zero", func(b *ir.Builder) {
+			b.CallB(ir.BuiltinEmitI, b.Bin(ir.OpDiv, ir.ConstI(1), ir.Reg(0, ir.I64)))
+		}},
+		{"rem-zero", func(b *ir.Builder) {
+			b.CallB(ir.BuiltinEmitI, b.Bin(ir.OpRem, ir.ConstI(1), ir.Reg(0, ir.I64)))
+		}},
+		{"load-oob", func(b *ir.Builder) {
+			b.CallB(ir.BuiltinEmitI, b.Load(ir.I64, ir.Operand{Kind: ir.OperConst, Type: ir.Ptr, Imm: 1 << 40}))
+		}},
+		{"store-null", func(b *ir.Builder) {
+			b.Store(ir.ConstI(1), ir.Operand{Kind: ir.OperConst, Type: ir.Ptr, Imm: 0})
+		}},
+		{"ftoi-nan", func(b *ir.Builder) {
+			nan := b.Bin(ir.OpFDiv, ir.ConstF(0), ir.ConstF(0))
+			b.CallB(ir.BuiltinEmitI, b.FToI(nan))
+		}},
+		{"alloca-overflow", func(b *ir.Builder) {
+			b.Alloca(ir.ConstI(1 << 40))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := ir.NewModule(tc.name)
+			f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+			b := ir.NewBuilder(m, f)
+			tc.build(b)
+			b.RetVoid()
+			m.Finalize()
+			res := run(t, m, []uint64{0})
+			if res.Status != StatusCrash {
+				t.Fatalf("status = %v, want crash", res.Status)
+			}
+			if res.Trap == "" {
+				t.Fatal("crash with empty trap reason")
+			}
+		})
+	}
+}
+
+func TestHangBudget(t *testing.T) {
+	m := ir.NewModule("spin")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	loop := b.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	m.Finalize()
+
+	r := NewRunner(m, Config{MaxDynInstrs: 1000})
+	res := r.Run(Binding{}, nil, nil)
+	if res.Status != StatusHang {
+		t.Fatalf("status = %v, want hang", res.Status)
+	}
+	if res.DynInstrs > 1100 {
+		t.Fatalf("ran %d instrs past the budget", res.DynInstrs)
+	}
+}
+
+func TestCallAndRecursion(t *testing.T) {
+	// fib(n) recursive.
+	m := ir.NewModule("fib")
+	mainF := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	fibF := m.AddFunction("fib", []ir.Type{ir.I64}, ir.I64)
+
+	mb := ir.NewBuilder(m, mainF)
+	r := mb.Call(fibF.Index, ir.I64, ir.Reg(0, ir.I64))
+	mb.CallB(ir.BuiltinEmitI, r)
+	mb.RetVoid()
+
+	fb := ir.NewBuilder(m, fibF)
+	base := fb.NewBlock("base")
+	rec := fb.NewBlock("rec")
+	c := fb.ICmp(ir.PredLT, ir.Reg(0, ir.I64), ir.ConstI(2))
+	fb.CondBr(c, base, rec)
+	fb.SetBlock(base)
+	fb.Ret(ir.Reg(0, ir.I64))
+	fb.SetBlock(rec)
+	a := fb.Call(fibF.Index, ir.I64, fb.Bin(ir.OpSub, ir.Reg(0, ir.I64), ir.ConstI(1)))
+	bb := fb.Call(fibF.Index, ir.I64, fb.Bin(ir.OpSub, ir.Reg(0, ir.I64), ir.ConstI(2)))
+	fb.Ret(fb.Bin(ir.OpAdd, a, bb))
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	res := run(t, m, []uint64{10})
+	if res.Status != StatusOK || int64(res.Output[0]) != 55 {
+		t.Fatalf("fib(10): status=%v output=%v", res.Status, res.Output)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	m := ir.NewModule("deep")
+	mainF := m.AddFunction("main", nil, ir.Void)
+	recF := m.AddFunction("rec", []ir.Type{ir.I64}, ir.Void)
+	mb := ir.NewBuilder(m, mainF)
+	mb.Call(recF.Index, ir.Void, ir.ConstI(0))
+	mb.RetVoid()
+	rb := ir.NewBuilder(m, recF)
+	rb.Call(recF.Index, ir.Void, ir.Reg(0, ir.I64))
+	rb.RetVoid()
+	m.Finalize()
+
+	res := run(t, m, nil)
+	if res.Status != StatusCrash {
+		t.Fatalf("status = %v, want crash (call depth)", res.Status)
+	}
+}
+
+func TestDetectHalts(t *testing.T) {
+	m := ir.NewModule("det")
+	f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+	ok := b.ICmp(ir.PredEQ, ir.Reg(0, ir.I64), ir.ConstI(7))
+	b.Detect(ok)
+	b.CallB(ir.BuiltinEmitI, ir.ConstI(1))
+	b.RetVoid()
+	m.Finalize()
+
+	if res := run(t, m, []uint64{7}); res.Status != StatusOK || len(res.Output) != 1 {
+		t.Fatalf("passing detect: %v %v", res.Status, res.Output)
+	}
+	res := run(t, m, []uint64{8})
+	if res.Status != StatusDetected {
+		t.Fatalf("status = %v, want detected", res.Status)
+	}
+	if len(res.Output) != 0 {
+		t.Fatalf("detected run still emitted output %v", res.Output)
+	}
+}
+
+func TestGlobalsBindingAndArrayLen(t *testing.T) {
+	m := ir.NewModule("glob")
+	m.AddGlobal("data", -1, nil)                  // input-bound
+	m.AddGlobal("table", 4, []uint64{9, 8, 7, 6}) // static init
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	n := b.ArrayLen(0)
+	b.CallB(ir.BuiltinEmitI, n)
+	base := b.GlobalAddr(0)
+	b.CallB(ir.BuiltinEmitI, b.Load(ir.I64, b.GEP(base, ir.ConstI(2))))
+	tbl := b.GlobalAddr(1)
+	b.CallB(ir.BuiltinEmitI, b.Load(ir.I64, b.GEP(tbl, ir.ConstI(1))))
+	b.RetVoid()
+	m.Finalize()
+
+	r := NewRunner(m, Config{})
+	res := r.Run(Binding{Globals: map[string][]uint64{"data": {10, 20, 30}}}, nil, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Trap)
+	}
+	if int64(res.Output[0]) != 3 || int64(res.Output[1]) != 30 || int64(res.Output[2]) != 8 {
+		t.Fatalf("output = %v, want [3 30 8]", res.Output)
+	}
+}
+
+func TestMissingDynamicGlobalPanics(t *testing.T) {
+	m := ir.NewModule("glob2")
+	m.AddGlobal("data", -1, nil)
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	b.RetVoid()
+	m.Finalize()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbound dynamic global")
+		}
+	}()
+	NewRunner(m, Config{}).Run(Binding{}, nil, nil)
+}
+
+func TestPhiExecution(t *testing.T) {
+	// main(n): x = (n > 0) ? 100 : 200 via phi; emiti(x)
+	m := ir.NewModule("phi")
+	f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	merge := b.NewBlock("merge")
+	c := b.ICmp(ir.PredGT, ir.Reg(0, ir.I64), ir.ConstI(0))
+	b.CondBr(c, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Br(merge)
+	b.SetBlock(elseB)
+	b.Br(merge)
+	b.SetBlock(merge)
+	x := b.Phi(ir.I64, []ir.Operand{ir.ConstI(100), ir.ConstI(200)}, []*ir.Block{thenB, elseB})
+	b.CallB(ir.BuiltinEmitI, x)
+	b.RetVoid()
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	if res := run(t, m, []uint64{5}); int64(res.Output[0]) != 100 {
+		t.Fatalf("phi(then) = %v", res.Output)
+	}
+	if res := run(t, m, []uint64{0}); int64(res.Output[0]) != 200 {
+		t.Fatalf("phi(else) = %v", res.Output)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	m := buildSum(t)
+	prof := NewProfile(m)
+	r := NewRunner(m, Config{})
+	res := r.Run(Binding{Args: []uint64{10}}, nil, prof)
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+
+	var totalInstrs, totalCycles int64
+	for id := range prof.InstrCount {
+		totalInstrs += prof.InstrCount[id]
+		totalCycles += prof.InstrCycles[id]
+	}
+	if totalInstrs != res.DynInstrs {
+		t.Errorf("profile instr total %d != result %d", totalInstrs, res.DynInstrs)
+	}
+	if totalCycles != res.Cycles {
+		t.Errorf("profile cycle total %d != result %d", totalCycles, res.Cycles)
+	}
+
+	// The loop body block must have executed 10 times, cond 11 times.
+	f := m.Funcs[0]
+	var condIdx, bodyIdx int
+	for _, blk := range f.Blocks {
+		switch blk.Name {
+		case "cond":
+			condIdx = blk.Index
+		case "body":
+			bodyIdx = blk.Index
+		}
+	}
+	if got := prof.BlockCount[m.GlobalBlockIndex(0, condIdx)]; got != 11 {
+		t.Errorf("cond block count = %d, want 11", got)
+	}
+	if got := prof.BlockCount[m.GlobalBlockIndex(0, bodyIdx)]; got != 10 {
+		t.Errorf("body block count = %d, want 10", got)
+	}
+	// Edge body->cond executed 10 times.
+	e := [2]int{m.GlobalBlockIndex(0, bodyIdx), m.GlobalBlockIndex(0, condIdx)}
+	if got := prof.EdgeCount[e]; got != 10 {
+		t.Errorf("body->cond edge count = %d, want 10", got)
+	}
+}
+
+func TestFaultInjectionFlipsBit(t *testing.T) {
+	m := buildSum(t)
+	// Find the add that accumulates s (first OpAdd in the body).
+	var addID = -1
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpAdd && addID == -1 {
+			addID = in.ID
+		}
+	}
+	if addID < 0 {
+		t.Fatal("no add instruction found")
+	}
+
+	golden := run(t, m, []uint64{10})
+	r := NewRunner(m, Config{})
+	res := r.Run(Binding{Args: []uint64{10}}, &Fault{InstrID: addID, DynIndex: 9, Bit: 3}, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The last accumulation (s += 9 -> 45) had bit 3 flipped: 45 ^ 8 = 37.
+	if res.Output[0] == golden.Output[0] {
+		t.Fatal("fault did not change the output")
+	}
+	if int64(res.Output[0]) != 45^8 {
+		t.Fatalf("output = %d, want %d", int64(res.Output[0]), 45^8)
+	}
+
+	// Same fault at an occurrence past the end: no effect.
+	res2 := r.Run(Binding{Args: []uint64{10}}, &Fault{InstrID: addID, DynIndex: 1000, Bit: 3}, nil)
+	if res2.Output[0] != golden.Output[0] {
+		t.Fatal("out-of-range occurrence still mutated output")
+	}
+}
+
+func TestFaultOnCompareInvertsBranch(t *testing.T) {
+	m := buildSum(t)
+	var cmpID = -1
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpICmp {
+			cmpID = in.ID
+		}
+	}
+	if cmpID < 0 {
+		t.Fatal("no compare found")
+	}
+	// Flip the compare the first time it executes: loop exits immediately
+	// or continues wrongly; either way output differs from golden (45).
+	r := NewRunner(m, Config{MaxDynInstrs: 100000})
+	res := r.Run(Binding{Args: []uint64{10}}, &Fault{InstrID: cmpID, DynIndex: 0, Bit: 0}, nil)
+	if res.Status == StatusOK && int64(res.Output[0]) == 45 {
+		t.Fatal("flipping the loop compare had no effect")
+	}
+}
+
+func TestFaultOnCallReturnValue(t *testing.T) {
+	m := ir.NewModule("callret")
+	mainF := m.AddFunction("main", nil, ir.Void)
+	cF := m.AddFunction("c", nil, ir.I64)
+	mb := ir.NewBuilder(m, mainF)
+	v := mb.Call(cF.Index, ir.I64)
+	mb.CallB(ir.BuiltinEmitI, v)
+	mb.RetVoid()
+	cb := ir.NewBuilder(m, cF)
+	cb.Ret(ir.ConstI(100))
+	m.Finalize()
+
+	var callID = -1
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpCall {
+			callID = in.ID
+		}
+	}
+	r := NewRunner(m, Config{})
+	res := r.Run(Binding{}, &Fault{InstrID: callID, DynIndex: 0, Bit: 1}, nil)
+	if int64(res.Output[0]) != 100^2 {
+		t.Fatalf("call-return flip: output = %d, want %d", int64(res.Output[0]), 100^2)
+	}
+}
+
+func TestThreadsSpawnJoin(t *testing.T) {
+	// Each worker adds tid+1 to cell tid of a global; main sums after join.
+	m := ir.NewModule("mt")
+	m.AddGlobal("cells", 4, nil)
+	mainF := m.AddFunction("main", nil, ir.Void)
+	workF := m.AddFunction("work", []ir.Type{ir.I64}, ir.Void)
+
+	wb := ir.NewBuilder(m, workF)
+	base := wb.GlobalAddr(0)
+	slot := wb.GEP(base, ir.Reg(0, ir.I64))
+	wb.Store(wb.Bin(ir.OpAdd, ir.Reg(0, ir.I64), ir.ConstI(1)), slot)
+	wb.RetVoid()
+
+	mb := ir.NewBuilder(m, mainF)
+	for i := 0; i < 4; i++ {
+		mb.Spawn(workF.Index, ir.ConstI(int64(i)))
+	}
+	mb.Join()
+	sum := ir.ConstI(0)
+	gb := mb.GlobalAddr(0)
+	acc := mb.Bin(ir.OpAdd, sum, ir.ConstI(0))
+	for i := 0; i < 4; i++ {
+		v := mb.Load(ir.I64, mb.GEP(gb, ir.ConstI(int64(i))))
+		acc = mb.Bin(ir.OpAdd, acc, v)
+	}
+	mb.CallB(ir.BuiltinEmitI, acc)
+	mb.RetVoid()
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	res := run(t, m, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Trap)
+	}
+	if int64(res.Output[0]) != 1+2+3+4 {
+		t.Fatalf("threaded sum = %d, want 10", int64(res.Output[0]))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	want := map[Status]string{StatusOK: "ok", StatusCrash: "crash", StatusHang: "hang", StatusDetected: "detected"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func BenchmarkInterpSumLoop(b *testing.B) {
+	m := buildSum(b)
+	r := NewRunner(m, Config{})
+	bind := Binding{Args: []uint64{1000}}
+	b.ResetTimer()
+	var dyn int64
+	for i := 0; i < b.N; i++ {
+		res := r.Run(bind, nil, nil)
+		dyn = res.DynInstrs
+	}
+	b.ReportMetric(float64(dyn), "instrs/run")
+}
+
+func TestPhiGroupParallelSemantics(t *testing.T) {
+	// Loop that swaps (a, b) each iteration via two interdependent phis:
+	//   loop: a = phi [1, entry], [bPhi, loop]
+	//         b = phi [2, entry], [aPhi, loop]
+	// After 3 iterations: a=2, b=1 (swap applied 3 times). A sequential
+	// phi evaluation would compute a=b then b=a(new) and lose a value.
+	m := ir.NewModule("swap")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	entry := b.Block()
+	iVar := b.Alloca(ir.ConstI(1))
+	b.Store(ir.ConstI(0), iVar)
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	// Reserve registers for the phis up front so they can reference each
+	// other.
+	aReg := b.NewReg()
+	bReg := b.NewReg()
+	loop.Instrs = append(loop.Instrs,
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I64, Dst: aReg,
+			Args:  []ir.Operand{ir.ConstI(1), ir.Reg(bReg, ir.I64)},
+			Succs: []int{entry.Index, loop.Index}},
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I64, Dst: bReg,
+			Args:  []ir.Operand{ir.ConstI(2), ir.Reg(aReg, ir.I64)},
+			Succs: []int{entry.Index, loop.Index}},
+	)
+	i := b.Load(ir.I64, iVar)
+	i2 := b.Bin(ir.OpAdd, i, ir.ConstI(1))
+	b.Store(i2, iVar)
+	c := b.ICmp(ir.PredLT, i2, ir.ConstI(3))
+	b.CondBr(c, loop, exit)
+
+	b.SetBlock(exit)
+	b.CallB(ir.BuiltinEmitI, ir.Reg(aReg, ir.I64))
+	b.CallB(ir.BuiltinEmitI, ir.Reg(bReg, ir.I64))
+	b.RetVoid()
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	res := run(t, m, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status %v (%s)", res.Status, res.Trap)
+	}
+	// Iterations: start (1,2); after entering loop 2nd time (2,1), 3rd
+	// time (1,2) -> exit after 3rd iteration check. The loop header runs
+	// 3 times: values on exit are those of the 3rd entry: (1,2).
+	a, bv := int64(res.Output[0]), int64(res.Output[1])
+	if !(a == 1 && bv == 2) {
+		t.Fatalf("phi swap result (%d,%d), want (1,2)", a, bv)
+	}
+}
+
+func TestPhiGroupFaultInjection(t *testing.T) {
+	// Faults must still hit phi instructions executed via the grouped
+	// path in branch().
+	m := ir.NewModule("phifi")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	entry := b.Block()
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	xReg := b.NewReg()
+	yReg := b.NewReg()
+	loop.Instrs = append(loop.Instrs,
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I64, Dst: xReg,
+			Args:  []ir.Operand{ir.ConstI(5), ir.Reg(xReg, ir.I64)},
+			Succs: []int{entry.Index, loop.Index}},
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I64, Dst: yReg,
+			Args:  []ir.Operand{ir.ConstI(0), ir.Reg(yReg, ir.I64)},
+			Succs: []int{entry.Index, loop.Index}},
+	)
+	y2 := b.Bin(ir.OpAdd, ir.Reg(yReg, ir.I64), ir.ConstI(1))
+	// Rebind y phi's loop incoming to the increment.
+	loop.Instrs[1].Args[1] = y2
+	c := b.ICmp(ir.PredLT, y2, ir.ConstI(4))
+	b.CondBr(c, loop, exit)
+
+	b.SetBlock(exit)
+	b.CallB(ir.BuiltinEmitI, ir.Reg(xReg, ir.I64))
+	b.RetVoid()
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	golden := run(t, m, nil)
+	if int64(golden.Output[0]) != 5 {
+		t.Fatalf("golden = %v, want [5]", golden.Output)
+	}
+	var phiID = -1
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpPhi && in.Dst == xReg {
+			phiID = in.ID
+		}
+	}
+	r := NewRunner(m, Config{})
+	res := r.Run(Binding{}, &Fault{InstrID: phiID, DynIndex: 1, Bit: 1}, nil)
+	if res.Status != StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if int64(res.Output[0]) != 5^2 {
+		t.Fatalf("phi fault output = %d, want %d", int64(res.Output[0]), 5^2)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	m := buildSum(t)
+	var buf strings.Builder
+	r := NewRunner(m, Config{})
+	res := r.RunTraced(Binding{Args: []uint64{3}}, nil, &Tracer{W: &buf, Limit: 1000})
+	if res.Status != StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "main") || !strings.Contains(out, "icmp") {
+		t.Fatalf("trace incomplete:\n%s", out)
+	}
+	// Result values appear.
+	if !strings.Contains(out, "=>") {
+		t.Fatalf("trace missing result values:\n%s", out)
+	}
+	// Limit enforcement.
+	var small strings.Builder
+	r.RunTraced(Binding{Args: []uint64{100}}, nil, &Tracer{W: &small, Limit: 10})
+	if !strings.Contains(small.String(), "trace limit") {
+		t.Fatalf("trace limit not enforced:\n%s", small.String())
+	}
+	// Tracing must not change semantics.
+	plain := r.Run(Binding{Args: []uint64{3}}, nil, nil)
+	if plain.Output[0] != res.Output[0] || plain.DynInstrs != res.DynInstrs {
+		t.Fatal("tracing changed execution")
+	}
+}
+
+func TestOutputOverflowTraps(t *testing.T) {
+	// An unbounded emit loop must trap (output overflow), not OOM.
+	m := ir.NewModule("spew")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	loop := b.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.CallB(ir.BuiltinEmitI, ir.ConstI(1))
+	b.Br(loop)
+	m.Finalize()
+
+	r := NewRunner(m, Config{MaxOutputWords: 100, MaxDynInstrs: 1_000_000})
+	res := r.Run(Binding{}, nil, nil)
+	if res.Status != StatusCrash {
+		t.Fatalf("status %v, want crash (output overflow)", res.Status)
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	m := ir.NewModule("sh")
+	f := m.AddFunction("main", []ir.Type{ir.I64, ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+	b.CallB(ir.BuiltinEmitI, b.Bin(ir.OpShl, ir.Reg(0, ir.I64), ir.Reg(1, ir.I64)))
+	b.CallB(ir.BuiltinEmitI, b.Bin(ir.OpShr, ir.Reg(0, ir.I64), ir.Reg(1, ir.I64)))
+	b.RetVoid()
+	m.Finalize()
+
+	r := NewRunner(m, Config{})
+	// Shift counts are masked to 6 bits (x86-style), and right shift is
+	// arithmetic.
+	neg8 := int64(-8)
+	res := r.Run(Binding{Args: []uint64{uint64(neg8), 1}}, nil, nil)
+	if int64(res.Output[0]) != -16 || int64(res.Output[1]) != -4 {
+		t.Fatalf("shifts of -8 by 1: %d %d, want -16 -4", int64(res.Output[0]), int64(res.Output[1]))
+	}
+	res = r.Run(Binding{Args: []uint64{1, 65}}, nil, nil) // 65 & 63 = 1
+	if int64(res.Output[0]) != 2 {
+		t.Fatalf("1 << 65 = %d, want 2 (masked count)", int64(res.Output[0]))
+	}
+}
+
+func TestGEPNegativeIndexTrapsOnAccess(t *testing.T) {
+	// gep may compute any address; only dereferencing an out-of-range one
+	// traps (null page below reservedLow).
+	m := ir.NewModule("gep")
+	m.AddGlobal("a", 4, nil)
+	f := m.AddFunction("main", []ir.Type{ir.I64}, ir.Void)
+	b := ir.NewBuilder(m, f)
+	base := b.GlobalAddr(0)
+	p := b.GEP(base, ir.Reg(0, ir.I64))
+	b.CallB(ir.BuiltinEmitI, b.Load(ir.I64, p))
+	b.RetVoid()
+	m.Finalize()
+
+	r := NewRunner(m, Config{})
+	if res := r.Run(Binding{Args: []uint64{0}}, nil, nil); res.Status != StatusOK {
+		t.Fatalf("valid access: %v", res.Status)
+	}
+	negIdx := int64(-1000)
+	if res := r.Run(Binding{Args: []uint64{uint64(negIdx)}}, nil, nil); res.Status != StatusCrash {
+		t.Fatalf("negative address access: %v, want crash", res.Status)
+	}
+}
+
+func TestThreadLimitTraps(t *testing.T) {
+	// A spawn loop beyond MaxThreads must trap instead of exhausting
+	// memory (the fault-induced spawn-storm scenario).
+	m := ir.NewModule("storm")
+	mainF := m.AddFunction("main", nil, ir.Void)
+	wF := m.AddFunction("w", nil, ir.Void)
+	wb := ir.NewBuilder(m, wF)
+	wb.RetVoid()
+	b := ir.NewBuilder(m, mainF)
+	loop := b.NewBlock("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Spawn(wF.Index)
+	b.Br(loop)
+	m.Finalize()
+
+	r := NewRunner(m, Config{MaxThreads: 8, MaxDynInstrs: 100_000})
+	res := r.Run(Binding{}, nil, nil)
+	if res.Status != StatusCrash || res.Trap != "thread limit exceeded" {
+		t.Fatalf("status %v trap %q, want thread-limit crash", res.Status, res.Trap)
+	}
+}
+
+func TestMultiBitFlipMask(t *testing.T) {
+	m := buildSum(t)
+	var addID = -1
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpAdd && addID == -1 {
+			addID = in.ID
+		}
+	}
+	r := NewRunner(m, Config{})
+	// Flip bits 0 and 2 (mask 5) of the last accumulation: 45 ^ 5 = 40.
+	res := r.Run(Binding{Args: []uint64{10}}, &Fault{InstrID: addID, DynIndex: 9, Mask: 5}, nil)
+	if int64(res.Output[0]) != 45^5 {
+		t.Fatalf("mask flip output = %d, want %d", int64(res.Output[0]), 45^5)
+	}
+}

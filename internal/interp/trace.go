@@ -1,0 +1,62 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Tracer receives a line per executed instruction when attached to a run
+// via RunTraced. It is a debugging aid: traces are verbose, so Limit
+// bounds the emitted instruction count.
+type Tracer struct {
+	W     io.Writer
+	Limit int64 // maximum instructions to trace (0 = DefaultTraceLimit)
+
+	emitted int64
+}
+
+// DefaultTraceLimit bounds a trace when Tracer.Limit is zero.
+const DefaultTraceLimit = 10_000
+
+func (t *Tracer) limit() int64 {
+	if t.Limit > 0 {
+		return t.Limit
+	}
+	return DefaultTraceLimit
+}
+
+// note records one executed instruction with its result value.
+func (t *Tracer) note(fn *ir.Function, in *ir.Instr, result uint64, hasResult bool) {
+	if t.emitted >= t.limit() {
+		if t.emitted == t.limit() {
+			fmt.Fprintf(t.W, "... trace limit (%d) reached\n", t.limit())
+			t.emitted++
+		}
+		return
+	}
+	t.emitted++
+	if !hasResult {
+		fmt.Fprintf(t.W, "%8d  %-12s [%4d] %s\n", t.emitted, fn.Name, in.ID, in.String())
+		return
+	}
+	switch in.Type {
+	case ir.F64:
+		fmt.Fprintf(t.W, "%8d  %-12s [%4d] %s  => %g\n",
+			t.emitted, fn.Name, in.ID, in.String(), math.Float64frombits(result))
+	default:
+		fmt.Fprintf(t.W, "%8d  %-12s [%4d] %s  => %d\n",
+			t.emitted, fn.Name, in.ID, in.String(), int64(result))
+	}
+}
+
+// RunTraced is Run with an instruction trace streamed to tr.W. Tracing
+// changes no semantics; it exists for debugging miscompiles and fault
+// behaviors.
+func (r *Runner) RunTraced(bind Binding, fault *Fault, tr *Tracer) Result {
+	r.tracer = tr
+	defer func() { r.tracer = nil }()
+	return r.Run(bind, fault, nil)
+}

@@ -1,0 +1,205 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a function's instructions. It tracks
+// the current insertion block and hands out fresh virtual registers.
+//
+// Register convention: registers 0..len(Params)-1 hold the incoming
+// arguments; the builder allocates upward from there.
+type Builder struct {
+	Mod  *Module
+	Fn   *Function
+	cur  *Block
+	next int // next free register
+}
+
+// NewBuilder returns a builder positioned on a fresh entry block of fn.
+func NewBuilder(m *Module, fn *Function) *Builder {
+	if fn.NumRegs < len(fn.Params) {
+		fn.NumRegs = len(fn.Params)
+	}
+	b := &Builder{Mod: m, Fn: fn, next: len(fn.Params)}
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	return b
+}
+
+// NewBlock appends an empty block to the function and returns it.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Index: len(b.Fn.Blocks), Name: name}
+	b.Fn.Blocks = append(b.Fn.Blocks, blk)
+	return blk
+}
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// NewReg allocates a fresh virtual register.
+func (b *Builder) NewReg() int {
+	r := b.next
+	b.next++
+	if b.next > b.Fn.NumRegs {
+		b.Fn.NumRegs = b.next
+	}
+	return r
+}
+
+// Terminated reports whether the current block already has a terminator.
+func (b *Builder) Terminated() bool { return b.cur.Terminator() != nil }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.Terminated() {
+		panic(fmt.Sprintf("ir: emit into terminated block bb%d of %s", b.cur.Index, b.Fn.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+func (b *Builder) emitValue(op Op, t Type, args ...Operand) Operand {
+	dst := b.NewReg()
+	b.emit(&Instr{Op: op, Type: t, Dst: dst, Args: args})
+	return Reg(dst, t)
+}
+
+// Bin emits a binary arithmetic/logic instruction and returns its result.
+func (b *Builder) Bin(op Op, x, y Operand) Operand {
+	t := x.Type
+	switch op {
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		t = F64
+	}
+	return b.emitValue(op, t, x, y)
+}
+
+// ICmp emits a signed integer comparison.
+func (b *Builder) ICmp(p Pred, x, y Operand) Operand {
+	dst := b.NewReg()
+	b.emit(&Instr{Op: OpICmp, Type: I1, Dst: dst, Pred: p, Args: []Operand{x, y}})
+	return Reg(dst, I1)
+}
+
+// FCmp emits a floating comparison.
+func (b *Builder) FCmp(p Pred, x, y Operand) Operand {
+	dst := b.NewReg()
+	b.emit(&Instr{Op: OpFCmp, Type: I1, Dst: dst, Pred: p, Args: []Operand{x, y}})
+	return Reg(dst, I1)
+}
+
+// IToF emits an i64 -> f64 conversion.
+func (b *Builder) IToF(x Operand) Operand { return b.emitValue(OpIToF, F64, x) }
+
+// FToI emits an f64 -> i64 conversion.
+func (b *Builder) FToI(x Operand) Operand { return b.emitValue(OpFToI, I64, x) }
+
+// Alloca emits a stack allocation of count words and returns the pointer.
+func (b *Builder) Alloca(count Operand) Operand { return b.emitValue(OpAlloca, Ptr, count) }
+
+// Load emits a load of type t from ptr.
+func (b *Builder) Load(t Type, ptr Operand) Operand { return b.emitValue(OpLoad, t, ptr) }
+
+// Store emits a store of val to ptr.
+func (b *Builder) Store(val, ptr Operand) {
+	b.emit(&Instr{Op: OpStore, Type: Void, Dst: -1, Args: []Operand{val, ptr}})
+}
+
+// GEP emits pointer arithmetic: ptr + idx (word-granular).
+func (b *Builder) GEP(ptr, idx Operand) Operand { return b.emitValue(OpGEP, Ptr, ptr, idx) }
+
+// GlobalAddr emits the address of global g.
+func (b *Builder) GlobalAddr(g int) Operand {
+	dst := b.NewReg()
+	b.emit(&Instr{Op: OpGlobalAddr, Type: Ptr, Dst: dst, Global: g})
+	return Reg(dst, Ptr)
+}
+
+// ArrayLen emits the runtime length (words) of global g.
+func (b *Builder) ArrayLen(g int) Operand {
+	dst := b.NewReg()
+	b.emit(&Instr{Op: OpArrayLen, Type: I64, Dst: dst, Global: g})
+	return Reg(dst, I64)
+}
+
+// Br emits an unconditional branch to blk.
+func (b *Builder) Br(blk *Block) {
+	b.emit(&Instr{Op: OpBr, Type: Void, Dst: -1, Succs: []int{blk.Index}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Operand, then, els *Block) {
+	b.emit(&Instr{Op: OpCondBr, Type: Void, Dst: -1, Args: []Operand{cond}, Succs: []int{then.Index, els.Index}})
+}
+
+// Ret emits a return. Pass a zero Operand{} for void returns.
+func (b *Builder) Ret(val Operand) {
+	in := &Instr{Op: OpRet, Type: Void, Dst: -1}
+	if val.Kind != OperNone {
+		in.Args = []Operand{val}
+	}
+	b.emit(in)
+}
+
+// RetVoid emits a value-less return.
+func (b *Builder) RetVoid() { b.Ret(Operand{}) }
+
+// Call emits a direct call to function index fn.
+func (b *Builder) Call(fn int, ret Type, args ...Operand) Operand {
+	in := &Instr{Op: OpCall, Type: ret, Dst: -1, Callee: fn, Args: args}
+	if ret != Void {
+		in.Dst = b.NewReg()
+	}
+	b.emit(in)
+	if ret == Void {
+		return Operand{}
+	}
+	return Reg(in.Dst, ret)
+}
+
+// CallB emits a builtin call.
+func (b *Builder) CallB(fn Builtin, args ...Operand) Operand {
+	sig := fn.Sig()
+	in := &Instr{Op: OpCallB, Type: sig.Ret, Dst: -1, BFunc: fn, Args: args}
+	if sig.Ret != Void {
+		in.Dst = b.NewReg()
+	}
+	b.emit(in)
+	if sig.Ret == Void {
+		return Operand{}
+	}
+	return Reg(in.Dst, sig.Ret)
+}
+
+// Select emits select(cond, a, b).
+func (b *Builder) Select(cond, x, y Operand) Operand {
+	return b.emitValue(OpSelect, x.Type, cond, x, y)
+}
+
+// Phi emits an SSA phi node; incoming[i] arrives from blocks[i].
+func (b *Builder) Phi(t Type, incoming []Operand, blocks []*Block) Operand {
+	dst := b.NewReg()
+	succs := make([]int, len(blocks))
+	for i, blk := range blocks {
+		succs[i] = blk.Index
+	}
+	b.emit(&Instr{Op: OpPhi, Type: t, Dst: dst, Args: incoming, Succs: succs})
+	return Reg(dst, t)
+}
+
+// Spawn emits a thread spawn of function fn with args.
+func (b *Builder) Spawn(fn int, args ...Operand) {
+	b.emit(&Instr{Op: OpSpawn, Type: Void, Dst: -1, Callee: fn, Args: args})
+}
+
+// Join emits a join-all barrier.
+func (b *Builder) Join() {
+	b.emit(&Instr{Op: OpJoin, Type: Void, Dst: -1})
+}
+
+// Detect emits the duplication-check detector: halts with a Detected
+// outcome when ok is false at runtime.
+func (b *Builder) Detect(ok Operand) {
+	b.emit(&Instr{Op: OpDetect, Type: Void, Dst: -1, Args: []Operand{ok}})
+}

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// OperandKind discriminates the variants of Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperNone   OperandKind = iota
+	OperReg                // a virtual register (SSA value or alloca slot address)
+	OperConst              // integer, boolean, or pointer constant in Imm
+	OperConstF             // floating constant in FImm
+)
+
+// Operand is one input of an instruction. Operands are plain values (no
+// pointers, no interfaces) so the interpreter can resolve them without
+// allocation or dynamic dispatch.
+type Operand struct {
+	Kind OperandKind
+	Type Type
+	Reg  int     // register index when Kind == OperReg
+	Imm  int64   // constant payload when Kind == OperConst
+	FImm float64 // constant payload when Kind == OperConstF
+}
+
+// Reg returns a register operand of the given type.
+func Reg(r int, t Type) Operand { return Operand{Kind: OperReg, Type: t, Reg: r} }
+
+// ConstI returns an i64 constant operand.
+func ConstI(v int64) Operand { return Operand{Kind: OperConst, Type: I64, Imm: v} }
+
+// ConstB returns an i1 constant operand.
+func ConstB(v bool) Operand {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Operand{Kind: OperConst, Type: I1, Imm: i}
+}
+
+// ConstF returns an f64 constant operand.
+func ConstF(v float64) Operand { return Operand{Kind: OperConstF, Type: F64, FImm: v} }
+
+// String renders the operand for IR dumps. The form is unambiguous and
+// parseable: registers as %rN:type, constants as value:type.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperReg:
+		return fmt.Sprintf("%%r%d:%s", o.Reg, o.Type)
+	case OperConst:
+		return fmt.Sprintf("%d:%s", o.Imm, o.Type)
+	case OperConstF:
+		return fmt.Sprintf("%s:%s", strconv.FormatFloat(o.FImm, 'g', -1, 64), o.Type)
+	default:
+		return "<none>"
+	}
+}
+
+// Instr is a single static IR instruction.
+//
+// After Module.Finalize every instruction carries a module-unique ID; the
+// fault injector addresses injection sites by that ID and the profiler
+// accumulates per-ID dynamic cycle counts.
+type Instr struct {
+	ID   int  // module-wide static instruction ID (assigned by Finalize)
+	Op   Op   // opcode
+	Type Type // result type (Void if no result)
+	Dst  int  // destination register, -1 if none
+	Pred Pred // comparison predicate for OpICmp / OpFCmp
+
+	Args []Operand // value operands
+
+	// Succs holds block indices: branch targets for OpBr/OpCondBr, and the
+	// incoming-block list for OpPhi (parallel to Args).
+	Succs []int
+
+	Callee  int     // function index for OpCall / OpSpawn
+	BFunc   Builtin // builtin for OpCallB
+	Global  int     // global index for OpGlobalAddr / OpArrayLen
+	Comment string  // optional annotation carried into IR dumps
+
+	// Dup marks instructions inserted by the duplication transform (the
+	// clone, the comparison, and the detector). Dup instructions are not
+	// themselves counted as protectable program instructions.
+	Dup bool
+}
+
+// HasResult reports whether the instruction defines a register value.
+func (in *Instr) HasResult() bool {
+	return in.Dst >= 0 && in.Type != Void
+}
+
+// IsInjectable reports whether the instruction is a valid fault-injection
+// site under the fault model: it must produce a value (single-bit flips go
+// into instruction return values).
+func (in *Instr) IsInjectable() bool {
+	return in.HasResult()
+}
+
+// Clone returns a deep copy of the instruction (fresh operand and
+// successor slices). The copy keeps ID; callers re-finalize the module.
+func (in *Instr) Clone() *Instr {
+	cp := *in
+	cp.Args = append([]Operand(nil), in.Args...)
+	cp.Succs = append([]int(nil), in.Succs...)
+	return &cp
+}
+
+// String renders the instruction for IR dumps.
+func (in *Instr) String() string {
+	s := ""
+	if in.HasResult() {
+		s = fmt.Sprintf("%%r%d:%s = ", in.Dst, in.Type)
+	}
+	s += in.Op.String()
+	switch in.Op {
+	case OpICmp, OpFCmp:
+		s += " " + in.Pred.String()
+	case OpCallB:
+		s += " @" + in.BFunc.String()
+	case OpCall, OpSpawn:
+		s += fmt.Sprintf(" fn%d", in.Callee)
+	case OpGlobalAddr, OpArrayLen:
+		s += fmt.Sprintf(" @g%d", in.Global)
+	}
+	for i, a := range in.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += " " + a.String()
+	}
+	if len(in.Succs) > 0 {
+		s += " ->"
+		for _, b := range in.Succs {
+			s += fmt.Sprintf(" bb%d", b)
+		}
+	}
+	if in.Dup {
+		s += " !dup"
+	}
+	if in.Comment != "" {
+		s += "  ; " + in.Comment
+	}
+	return s
+}

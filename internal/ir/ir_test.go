@@ -1,0 +1,472 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumModule builds: main() { s=0; for i=0..n-1 { s += i }; emiti(s) } with
+// n passed as main's single parameter.
+func sumModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("sum")
+	f := m.AddFunction("main", []Type{I64}, Void)
+	b := NewBuilder(m, f)
+
+	sVar := b.Alloca(ConstI(1))
+	iVar := b.Alloca(ConstI(1))
+	b.Store(ConstI(0), sVar)
+	b.Store(ConstI(0), iVar)
+
+	cond := b.NewBlock("cond")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	i := b.Load(I64, iVar)
+	c := b.ICmp(PredLT, i, Reg(0, I64))
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	s := b.Load(I64, sVar)
+	i2 := b.Load(I64, iVar)
+	b.Store(b.Bin(OpAdd, s, i2), sVar)
+	b.Store(b.Bin(OpAdd, i2, ConstI(1)), iVar)
+	b.Br(cond)
+
+	b.SetBlock(exit)
+	b.CallB(BuiltinEmitI, b.Load(I64, sVar))
+	b.RetVoid()
+
+	m.Finalize()
+	return m
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{Void: "void", I1: "i1", I64: "i64", F64: "f64", Ptr: "ptr"}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+}
+
+func TestTypeBits(t *testing.T) {
+	if I1.Bits() != 1 {
+		t.Errorf("I1.Bits() = %d, want 1", I1.Bits())
+	}
+	for _, ty := range []Type{I64, F64, Ptr} {
+		if ty.Bits() != 64 {
+			t.Errorf("%s.Bits() = %d, want 64", ty, ty.Bits())
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !I1.IsInt() || !I64.IsInt() || F64.IsInt() || Ptr.IsInt() {
+		t.Error("IsInt misclassifies")
+	}
+	if !F64.IsFloat() || I64.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+}
+
+func TestOpTerminators(t *testing.T) {
+	for _, op := range []Op{OpBr, OpCondBr, OpRet} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLoad, OpCall, OpDetect, OpJoin, OpPhi} {
+		if op.IsTerminator() {
+			t.Errorf("%s should not be a terminator", op)
+		}
+	}
+}
+
+func TestOpCyclesPositive(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.Cycles() <= 0 {
+			t.Errorf("%s.Cycles() = %d, want > 0", op, op.Cycles())
+		}
+		if op.String() == "" || strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestLookupBuiltin(t *testing.T) {
+	b, ok := LookupBuiltin("sqrt")
+	if !ok || b != BuiltinSqrt {
+		t.Fatalf("LookupBuiltin(sqrt) = %v, %v", b, ok)
+	}
+	if _, ok := LookupBuiltin("no_such_builtin"); ok {
+		t.Fatal("LookupBuiltin accepted an unknown name")
+	}
+	for bi := Builtin(0); int(bi) < NumBuiltins(); bi++ {
+		sig := bi.Sig()
+		if sig.Name == "" {
+			t.Errorf("builtin %d has no name", bi)
+		}
+		got, ok := LookupBuiltin(sig.Name)
+		if !ok || got != bi {
+			t.Errorf("LookupBuiltin(%s) = %v, %v; want %v", sig.Name, got, ok, bi)
+		}
+	}
+}
+
+func TestBuilderProducesVerifiableModule(t *testing.T) {
+	m := sumModule(t)
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestFinalizeAssignsSequentialIDs(t *testing.T) {
+	m := sumModule(t)
+	for i, in := range m.Instrs {
+		if in.ID != i {
+			t.Fatalf("instr %d has ID %d", i, in.ID)
+		}
+	}
+	if m.NumInstrs() != len(m.Instrs) {
+		t.Fatalf("NumInstrs inconsistent")
+	}
+	if m.NumBlocks() != len(m.Funcs[0].Blocks) {
+		t.Fatalf("NumBlocks = %d, want %d", m.NumBlocks(), len(m.Funcs[0].Blocks))
+	}
+	// Loc must map every ID back to its position.
+	for id, in := range m.Instrs {
+		loc := m.Loc(id)
+		got := m.Funcs[loc.Func].Blocks[loc.Block].Instrs[loc.Pos]
+		if got != in {
+			t.Fatalf("Loc(%d) does not round-trip", id)
+		}
+	}
+}
+
+func TestGlobalBlockIndex(t *testing.T) {
+	m := NewModule("two")
+	f1 := m.AddFunction("main", nil, Void)
+	b1 := NewBuilder(m, f1)
+	b1.RetVoid()
+	f2 := m.AddFunction("aux", nil, Void)
+	b2 := NewBuilder(m, f2)
+	extra := b2.NewBlock("x")
+	b2.Br(extra)
+	b2.SetBlock(extra)
+	b2.RetVoid()
+	m.Finalize()
+
+	if got := m.GlobalBlockIndex(0, 0); got != 0 {
+		t.Errorf("GlobalBlockIndex(0,0) = %d, want 0", got)
+	}
+	if got := m.GlobalBlockIndex(1, 0); got != 1 {
+		t.Errorf("GlobalBlockIndex(1,0) = %d, want 1", got)
+	}
+	if got := m.GlobalBlockIndex(1, 1); got != 2 {
+		t.Errorf("GlobalBlockIndex(1,1) = %d, want 2", got)
+	}
+	if m.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d, want 3", m.NumBlocks())
+	}
+}
+
+func TestInjectableIDs(t *testing.T) {
+	m := sumModule(t)
+	ids := m.InjectableIDs(false)
+	if len(ids) == 0 {
+		t.Fatal("no injectable instructions")
+	}
+	for _, id := range ids {
+		if !m.Instrs[id].HasResult() {
+			t.Errorf("instr %d (%s) has no result but is injectable", id, m.Instrs[id].Op)
+		}
+	}
+	// Stores, branches, rets must be excluded.
+	for _, in := range m.Instrs {
+		if in.Op == OpStore || in.Op == OpBr || in.Op == OpCondBr || in.Op == OpRet {
+			for _, id := range ids {
+				if id == in.ID {
+					t.Errorf("non-value instr %s is injectable", in.Op)
+				}
+			}
+		}
+	}
+
+	// Dup-marked instructions are excluded when excludeDup is set.
+	m.Instrs[ids[0]].Dup = true
+	ids2 := m.InjectableIDs(true)
+	if len(ids2) != len(ids)-1 {
+		t.Errorf("excludeDup: got %d ids, want %d", len(ids2), len(ids)-1)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := sumModule(t)
+	cp := m.Clone()
+	if err := Verify(cp); err != nil {
+		t.Fatalf("Verify(clone): %v", err)
+	}
+	if cp.NumInstrs() != m.NumInstrs() {
+		t.Fatalf("clone has %d instrs, want %d", cp.NumInstrs(), m.NumInstrs())
+	}
+	// Mutating the clone must not affect the original.
+	cp.Funcs[0].Blocks[0].Instrs[0].Comment = "mutated"
+	if m.Funcs[0].Blocks[0].Instrs[0].Comment == "mutated" {
+		t.Fatal("clone shares instruction storage with original")
+	}
+	cp.Instrs[0].Args[0] = ConstI(99)
+	if m.Instrs[0].Args[0].Imm == 99 {
+		t.Fatal("clone shares operand storage with original")
+	}
+}
+
+func TestModuleStringSmoke(t *testing.T) {
+	m := sumModule(t)
+	s := m.String()
+	for _, want := range []string{"module sum", "func @main", "icmp lt", "emiti", "condbr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if got := ConstI(7).String(); got != "7:i64" {
+		t.Errorf("ConstI(7).String() = %q", got)
+	}
+	if got := ConstF(2.5).String(); got != "2.5:f64" {
+		t.Errorf("ConstF(2.5).String() = %q", got)
+	}
+	if got := Reg(3, I64).String(); got != "%r3:i64" {
+		t.Errorf("Reg(3).String() = %q", got)
+	}
+	if ConstB(true).Imm != 1 || ConstB(false).Imm != 0 {
+		t.Error("ConstB payload wrong")
+	}
+}
+
+func TestVerifyCatchesBrokenModules(t *testing.T) {
+	build := func(mutate func(*Module)) error {
+		m := sumModule(t)
+		mutate(m)
+		m.Finalize()
+		return Verify(m)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Module)
+	}{
+		{"no-main", func(m *Module) {
+			m.Funcs[0].Name = "notmain"
+			delete(mapOfFuncs(m), "main")
+		}},
+		{"missing-terminator", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		}},
+		{"bad-successor", func(m *Module) {
+			for _, b := range m.Funcs[0].Blocks {
+				if t := b.Terminator(); t != nil && t.Op == OpBr {
+					t.Succs[0] = 99
+					return
+				}
+			}
+		}},
+		{"reg-out-of-range", func(m *Module) {
+			m.Funcs[0].Blocks[0].Instrs[0].Args = []Operand{Reg(1000, I64)}
+		}},
+		{"bad-callee", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpCall, Type: Void, Dst: -1, Callee: 42}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"condbr-non-bool", func(m *Module) {
+			for _, b := range m.Funcs[0].Blocks {
+				if t := b.Terminator(); t != nil && t.Op == OpCondBr {
+					t.Args[0] = ConstI(1) // i64, not i1
+					return
+				}
+			}
+		}},
+		{"binary-arity", func(m *Module) {
+			for _, in := range m.Instrs {
+				if in.Op == OpAdd {
+					in.Args = in.Args[:1]
+					return
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := build(tc.mutate); err == nil {
+				t.Errorf("Verify accepted a %s module", tc.name)
+			}
+		})
+	}
+}
+
+// mapOfFuncs exposes the internal name map for the no-main test.
+func mapOfFuncs(m *Module) map[string]int { return m.funcByName }
+
+func TestBuilderPanicsOnEmitAfterTerminator(t *testing.T) {
+	m := NewModule("p")
+	f := m.AddFunction("main", nil, Void)
+	b := NewBuilder(m, f)
+	b.RetVoid()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic emitting into a terminated block")
+		}
+	}()
+	b.RetVoid()
+}
+
+func TestModuleLookupHelpers(t *testing.T) {
+	m := sumModule(t)
+	if i, ok := m.FuncByName("main"); !ok || i != 0 {
+		t.Errorf("FuncByName(main) = %d, %v", i, ok)
+	}
+	if _, ok := m.FuncByName("nope"); ok {
+		t.Error("FuncByName found nonexistent function")
+	}
+	m2 := NewModule("g")
+	m2.AddGlobal("wall", 4, nil)
+	if i, ok := m2.GlobalByName("wall"); !ok || i != 0 {
+		t.Errorf("GlobalByName(wall) = %d, %v", i, ok)
+	}
+	if _, ok := m2.GlobalByName("nope"); ok {
+		t.Error("GlobalByName found nonexistent global")
+	}
+	if f := m.Funcs[m.Entry()]; f.Entry() != f.Blocks[0] {
+		t.Error("Function.Entry() wrong")
+	}
+	// No main: Entry returns -1.
+	f3 := NewModule("x")
+	f3.AddFunction("aux", nil, Void)
+	if f3.Entry() != -1 {
+		t.Errorf("Entry() = %d, want -1", f3.Entry())
+	}
+}
+
+func TestBuilderConversionsAndBlockAccessor(t *testing.T) {
+	m := NewModule("conv")
+	f := m.AddFunction("main", []Type{I64}, Void)
+	b := NewBuilder(m, f)
+	if b.Block() != f.Blocks[0] {
+		t.Error("Block() accessor wrong")
+	}
+	fv := b.IToF(Reg(0, I64))
+	iv := b.FToI(fv)
+	b.CallB(BuiltinEmitI, iv)
+	b.RetVoid()
+	m.Finalize()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestOpHasResultClassification(t *testing.T) {
+	for _, op := range []Op{OpStore, OpBr, OpCondBr, OpRet, OpSpawn, OpJoin, OpDetect} {
+		if op.HasResult() {
+			t.Errorf("%s.HasResult() = true", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLoad, OpAlloca, OpPhi, OpSelect, OpGEP, OpICmp} {
+		if !op.HasResult() {
+			t.Errorf("%s.HasResult() = false", op)
+		}
+	}
+}
+
+func TestEnumStringsOutOfRange(t *testing.T) {
+	if s := Op(200).String(); !strings.Contains(s, "op(") {
+		t.Errorf("out-of-range Op string %q", s)
+	}
+	if s := Pred(99).String(); !strings.Contains(s, "pred(") {
+		t.Errorf("out-of-range Pred string %q", s)
+	}
+	if s := Type(99).String(); !strings.Contains(s, "type(") {
+		t.Errorf("out-of-range Type string %q", s)
+	}
+	if c := Op(200).Cycles(); c <= 0 {
+		t.Errorf("out-of-range Op cycles %d", c)
+	}
+}
+
+func TestVerifyMoreBrokenModules(t *testing.T) {
+	build := func(mutate func(*Module)) error {
+		m := sumModule(t)
+		mutate(m)
+		m.Finalize()
+		return Verify(m)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Module)
+	}{
+		{"phi-arity-mismatch", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpPhi, Type: I64, Dst: 0,
+				Args: []Operand{ConstI(1), ConstI(2)}, Succs: []int{0}}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"void-fn-returns-value", func(m *Module) {
+			for _, b := range m.Funcs[0].Blocks {
+				if tr := b.Terminator(); tr != nil && tr.Op == OpRet {
+					tr.Args = []Operand{ConstI(1)}
+					return
+				}
+			}
+		}},
+		{"bad-global-ref", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpGlobalAddr, Type: Ptr, Dst: 0, Global: 42}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"builtin-bad-ret-type", func(m *Module) {
+			for _, in := range m.Instrs {
+				if in.Op == OpCallB && in.BFunc == BuiltinEmitI {
+					in.Type = I64
+					in.Dst = 0
+					return
+				}
+			}
+		}},
+		{"detect-non-bool", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpDetect, Type: Void, Dst: -1, Args: []Operand{ConstI(3)}}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"select-non-bool-cond", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpSelect, Type: I64, Dst: 0,
+				Args: []Operand{ConstI(1), ConstI(2), ConstI(3)}}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"float-op-int-result", func(m *Module) {
+			b := m.Funcs[0].Blocks[0]
+			in := &Instr{Op: OpFAdd, Type: I64, Dst: 0, Args: []Operand{ConstF(1), ConstF(2)}}
+			b.Instrs = append([]*Instr{in}, b.Instrs...)
+		}},
+		{"icmp-bad-result", func(m *Module) {
+			for _, in := range m.Instrs {
+				if in.Op == OpICmp {
+					in.Type = I64
+					return
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := build(tc.mutate); err == nil {
+				t.Errorf("Verify accepted a %s module", tc.name)
+			}
+		})
+	}
+}

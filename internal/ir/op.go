@@ -1,0 +1,237 @@
+package ir
+
+import "fmt"
+
+// Op is an IR opcode.
+type Op uint8
+
+// The instruction set. It mirrors the LLVM subset used by IR-level fault
+// injection studies: integer and floating arithmetic, comparisons,
+// conversions, memory operations, control flow, calls, and the detector
+// instruction inserted by the selective-duplication transform.
+const (
+	// Integer arithmetic (i64).
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv // signed division; traps on divide-by-zero and INT64_MIN / -1
+	OpRem // signed remainder; traps like OpDiv
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+
+	// Floating arithmetic (f64).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparisons; the predicate lives in Instr.Pred.
+	OpICmp
+	OpFCmp
+
+	// Conversions.
+	OpIToF // signed i64 -> f64
+	OpFToI // f64 -> signed i64 (truncating; traps on NaN/overflow)
+
+	// Memory.
+	OpAlloca     // alloca <count-words> -> ptr (stack)
+	OpLoad       // load ptr -> value
+	OpStore      // store value, ptr
+	OpGEP        // gep ptr, i64 -> ptr (word-granular element step)
+	OpGlobalAddr // address of module global -> ptr
+	OpArrayLen   // runtime length (in words) of a module global -> i64
+
+	// Control flow.
+	OpBr     // unconditional branch
+	OpCondBr // conditional branch: i1, then-block, else-block
+	OpRet    // return [value]
+	OpPhi    // SSA phi; incoming values parallel Instr.Succs block list
+
+	// Calls.
+	OpCall  // direct call to a module function
+	OpCallB // call to a runtime builtin (math, output, ...)
+
+	// Misc value ops.
+	OpSelect // select i1, a, b -> a or b
+
+	// Threads (deterministically scheduled by the interpreter).
+	OpSpawn // spawn a module function on a new simulated thread
+	OpJoin  // wait for all spawned threads
+
+	// Fault detection, inserted by the duplication transform: if the i1
+	// operand is false the program halts with a Detected outcome.
+	OpDetect
+
+	numOps
+)
+
+// Pred is a comparison predicate shared by OpICmp (signed) and OpFCmp
+// (ordered).
+type Pred uint8
+
+// Comparison predicates.
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+// String returns the textual predicate ("eq", "lt", ...).
+func (p Pred) String() string {
+	switch p {
+	case PredEQ:
+		return "eq"
+	case PredNE:
+		return "ne"
+	case PredLT:
+		return "lt"
+	case PredLE:
+		return "le"
+	case PredGT:
+		return "gt"
+	case PredGE:
+		return "ge"
+	default:
+		return fmt.Sprintf("pred(%d)", uint8(p))
+	}
+}
+
+var opNames = [numOps]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpIToF: "itof", OpFToI: "ftoi",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "gep",
+	OpGlobalAddr: "gaddr", OpArrayLen: "alen",
+	OpBr: "br", OpCondBr: "condbr", OpRet: "ret", OpPhi: "phi",
+	OpCall: "call", OpCallB: "callb",
+	OpSelect: "select",
+	OpSpawn:  "spawn", OpJoin: "join",
+	OpDetect: "detect",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether o must appear as the final instruction of a
+// basic block.
+func (o Op) IsTerminator() bool {
+	return o == OpBr || o == OpCondBr || o == OpRet
+}
+
+// HasResult reports whether o produces a value (and therefore occupies a
+// destination register and is a candidate fault-injection site).
+func (o Op) HasResult() bool {
+	switch o {
+	case OpStore, OpBr, OpCondBr, OpRet, OpSpawn, OpJoin, OpDetect:
+		return false
+	case OpCall, OpCallB:
+		// Determined by the callee's return type; the instruction's Type
+		// field is Void for value-less calls. Treated as "maybe" here;
+		// Instr.HasResult gives the precise answer.
+		return true
+	default:
+		return true
+	}
+}
+
+// opCycles is the latency model used by the profiler: approximate issue
+// latencies, in cycles, for a simple in-order core. The absolute values
+// only matter relative to each other (SID costs are cycle fractions).
+var opCycles = [numOps]int64{
+	OpAdd: 1, OpSub: 1, OpMul: 3, OpDiv: 24, OpRem: 24,
+	OpAnd: 1, OpOr: 1, OpXor: 1, OpShl: 1, OpShr: 1,
+	OpFAdd: 3, OpFSub: 3, OpFMul: 4, OpFDiv: 22,
+	OpICmp: 1, OpFCmp: 2,
+	OpIToF: 4, OpFToI: 4,
+	OpAlloca: 1, OpLoad: 4, OpStore: 4, OpGEP: 1,
+	OpGlobalAddr: 1, OpArrayLen: 1,
+	OpBr: 1, OpCondBr: 1, OpRet: 1, OpPhi: 1,
+	OpCall: 2, OpCallB: 10,
+	OpSelect: 1,
+	OpSpawn:  50, OpJoin: 50,
+	OpDetect: 1,
+}
+
+// Cycles returns the modeled latency of o in cycles.
+func (o Op) Cycles() int64 {
+	if int(o) < len(opCycles) {
+		return opCycles[o]
+	}
+	return 1
+}
+
+// Builtin identifies a runtime-provided function callable through OpCallB.
+type Builtin uint8
+
+// The builtin set: math routines the HPC kernels need plus the output
+// primitives that define a program's observable result (the values the
+// SDC classifier compares bit-for-bit against a golden run).
+const (
+	BuiltinEmitI Builtin = iota // emiti(i64): append to program output
+	BuiltinEmitF                // emitf(f64): append to program output
+	BuiltinSqrt
+	BuiltinFabs
+	BuiltinExp
+	BuiltinLog
+	BuiltinSin
+	BuiltinCos
+	BuiltinPow
+	BuiltinFloor
+	BuiltinIAbs
+
+	numBuiltins
+)
+
+// BuiltinSig describes a builtin's signature.
+type BuiltinSig struct {
+	Name   string
+	Params []Type
+	Ret    Type
+}
+
+var builtinSigs = [numBuiltins]BuiltinSig{
+	BuiltinEmitI: {"emiti", []Type{I64}, Void},
+	BuiltinEmitF: {"emitf", []Type{F64}, Void},
+	BuiltinSqrt:  {"sqrt", []Type{F64}, F64},
+	BuiltinFabs:  {"fabs", []Type{F64}, F64},
+	BuiltinExp:   {"exp", []Type{F64}, F64},
+	BuiltinLog:   {"log", []Type{F64}, F64},
+	BuiltinSin:   {"sin", []Type{F64}, F64},
+	BuiltinCos:   {"cos", []Type{F64}, F64},
+	BuiltinPow:   {"pow", []Type{F64, F64}, F64},
+	BuiltinFloor: {"floor", []Type{F64}, F64},
+	BuiltinIAbs:  {"iabs", []Type{I64}, I64},
+}
+
+// Sig returns the signature of b.
+func (b Builtin) Sig() BuiltinSig { return builtinSigs[b] }
+
+// String returns the builtin's name.
+func (b Builtin) String() string { return builtinSigs[b].Name }
+
+// LookupBuiltin resolves a builtin by name. The second result reports
+// whether the name is known.
+func LookupBuiltin(name string) (Builtin, bool) {
+	for b := Builtin(0); b < numBuiltins; b++ {
+		if builtinSigs[b].Name == name {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// NumBuiltins returns the number of runtime builtins.
+func NumBuiltins() int { return int(numBuiltins) }

@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModule parses the textual form produced by Module.String back into
+// a Module. The result is finalized but not verified; callers that ingest
+// untrusted text should run Verify.
+//
+// The format is line oriented:
+//
+//	module <name>
+//	global @<name> size=<n> [init=<v>,<v>,...]
+//	func @<name>(%r0:<type>, ...) <ret-type> {
+//	bb<N>: ; <label>
+//	  [ <id>] [%rN:<type> = ]<opcode> [qualifier] <operands> [-> bb<A> ...] [!dup] [; comment]
+//	}
+func ParseModule(text string) (*Module, error) {
+	p := &irParser{lines: strings.Split(text, "\n")}
+	return p.parse()
+}
+
+type irParser struct {
+	lines []string
+	pos   int
+	mod   *Module
+}
+
+func (p *irParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next non-empty line (trimmed), or "" at EOF.
+func (p *irParser) next() string {
+	for p.pos < len(p.lines) {
+		ln := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if ln != "" {
+			return ln
+		}
+	}
+	return ""
+}
+
+// peek returns the next non-empty line without consuming it.
+func (p *irParser) peek() string {
+	save := p.pos
+	ln := p.next()
+	p.pos = save
+	return ln
+}
+
+func (p *irParser) parse() (*Module, error) {
+	head := p.next()
+	if !strings.HasPrefix(head, "module ") {
+		return nil, p.errf("expected 'module <name>', got %q", head)
+	}
+	p.mod = NewModule(strings.TrimSpace(strings.TrimPrefix(head, "module ")))
+
+	for {
+		ln := p.peek()
+		switch {
+		case strings.HasPrefix(ln, "global "):
+			p.next()
+			if err := p.parseGlobal(ln); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(ln, "func "):
+			// First pass collects the function signature so calls can
+			// reference later functions by index; bodies parse in order.
+			if err := p.parseFunc(); err != nil {
+				return nil, err
+			}
+		case ln == "":
+			p.mod.Finalize()
+			return p.mod, nil
+		default:
+			return nil, p.errf("unexpected line %q", ln)
+		}
+	}
+}
+
+func (p *irParser) parseGlobal(ln string) error {
+	rest := strings.TrimPrefix(ln, "global ")
+	fields := strings.Fields(rest)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "@") {
+		return p.errf("malformed global %q", ln)
+	}
+	name := fields[0][1:]
+	if !strings.HasPrefix(fields[1], "size=") {
+		return p.errf("global %s: missing size", name)
+	}
+	size, err := strconv.Atoi(strings.TrimPrefix(fields[1], "size="))
+	if err != nil {
+		return p.errf("global %s: bad size: %v", name, err)
+	}
+	var init []uint64
+	if len(fields) >= 3 && strings.HasPrefix(fields[2], "init=") {
+		for _, tok := range strings.Split(strings.TrimPrefix(fields[2], "init="), ",") {
+			v, err := strconv.ParseUint(tok, 10, 64)
+			if err != nil {
+				return p.errf("global %s: bad init value %q", name, tok)
+			}
+			init = append(init, v)
+		}
+	}
+	p.mod.AddGlobal(name, size, init)
+	return nil
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "void":
+		return Void, nil
+	case "i1":
+		return I1, nil
+	case "i64":
+		return I64, nil
+	case "f64":
+		return F64, nil
+	case "ptr":
+		return Ptr, nil
+	default:
+		return Void, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+func (p *irParser) parseFunc() error {
+	head := p.next() // "func @name(params) ret {"
+	open := strings.Index(head, "(")
+	close := strings.LastIndex(head, ")")
+	if open < 0 || close < open || !strings.HasSuffix(head, "{") {
+		return p.errf("malformed function header %q", head)
+	}
+	name := strings.TrimPrefix(head[:open], "func @")
+	var params []Type
+	if paramStr := strings.TrimSpace(head[open+1 : close]); paramStr != "" {
+		for _, tok := range strings.Split(paramStr, ",") {
+			tok = strings.TrimSpace(tok)
+			colon := strings.LastIndex(tok, ":")
+			if colon < 0 {
+				return p.errf("malformed parameter %q", tok)
+			}
+			t, err := parseType(tok[colon+1:])
+			if err != nil {
+				return p.errf("parameter %q: %v", tok, err)
+			}
+			params = append(params, t)
+		}
+	}
+	retStr := strings.TrimSpace(strings.TrimSuffix(head[close+1:], "{"))
+	ret, err := parseType(retStr)
+	if err != nil {
+		return p.errf("return type: %v", err)
+	}
+	f := p.mod.AddFunction(name, params, ret)
+	f.NumRegs = len(params)
+
+	var cur *Block
+	for {
+		ln := p.next()
+		switch {
+		case ln == "}":
+			if len(f.Blocks) == 0 {
+				return p.errf("function %s has no blocks", name)
+			}
+			return nil
+		case ln == "":
+			return p.errf("unterminated function %s", name)
+		case strings.HasPrefix(ln, "bb"):
+			label := ""
+			if i := strings.Index(ln, ";"); i >= 0 {
+				label = strings.TrimSpace(ln[i+1:])
+				ln = ln[:i]
+			}
+			idxStr := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(ln, "bb")), ":")
+			idx, err := strconv.Atoi(idxStr)
+			if err != nil || idx != len(f.Blocks) {
+				return p.errf("blocks must appear in order; got %q", ln)
+			}
+			cur = &Block{Index: idx, Name: label}
+			f.Blocks = append(f.Blocks, cur)
+		default:
+			if cur == nil {
+				return p.errf("instruction before first block: %q", ln)
+			}
+			in, err := p.parseInstr(ln, f)
+			if err != nil {
+				return err
+			}
+			cur.Instrs = append(cur.Instrs, in)
+		}
+	}
+}
+
+// parseOperand parses "%rN:type" or "<value>:type".
+func (p *irParser) parseOperand(tok string, f *Function) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	colon := strings.LastIndex(tok, ":")
+	if colon < 0 {
+		return Operand{}, p.errf("operand %q missing type", tok)
+	}
+	t, err := parseType(tok[colon+1:])
+	if err != nil {
+		return Operand{}, p.errf("operand %q: %v", tok, err)
+	}
+	val := tok[:colon]
+	if strings.HasPrefix(val, "%r") {
+		reg, err := strconv.Atoi(val[2:])
+		if err != nil {
+			return Operand{}, p.errf("bad register %q", val)
+		}
+		if reg >= f.NumRegs {
+			f.NumRegs = reg + 1
+		}
+		return Operand{Kind: OperReg, Type: t, Reg: reg}, nil
+	}
+	if t == F64 {
+		fv, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad float constant %q", val)
+		}
+		return Operand{Kind: OperConstF, Type: t, FImm: fv}, nil
+	}
+	iv, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return Operand{}, p.errf("bad integer constant %q", val)
+	}
+	return Operand{Kind: OperConst, Type: t, Imm: iv}, nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+var predByName = map[string]Pred{
+	"eq": PredEQ, "ne": PredNE, "lt": PredLT,
+	"le": PredLE, "gt": PredGT, "ge": PredGE,
+}
+
+func (p *irParser) parseInstr(ln string, f *Function) (*Instr, error) {
+	// Strip the "[ id]" prefix and any trailing comment.
+	if strings.HasPrefix(ln, "[") {
+		end := strings.Index(ln, "]")
+		if end < 0 {
+			return nil, p.errf("malformed instruction id in %q", ln)
+		}
+		ln = strings.TrimSpace(ln[end+1:])
+	}
+	comment := ""
+	if i := strings.Index(ln, ";"); i >= 0 {
+		comment = strings.TrimSpace(ln[i+1:])
+		ln = strings.TrimSpace(ln[:i])
+	}
+
+	in := &Instr{Dst: -1, Type: Void, Comment: comment}
+
+	// Result destination: "%rN:type = ...".
+	if strings.HasPrefix(ln, "%r") {
+		eq := strings.Index(ln, "=")
+		if eq < 0 {
+			return nil, p.errf("result register without '=' in %q", ln)
+		}
+		dst, err := p.parseOperand(ln[:eq], f)
+		if err != nil {
+			return nil, err
+		}
+		if dst.Kind != OperReg {
+			return nil, p.errf("destination is not a register in %q", ln)
+		}
+		in.Dst = dst.Reg
+		in.Type = dst.Type
+		ln = strings.TrimSpace(ln[eq+1:])
+	}
+
+	// "!dup" marker.
+	if strings.HasSuffix(ln, "!dup") {
+		in.Dup = true
+		ln = strings.TrimSpace(strings.TrimSuffix(ln, "!dup"))
+	}
+
+	// Successor blocks: "-> bbA bbB".
+	if i := strings.Index(ln, "->"); i >= 0 {
+		for _, tok := range strings.Fields(ln[i+2:]) {
+			b, err := strconv.Atoi(strings.TrimPrefix(tok, "bb"))
+			if err != nil {
+				return nil, p.errf("bad successor %q", tok)
+			}
+			in.Succs = append(in.Succs, b)
+		}
+		ln = strings.TrimSpace(ln[:i])
+	}
+
+	fields := strings.Fields(ln)
+	if len(fields) == 0 {
+		return nil, p.errf("empty instruction")
+	}
+	op, ok := opByName[fields[0]]
+	if !ok {
+		return nil, p.errf("unknown opcode %q", fields[0])
+	}
+	in.Op = op
+	rest := strings.TrimSpace(strings.TrimPrefix(ln, fields[0]))
+
+	// Opcode qualifiers.
+	switch op {
+	case OpICmp, OpFCmp:
+		fs := strings.Fields(rest)
+		if len(fs) == 0 {
+			return nil, p.errf("%s missing predicate", op)
+		}
+		pred, ok := predByName[fs[0]]
+		if !ok {
+			return nil, p.errf("unknown predicate %q", fs[0])
+		}
+		in.Pred = pred
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fs[0]))
+	case OpCallB:
+		fs := strings.Fields(rest)
+		if len(fs) == 0 || !strings.HasPrefix(fs[0], "@") {
+			return nil, p.errf("callb missing builtin")
+		}
+		b, ok := LookupBuiltin(fs[0][1:])
+		if !ok {
+			return nil, p.errf("unknown builtin %q", fs[0])
+		}
+		in.BFunc = b
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fs[0]))
+	case OpCall, OpSpawn:
+		fs := strings.Fields(rest)
+		if len(fs) == 0 || !strings.HasPrefix(fs[0], "fn") {
+			return nil, p.errf("call missing callee")
+		}
+		idx, err := strconv.Atoi(fs[0][2:])
+		if err != nil {
+			return nil, p.errf("bad callee %q", fs[0])
+		}
+		in.Callee = idx
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fs[0]))
+	case OpGlobalAddr, OpArrayLen:
+		fs := strings.Fields(rest)
+		if len(fs) == 0 || !strings.HasPrefix(fs[0], "@g") {
+			return nil, p.errf("%s missing global", op)
+		}
+		idx, err := strconv.Atoi(fs[0][2:])
+		if err != nil {
+			return nil, p.errf("bad global ref %q", fs[0])
+		}
+		in.Global = idx
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, fs[0]))
+	}
+
+	// Operands (comma separated).
+	if rest != "" {
+		for _, tok := range strings.Split(rest, ",") {
+			o, err := p.parseOperand(tok, f)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, o)
+		}
+	}
+	if in.Dst >= f.NumRegs {
+		f.NumRegs = in.Dst + 1
+	}
+	return in, nil
+}

@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseModuleRoundTrip(t *testing.T) {
+	m := sumModule(t)
+	text := m.String()
+	parsed, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	if err := Verify(parsed); err != nil {
+		t.Fatalf("Verify(parsed): %v", err)
+	}
+	if got := parsed.String(); got != text {
+		t.Fatalf("round trip changed text:\n--- original ---\n%s\n--- reparsed ---\n%s", text, got)
+	}
+}
+
+func TestParseModuleWithGlobalsAndFeatures(t *testing.T) {
+	m := NewModule("feat")
+	m.AddGlobal("dyn", -1, nil)
+	m.AddGlobal("tbl", 3, []uint64{1, 2, 3})
+	mainF := m.AddFunction("main", []Type{I64, F64}, Void)
+	auxF := m.AddFunction("aux", []Type{F64}, F64)
+
+	b := NewBuilder(m, mainF)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	merge := b.NewBlock("merge")
+	g := b.GlobalAddr(0)
+	n := b.ArrayLen(0)
+	v := b.Load(I64, b.GEP(g, ConstI(0)))
+	c := b.ICmp(PredGT, v, n)
+	b.CondBr(c, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Br(merge)
+	b.SetBlock(elseB)
+	b.Br(merge)
+	b.SetBlock(merge)
+	ph := b.Phi(F64, []Operand{ConstF(1.5), ConstF(-2.25)}, []*Block{thenB, elseB})
+	r := b.Call(auxF.Index, F64, ph)
+	b.CallB(BuiltinEmitF, r)
+	sel := b.Select(c, ConstI(1), ConstI(0))
+	b.CallB(BuiltinEmitI, sel)
+	b.Spawn(auxF.Index, ConstF(0))
+	b.Join()
+	dup := &Instr{Op: OpFAdd, Type: F64, Dst: b.NewReg(), Args: []Operand{ConstF(1), ConstF(2)}, Dup: true, Comment: "dup"}
+	merge.Instrs = append(merge.Instrs, dup)
+	cm := b.FCmp(PredEQ, Reg(dup.Dst, F64), Reg(dup.Dst, F64))
+	b.Detect(cm)
+	b.RetVoid()
+
+	ab := NewBuilder(m, auxF)
+	ab.Ret(ab.Bin(OpFMul, Reg(0, F64), ConstF(2)))
+	m.Finalize()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify(original): %v", err)
+	}
+
+	text := m.String()
+	parsed, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("ParseModule: %v\n%s", err, text)
+	}
+	if err := Verify(parsed); err != nil {
+		t.Fatalf("Verify(parsed): %v", err)
+	}
+	if got := parsed.String(); got != text {
+		t.Fatalf("round trip changed text:\n--- original ---\n%s\n--- reparsed ---\n%s", text, got)
+	}
+
+	// Structure preserved.
+	if len(parsed.Globals) != 2 || parsed.Globals[0].Size != -1 || parsed.Globals[1].Init[2] != 3 {
+		t.Fatalf("globals not preserved: %+v", parsed.Globals)
+	}
+	dupCount := 0
+	for _, in := range parsed.Instrs {
+		if in.Dup {
+			dupCount++
+		}
+	}
+	if dupCount != 1 {
+		t.Fatalf("dup markers not preserved: %d", dupCount)
+	}
+}
+
+func TestParseModuleErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"no-module", "func @main() void {\nbb0:\n  ret\n}"},
+		{"bad-global", "module m\nglobal wall\nfunc @main() void {\nbb0:\n  ret\n}"},
+		{"bad-opcode", "module m\nfunc @main() void {\nbb0:\n  frobnicate\n}"},
+		{"bad-type", "module m\nfunc @main(%r0:i17) void {\nbb0:\n  ret\n}"},
+		{"unterminated", "module m\nfunc @main() void {\nbb0:\n  ret"},
+		{"block-order", "module m\nfunc @main() void {\nbb1:\n  ret\n}"},
+		{"bad-operand", "module m\nfunc @main() void {\nbb0:\n  %r0:i64 = add 1:i64, bogus\n}"},
+		{"bad-pred", "module m\nfunc @main() void {\nbb0:\n  %r0:i1 = icmp zz 1:i64, 2:i64\n}"},
+		{"bad-builtin", "module m\nfunc @main() void {\nbb0:\n  callb @nothing 1:i64\n}"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseModule(tc.text); err == nil {
+				t.Errorf("parsed invalid text")
+			}
+		})
+	}
+}
+
+func TestParseMinimalModule(t *testing.T) {
+	text := strings.Join([]string{
+		"module tiny",
+		"func @main() void {",
+		"bb0: ; entry",
+		"  [   0] %r0:i64 = add 1:i64, 2:i64",
+		"  [   1] callb @emiti %r0:i64",
+		"  [   2] ret",
+		"}",
+	}, "\n")
+	m, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("ParseModule: %v", err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.NumInstrs() != 3 {
+		t.Fatalf("instrs = %d", m.NumInstrs())
+	}
+	if m.Funcs[0].NumRegs != 1 {
+		t.Fatalf("NumRegs = %d, want 1", m.Funcs[0].NumRegs)
+	}
+}
+
+// Round-trip property over all built-in shapes: parse(print(m)) prints
+// identically and executes identically is covered in benchprog tests; here
+// we additionally fuzz small operand encodings.
+func TestOperandRoundTrip(t *testing.T) {
+	f := &Function{NumRegs: 10}
+	p := &irParser{}
+	cases := []Operand{
+		ConstI(0), ConstI(-5), ConstI(1 << 40),
+		ConstB(true), ConstB(false),
+		ConstF(0), ConstF(-2.75), ConstF(1e100), ConstF(3),
+		Reg(0, I64), Reg(7, F64), Reg(3, Ptr), Reg(2, I1),
+		{Kind: OperConst, Type: Ptr, Imm: 1234},
+	}
+	for _, o := range cases {
+		got, err := p.parseOperand(o.String(), f)
+		if err != nil {
+			t.Errorf("parseOperand(%q): %v", o.String(), err)
+			continue
+		}
+		if got != o {
+			t.Errorf("round trip %q: got %+v, want %+v", o.String(), got, o)
+		}
+	}
+}

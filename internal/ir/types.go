@@ -1,0 +1,61 @@
+// Package ir defines a small typed intermediate representation modeled
+// after the subset of LLVM IR that silent-data-corruption studies rely on:
+// instructions with typed return values, basic blocks forming an explicit
+// control-flow graph, and a module of functions plus global data.
+//
+// The representation is deliberately compact so that the interpreter in
+// package interp can execute it quickly: values live in dense per-frame
+// register files, operands are plain structs (no interface dispatch), and
+// every static instruction carries a module-wide ID used by the fault
+// injector and the profiler.
+package ir
+
+import "fmt"
+
+// Type is the type of an IR value. The IR is word-oriented: every value
+// occupies one 64-bit register or memory word.
+type Type uint8
+
+// The IR type universe. I1 is a boolean stored as 0 or 1 in the low bit,
+// I64 is a signed 64-bit integer, F64 an IEEE-754 double, and Ptr a word
+// index into the flat execution memory.
+const (
+	Void Type = iota
+	I1
+	I64
+	F64
+	Ptr
+)
+
+// String returns the LLVM-flavoured spelling of t.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I64:
+		return "i64"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// IsInt reports whether t is an integer type (I1 or I64).
+func (t Type) IsInt() bool { return t == I1 || t == I64 }
+
+// IsFloat reports whether t is the floating-point type.
+func (t Type) IsFloat() bool { return t == F64 }
+
+// Bits returns the number of bits a fault injector may flip in a value of
+// type t. I1 values expose a single bit; everything else is a full word.
+func (t Type) Bits() uint {
+	if t == I1 {
+		return 1
+	}
+	return 64
+}

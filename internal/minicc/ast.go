@@ -1,0 +1,296 @@
+package minicc
+
+import "repro/internal/ir"
+
+// TypeName is a MiniC surface type.
+type TypeName uint8
+
+// MiniC types. TVoid is only valid as a function return type.
+const (
+	TVoid TypeName = iota
+	TInt
+	TFloat
+	TBool
+)
+
+// String returns the MiniC spelling of t.
+func (t TypeName) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	default:
+		return "?"
+	}
+}
+
+// IRType maps a MiniC type to its IR representation.
+func (t TypeName) IRType() ir.Type {
+	switch t {
+	case TInt:
+		return ir.I64
+	case TFloat:
+		return ir.F64
+	case TBool:
+		return ir.I1
+	default:
+		return ir.Void
+	}
+}
+
+// File is a parsed MiniC source file.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module global: a scalar, a fixed-size array, or a
+// dynamically sized input-bound array (declared with empty brackets).
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	Elem    TypeName
+	IsArray bool
+	Size    int64 // fixed element count; meaningful only when IsArray && !Dynamic
+	Dynamic bool  // "var x[] int;" — bound by the program input
+}
+
+// Param is one function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeName
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    TypeName // TVoid for procedures
+	Body   *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// BlockStmt is a braced statement list introducing a scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local scalar or fixed-size local array.
+type VarDeclStmt struct {
+	Pos     Pos
+	Name    string
+	Elem    TypeName
+	IsArray bool
+	Size    int64
+	Init    Expr // optional initializer for scalars
+}
+
+// AssignStmt assigns to a scalar variable or an array element.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt (else-if), or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post are optional simple
+// statements (assignment or var declaration for Init).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // nil, *VarDeclStmt, or *AssignStmt
+	Cond Expr // nil means "true"
+	Post Stmt // nil or *AssignStmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void returns
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's continuation point.
+type ContinueStmt struct{ Pos Pos }
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// SpawnStmt launches a function on a new simulated thread.
+type SpawnStmt struct {
+	Pos  Pos
+	Call *CallExpr
+}
+
+// SyncStmt waits for all spawned threads.
+type SyncStmt struct{ Pos Pos }
+
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *VarDeclStmt) stmtPos() Pos  { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *SpawnStmt) stmtPos() Pos    { return s.Pos }
+func (s *SyncStmt) stmtPos() Pos     { return s.Pos }
+
+// Expr is implemented by all expression nodes. The semantic analyzer
+// records each node's type via SetType; codegen reads it via TypeOf.
+type Expr interface {
+	exprPos() Pos
+	TypeOf() TypeName
+	setType(TypeName)
+}
+
+// exprType embeds type annotation storage into expression nodes.
+type exprType struct{ t TypeName }
+
+// TypeOf returns the type recorded by semantic analysis.
+func (e *exprType) TypeOf() TypeName   { return e.t }
+func (e *exprType) setType(t TypeName) { e.t = t }
+
+// BinOp enumerates MiniC binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd // bitwise &
+	BinOr  // bitwise |
+	BinXor
+	BinShl
+	BinShr
+	BinLAnd // logical && (short-circuit)
+	BinLOr  // logical || (short-circuit)
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprType
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprType
+	Pos Pos
+	V   float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprType
+	Pos Pos
+	V   bool
+}
+
+// Ident references a scalar variable.
+type Ident struct {
+	exprType
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	exprType
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	exprType
+	Pos  Pos
+	Op   BinOp
+	X, Y Expr
+}
+
+// UnaryExpr applies unary minus or logical not.
+type UnaryExpr struct {
+	exprType
+	Pos Pos
+	Neg bool // true: -x, false: !x
+	X   Expr
+}
+
+// CallExpr calls a user function or a builtin.
+type CallExpr struct {
+	exprType
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// CastExpr converts between int and float: int(e) / float(e).
+type CastExpr struct {
+	exprType
+	Pos Pos
+	To  TypeName
+	X   Expr
+}
+
+// LenExpr is len(arr): the element count of an array.
+type LenExpr struct {
+	exprType
+	Pos  Pos
+	Name string
+}
+
+func (e *IntLit) exprPos() Pos     { return e.Pos }
+func (e *FloatLit) exprPos() Pos   { return e.Pos }
+func (e *BoolLit) exprPos() Pos    { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *CastExpr) exprPos() Pos   { return e.Pos }
+func (e *LenExpr) exprPos() Pos    { return e.Pos }

@@ -1,0 +1,484 @@
+package minicc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses, checks, and lowers MiniC source to a finalized, verified
+// IR module.
+func Compile(name, src string) (*ir.Module, error) {
+	f, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := Check(f)
+	if err != nil {
+		return nil, err
+	}
+	m, err := gen(chk)
+	if err != nil {
+		return nil, err
+	}
+	m.Finalize()
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("minicc: generated invalid IR for %s: %w", name, err)
+	}
+	return m, nil
+}
+
+// MustCompile is Compile for known-good embedded sources; it panics on error.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// generator lowers one checked file to IR.
+type generator struct {
+	chk *checked
+	mod *ir.Module
+
+	b     *ir.Builder
+	fn    *FuncDecl
+	slots map[*symbol]ir.Operand // alloca pointer per local symbol
+
+	// Loop context stacks for break/continue.
+	breakBlocks    []*ir.Block
+	continueBlocks []*ir.Block
+}
+
+func gen(chk *checked) (*ir.Module, error) {
+	g := &generator{chk: chk, mod: ir.NewModule(chk.file.Name)}
+
+	for _, gd := range chk.file.Globals {
+		size := 1
+		if gd.IsArray {
+			if gd.Dynamic {
+				size = -1
+			} else {
+				size = int(gd.Size)
+			}
+		}
+		g.mod.AddGlobal(gd.Name, size, nil)
+	}
+
+	// Pre-declare all functions so calls can reference indices.
+	for _, fd := range chk.file.Funcs {
+		params := make([]ir.Type, len(fd.Params))
+		for i, p := range fd.Params {
+			params[i] = p.Type.IRType()
+		}
+		g.mod.AddFunction(fd.Name, params, fd.Ret.IRType())
+	}
+
+	for i, fd := range chk.file.Funcs {
+		if err := g.genFunc(g.mod.Funcs[i], fd); err != nil {
+			return nil, err
+		}
+	}
+	return g.mod, nil
+}
+
+func (g *generator) genFunc(irf *ir.Function, fd *FuncDecl) error {
+	g.fn = fd
+	g.b = ir.NewBuilder(g.mod, irf)
+	g.slots = make(map[*symbol]ir.Operand)
+	g.breakBlocks = nil
+	g.continueBlocks = nil
+
+	// Allocate stack slots for every local (params included) up front, as a
+	// C compiler at -O0 would, then spill the incoming parameters.
+	for _, sym := range g.chk.locals[fd] {
+		count := int64(1)
+		if sym.IsArray {
+			count = sym.Size
+		}
+		g.slots[sym] = g.b.Alloca(ir.ConstI(count))
+	}
+	for _, sym := range g.chk.locals[fd] {
+		if sym.ParamIdx >= 0 {
+			g.b.Store(ir.Reg(sym.ParamIdx, sym.Elem.IRType()), g.slots[sym])
+		}
+	}
+
+	if err := g.genBlock(fd.Body); err != nil {
+		return err
+	}
+
+	// Terminate any open block (fall-off-the-end and dead merge blocks)
+	// with a default return.
+	for _, blk := range irf.Blocks {
+		if blk.Terminator() == nil {
+			g.b.SetBlock(blk)
+			switch fd.Ret {
+			case TVoid:
+				g.b.RetVoid()
+			case TFloat:
+				g.b.Ret(ir.ConstF(0))
+			case TBool:
+				g.b.Ret(ir.ConstB(false))
+			default:
+				g.b.Ret(ir.ConstI(0))
+			}
+		}
+	}
+	return nil
+}
+
+func (g *generator) genBlock(b *BlockStmt) error {
+	for _, s := range b.Stmts {
+		if g.b.Terminated() {
+			// Unreachable code after return/break/continue; skip it.
+			return nil
+		}
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return g.genBlock(st)
+	case *VarDeclStmt:
+		if st.Init != nil {
+			v, err := g.genExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			g.b.Store(v, g.slots[g.chk.decl[st]])
+		}
+		return nil
+	case *AssignStmt:
+		return g.genAssign(st)
+	case *IfStmt:
+		return g.genIf(st)
+	case *WhileStmt:
+		return g.genWhile(st)
+	case *ForStmt:
+		return g.genFor(st)
+	case *ReturnStmt:
+		if st.Value == nil {
+			g.b.RetVoid()
+			return nil
+		}
+		v, err := g.genExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		g.b.Ret(v)
+		return nil
+	case *BreakStmt:
+		g.b.Br(g.breakBlocks[len(g.breakBlocks)-1])
+		return nil
+	case *ContinueStmt:
+		g.b.Br(g.continueBlocks[len(g.continueBlocks)-1])
+		return nil
+	case *ExprStmt:
+		_, err := g.genExpr(st.X)
+		return err
+	case *SpawnStmt:
+		args := make([]ir.Operand, len(st.Call.Args))
+		for i, a := range st.Call.Args {
+			v, err := g.genExpr(a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		g.b.Spawn(g.chk.fidx[st.Call.Name], args...)
+		return nil
+	case *SyncStmt:
+		g.b.Join()
+		return nil
+	default:
+		return fmt.Errorf("minicc: unhandled statement at %s", s.stmtPos())
+	}
+}
+
+// addr computes the address operand for a scalar symbol or an indexed
+// array element.
+func (g *generator) addr(sym *symbol, index Expr) (ir.Operand, error) {
+	var base ir.Operand
+	if sym.Global {
+		base = g.b.GlobalAddr(sym.GIndex)
+	} else {
+		base = g.slots[sym]
+	}
+	if index == nil {
+		return base, nil
+	}
+	idx, err := g.genExpr(index)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	return g.b.GEP(base, idx), nil
+}
+
+func (g *generator) genAssign(st *AssignStmt) error {
+	sym := g.chk.assign[st]
+	ptr, err := g.addr(sym, st.Index)
+	if err != nil {
+		return err
+	}
+	v, err := g.genExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	g.b.Store(v, ptr)
+	return nil
+}
+
+func (g *generator) genIf(st *IfStmt) error {
+	cond, err := g.genExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := g.b.NewBlock("if.then")
+	mergeB := g.b.NewBlock("if.end")
+	elseB := mergeB
+	if st.Else != nil {
+		elseB = g.b.NewBlock("if.else")
+	}
+	g.b.CondBr(cond, thenB, elseB)
+
+	g.b.SetBlock(thenB)
+	if err := g.genBlock(st.Then); err != nil {
+		return err
+	}
+	if !g.b.Terminated() {
+		g.b.Br(mergeB)
+	}
+
+	if st.Else != nil {
+		g.b.SetBlock(elseB)
+		if err := g.genStmt(st.Else); err != nil {
+			return err
+		}
+		if !g.b.Terminated() {
+			g.b.Br(mergeB)
+		}
+	}
+	g.b.SetBlock(mergeB)
+	return nil
+}
+
+func (g *generator) genWhile(st *WhileStmt) error {
+	condB := g.b.NewBlock("while.cond")
+	bodyB := g.b.NewBlock("while.body")
+	exitB := g.b.NewBlock("while.end")
+	g.b.Br(condB)
+
+	g.b.SetBlock(condB)
+	cond, err := g.genExpr(st.Cond)
+	if err != nil {
+		return err
+	}
+	g.b.CondBr(cond, bodyB, exitB)
+
+	g.b.SetBlock(bodyB)
+	g.breakBlocks = append(g.breakBlocks, exitB)
+	g.continueBlocks = append(g.continueBlocks, condB)
+	err = g.genBlock(st.Body)
+	g.breakBlocks = g.breakBlocks[:len(g.breakBlocks)-1]
+	g.continueBlocks = g.continueBlocks[:len(g.continueBlocks)-1]
+	if err != nil {
+		return err
+	}
+	if !g.b.Terminated() {
+		g.b.Br(condB)
+	}
+	g.b.SetBlock(exitB)
+	return nil
+}
+
+func (g *generator) genFor(st *ForStmt) error {
+	if st.Init != nil {
+		if err := g.genStmt(st.Init); err != nil {
+			return err
+		}
+	}
+	condB := g.b.NewBlock("for.cond")
+	bodyB := g.b.NewBlock("for.body")
+	postB := g.b.NewBlock("for.post")
+	exitB := g.b.NewBlock("for.end")
+	g.b.Br(condB)
+
+	g.b.SetBlock(condB)
+	if st.Cond != nil {
+		cond, err := g.genExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		g.b.CondBr(cond, bodyB, exitB)
+	} else {
+		g.b.Br(bodyB)
+	}
+
+	g.b.SetBlock(bodyB)
+	g.breakBlocks = append(g.breakBlocks, exitB)
+	g.continueBlocks = append(g.continueBlocks, postB)
+	err := g.genBlock(st.Body)
+	g.breakBlocks = g.breakBlocks[:len(g.breakBlocks)-1]
+	g.continueBlocks = g.continueBlocks[:len(g.continueBlocks)-1]
+	if err != nil {
+		return err
+	}
+	if !g.b.Terminated() {
+		g.b.Br(postB)
+	}
+
+	g.b.SetBlock(postB)
+	if st.Post != nil {
+		if err := g.genStmt(st.Post); err != nil {
+			return err
+		}
+	}
+	g.b.Br(condB)
+
+	g.b.SetBlock(exitB)
+	return nil
+}
+
+var intBinOps = map[BinOp]ir.Op{
+	BinAdd: ir.OpAdd, BinSub: ir.OpSub, BinMul: ir.OpMul, BinDiv: ir.OpDiv,
+	BinRem: ir.OpRem, BinAnd: ir.OpAnd, BinOr: ir.OpOr, BinXor: ir.OpXor,
+	BinShl: ir.OpShl, BinShr: ir.OpShr,
+}
+
+var floatBinOps = map[BinOp]ir.Op{
+	BinAdd: ir.OpFAdd, BinSub: ir.OpFSub, BinMul: ir.OpFMul, BinDiv: ir.OpFDiv,
+}
+
+var predOf = map[BinOp]ir.Pred{
+	BinEq: ir.PredEQ, BinNe: ir.PredNE, BinLt: ir.PredLT,
+	BinLe: ir.PredLE, BinGt: ir.PredGT, BinGe: ir.PredGE,
+}
+
+func (g *generator) genExpr(e Expr) (ir.Operand, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ir.ConstI(ex.V), nil
+	case *FloatLit:
+		return ir.ConstF(ex.V), nil
+	case *BoolLit:
+		return ir.ConstB(ex.V), nil
+	case *Ident:
+		sym := g.chk.use[ex]
+		ptr, err := g.addr(sym, nil)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return g.b.Load(sym.Elem.IRType(), ptr), nil
+	case *IndexExpr:
+		sym := g.chk.use[ex]
+		ptr, err := g.addr(sym, ex.Index)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return g.b.Load(sym.Elem.IRType(), ptr), nil
+	case *LenExpr:
+		sym := g.chk.use[ex]
+		if sym.Global {
+			return g.b.ArrayLen(sym.GIndex), nil
+		}
+		return ir.ConstI(sym.Size), nil
+	case *UnaryExpr:
+		x, err := g.genExpr(ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if ex.Neg {
+			if ex.TypeOf() == TFloat {
+				return g.b.Bin(ir.OpFSub, ir.ConstF(0), x), nil
+			}
+			return g.b.Bin(ir.OpSub, ir.ConstI(0), x), nil
+		}
+		// !x  <=>  x == false
+		return g.b.ICmp(ir.PredEQ, x, ir.ConstB(false)), nil
+	case *CastExpr:
+		x, err := g.genExpr(ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		from := ex.X.TypeOf()
+		switch {
+		case from == ex.To:
+			return x, nil
+		case ex.To == TFloat:
+			return g.b.IToF(x), nil
+		default:
+			return g.b.FToI(x), nil
+		}
+	case *BinaryExpr:
+		return g.genBinary(ex)
+	case *CallExpr:
+		args := make([]ir.Operand, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := g.genExpr(a)
+			if err != nil {
+				return ir.Operand{}, err
+			}
+			args[i] = v
+		}
+		if b, ok := ir.LookupBuiltin(ex.Name); ok {
+			return g.b.CallB(b, args...), nil
+		}
+		return g.b.Call(g.chk.fidx[ex.Name], ex.TypeOf().IRType(), args...), nil
+	default:
+		return ir.Operand{}, fmt.Errorf("minicc: unhandled expression at %s", e.exprPos())
+	}
+}
+
+func (g *generator) genBinary(ex *BinaryExpr) (ir.Operand, error) {
+	// Short-circuit logical operators lower to control flow plus a phi.
+	if ex.Op == BinLAnd || ex.Op == BinLOr {
+		x, err := g.genExpr(ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		lhsB := g.b.Block()
+		rhsB := g.b.NewBlock("sc.rhs")
+		mergeB := g.b.NewBlock("sc.end")
+		if ex.Op == BinLAnd {
+			g.b.CondBr(x, rhsB, mergeB)
+		} else {
+			g.b.CondBr(x, mergeB, rhsB)
+		}
+		g.b.SetBlock(rhsB)
+		y, err := g.genExpr(ex.Y)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		rhsEnd := g.b.Block() // Y may itself branch (nested short-circuits)
+		g.b.Br(mergeB)
+		g.b.SetBlock(mergeB)
+		short := ir.ConstB(ex.Op == BinLOr)
+		return g.b.Phi(ir.I1, []ir.Operand{short, y}, []*ir.Block{lhsB, rhsEnd}), nil
+	}
+
+	x, err := g.genExpr(ex.X)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	y, err := g.genExpr(ex.Y)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	if p, isCmp := predOf[ex.Op]; isCmp {
+		if ex.X.TypeOf() == TFloat {
+			return g.b.FCmp(p, x, y), nil
+		}
+		return g.b.ICmp(p, x, y), nil
+	}
+	if ex.TypeOf() == TFloat {
+		return g.b.Bin(floatBinOps[ex.Op], x, y), nil
+	}
+	return g.b.Bin(intBinOps[ex.Op], x, y), nil
+}

@@ -1,0 +1,425 @@
+package minicc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// compileRun compiles src and runs it with the given args and globals.
+func compileRun(t *testing.T, src string, args []uint64, globals map[string][]uint64) interp.Result {
+	t.Helper()
+	m, err := Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r := interp.NewRunner(m, interp.Config{MaxDynInstrs: 10_000_000})
+	return r.Run(interp.Binding{Args: args, Globals: globals}, nil, nil)
+}
+
+func wantInts(t *testing.T, res interp.Result, want ...int64) {
+	t.Helper()
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status = %v (trap %q)", res.Status, res.Trap)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output len = %d (%v), want %d", len(res.Output), res.Output, len(want))
+	}
+	for i, w := range want {
+		if int64(res.Output[i]) != w {
+			t.Errorf("output[%d] = %d, want %d", i, int64(res.Output[i]), w)
+		}
+	}
+}
+
+func wantFloats(t *testing.T, res interp.Result, tol float64, want ...float64) {
+	t.Helper()
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status = %v (trap %q)", res.Status, res.Trap)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output len = %d, want %d", len(res.Output), len(want))
+	}
+	for i, w := range want {
+		got := math.Float64frombits(res.Output[i])
+		if math.Abs(got-w) > tol {
+			t.Errorf("output[%d] = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	res := compileRun(t, `
+func main() {
+	emiti(2 + 3 * 4);       // 14
+	emiti((2 + 3) * 4);     // 20
+	emiti(10 - 7 % 3);      // 9
+	emiti(1 << 4 | 3);      // 19
+	emiti(255 & 15 ^ 1);    // 14
+	emiti(-7 / 2);          // -3 (truncating)
+	emiti(100 >> 2);        // 25
+}`, nil, nil)
+	wantInts(t, res, 14, 20, 9, 19, 14, -3, 25)
+}
+
+func TestFloatsCastsAndMath(t *testing.T) {
+	res := compileRun(t, `
+func main() {
+	var x float = 2.5;
+	var y float = x * 4.0;            // 10
+	emitf(y);
+	emitf(sqrt(y * y));               // 10
+	emitf(float(7) / 2.0);            // 3.5
+	emiti(int(3.99));                 // 3
+	emitf(pow(2.0, 8.0));             // 256
+	emitf(fabs(-1.5));                // 1.5
+	emitf(floor(2.9));                // 2
+	emitf(exp(0.0));                  // 1
+	emitf(log(1.0));                  // 0
+	emitf(sin(0.0) + cos(0.0));       // 1
+}`, nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status = %v (trap %q)", res.Status, res.Trap)
+	}
+	for i, w := range []float64{10, 10, 3.5} {
+		if got := math.Float64frombits(res.Output[i]); got != w {
+			t.Errorf("output[%d] = %g, want %g", i, got, w)
+		}
+	}
+	if int64(res.Output[3]) != 3 {
+		t.Errorf("int cast = %d, want 3", int64(res.Output[3]))
+	}
+	got := func(i int) float64 { return math.Float64frombits(res.Output[i]) }
+	for i, w := range map[int]float64{4: 256, 5: 1.5, 6: 2, 7: 1, 8: 0, 9: 1} {
+		if math.Abs(got(i)-w) > 1e-12 {
+			t.Errorf("output[%d] = %g, want %g", i, got(i), w)
+		}
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := compileRun(t, `
+func main(n int) {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) {
+			s = s + i;
+		} else {
+			s = s - 1;
+		}
+	}
+	emiti(s);
+
+	var k int = 0;
+	while (true) {
+		k = k + 1;
+		if (k >= 10) { break; }
+	}
+	emiti(k);
+
+	var c int = 0;
+	for (var i int = 0; i < 10; i = i + 1) {
+		if (i % 3 != 0) { continue; }
+		c = c + 1;
+	}
+	emiti(c);
+}`, []uint64{10}, nil)
+	// evens 0+2+4+6+8=20, minus 5 odds => 15
+	wantInts(t, res, 15, 10, 4)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right operand of && must not evaluate when the left is false:
+	// otherwise 1/zero would trap.
+	res := compileRun(t, `
+func main(zero int) {
+	var ok bool = zero != 0 && 1 / zero > 0;
+	if (ok) { emiti(1); } else { emiti(0); }
+	var or bool = zero == 0 || 1 / zero > 0;
+	if (or) { emiti(1); } else { emiti(0); }
+	// Nested short-circuits.
+	if ((zero == 0 && true) || 1 / zero == 9) { emiti(2); }
+	if (!(zero == 0)) { emiti(1); } else { emiti(0); }
+}`, []uint64{0}, nil)
+	wantInts(t, res, 0, 1, 2, 0)
+}
+
+func TestCastBoolViaIf(t *testing.T) {
+	// int(!(...)) isn't legal (casts are numeric); ensure sema rejects it.
+	_, err := Compile("t.mc", `func main() { emiti(int(!true)); }`)
+	if err == nil {
+		t.Fatal("expected cast-of-bool to be rejected")
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	res := compileRun(t, `
+func gcd(a int, b int) int {
+	if (b == 0) { return a; }
+	return gcd(b, a % b);
+}
+func square(x float) float { return x * x; }
+func main() {
+	emiti(gcd(48, 36));
+	emitf(square(1.5));
+}`, nil, nil)
+	if int64(res.Output[0]) != 12 {
+		t.Errorf("gcd = %d, want 12", int64(res.Output[0]))
+	}
+	if got := math.Float64frombits(res.Output[1]); got != 2.25 {
+		t.Errorf("square = %g, want 2.25", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	res := compileRun(t, `
+var data[] int;
+var acc[4] int;
+var total int;
+
+func main() {
+	var n int = len(data);
+	emiti(n);
+	for (var i int = 0; i < n; i = i + 1) {
+		acc[i % 4] = acc[i % 4] + data[i];
+	}
+	total = acc[0] + acc[1] + acc[2] + acc[3];
+	emiti(total);
+	var local[3] int;
+	local[0] = 7; local[1] = 8; local[2] = 9;
+	emiti(local[0] + local[1] + local[2]);
+	emiti(len(local));
+	emiti(len(acc));
+}`, nil, map[string][]uint64{"data": {1, 2, 3, 4, 5}})
+	wantInts(t, res, 5, 15, 24, 3, 4)
+}
+
+func TestFloatGlobalArrays(t *testing.T) {
+	res := compileRun(t, `
+var xs[] float;
+func main() {
+	var s float = 0.0;
+	for (var i int = 0; i < len(xs); i = i + 1) {
+		s = s + xs[i];
+	}
+	emitf(s);
+}`, nil, map[string][]uint64{"xs": {
+		math.Float64bits(1.5), math.Float64bits(2.5), math.Float64bits(-1.0),
+	}})
+	wantFloats(t, res, 1e-12, 3.0)
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	res := compileRun(t, `
+func main() {
+	var x int = 1;
+	{
+		var x int = 2;
+		emiti(x);
+	}
+	emiti(x);
+	for (var x int = 9; x < 10; x = x + 1) {
+		emiti(x);
+	}
+	emiti(x);
+}`, nil, nil)
+	wantInts(t, res, 2, 1, 9, 1)
+}
+
+func TestSpawnSync(t *testing.T) {
+	res := compileRun(t, `
+var cells[4] int;
+func work(tid int) {
+	cells[tid] = tid * 10 + 1;
+}
+func main() {
+	for (var i int = 0; i < 4; i = i + 1) {
+		spawn work(i);
+	}
+	sync;
+	emiti(cells[0] + cells[1] + cells[2] + cells[3]);
+}`, nil, nil)
+	wantInts(t, res, 1+11+21+31)
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func classify(x int) int {
+	if (x < 0) { return 0 - 1; }
+	else if (x == 0) { return 0; }
+	else if (x < 10) { return 1; }
+	else { return 2; }
+}
+func main(x int) { emiti(classify(x)); }`
+	for arg, want := range map[uint64]int64{0: 0, 5: 1, 50: 2} {
+		res := compileRun(t, src, []uint64{arg}, nil)
+		wantInts(t, res, want)
+	}
+	res := compileRun(t, src, []uint64{uint64(^uint64(0))}, nil) // -1
+	wantInts(t, res, -1)
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("t.mc", "func x1 // comment\n 12 3.5 1e3 <= >= << >> && || != ! = ==")
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	kinds := make([]TokKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{TokFunc, TokIdent, TokIntLit, TokFloatLit, TokFloatLit,
+		TokLe, TokGe, TokShl, TokShr, TokAndAnd, TokOrOr, TokNe, TokNot,
+		TokAssign, TokEq, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[3].Flt != 3.5 || toks[4].Flt != 1000 {
+		t.Errorf("float payloads: %v %v", toks[3].Flt, toks[4].Flt)
+	}
+}
+
+func TestLexerRejectsBadChar(t *testing.T) {
+	if _, err := lexAll("t.mc", "func @"); err == nil {
+		t.Fatal("expected error for '@'")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing-semi", `func main() { emiti(1) }`},
+		{"bad-top-level", `emiti(1);`},
+		{"unterminated-block", `func main() {`},
+		{"spawn-non-call", `func main() { spawn 1 + 2; }`},
+		{"array-init", `func main() { var a[3] int = 5; }`},
+		{"len-non-ident", `var a[] int; func main() { emiti(len(a[0])); }`},
+		{"negative-array", `var a[0] int; func main() {}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile("t.mc", tc.src); err == nil {
+				t.Errorf("compiled invalid program")
+			}
+		})
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no-main", `func f() {}`},
+		{"main-returns", `func main() int { return 1; }`},
+		{"undefined-var", `func main() { emiti(x); }`},
+		{"undefined-func", `func main() { nope(); }`},
+		{"type-mismatch", `func main() { var x int = 1.5; }`},
+		{"assign-mismatch", `func main() { var x int; x = 2.5; }`},
+		{"cond-not-bool", `func main() { if (1) { } }`},
+		{"int-float-mix", `func main() { emiti(1 + 2.0); }`},
+		{"mod-float", `func main() { emitf(1.5 % 2.0); }`},
+		{"array-no-index", `var a[4] int; func main() { emiti(a); }`},
+		{"index-non-array", `func main() { var x int; emiti(x[0]); }`},
+		{"float-index", `var a[4] int; func main() { emiti(a[1.5]); }`},
+		{"break-outside", `func main() { break; }`},
+		{"continue-outside", `func main() { continue; }`},
+		{"dup-var", `func main() { var x int; var x int; }`},
+		{"dup-func", `func f() {} func f() {} func main() {}`},
+		{"dup-global", `var g int; var g int; func main() {}`},
+		{"shadow-builtin", `func sqrt(x float) float { return x; } func main() {}`},
+		{"arity", `func f(a int) {} func main() { f(1, 2); }`},
+		{"arg-type", `func f(a int) {} func main() { f(1.5); }`},
+		{"void-in-expr", `func f() {} func main() { var x int = f() + 1; }`},
+		{"spawn-nonvoid", `func f() int { return 1; } func main() { spawn f(); }`},
+		{"spawn-unknown", `func main() { spawn nope(); }`},
+		{"missing-return-type", `func f() int { return 1.0; } func main() {}`},
+		{"void-returns-value", `func f() { return 1; } func main() {}`},
+		{"builtin-arity", `func main() { emiti(1, 2); }`},
+		{"builtin-arg-type", `func main() { emitf(1); }`},
+		{"logic-non-bool", `func main() { if (1 && 2 == 3) {} }`},
+		{"neg-bool", `func main() { emiti(-true + 1); }`},
+		{"not-int", `func main() { if (!1) {} }`},
+		{"bool-global", `var b bool; func main() {}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile("t.mc", tc.src); err == nil {
+				t.Errorf("compiled invalid program")
+			}
+		})
+	}
+}
+
+func TestGeneratedIRVerifies(t *testing.T) {
+	// A program that exercises every statement and expression form; the
+	// compiled module must verify and all blocks must be terminated.
+	src := `
+var g int;
+var arr[] float;
+var buf[8] int;
+func helper(a int, b float) float {
+	if (a < 0) { return b; }
+	return float(a) + b;
+}
+func worker(tid int) { buf[tid] = tid; }
+func main(n int, scale float) {
+	var s float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0 && i < 100 || i == 3) {
+			s = s + helper(i, scale);
+		} else if (i % 5 == 0) {
+			continue;
+		}
+		if (s > 1e6) { break; }
+	}
+	g = int(s);
+	spawn worker(1);
+	spawn worker(2);
+	sync;
+	while (g > 0) { g = g >> 1; }
+	emitf(s);
+	emiti(buf[1] + buf[2]);
+}`
+	m, err := Compile("full.mc", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	r := interp.NewRunner(m, interp.Config{})
+	res := r.Run(interp.Binding{
+		Args:    []uint64{20, math.Float64bits(0.5)},
+		Globals: map[string][]uint64{"arr": {}},
+	}, nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Trap)
+	}
+	if int64(res.Output[1]) != 3 {
+		t.Errorf("worker sum = %d, want 3", int64(res.Output[1]))
+	}
+}
+
+func TestMustCompilePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("bad.mc", "this is not minic")
+}
+
+func TestCompileErrorMessagesCarryPosition(t *testing.T) {
+	_, err := Compile("pos.mc", "func main() {\n  emiti(x);\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pos.mc:2:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

@@ -1,0 +1,603 @@
+package minicc
+
+import "fmt"
+
+// parser is a recursive-descent parser for MiniC.
+type parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses MiniC source into a File AST.
+func Parse(file, src string) (*File, error) {
+	toks, err := lexAll(file, stripBOM(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	return p.parseFile()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(p.file, t.Pos, "expected %s, found %s", k, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokIntLit, TokFloatLit:
+		return fmt.Sprintf("literal %s", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{Name: p.file}
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokVar:
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, g)
+		case TokFunc:
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, errf(p.file, p.cur().Pos, "expected top-level var or func, found %s", describe(p.cur()))
+		}
+	}
+	return f, nil
+}
+
+// parseGlobal parses "var name type;", "var name[N] type;", or
+// "var name[] type;" (input-bound dynamic array).
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	start, _ := p.expect(TokVar)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Pos: start.Pos, Name: name.Text}
+	if p.cur().Kind == TokLBracket {
+		p.advance()
+		g.IsArray = true
+		if p.cur().Kind == TokRBracket {
+			g.Dynamic = true
+		} else {
+			n, err := p.expect(TokIntLit)
+			if err != nil {
+				return nil, err
+			}
+			if n.Int <= 0 {
+				return nil, errf(p.file, n.Pos, "array size must be positive, got %d", n.Int)
+			}
+			g.Size = n.Int
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	elem, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	g.Elem = elem
+	_, err = p.expect(TokSemi)
+	return g, err
+}
+
+func (p *parser) parseType() (TypeName, error) {
+	switch p.cur().Kind {
+	case TokIntType:
+		p.advance()
+		return TInt, nil
+	case TokFloatType:
+		p.advance()
+		return TFloat, nil
+	case TokBoolType:
+		p.advance()
+		return TBool, nil
+	default:
+		return TVoid, errf(p.file, p.cur().Pos, "expected type, found %s", describe(p.cur()))
+	}
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	start, _ := p.expect(TokFunc)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: start.Pos, Name: name.Text, Ret: TVoid}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	for p.cur().Kind != TokRParen {
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Pos: pn.Pos, Name: pn.Text, Type: pt})
+		if p.cur().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	// Optional return type before the body.
+	if k := p.cur().Kind; k == TokIntType || k == TokFloatType || k == TokBoolType {
+		rt, _ := p.parseType()
+		fn.Ret = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: open.Pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.file, p.cur().Pos, "unterminated block (opened at %s)", open.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // consume '}'
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokVar:
+		s, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		start := p.advance()
+		s := &ReturnStmt{Pos: start.Pos}
+		if p.cur().Kind != TokSemi {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		_, err := p.expect(TokSemi)
+		return s, err
+	case TokBreak:
+		start := p.advance()
+		_, err := p.expect(TokSemi)
+		return &BreakStmt{Pos: start.Pos}, err
+	case TokContinue:
+		start := p.advance()
+		_, err := p.expect(TokSemi)
+		return &ContinueStmt{Pos: start.Pos}, err
+	case TokSpawn:
+		start := p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := x.(*CallExpr)
+		if !ok {
+			return nil, errf(p.file, start.Pos, "spawn requires a function call")
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &SpawnStmt{Pos: start.Pos, Call: call}, nil
+	case TokSync:
+		start := p.advance()
+		_, err := p.expect(TokSemi)
+		return &SyncStmt{Pos: start.Pos}, err
+	case TokLBrace:
+		return p.parseBlock()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseVarDecl parses "var name type [= expr]" or "var name[N] type"
+// (without the trailing semicolon).
+func (p *parser) parseVarDecl() (Stmt, error) {
+	start, _ := p.expect(TokVar)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &VarDeclStmt{Pos: start.Pos, Name: name.Text}
+	if p.cur().Kind == TokLBracket {
+		p.advance()
+		n, err := p.expect(TokIntLit)
+		if err != nil {
+			return nil, errf(p.file, p.cur().Pos, "local arrays need a constant size")
+		}
+		if n.Int <= 0 {
+			return nil, errf(p.file, n.Pos, "array size must be positive, got %d", n.Int)
+		}
+		s.IsArray = true
+		s.Size = n.Int
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	elem, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	s.Elem = elem
+	if p.cur().Kind == TokAssign {
+		if s.IsArray {
+			return nil, errf(p.file, p.cur().Pos, "cannot initialize an array declaration")
+		}
+		p.advance()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	return s, nil
+}
+
+// parseSimpleStmt parses an assignment or an expression statement
+// (without the trailing semicolon). Used directly and in for-headers.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur()
+	// Lookahead for "ident =" and "ident [ ... ] =".
+	if start.Kind == TokIdent {
+		if p.la(1).Kind == TokAssign {
+			p.advance()
+			p.advance()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: start.Pos, Name: start.Text, Value: v}, nil
+		}
+		if p.la(1).Kind == TokLBracket {
+			// Could be an indexed assignment; try it with backtracking.
+			save := p.pos
+			p.advance() // ident
+			p.advance() // [
+			idx, err := p.parseExpr()
+			if err == nil && p.cur().Kind == TokRBracket && p.la(1).Kind == TokAssign {
+				p.advance() // ]
+				p.advance() // =
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Pos: start.Pos, Name: start.Text, Index: idx, Value: v}, nil
+			}
+			p.pos = save
+		}
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: start.Pos, X: x}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	start, _ := p.expect(TokIf)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: start.Pos, Cond: cond, Then: then}
+	if p.cur().Kind == TokElse {
+		p.advance()
+		if p.cur().Kind == TokIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	start, _ := p.expect(TokWhile)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: start.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	start, _ := p.expect(TokFor)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: start.Pos}
+	if p.cur().Kind != TokSemi {
+		var init Stmt
+		var err error
+		if p.cur().Kind == TokVar {
+			init, err = p.parseVarDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Binary operator precedence, lowest first.
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokEq:     3, TokNe: 3,
+	TokLt: 4, TokLe: 4, TokGt: 4, TokGe: 4,
+	TokPipe:  5,
+	TokCaret: 6,
+	TokAmp:   7,
+	TokShl:   8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+var binOpOf = map[TokKind]BinOp{
+	TokOrOr: BinLOr, TokAndAnd: BinLAnd,
+	TokEq: BinEq, TokNe: BinNe,
+	TokLt: BinLt, TokLe: BinLe, TokGt: BinGt, TokGe: BinGe,
+	TokPipe: BinOr, TokCaret: BinXor, TokAmp: BinAnd,
+	TokShl: BinShl, TokShr: BinShr,
+	TokPlus: BinAdd, TokMinus: BinSub,
+	TokStar: BinMul, TokSlash: BinDiv, TokPercent: BinRem,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: opTok.Pos, Op: binOpOf[opTok.Kind], X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		t := p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Neg: true, X: x}, nil
+	case TokNot:
+		t := p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Neg: false, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.advance()
+		return &IntLit{Pos: t.Pos, V: t.Int}, nil
+	case TokFloatLit:
+		p.advance()
+		return &FloatLit{Pos: t.Pos, V: t.Flt}, nil
+	case TokTrue:
+		p.advance()
+		return &BoolLit{Pos: t.Pos, V: true}, nil
+	case TokFalse:
+		p.advance()
+		return &BoolLit{Pos: t.Pos, V: false}, nil
+	case TokLParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return x, err
+	case TokIntType, TokFloatType: // cast: int(e) / float(e)
+		to := TInt
+		if t.Kind == TokFloatType {
+			to = TFloat
+		}
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &CastExpr{Pos: t.Pos, To: to, X: x}, nil
+	case TokIdent:
+		p.advance()
+		switch p.cur().Kind {
+		case TokLParen:
+			p.advance()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			for p.cur().Kind != TokRParen {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.cur().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if call.Name == "len" {
+				if len(call.Args) != 1 {
+					return nil, errf(p.file, t.Pos, "len takes exactly one array argument")
+				}
+				id, ok := call.Args[0].(*Ident)
+				if !ok {
+					return nil, errf(p.file, t.Pos, "len argument must be an array name")
+				}
+				return &LenExpr{Pos: t.Pos, Name: id.Name}, nil
+			}
+			return call, nil
+		case TokLBracket:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: t.Pos, Name: t.Text, Index: idx}, nil
+		default:
+			return &Ident{Pos: t.Pos, Name: t.Text}, nil
+		}
+	}
+	return nil, errf(p.file, t.Pos, "unexpected %s in expression", describe(t))
+}

@@ -1,0 +1,251 @@
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed File back to MiniC source. The output re-parses
+// to a semantically identical program (round-trip tested); formatting is
+// canonical: tab indentation, one statement per line, minimal parentheses
+// driven by operator precedence.
+func Print(f *File) string {
+	p := &printer{}
+	for _, g := range f.Globals {
+		p.global(g)
+	}
+	if len(f.Globals) > 0 && len(f.Funcs) > 0 {
+		p.sb.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.sb.WriteByte('\n')
+		}
+		p.fn(fn)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) global(g *GlobalDecl) {
+	switch {
+	case g.Dynamic:
+		p.line("var %s[] %s;", g.Name, g.Elem)
+	case g.IsArray:
+		p.line("var %s[%d] %s;", g.Name, g.Size, g.Elem)
+	default:
+		p.line("var %s %s;", g.Name, g.Elem)
+	}
+}
+
+func (p *printer) fn(fn *FuncDecl) {
+	params := make([]string, len(fn.Params))
+	for i, prm := range fn.Params {
+		params[i] = prm.Name + " " + prm.Type.String()
+	}
+	ret := ""
+	if fn.Ret != TVoid {
+		ret = " " + fn.Ret.String()
+	}
+	p.line("func %s(%s)%s {", fn.Name, strings.Join(params, ", "), ret)
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range st.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDeclStmt:
+		switch {
+		case st.IsArray:
+			p.line("var %s[%d] %s;", st.Name, st.Size, st.Elem)
+		case st.Init != nil:
+			p.line("var %s %s = %s;", st.Name, st.Elem, p.expr(st.Init, 0))
+		default:
+			p.line("var %s %s;", st.Name, st.Elem)
+		}
+	case *AssignStmt:
+		if st.Index != nil {
+			p.line("%s[%s] = %s;", st.Name, p.expr(st.Index, 0), p.expr(st.Value, 0))
+		} else {
+			p.line("%s = %s;", st.Name, p.expr(st.Value, 0))
+		}
+	case *IfStmt:
+		p.ifChain(st)
+	case *WhileStmt:
+		p.line("while (%s) {", p.expr(st.Cond, 0))
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = strings.TrimSuffix(p.inlineStmt(st.Init), ";")
+		}
+		if st.Cond != nil {
+			cond = p.expr(st.Cond, 0)
+		}
+		if st.Post != nil {
+			post = strings.TrimSuffix(p.inlineStmt(st.Post), ";")
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", p.expr(st.Value, 0))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ExprStmt:
+		p.line("%s;", p.expr(st.X, 0))
+	case *SpawnStmt:
+		p.line("spawn %s;", p.expr(st.Call, 0))
+	case *SyncStmt:
+		p.line("sync;")
+	default:
+		p.line("/* unhandled statement */")
+	}
+}
+
+// ifChain prints if / else-if / else chains flat.
+func (p *printer) ifChain(st *IfStmt) {
+	p.line("if (%s) {", p.expr(st.Cond, 0))
+	p.indent++
+	for _, inner := range st.Then.Stmts {
+		p.stmt(inner)
+	}
+	p.indent--
+	switch els := st.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		p.sb.WriteString(strings.Repeat("\t", p.indent))
+		p.sb.WriteString("} else ")
+		// Re-print the chained if at the same indent, merging the brace.
+		rest := &printer{indent: p.indent}
+		rest.ifChain(els)
+		chained := rest.sb.String()
+		p.sb.WriteString(strings.TrimPrefix(chained, strings.Repeat("\t", p.indent)))
+	case *BlockStmt:
+		p.line("} else {")
+		p.indent++
+		for _, inner := range els.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+// inlineStmt prints a simple statement without indentation or newline
+// (for for-headers).
+func (p *printer) inlineStmt(s Stmt) string {
+	sub := &printer{}
+	sub.stmt(s)
+	return strings.TrimSpace(sub.sb.String())
+}
+
+// binPrecOf mirrors the parser's precedence table.
+var binPrecOf = map[BinOp]int{
+	BinLOr:  1,
+	BinLAnd: 2,
+	BinEq:   3, BinNe: 3,
+	BinLt: 4, BinLe: 4, BinGt: 4, BinGe: 4,
+	BinOr:  5,
+	BinXor: 6,
+	BinAnd: 7,
+	BinShl: 8, BinShr: 8,
+	BinAdd: 9, BinSub: 9,
+	BinMul: 10, BinDiv: 10, BinRem: 10,
+}
+
+var binSymbol = map[BinOp]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinRem: "%",
+	BinAnd: "&", BinOr: "|", BinXor: "^", BinShl: "<<", BinShr: ">>",
+	BinLAnd: "&&", BinLOr: "||",
+	BinEq: "==", BinNe: "!=", BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=",
+}
+
+// expr renders e, parenthesizing when its precedence is below min.
+func (p *printer) expr(e Expr, min int) string {
+	switch ex := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(ex.V, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(ex.V, 'g', -1, 64)
+		// Float literals must lex as floats.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if ex.V {
+			return "true"
+		}
+		return "false"
+	case *Ident:
+		return ex.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ex.Name, p.expr(ex.Index, 0))
+	case *LenExpr:
+		return fmt.Sprintf("len(%s)", ex.Name)
+	case *UnaryExpr:
+		op := "!"
+		if ex.Neg {
+			op = "-"
+		}
+		return op + p.expr(ex.X, 11)
+	case *CastExpr:
+		return fmt.Sprintf("%s(%s)", ex.To, p.expr(ex.X, 0))
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = p.expr(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Name, strings.Join(args, ", "))
+	case *BinaryExpr:
+		prec := binPrecOf[ex.Op]
+		s := fmt.Sprintf("%s %s %s",
+			p.expr(ex.X, prec), binSymbol[ex.Op], p.expr(ex.Y, prec+1))
+		if prec < min {
+			return "(" + s + ")"
+		}
+		return s
+	default:
+		return "/*?*/"
+	}
+}

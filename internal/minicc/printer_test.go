@@ -1,0 +1,171 @@
+package minicc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// reprint parses src, prints the AST, and re-parses the output; both
+// versions must compile to programs with identical behavior.
+func reprint(t *testing.T, name, src string) string {
+	t.Helper()
+	f, err := Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	printed := Print(f)
+	if _, err := Parse(name+"-printed", printed); err != nil {
+		t.Fatalf("printed source does not parse: %v\n%s", err, printed)
+	}
+	return printed
+}
+
+// assertSameBehavior compiles two sources and compares their outputs on
+// the given argument/global sets.
+func assertSameBehavior(t *testing.T, srcA, srcB string, args []uint64, globals map[string][]uint64) {
+	t.Helper()
+	ma, err := Compile("a.mc", srcA)
+	if err != nil {
+		t.Fatalf("compile A: %v", err)
+	}
+	mb, err := Compile("b.mc", srcB)
+	if err != nil {
+		t.Fatalf("compile B: %v", err)
+	}
+	ra := interp.NewRunner(ma, interp.Config{MaxDynInstrs: 10_000_000})
+	rb := interp.NewRunner(mb, interp.Config{MaxDynInstrs: 10_000_000})
+	a := ra.Run(interp.Binding{Args: args, Globals: globals}, nil, nil)
+	b := rb.Run(interp.Binding{Args: args, Globals: globals}, nil, nil)
+	if a.Status != b.Status || len(a.Output) != len(b.Output) {
+		t.Fatalf("behavior differs: %v/%d vs %v/%d", a.Status, len(a.Output), b.Status, len(b.Output))
+	}
+	for i := range a.Output {
+		if a.Output[i] != b.Output[i] {
+			t.Fatalf("output[%d]: %x vs %x", i, a.Output[i], b.Output[i])
+		}
+	}
+}
+
+func TestPrinterRoundTripFeatureProgram(t *testing.T) {
+	src := `
+var g int;
+var data[] int;
+var buf[4] float;
+
+func helper(a int, b float) float {
+	if (a < 0) { return b; }
+	else if (a == 0) { return 0.0; }
+	return float(a) * b;
+}
+
+func worker(tid int) { g = g + tid; }
+
+func main(n int, scale float) {
+	var acc float = 0.0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0 && i < 100 || !(i == 3)) {
+			acc = acc + helper(data[i % len(data)], scale);
+		}
+		while (acc > 1.0e6) { acc = acc / 2.0; }
+		if (i == 5) { continue; }
+		if (acc < -100.0) { break; }
+	}
+	buf[0] = acc;
+	spawn worker(1);
+	sync;
+	emitf(buf[0]);
+	emiti(g);
+	emiti((2 + 3) * 4 - 1 << 2 & 7 | 9 ^ 3);
+	emiti(-n + int(1.5));
+}`
+	printed := reprint(t, "feature.mc", src)
+	globals := map[string][]uint64{"data": {1, 2, 3, 4, 5}}
+	args := []uint64{10, 0x4000000000000000} // scale = 2.0
+	assertSameBehavior(t, src, printed, args, globals)
+
+	// Printing the printed source again must be a fixpoint.
+	f2, err := Parse("p2.mc", printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := Print(f2); again != printed {
+		t.Fatalf("printer not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+	}
+}
+
+func TestPrinterRoundTripBenchmarkStyle(t *testing.T) {
+	// Round-trip a program with the structures the benchmarks use.
+	src := `
+var a[] float;
+func main(n int) {
+	for (var k int = 0; k < n; k = k + 1) {
+		for (var i int = k + 1; i < n; i = i + 1) {
+			a[i * n + k] = a[i * n + k] / a[k * n + k];
+			for (var j int = k + 1; j < n; j = j + 1) {
+				a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+			}
+		}
+	}
+	var det float = 1.0;
+	for (var k int = 0; k < n; k = k + 1) { det = det * a[k * n + k]; }
+	emitf(det);
+}`
+	printed := reprint(t, "lu.mc", src)
+	aData := make([]uint64, 9)
+	for i := range aData {
+		v := 1.0
+		if i%4 == 0 {
+			v = 5.0
+		}
+		aData[i] = mustFloatBits(v)
+	}
+	assertSameBehavior(t, src, printed, []uint64{3}, map[string][]uint64{"a": aData})
+}
+
+func mustFloatBits(f float64) uint64 {
+	return math.Float64bits(f)
+}
+
+func TestPrinterPrecedenceMinimal(t *testing.T) {
+	// The printer should not wrap everything in parentheses.
+	f, err := Parse("p.mc", `func main() { emiti(1 + 2 * 3); emiti((1 + 2) * 3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(f)
+	if !strings.Contains(out, "emiti(1 + 2 * 3);") {
+		t.Errorf("unnecessary parens:\n%s", out)
+	}
+	if !strings.Contains(out, "emiti((1 + 2) * 3);") {
+		t.Errorf("necessary parens dropped:\n%s", out)
+	}
+}
+
+func TestPrinterRoundTripGeneratedPrograms(t *testing.T) {
+	// Fuzz the printer with the differential generator's random programs.
+	for seed := int64(0); seed < 60; seed++ {
+		src, want := generate(seed)
+		printed := reprint(t, "gen.mc", src)
+		m, err := Compile("gen-printed.mc", printed)
+		if err != nil {
+			t.Fatalf("seed %d: printed program does not compile: %v\n%s", seed, err, printed)
+		}
+		r := interp.NewRunner(m, interp.Config{MaxDynInstrs: 1_000_000})
+		res := r.Run(interp.Binding{}, nil, nil)
+		if res.Status != interp.StatusOK {
+			t.Fatalf("seed %d: printed program status %v", seed, res.Status)
+		}
+		if len(res.Output) != len(want) {
+			t.Fatalf("seed %d: output count %d, want %d", seed, len(res.Output), len(want))
+		}
+		for i, w := range want {
+			if int64(res.Output[i]) != w {
+				t.Fatalf("seed %d: output[%d] = %d, want %d\nprinted:\n%s",
+					seed, i, int64(res.Output[i]), w, printed)
+			}
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package minicc
+
+import "repro/internal/ir"
+
+// symbol is a resolved variable: a module global or a function local
+// (parameters are locals with ParamIdx >= 0).
+type symbol struct {
+	Name     string
+	Elem     TypeName
+	IsArray  bool
+	Size     int64 // fixed arrays; unused for dynamic globals
+	Dynamic  bool  // dynamically sized global array
+	Global   bool
+	GIndex   int // index into the module's global table
+	ParamIdx int // parameter position, or -1
+}
+
+// checked is the result of semantic analysis, consumed by codegen.
+type checked struct {
+	file   *File
+	use    map[Expr]*symbol        // Ident / IndexExpr / LenExpr resolution
+	assign map[*AssignStmt]*symbol // assignment target resolution
+	locals map[*FuncDecl][]*symbol // per function: params then declared locals
+	decl   map[*VarDeclStmt]*symbol
+	funcs  map[string]*FuncDecl
+	fidx   map[string]int // function order (= IR function index)
+}
+
+// scope is a lexical scope in the checker.
+type scope struct {
+	parent *scope
+	names  map[string]*symbol
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(name string, sym *symbol) bool {
+	if _, exists := s.names[name]; exists {
+		return false
+	}
+	s.names[name] = sym
+	return true
+}
+
+// checker walks the AST verifying types and resolving names.
+type checker struct {
+	file    string
+	res     *checked
+	globals *scope
+
+	fn        *FuncDecl
+	cur       *scope
+	loopDepth int
+}
+
+// Check performs semantic analysis on a parsed file.
+func Check(f *File) (*checked, error) {
+	c := &checker{
+		file: f.Name,
+		res: &checked{
+			file:   f,
+			use:    make(map[Expr]*symbol),
+			assign: make(map[*AssignStmt]*symbol),
+			locals: make(map[*FuncDecl][]*symbol),
+			decl:   make(map[*VarDeclStmt]*symbol),
+			funcs:  make(map[string]*FuncDecl),
+			fidx:   make(map[string]int),
+		},
+		globals: &scope{names: make(map[string]*symbol)},
+	}
+
+	for i, g := range f.Globals {
+		if g.Elem == TBool {
+			return nil, errf(c.file, g.Pos, "global %q: bool globals are not supported", g.Name)
+		}
+		sym := &symbol{
+			Name: g.Name, Elem: g.Elem, IsArray: g.IsArray, Size: g.Size,
+			Dynamic: g.Dynamic, Global: true, GIndex: i, ParamIdx: -1,
+		}
+		if !c.globals.declare(g.Name, sym) {
+			return nil, errf(c.file, g.Pos, "duplicate global %q", g.Name)
+		}
+	}
+	for i, fn := range f.Funcs {
+		if _, dup := c.res.funcs[fn.Name]; dup {
+			return nil, errf(c.file, fn.Pos, "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := ir.LookupBuiltin(fn.Name); isBuiltin || fn.Name == "len" {
+			return nil, errf(c.file, fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		c.res.funcs[fn.Name] = fn
+		c.res.fidx[fn.Name] = i
+	}
+	main, ok := c.res.funcs["main"]
+	if !ok {
+		return nil, errf(c.file, Pos{1, 1}, "no main function")
+	}
+	if main.Ret != TVoid {
+		return nil, errf(c.file, main.Pos, "main must not return a value")
+	}
+	for _, p := range main.Params {
+		if p.Type == TBool {
+			return nil, errf(c.file, p.Pos, "main parameter %q: bool parameters are not supported for main", p.Name)
+		}
+	}
+
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return c.res, nil
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.fn = fn
+	c.cur = &scope{parent: c.globals, names: make(map[string]*symbol)}
+	c.loopDepth = 0
+	for i, p := range fn.Params {
+		sym := &symbol{Name: p.Name, Elem: p.Type, ParamIdx: i}
+		if !c.cur.declare(p.Name, sym) {
+			return errf(c.file, p.Pos, "duplicate parameter %q", p.Name)
+		}
+		c.res.locals[fn] = append(c.res.locals[fn], sym)
+	}
+	return c.checkBlock(fn.Body, true)
+}
+
+// checkBlock checks a block; when sameScope is true the block shares the
+// enclosing scope (used for function bodies so params live in body scope).
+func (c *checker) checkBlock(b *BlockStmt, sameScope bool) error {
+	if !sameScope {
+		c.cur = &scope{parent: c.cur, names: make(map[string]*symbol)}
+		defer func() { c.cur = c.cur.parent }()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st, false)
+	case *VarDeclStmt:
+		return c.checkVarDecl(st)
+	case *AssignStmt:
+		return c.checkAssign(st)
+	case *IfStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(st.Then, false); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkBlock(st.Body, false)
+		c.loopDepth--
+		return err
+	case *ForStmt:
+		// The for-header introduces a scope (so "for (var i int = 0; ...)"
+		// confines i to the loop).
+		c.cur = &scope{parent: c.cur, names: make(map[string]*symbol)}
+		defer func() { c.cur = c.cur.parent }()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.checkBlock(st.Body, false)
+		c.loopDepth--
+		return err
+	case *ReturnStmt:
+		if c.fn.Ret == TVoid {
+			if st.Value != nil {
+				return errf(c.file, st.Pos, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return errf(c.file, st.Pos, "function %q must return %s", c.fn.Name, c.fn.Ret)
+		}
+		t, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		if t != c.fn.Ret {
+			return errf(c.file, st.Pos, "return type %s, want %s", t, c.fn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(c.file, st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(c.file, st.Pos, "continue outside loop")
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *SpawnStmt:
+		fn, ok := c.res.funcs[st.Call.Name]
+		if !ok {
+			return errf(c.file, st.Pos, "spawn of unknown function %q", st.Call.Name)
+		}
+		if fn.Ret != TVoid {
+			return errf(c.file, st.Pos, "spawned function %q must be void", fn.Name)
+		}
+		return c.checkCallArgs(st.Call, fn)
+	case *SyncStmt:
+		return nil
+	default:
+		return errf(c.file, s.stmtPos(), "unhandled statement")
+	}
+}
+
+func (c *checker) checkVarDecl(st *VarDeclStmt) error {
+	sym := &symbol{Name: st.Name, Elem: st.Elem, IsArray: st.IsArray, Size: st.Size, ParamIdx: -1}
+	if !c.cur.declare(st.Name, sym) {
+		return errf(c.file, st.Pos, "duplicate variable %q in this scope", st.Name)
+	}
+	c.res.locals[c.fn] = append(c.res.locals[c.fn], sym)
+	c.res.decl[st] = sym
+	if st.Init != nil {
+		t, err := c.checkExpr(st.Init)
+		if err != nil {
+			return err
+		}
+		if t != st.Elem {
+			return errf(c.file, st.Pos, "cannot initialize %s variable %q with %s", st.Elem, st.Name, t)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(st *AssignStmt) error {
+	sym := c.cur.lookup(st.Name)
+	if sym == nil {
+		return errf(c.file, st.Pos, "undefined variable %q", st.Name)
+	}
+	c.res.assign[st] = sym
+	if st.Index != nil {
+		if !sym.IsArray {
+			return errf(c.file, st.Pos, "%q is not an array", st.Name)
+		}
+		it, err := c.checkExpr(st.Index)
+		if err != nil {
+			return err
+		}
+		if it != TInt {
+			return errf(c.file, st.Pos, "array index must be int, got %s", it)
+		}
+	} else if sym.IsArray {
+		return errf(c.file, st.Pos, "cannot assign to array %q without an index", st.Name)
+	}
+	vt, err := c.checkExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	if vt != sym.Elem {
+		return errf(c.file, st.Pos, "cannot assign %s to %s variable %q", vt, sym.Elem, st.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t != TBool {
+		return errf(c.file, e.exprPos(), "condition must be bool, got %s", t)
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) (TypeName, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		ex.setType(TInt)
+		return TInt, nil
+	case *FloatLit:
+		ex.setType(TFloat)
+		return TFloat, nil
+	case *BoolLit:
+		ex.setType(TBool)
+		return TBool, nil
+	case *Ident:
+		sym := c.cur.lookup(ex.Name)
+		if sym == nil {
+			return TVoid, errf(c.file, ex.Pos, "undefined variable %q", ex.Name)
+		}
+		if sym.IsArray {
+			return TVoid, errf(c.file, ex.Pos, "array %q used without index", ex.Name)
+		}
+		c.res.use[ex] = sym
+		ex.setType(sym.Elem)
+		return sym.Elem, nil
+	case *IndexExpr:
+		sym := c.cur.lookup(ex.Name)
+		if sym == nil {
+			return TVoid, errf(c.file, ex.Pos, "undefined array %q", ex.Name)
+		}
+		if !sym.IsArray {
+			return TVoid, errf(c.file, ex.Pos, "%q is not an array", ex.Name)
+		}
+		c.res.use[ex] = sym
+		it, err := c.checkExpr(ex.Index)
+		if err != nil {
+			return TVoid, err
+		}
+		if it != TInt {
+			return TVoid, errf(c.file, ex.Pos, "array index must be int, got %s", it)
+		}
+		ex.setType(sym.Elem)
+		return sym.Elem, nil
+	case *LenExpr:
+		sym := c.cur.lookup(ex.Name)
+		if sym == nil {
+			return TVoid, errf(c.file, ex.Pos, "undefined array %q", ex.Name)
+		}
+		if !sym.IsArray {
+			return TVoid, errf(c.file, ex.Pos, "len of non-array %q", ex.Name)
+		}
+		c.res.use[ex] = sym
+		ex.setType(TInt)
+		return TInt, nil
+	case *UnaryExpr:
+		t, err := c.checkExpr(ex.X)
+		if err != nil {
+			return TVoid, err
+		}
+		if ex.Neg {
+			if t != TInt && t != TFloat {
+				return TVoid, errf(c.file, ex.Pos, "unary minus needs numeric operand, got %s", t)
+			}
+			ex.setType(t)
+			return t, nil
+		}
+		if t != TBool {
+			return TVoid, errf(c.file, ex.Pos, "logical not needs bool operand, got %s", t)
+		}
+		ex.setType(TBool)
+		return TBool, nil
+	case *CastExpr:
+		t, err := c.checkExpr(ex.X)
+		if err != nil {
+			return TVoid, err
+		}
+		if t != TInt && t != TFloat {
+			return TVoid, errf(c.file, ex.Pos, "cast needs numeric operand, got %s", t)
+		}
+		ex.setType(ex.To)
+		return ex.To, nil
+	case *BinaryExpr:
+		return c.checkBinary(ex)
+	case *CallExpr:
+		return c.checkCall(ex)
+	default:
+		return TVoid, errf(c.file, e.exprPos(), "unhandled expression")
+	}
+}
+
+func (c *checker) checkBinary(ex *BinaryExpr) (TypeName, error) {
+	xt, err := c.checkExpr(ex.X)
+	if err != nil {
+		return TVoid, err
+	}
+	yt, err := c.checkExpr(ex.Y)
+	if err != nil {
+		return TVoid, err
+	}
+	if xt != yt {
+		return TVoid, errf(c.file, ex.Pos, "operand type mismatch: %s vs %s", xt, yt)
+	}
+	switch ex.Op {
+	case BinAdd, BinSub, BinMul, BinDiv:
+		if xt != TInt && xt != TFloat {
+			return TVoid, errf(c.file, ex.Pos, "arithmetic needs numeric operands, got %s", xt)
+		}
+		ex.setType(xt)
+		return xt, nil
+	case BinRem, BinAnd, BinOr, BinXor, BinShl, BinShr:
+		if xt != TInt {
+			return TVoid, errf(c.file, ex.Pos, "integer operator needs int operands, got %s", xt)
+		}
+		ex.setType(TInt)
+		return TInt, nil
+	case BinLAnd, BinLOr:
+		if xt != TBool {
+			return TVoid, errf(c.file, ex.Pos, "logical operator needs bool operands, got %s", xt)
+		}
+		ex.setType(TBool)
+		return TBool, nil
+	case BinEq, BinNe:
+		if xt == TVoid {
+			return TVoid, errf(c.file, ex.Pos, "cannot compare void values")
+		}
+		ex.setType(TBool)
+		return TBool, nil
+	case BinLt, BinLe, BinGt, BinGe:
+		if xt != TInt && xt != TFloat {
+			return TVoid, errf(c.file, ex.Pos, "ordering needs numeric operands, got %s", xt)
+		}
+		ex.setType(TBool)
+		return TBool, nil
+	default:
+		return TVoid, errf(c.file, ex.Pos, "unhandled binary operator")
+	}
+}
+
+func (c *checker) checkCall(ex *CallExpr) (TypeName, error) {
+	if b, ok := ir.LookupBuiltin(ex.Name); ok {
+		sig := b.Sig()
+		if len(ex.Args) != len(sig.Params) {
+			return TVoid, errf(c.file, ex.Pos, "builtin %s takes %d arguments, got %d", ex.Name, len(sig.Params), len(ex.Args))
+		}
+		for i, a := range ex.Args {
+			t, err := c.checkExpr(a)
+			if err != nil {
+				return TVoid, err
+			}
+			want := fromIRType(sig.Params[i])
+			if t != want {
+				return TVoid, errf(c.file, a.exprPos(), "builtin %s argument %d: want %s, got %s", ex.Name, i+1, want, t)
+			}
+		}
+		rt := fromIRType(sig.Ret)
+		ex.setType(rt)
+		return rt, nil
+	}
+	fn, ok := c.res.funcs[ex.Name]
+	if !ok {
+		return TVoid, errf(c.file, ex.Pos, "call to undefined function %q", ex.Name)
+	}
+	if err := c.checkCallArgs(ex, fn); err != nil {
+		return TVoid, err
+	}
+	ex.setType(fn.Ret)
+	return fn.Ret, nil
+}
+
+func (c *checker) checkCallArgs(ex *CallExpr, fn *FuncDecl) error {
+	if len(ex.Args) != len(fn.Params) {
+		return errf(c.file, ex.Pos, "%s takes %d arguments, got %d", fn.Name, len(fn.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return err
+		}
+		if t != fn.Params[i].Type {
+			return errf(c.file, a.exprPos(), "%s argument %d: want %s, got %s", fn.Name, i+1, fn.Params[i].Type, t)
+		}
+	}
+	return nil
+}
+
+func fromIRType(t ir.Type) TypeName {
+	switch t {
+	case ir.I64:
+		return TInt
+	case ir.F64:
+		return TFloat
+	case ir.I1:
+		return TBool
+	default:
+		return TVoid
+	}
+}

@@ -1,0 +1,142 @@
+// Package minicc compiles MiniC — a small C-like language — to the IR in
+// package ir. MiniC plays the role Clang/LLVM play in the original study:
+// the 11 HPC benchmark kernels are written in MiniC and compiled to typed
+// IR on which profiling, fault injection, and selective duplication run.
+//
+// The language has three scalar types (int = i64, float = f64, bool = i1),
+// one-dimensional arrays (global arrays may be input-bound), functions,
+// C-style control flow with short-circuit booleans, and two thread
+// statements (spawn / sync) mapped to the interpreter's deterministic
+// scheduler.
+package minicc
+
+import "fmt"
+
+// TokKind enumerates MiniC token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+
+	// Keywords.
+	TokVar
+	TokFunc
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+	TokSpawn
+	TokSync
+	TokIntType
+	TokFloatType
+	TokBoolType
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+
+	// Operators.
+	TokAssign // =
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp    // &
+	TokPipe   // |
+	TokCaret  // ^
+	TokShl    // <<
+	TokShr    // >>
+	TokAndAnd // &&
+	TokOrOr   // ||
+	TokNot    // !
+	TokEq     // ==
+	TokNe     // !=
+	TokLt     // <
+	TokLe     // <=
+	TokGt     // >
+	TokGe     // >=
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokIntLit: "int literal",
+	TokFloatLit: "float literal",
+	TokVar:      "var", TokFunc: "func", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokFor: "for", TokReturn: "return", TokBreak: "break",
+	TokContinue: "continue", TokTrue: "true", TokFalse: "false",
+	TokSpawn: "spawn", TokSync: "sync",
+	TokIntType: "int", TokFloatType: "float", TokBoolType: "bool",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokPercent: "%", TokAmp: "&", TokPipe: "|",
+	TokCaret: "^", TokShl: "<<", TokShr: ">>", TokAndAnd: "&&",
+	TokOrOr: "||", TokNot: "!", TokEq: "==", TokNe: "!=", TokLt: "<",
+	TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+// String returns a human-readable token-kind name.
+func (k TokKind) String() string {
+	if n, ok := tokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"var": TokVar, "func": TokFunc, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+	"true": TokTrue, "false": TokFalse,
+	"spawn": TokSpawn, "sync": TokSync,
+	"int": TokIntType, "float": TokFloatType, "bool": TokBoolType,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexed token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // identifier spelling
+	Int  int64   // TokIntLit payload
+	Flt  float64 // TokFloatLit payload
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+}
+
+func errf(file string, pos Pos, format string, args ...any) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,67 @@
+// Package minpsid implements MINPSID (Multi-Input-hardened Selective
+// Instruction Duplication), the paper's contribution: it identifies
+// incubative instructions — instructions whose SID benefit is negligible
+// under the reference input but substantial under other inputs — via a
+// genetic-algorithm input search guided by weighted-CFG distance (Eq. 3),
+// re-prioritizes them with their maximum observed benefit, and re-runs
+// knapsack selection to produce a protected binary whose SDC coverage
+// holds up across inputs.
+package minpsid
+
+import "sort"
+
+// Rule is the incubative-instruction criterion of §IV: an instruction is
+// incubative when its benefit falls into the bottom BottomFrac of the
+// per-instruction benefits under one input but escapes the bottom
+// EscapeFrac under another input.
+type Rule struct {
+	BottomFrac float64 // paper: 0.01 ("last 1% of the overall results")
+	EscapeFrac float64 // paper: 0.30 ("out of the last 30%")
+}
+
+// DefaultRule returns the paper's thresholds.
+func DefaultRule() Rule { return Rule{BottomFrac: 0.01, EscapeFrac: 0.30} }
+
+// quantile returns the value at fraction f of the sorted sample (nearest-
+// rank with linear index truncation). Ties are inclusive on the threshold.
+func quantile(sorted []float64, f float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(f * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Identify returns the candidate instruction IDs that are incubative
+// between the reference benefits and another input's benefits. Both
+// benefit slices are indexed by static instruction ID; candidates lists
+// the IDs eligible for protection (duplicable instructions).
+func (r Rule) Identify(refBenefit, otherBenefit []float64, candidates []int) []int {
+	if len(candidates) == 0 {
+		return nil
+	}
+	refVals := make([]float64, 0, len(candidates))
+	otherVals := make([]float64, 0, len(candidates))
+	for _, id := range candidates {
+		refVals = append(refVals, refBenefit[id])
+		otherVals = append(otherVals, otherBenefit[id])
+	}
+	sort.Float64s(refVals)
+	sort.Float64s(otherVals)
+	bottomThr := quantile(refVals, r.BottomFrac)
+	escapeThr := quantile(otherVals, r.EscapeFrac)
+
+	var out []int
+	for _, id := range candidates {
+		if refBenefit[id] <= bottomThr && otherBenefit[id] > escapeThr {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package minpsid
+
+import (
+	"time"
+
+	"repro/internal/inputgen"
+	"repro/internal/ir"
+	"repro/internal/sid"
+)
+
+// Timing records where the one-time MINPSID cost goes (Fig. 8): the
+// reference-input per-instruction FI, the input search engine (fitness
+// evaluations), and the per-instruction FI on searched inputs.
+type Timing struct {
+	RefFI        time.Duration // ① per-inst FI + profiling on the reference input
+	SearchEngine time.Duration // ③-⑥ GA search incl. fitness golden runs
+	IncubativeFI time.Duration // ⑦ per-inst FI on searched inputs
+}
+
+// Total returns the summed pipeline time.
+func (t Timing) Total() time.Duration { return t.RefFI + t.SearchEngine + t.IncubativeFI }
+
+// Result is the output of the full MINPSID pipeline.
+type Result struct {
+	Protected *ir.Module    // the protected binary
+	Selection sid.Selection // selection on the re-prioritized profile
+	RefMeas   *sid.Measurement
+	Search    *SearchResult
+	Timing    Timing
+}
+
+// Reprioritize builds the updated measurement used for instruction
+// selection: incubative instructions take their maximum benefit observed
+// across all measured inputs (step ⑧ of Fig. 4); everything else keeps the
+// reference profile.
+func Reprioritize(refMeas *sid.Measurement, search *SearchResult) *sid.Measurement {
+	up := *refMeas
+	up.Benefit = append([]float64(nil), refMeas.Benefit...)
+	for _, id := range search.Incubative {
+		if search.MaxBenefit[id] > up.Benefit[id] {
+			up.Benefit[id] = search.MaxBenefit[id]
+		}
+	}
+	return &up
+}
+
+// Apply runs the end-to-end MINPSID pipeline (Fig. 4): reference
+// measurement, incubative-instruction search, re-prioritization, knapsack
+// selection at the requested protection level, and duplication transform.
+func Apply(t Target, refInput inputgen.Input, level float64, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	t0 := time.Now()
+	refMeas, err := sid.Measure(t.Mod, t.Bind(refInput), sid.Config{
+		Exec:           t.Exec,
+		FaultsPerInstr: cfg.FaultsPerInstr,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	refFI := time.Since(t0)
+
+	search := Search(t, cfg, refInput, refMeas)
+
+	updated := Reprioritize(refMeas, search)
+	sel := sid.Select(t.Mod, updated, level, sid.MethodDP)
+	prot := sid.Duplicate(t.Mod, sel.Chosen)
+
+	return &Result{
+		Protected: prot,
+		Selection: sel,
+		RefMeas:   refMeas,
+		Search:    search,
+		Timing: Timing{
+			RefFI:        refFI,
+			SearchEngine: search.EngineTime,
+			IncubativeFI: search.FITime,
+		},
+	}, nil
+}
+
+// ApplyBaseline runs the existing SID method (reference input only) on the
+// same target, for side-by-side comparisons.
+func ApplyBaseline(t Target, refInput inputgen.Input, level float64, cfg Config) (*sid.Protect, error) {
+	cfg = cfg.withDefaults()
+	return sid.Apply(t.Mod, t.Bind(refInput), sid.Config{
+		Exec:           t.Exec,
+		FaultsPerInstr: cfg.FaultsPerInstr,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+	}, level, sid.MethodDP)
+}

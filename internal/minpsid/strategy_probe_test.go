@@ -1,0 +1,39 @@
+package minpsid
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/sid"
+)
+
+// TestStrategyProbe compares search strategies at a fuller budget. It is
+// a measurement aid, enabled with MINPSID_PROBE=1.
+func TestStrategyProbe(t *testing.T) {
+	if os.Getenv("MINPSID_PROBE") == "" {
+		t.Skip("set MINPSID_PROBE=1 to run the strategy comparison probe")
+	}
+	for _, name := range []string{"knn", "fft", "kmeans", "needle", "xsbench"} {
+		b, _ := benchprog.ByName(name)
+		tgt := Target{Mod: b.MustModule(), Spec: b.Spec, Bind: b.Bind, Exec: b.ExecConfig()}
+		meas, err := sid.Measure(tgt.Mod, tgt.Bind(b.Reference), sid.Config{
+			Exec: tgt.Exec, FaultsPerInstr: 20, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []Strategy{StrategyGA, StrategyRandom, StrategyAnneal} {
+			total, inputs := 0, 0
+			for seed := int64(0); seed < 3; seed++ {
+				cfg := Config{FaultsPerInstr: 20, MaxInputs: 10, Patience: 3,
+					PopSize: 8, MaxGenerations: 5, Seed: 100 + seed, Strategy: strat}
+				res := Search(tgt, cfg, b.Reference, meas)
+				total += len(res.Incubative)
+				inputs += len(res.Inputs)
+			}
+			t.Logf("%-10s %-7s incubative(avg/3 seeds)=%.1f inputs=%.1f",
+				name, strat, float64(total)/3, float64(inputs)/3)
+		}
+	}
+}

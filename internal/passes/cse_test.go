@@ -1,0 +1,149 @@
+package passes
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestCSERemovesRedundantExpressions(t *testing.T) {
+	m := compile(t, `
+func main(x int, y int) {
+	emiti((x + y) * 2);
+	emiti((x + y) * 2);
+	emiti((x + y) * 3);
+}`)
+	if err := RunPipeline(m, Mem2Reg{}, CSE{}, DCE{}); err != nil {
+		t.Fatal(err)
+	}
+	adds, muls := 0, 0
+	for _, in := range m.Instrs {
+		switch in.Op {
+		case ir.OpAdd:
+			adds++
+		case ir.OpMul:
+			muls++
+		}
+	}
+	if adds != 1 {
+		t.Errorf("adds after CSE = %d, want 1", adds)
+	}
+	if muls != 2 { // *2 deduplicated, *3 kept
+		t.Errorf("muls after CSE = %d, want 2", muls)
+	}
+	out := runOut(t, m, []uint64{3, 4})
+	if int64(out[0]) != 14 || int64(out[1]) != 14 || int64(out[2]) != 21 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestCSERespectesDominance(t *testing.T) {
+	// The same expression computed in two sibling branches must NOT be
+	// unified (neither dominates the other).
+	m := compile(t, `
+func main(x int) {
+	if (x > 0) {
+		emiti(x * 7);
+	} else {
+		emiti(x * 7);
+	}
+}`)
+	if err := RunPipeline(m, Mem2Reg{}, CSE{}, DCE{}); err != nil {
+		t.Fatal(err)
+	}
+	muls := 0
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpMul {
+			muls++
+		}
+	}
+	if muls != 2 {
+		t.Fatalf("sibling-branch muls = %d, want 2 (no unsound hoisting)", muls)
+	}
+	for _, x := range []uint64{5, uint64(^uint64(0))} {
+		out := runOut(t, m, []uint64{x})
+		if int64(out[0]) != int64(x)*7 {
+			t.Fatalf("x=%d output %v", int64(x), out)
+		}
+	}
+}
+
+func TestCSEKeepsLoadsAndTraps(t *testing.T) {
+	// Loads are memory-dependent (a store may intervene) and divisions can
+	// trap: neither may be deduplicated by this pass.
+	m := compile(t, `
+var g int;
+func main(x int) {
+	var a int = g;
+	g = a + 1;
+	var b int = g;    // must re-load: different value
+	emiti(a + b);
+	emiti(x / 3);
+	emiti(x / 3);     // trapping op: left alone
+}`)
+	if err := RunPipeline(m, Mem2Reg{}, CSE{}); err != nil {
+		t.Fatal(err)
+	}
+	loads, divs := 0, 0
+	for _, in := range m.Instrs {
+		switch in.Op {
+		case ir.OpLoad:
+			loads++
+		case ir.OpDiv:
+			divs++
+		}
+	}
+	if loads < 2 {
+		t.Errorf("loads after CSE = %d, want >= 2", loads)
+	}
+	if divs != 2 {
+		t.Errorf("divs after CSE = %d, want 2", divs)
+	}
+	out := runOut(t, m, []uint64{9})
+	if int64(out[0]) != 1 { // a=0, g becomes 1, b=1
+		t.Fatalf("load dedup corrupted memory semantics: %v", out)
+	}
+}
+
+func TestCSEDifferential(t *testing.T) {
+	src := `
+func main(n int) {
+	var acc int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		acc = acc + (i * 3 + 1) * (i * 3 + 1);
+		if (i % 2 == 0) {
+			acc = acc - (i * 3 + 1);
+		}
+	}
+	emiti(acc);
+}`
+	orig := compile(t, src)
+	opt := orig.Clone()
+	if err := RunPipeline(opt, SimplifyCFG{}, Mem2Reg{}, CSE{}, ConstFold{}, DCE{}, SimplifyCFG{}); err != nil {
+		t.Fatal(err)
+	}
+	if opt.NumInstrs() >= orig.NumInstrs() {
+		t.Errorf("CSE pipeline did not shrink: %d -> %d", orig.NumInstrs(), opt.NumInstrs())
+	}
+	for _, n := range []uint64{0, 1, 9, 30} {
+		a := runOut(t, orig, []uint64{n})
+		b := runOut(t, opt, []uint64{n})
+		if a[0] != b[0] {
+			t.Fatalf("n=%d: %d vs %d", n, int64(a[0]), int64(b[0]))
+		}
+	}
+}
+
+func TestCSEIdempotent(t *testing.T) {
+	m := compile(t, `func main(x int) { emiti(x + 1); emiti(x + 1); }`)
+	if err := RunPipeline(m, Mem2Reg{}, CSE{}); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := (CSE{}).Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("second CSE run reported changes")
+	}
+}

@@ -1,0 +1,450 @@
+package passes
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Mem2Reg promotes non-escaping scalar allocas (single-word stack slots
+// whose address is used only as a direct load/store pointer) to SSA
+// registers, inserting phi nodes at iterated dominance frontiers — the
+// classic SSA-construction pass. The MiniC front end spills every local to
+// an alloca like clang -O0; running Mem2Reg afterwards produces the
+// register-resident IR that LLVM-based SID studies operate on.
+type Mem2Reg struct{}
+
+// Name implements Pass.
+func (Mem2Reg) Name() string { return "mem2reg" }
+
+// Run implements Pass.
+func (Mem2Reg) Run(m *ir.Module) (bool, error) {
+	changed := false
+	for _, f := range m.Funcs {
+		if promoteFunction(f) {
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// cfgInfo caches the per-function control-flow facts SSA construction
+// needs.
+type cfgInfo struct {
+	preds [][]int
+	succs [][]int
+	// rpo is a reverse postorder over reachable blocks; rpoIndex is the
+	// position of each block in it (-1 for unreachable blocks).
+	rpo      []int
+	rpoIndex []int
+	idom     []int   // immediate dominator per block (-1 if unreachable)
+	children [][]int // dominator-tree children
+	df       [][]int // dominance frontier per block
+}
+
+func buildCFG(f *ir.Function) *cfgInfo {
+	n := len(f.Blocks)
+	c := &cfgInfo{
+		preds:    make([][]int, n),
+		succs:    make([][]int, n),
+		rpoIndex: make([]int, n),
+		idom:     make([]int, n),
+		children: make([][]int, n),
+		df:       make([][]int, n),
+	}
+	for bi, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, s := range t.Succs {
+			if t.Op != ir.OpBr && t.Op != ir.OpCondBr {
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				c.succs[bi] = append(c.succs[bi], s)
+				c.preds[s] = append(c.preds[s], bi)
+			}
+		}
+	}
+
+	// Reverse postorder via iterative DFS.
+	visited := make([]bool, n)
+	var post []int
+	type stackEntry struct {
+		block int
+		next  int
+	}
+	stack := []stackEntry{{0, 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(c.succs[top.block]) {
+			s := c.succs[top.block][top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, stackEntry{s, 0})
+			}
+			continue
+		}
+		post = append(post, top.block)
+		stack = stack[:len(stack)-1]
+	}
+	for i := range c.rpoIndex {
+		c.rpoIndex[i] = -1
+	}
+	for i := len(post) - 1; i >= 0; i-- {
+		c.rpoIndex[post[i]] = len(c.rpo)
+		c.rpo = append(c.rpo, post[i])
+	}
+
+	// Dominators (Cooper-Harvey-Kennedy iterative algorithm).
+	for i := range c.idom {
+		c.idom[i] = -1
+	}
+	c.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.preds[b] {
+				if c.idom[p] < 0 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = c.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && c.idom[b] != newIdom {
+				c.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, b := range c.rpo {
+		if b != 0 && c.idom[b] >= 0 {
+			c.children[c.idom[b]] = append(c.children[c.idom[b]], b)
+		}
+	}
+
+	// Dominance frontiers.
+	for _, b := range c.rpo {
+		if len(c.preds[b]) < 2 {
+			continue
+		}
+		for _, p := range c.preds[b] {
+			if c.idom[p] < 0 {
+				continue
+			}
+			runner := p
+			for runner != c.idom[b] {
+				if !contains(c.df[runner], b) {
+					c.df[runner] = append(c.df[runner], b)
+				}
+				runner = c.idom[runner]
+			}
+		}
+	}
+	return c
+}
+
+// intersect walks two dominator-tree paths to their common ancestor.
+func (c *cfgInfo) intersect(a, b int) int {
+	for a != b {
+		for c.rpoIndex[a] > c.rpoIndex[b] {
+			a = c.idom[a]
+		}
+		for c.rpoIndex[b] > c.rpoIndex[a] {
+			b = c.idom[b]
+		}
+	}
+	return a
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// promotedVar is one alloca chosen for promotion.
+type promotedVar struct {
+	allocaDst int     // the alloca's pointer register
+	elem      ir.Type // the slot's value type
+	phis      map[int]*ir.Instr
+}
+
+// promoteFunction runs SSA construction over f. Reports whether anything
+// changed.
+func promoteFunction(f *ir.Function) bool {
+	cands := findPromotable(f)
+	if len(cands) == 0 {
+		return false
+	}
+	cfg := buildCFG(f)
+
+	// Place phis at iterated dominance frontiers of the store blocks.
+	vars := make([]*promotedVar, 0, len(cands))
+	varOf := make(map[int]*promotedVar) // allocaDst -> var
+	for _, pv := range cands {
+		pv.phis = make(map[int]*ir.Instr)
+		defBlocks := map[int]bool{}
+		for bi, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && isPtrTo(in.Args[1], pv.allocaDst) {
+					defBlocks[bi] = true
+				}
+			}
+		}
+		work := keysOf(defBlocks)
+		onFrontier := map[int]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range cfg.df[b] {
+				if onFrontier[d] {
+					continue
+				}
+				onFrontier[d] = true
+				phi := &ir.Instr{
+					Op:      ir.OpPhi,
+					Type:    pv.elem,
+					Dst:     f.NumRegs,
+					Comment: "mem2reg",
+				}
+				f.NumRegs++
+				pv.phis[d] = phi
+				if !defBlocks[d] {
+					defBlocks[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+		vars = append(vars, pv)
+		varOf[pv.allocaDst] = pv
+	}
+
+	// Insert the phis at block heads (deterministic variable order).
+	phiVars := make(map[*ir.Instr]*promotedVar)
+	for bi, b := range f.Blocks {
+		var newPhis []*ir.Instr
+		for _, pv := range vars {
+			if phi, ok := pv.phis[bi]; ok {
+				newPhis = append(newPhis, phi)
+				phiVars[phi] = pv
+			}
+		}
+		if len(newPhis) > 0 {
+			b.Instrs = append(newPhis, b.Instrs...)
+		}
+	}
+
+	// Rename: DFS over the dominator tree with per-variable value stacks.
+	replace := make(map[int]ir.Operand) // deleted load dst -> value
+	resolve := func(o ir.Operand) ir.Operand {
+		for o.Kind == ir.OperReg {
+			r, ok := replace[o.Reg]
+			if !ok {
+				return o
+			}
+			o = r
+		}
+		return o
+	}
+
+	type frame struct {
+		block    int
+		childIdx int
+		pushed   map[*promotedVar]int // pop counts on exit
+	}
+	current := make(map[*promotedVar][]ir.Operand)
+	for _, pv := range vars {
+		// Allocas are zero-initialized; the undef value is typed zero.
+		current[pv] = []ir.Operand{zeroOf(pv.elem)}
+	}
+
+	var rename func(b int)
+	rename = func(bi int) {
+		b := f.Blocks[bi]
+		pops := make(map[*promotedVar]int)
+		keep := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				if pv, ok := phiVars[in]; ok {
+					current[pv] = append(current[pv], ir.Reg(in.Dst, pv.elem))
+					pops[pv]++
+				}
+				keep = append(keep, in)
+			case ir.OpAlloca:
+				if _, ok := varOf[in.Dst]; ok {
+					continue // drop the promoted alloca
+				}
+				keep = append(keep, in)
+			case ir.OpLoad:
+				if pv := varForPtr(in.Args[0], varOf); pv != nil {
+					vals := current[pv]
+					replace[in.Dst] = resolve(vals[len(vals)-1])
+					continue // drop the load
+				}
+				keep = append(keep, in)
+			case ir.OpStore:
+				if pv := varForPtr(in.Args[1], varOf); pv != nil {
+					current[pv] = append(current[pv], resolve(in.Args[0]))
+					pops[pv]++
+					continue // drop the store
+				}
+				keep = append(keep, in)
+			default:
+				keep = append(keep, in)
+			}
+		}
+		b.Instrs = keep
+
+		// Fill phi incomings of CFG successors.
+		for _, s := range cfg.succs[bi] {
+			for _, in := range f.Blocks[s].Instrs {
+				if in.Op != ir.OpPhi {
+					break
+				}
+				pv, ok := phiVars[in]
+				if !ok {
+					continue
+				}
+				vals := current[pv]
+				in.Args = append(in.Args, resolve(vals[len(vals)-1]))
+				in.Succs = append(in.Succs, bi)
+			}
+		}
+		for _, child := range cfg.children[bi] {
+			rename(child)
+		}
+		for pv, n := range pops {
+			current[pv] = current[pv][:len(current[pv])-n]
+		}
+	}
+	rename(0)
+
+	// Rewrite remaining operand uses of deleted loads.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+		}
+	}
+	return true
+}
+
+// findPromotable returns the single-word, non-escaping allocas of f.
+func findPromotable(f *ir.Function) []*promotedVar {
+	type usage struct {
+		alloca  *ir.Instr
+		escaped bool
+		elem    ir.Type
+	}
+	use := map[int]*usage{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && in.Dst >= 0 {
+				// Only fixed single-slot allocas are promotable.
+				if in.Args[0].Kind == ir.OperConst && in.Args[0].Imm == 1 {
+					use[in.Dst] = &usage{alloca: in, elem: ir.Void}
+				}
+			}
+		}
+	}
+	if len(use) == 0 {
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a.Kind != ir.OperReg {
+					continue
+				}
+				u, tracked := use[a.Reg]
+				if !tracked {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad && i == 0:
+					if u.elem == ir.Void {
+						u.elem = in.Type
+					} else if u.elem != in.Type {
+						u.escaped = true // mixed-type slot: leave in memory
+					}
+				case in.Op == ir.OpStore && i == 1:
+					vt := in.Args[0].Type
+					if u.elem == ir.Void {
+						u.elem = vt
+					} else if u.elem != vt {
+						u.escaped = true
+					}
+				default:
+					u.escaped = true
+				}
+			}
+		}
+	}
+	var out []*promotedVar
+	regs := make([]int, 0, len(use))
+	for r := range use {
+		regs = append(regs, r)
+	}
+	sort.Ints(regs)
+	for _, r := range regs {
+		u := use[r]
+		if u.escaped {
+			continue
+		}
+		elem := u.elem
+		if elem == ir.Void {
+			elem = ir.I64 // never accessed; type irrelevant
+		}
+		out = append(out, &promotedVar{allocaDst: r, elem: elem})
+	}
+	return out
+}
+
+func isPtrTo(o ir.Operand, reg int) bool {
+	return o.Kind == ir.OperReg && o.Reg == reg
+}
+
+func varForPtr(o ir.Operand, varOf map[int]*promotedVar) *promotedVar {
+	if o.Kind != ir.OperReg {
+		return nil
+	}
+	return varOf[o.Reg]
+}
+
+func zeroOf(t ir.Type) ir.Operand {
+	switch t {
+	case ir.F64:
+		return ir.ConstF(0)
+	case ir.I1:
+		return ir.ConstB(false)
+	default:
+		return ir.Operand{Kind: ir.OperConst, Type: t, Imm: 0}
+	}
+}
+
+func keysOf(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,710 @@
+// Package passes implements IR-to-IR transformations: constant folding,
+// dead-code elimination, and control-flow-graph simplification, plus a
+// small pass manager. They stand in for LLVM's optimization pipeline so
+// the instruction streams that fault injection and selective duplication
+// see are not littered with trivially foldable operations.
+//
+// All passes require the module to be in single-assignment register form
+// (every virtual register written by at most one instruction, parameters
+// excluded), which is what the MiniC code generator produces. RunPipeline
+// verifies this and re-finalizes/verifies the module after each pass.
+package passes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Pass is a named module transformation. Run reports whether it changed
+// the module.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module) (changed bool, err error)
+}
+
+// RunPipeline applies the given passes in order, re-finalizing and
+// verifying the module after each change. It returns an error if a pass
+// fails or produces invalid IR.
+func RunPipeline(m *ir.Module, passes ...Pass) error {
+	if err := checkSingleAssignment(m); err != nil {
+		return err
+	}
+	for _, p := range passes {
+		changed, err := p.Run(m)
+		if err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if changed {
+			m.Finalize()
+			if err := ir.Verify(m); err != nil {
+				return fmt.Errorf("pass %s produced invalid IR: %w", p.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// Standard returns the default optimization pipeline used on benchmark
+// programs before profiling and protection: the -O1-style sequence that
+// yields the register-resident IR LLVM-based SID studies operate on.
+func Standard() []Pass {
+	return []Pass{
+		SimplifyCFG{},
+		Mem2Reg{},
+		ConstFold{},
+		DCE{},
+		SimplifyCFG{},
+	}
+}
+
+// Optimize applies the standard pipeline to m.
+func Optimize(m *ir.Module) error { return RunPipeline(m, Standard()...) }
+
+// checkSingleAssignment verifies every register is defined at most once
+// per function (parameters are definitions too).
+func checkSingleAssignment(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		defs := make([]int, f.NumRegs)
+		for i := range f.Params {
+			defs[i]++
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.HasResult() {
+					defs[in.Dst]++
+					if defs[in.Dst] > 1 {
+						return fmt.Errorf("passes: func %s register %%r%d assigned more than once", f.Name, in.Dst)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ConstFold evaluates instructions whose operands are all constants and
+// propagates the results into their uses, iterating to a fixpoint.
+type ConstFold struct{}
+
+// Name implements Pass.
+func (ConstFold) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (ConstFold) Run(m *ir.Module) (bool, error) {
+	changedAny := false
+	for _, f := range m.Funcs {
+		for {
+			consts := map[int]ir.Operand{} // reg -> folded constant
+			for _, b := range f.Blocks {
+				keep := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if c, ok := foldInstr(in); ok {
+						consts[in.Dst] = c
+						changedAny = true
+						continue
+					}
+					keep = append(keep, in)
+				}
+				b.Instrs = keep
+			}
+			if len(consts) == 0 {
+				break
+			}
+			substitute(f, consts)
+		}
+	}
+	return changedAny, nil
+}
+
+// substitute replaces register operands with constants throughout f.
+func substitute(f *ir.Function, consts map[int]ir.Operand) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a.Kind == ir.OperReg {
+					if c, ok := consts[a.Reg]; ok {
+						in.Args[i] = c
+					}
+				}
+			}
+		}
+	}
+}
+
+// foldInstr tries to evaluate in at compile time. It never folds
+// potentially trapping instructions (div/rem by zero, float-to-int of
+// non-finite values) into traps; those are left for runtime.
+func foldInstr(in *ir.Instr) (ir.Operand, bool) {
+	if !in.HasResult() {
+		return ir.Operand{}, false
+	}
+	for _, a := range in.Args {
+		if a.Kind == ir.OperReg || a.Kind == ir.OperNone {
+			return ir.Operand{}, false
+		}
+	}
+	ival := func(i int) int64 { return in.Args[i].Imm }
+	fval := func(i int) float64 {
+		if in.Args[i].Kind == ir.OperConstF {
+			return in.Args[i].FImm
+		}
+		return float64(in.Args[i].Imm)
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		return ir.ConstI(ival(0) + ival(1)), true
+	case ir.OpSub:
+		return ir.ConstI(ival(0) - ival(1)), true
+	case ir.OpMul:
+		return ir.ConstI(ival(0) * ival(1)), true
+	case ir.OpDiv:
+		if ival(1) == 0 || (ival(0) == math.MinInt64 && ival(1) == -1) {
+			return ir.Operand{}, false
+		}
+		return ir.ConstI(ival(0) / ival(1)), true
+	case ir.OpRem:
+		if ival(1) == 0 || (ival(0) == math.MinInt64 && ival(1) == -1) {
+			return ir.Operand{}, false
+		}
+		return ir.ConstI(ival(0) % ival(1)), true
+	case ir.OpAnd:
+		return ir.ConstI(ival(0) & ival(1)), true
+	case ir.OpOr:
+		return ir.ConstI(ival(0) | ival(1)), true
+	case ir.OpXor:
+		return ir.ConstI(ival(0) ^ ival(1)), true
+	case ir.OpShl:
+		return ir.ConstI(ival(0) << (uint64(ival(1)) & 63)), true
+	case ir.OpShr:
+		return ir.ConstI(ival(0) >> (uint64(ival(1)) & 63)), true
+	case ir.OpFAdd:
+		return ir.ConstF(fval(0) + fval(1)), true
+	case ir.OpFSub:
+		return ir.ConstF(fval(0) - fval(1)), true
+	case ir.OpFMul:
+		return ir.ConstF(fval(0) * fval(1)), true
+	case ir.OpFDiv:
+		return ir.ConstF(fval(0) / fval(1)), true
+	case ir.OpICmp:
+		return constBoolOperand(icmpConst(in.Pred, ival(0), ival(1))), true
+	case ir.OpFCmp:
+		return constBoolOperand(fcmpConst(in.Pred, fval(0), fval(1))), true
+	case ir.OpIToF:
+		return ir.ConstF(float64(ival(0))), true
+	case ir.OpFToI:
+		f := fval(0)
+		if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+			return ir.Operand{}, false
+		}
+		return ir.ConstI(int64(f)), true
+	case ir.OpSelect:
+		if ival(0)&1 != 0 {
+			return in.Args[1], true
+		}
+		return in.Args[2], true
+	default:
+		return ir.Operand{}, false
+	}
+}
+
+func constBoolOperand(b bool) ir.Operand { return ir.ConstB(b) }
+
+func icmpConst(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func fcmpConst(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// DCE deletes side-effect-free instructions whose results are never used,
+// iterating to a fixpoint (deleting one instruction can orphan another).
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(m *ir.Module) (bool, error) {
+	changedAny := false
+	for _, f := range m.Funcs {
+		for {
+			if removeDeadStores(f) {
+				changedAny = true
+			}
+			used := make([]bool, f.NumRegs)
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					for _, a := range in.Args {
+						if a.Kind == ir.OperReg {
+							used[a.Reg] = true
+						}
+					}
+				}
+			}
+			changed := false
+			for _, b := range f.Blocks {
+				keep := b.Instrs[:0]
+				for _, in := range b.Instrs {
+					if in.HasResult() && !used[in.Dst] && deletable(in.Op) {
+						changed = true
+						changedAny = true
+						continue
+					}
+					keep = append(keep, in)
+				}
+				b.Instrs = keep
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return changedAny, nil
+}
+
+// deletable reports whether an unused result of op may be removed. Calls
+// are kept (callee may have effects); trapping operations are kept so DCE
+// never changes a crashing execution into a silent one.
+func deletable(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpICmp, ir.OpFCmp, ir.OpIToF, ir.OpSelect, ir.OpGEP,
+		ir.OpGlobalAddr, ir.OpArrayLen, ir.OpPhi, ir.OpLoad, ir.OpAlloca:
+		return true
+	default:
+		// Div/Rem/FToI can trap; calls may have side effects.
+		return false
+	}
+}
+
+// removeDeadStores deletes stores whose target is an alloca that is never
+// loaded from and whose address never escapes: the alloca register's only
+// uses are as the pointer operand of stores. This makes register-level DCE
+// effective on the load/store-heavy code the MiniC front end emits.
+func removeDeadStores(f *ir.Function) bool {
+	escapes := make([]bool, f.NumRegs) // any non-store-pointer use
+	isAlloca := make([]bool, f.NumRegs)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && in.Dst >= 0 {
+				isAlloca[in.Dst] = true
+			}
+			for i, a := range in.Args {
+				if a.Kind != ir.OperReg {
+					continue
+				}
+				if in.Op == ir.OpStore && i == 1 {
+					continue // pure store-target use
+				}
+				escapes[a.Reg] = true
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		keep := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStore {
+				p := in.Args[1]
+				if p.Kind == ir.OperReg && isAlloca[p.Reg] && !escapes[p.Reg] {
+					changed = true
+					continue
+				}
+			}
+			keep = append(keep, in)
+		}
+		b.Instrs = keep
+	}
+	return changed
+}
+
+// SimplifyCFG removes unreachable blocks, folds constant conditional
+// branches, and merges straight-line block pairs.
+type SimplifyCFG struct{}
+
+// Name implements Pass.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (SimplifyCFG) Run(m *ir.Module) (bool, error) {
+	changedAny := false
+	for _, f := range m.Funcs {
+		for {
+			changed := false
+			if foldConstBranches(f) {
+				changed = true
+			}
+			if threadJumps(f) {
+				changed = true
+			}
+			if removeUnreachable(f) {
+				changed = true
+			}
+			if mergeLinearPairs(f) {
+				changed = true
+			}
+			if changed {
+				changedAny = true
+				continue
+			}
+			break
+		}
+	}
+	return changedAny, nil
+}
+
+// threadJumps retargets branches through empty forwarding blocks: when C
+// contains only "br D", predecessors of C branch to D directly. Phis in D
+// that list C as a source are rewritten to list C's predecessors instead
+// (skipped on conflicts: a predecessor already supplying D a different
+// value). C itself becomes unreachable and is removed by
+// removeUnreachable.
+func threadJumps(f *ir.Function) bool {
+	changed := false
+	for ci, c := range f.Blocks {
+		if ci == 0 || len(c.Instrs) != 1 {
+			continue
+		}
+		t := c.Instrs[0]
+		if t.Op != ir.OpBr || t.Succs[0] == ci {
+			continue
+		}
+		di := t.Succs[0]
+		d := f.Blocks[di]
+
+		// Predecessors of C.
+		var preds []int
+		for pi, p := range f.Blocks {
+			pt := p.Terminator()
+			if pt == nil || (pt.Op != ir.OpBr && pt.Op != ir.OpCondBr) {
+				continue
+			}
+			for _, s := range pt.Succs {
+				if s == ci {
+					preds = append(preds, pi)
+					break
+				}
+			}
+		}
+		if len(preds) == 0 {
+			continue
+		}
+
+		// Check phi feasibility in D: every phi with an incoming from C
+		// must be extendable with each pred of C without conflicting with
+		// an existing incoming from that pred.
+		feasible := true
+		for _, in := range d.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			fromC := -1
+			for i, s := range in.Succs {
+				if s == ci {
+					fromC = i
+				}
+			}
+			if fromC < 0 {
+				continue
+			}
+			for _, p := range preds {
+				for i, s := range in.Succs {
+					if s == p && in.Args[i] != in.Args[fromC] {
+						feasible = false
+					}
+					_ = i
+				}
+			}
+		}
+		if !feasible {
+			continue
+		}
+
+		// Rewrite phis: replace the C incoming with one incoming per pred
+		// (skipping preds already present with the same value).
+		for _, in := range d.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			fromC := -1
+			for i, s := range in.Succs {
+				if s == ci {
+					fromC = i
+				}
+			}
+			if fromC < 0 {
+				continue
+			}
+			val := in.Args[fromC]
+			// Drop the C entry.
+			in.Args = append(in.Args[:fromC], in.Args[fromC+1:]...)
+			in.Succs = append(in.Succs[:fromC], in.Succs[fromC+1:]...)
+			for _, p := range preds {
+				exists := false
+				for _, s := range in.Succs {
+					if s == p {
+						exists = true
+					}
+				}
+				if !exists {
+					in.Args = append(in.Args, val)
+					in.Succs = append(in.Succs, p)
+				}
+			}
+		}
+
+		// Retarget predecessors.
+		for _, p := range preds {
+			pt := f.Blocks[p].Terminator()
+			for i, s := range pt.Succs {
+				if s == ci {
+					pt.Succs[i] = di
+				}
+			}
+		}
+		changed = true
+	}
+	return changed
+}
+
+// foldConstBranches rewrites condbr with a constant condition into br.
+func foldConstBranches(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		if t.Args[0].Kind != ir.OperConst {
+			continue
+		}
+		target := t.Succs[1]
+		if t.Args[0].Imm&1 != 0 {
+			target = t.Succs[0]
+		}
+		t.Op = ir.OpBr
+		t.Args = nil
+		t.Succs = []int{target}
+		changed = true
+	}
+	return changed
+}
+
+// removeUnreachable deletes blocks not reachable from the entry,
+// renumbering the survivors and fixing branch targets and phi incomings.
+func removeUnreachable(f *ir.Function) bool {
+	reach := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t := f.Blocks[bi].Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, r := range reach {
+		all = all && r
+	}
+	if all {
+		return false
+	}
+
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if reach[i] {
+			remap[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				// Drop incomings from removed blocks.
+				args := in.Args[:0]
+				succs := in.Succs[:0]
+				for i, s := range in.Succs {
+					if remap[s] >= 0 {
+						args = append(args, in.Args[i])
+						succs = append(succs, remap[s])
+					}
+				}
+				in.Args = args
+				in.Succs = succs
+				continue
+			}
+			for i, s := range in.Succs {
+				in.Succs[i] = remap[s]
+			}
+		}
+	}
+	for i, b := range kept {
+		b.Index = i
+	}
+	f.Blocks = kept
+	return true
+}
+
+// mergeLinearPairs merges B into A when A ends in an unconditional branch
+// to B and B's only predecessor is A. Phis in B (which must have A as
+// their single incoming) are resolved by operand substitution.
+func mergeLinearPairs(f *ir.Function) bool {
+	changed := false
+	for {
+		preds := countPreds(f)
+		merged := false
+		for ai, a := range f.Blocks {
+			t := a.Terminator()
+			if t == nil || t.Op != ir.OpBr {
+				continue
+			}
+			bi := t.Succs[0]
+			// Never merge the entry block (it has an implicit predecessor:
+			// function entry) or a self-loop.
+			if bi == ai || bi == 0 || preds[bi] != 1 {
+				continue
+			}
+			b := f.Blocks[bi]
+			// Resolve phis in B: single predecessor A.
+			subs := map[int]ir.Operand{}
+			rest := b.Instrs[:0]
+			ok := true
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpPhi {
+					rest = append(rest, in)
+					continue
+				}
+				val, found := ir.Operand{}, false
+				for i, s := range in.Succs {
+					if s == ai {
+						val, found = in.Args[i], true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+				subs[in.Dst] = val
+			}
+			if !ok {
+				continue
+			}
+			b.Instrs = rest
+			if len(subs) > 0 {
+				substitute(f, subs)
+			}
+			// Splice B's instructions after A (dropping A's br).
+			a.Instrs = append(a.Instrs[:len(a.Instrs)-1], b.Instrs...)
+			// Phis in B's successors referring to B must refer to A now.
+			retargetPhiSources(f, bi, ai)
+			removeBlockAt(f, bi)
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// retargetPhiSources rewrites phi incoming-block references from to.
+func retargetPhiSources(f *ir.Function, from, to int) {
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			for i, s := range in.Succs {
+				if s == from {
+					in.Succs[i] = to
+				}
+			}
+		}
+	}
+}
+
+// removeBlockAt deletes block index bi (which must be unreferenced) and
+// renumbers the remaining blocks and their branch targets.
+func removeBlockAt(f *ir.Function, bi int) {
+	f.Blocks = append(f.Blocks[:bi], f.Blocks[bi+1:]...)
+	for i, b := range f.Blocks {
+		b.Index = i
+	}
+	adjust := func(s int) int {
+		if s > bi {
+			return s - 1
+		}
+		return s
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, s := range in.Succs {
+				in.Succs[i] = adjust(s)
+			}
+		}
+	}
+}
+
+// countPreds returns the number of CFG predecessors of each block.
+func countPreds(f *ir.Function) []int {
+	preds := make([]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		if t.Op == ir.OpBr || t.Op == ir.OpCondBr {
+			seen := map[int]bool{}
+			for _, s := range t.Succs {
+				if !seen[s] {
+					preds[s]++
+					seen[s] = true
+				}
+			}
+		}
+	}
+	return preds
+}

@@ -1,0 +1,332 @@
+package passes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minicc"
+)
+
+// compile compiles MiniC source, failing the test on error.
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := minicc.Compile("t.mc", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return m
+}
+
+// runOut runs m and returns its output words.
+func runOut(t *testing.T, m *ir.Module, args []uint64) []uint64 {
+	t.Helper()
+	r := interp.NewRunner(m, interp.Config{MaxDynInstrs: 10_000_000})
+	res := r.Run(interp.Binding{Args: args}, nil, nil)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status = %v (%s)", res.Status, res.Trap)
+	}
+	return res.Output
+}
+
+const mixedSrc = `
+func poly(x int) int {
+	var a int = 3 * 4 + 1;          // foldable
+	var b int = a * x;
+	if (2 > 3) {                    // dead branch
+		b = b + 1000000;
+	}
+	var unused int = x * 77;        // dead code
+	return b + (10 - 2) / 4;        // foldable tail
+}
+func main(x int) {
+	emiti(poly(x));
+	var f float = 2.0 * 3.0 + 1.5;  // float folding
+	emitf(f);
+}`
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	orig := compile(t, mixedSrc)
+	opt := orig.Clone()
+	if err := Optimize(opt); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	for _, x := range []uint64{0, 1, 7, 100} {
+		a := runOut(t, orig, []uint64{x})
+		b := runOut(t, opt, []uint64{x})
+		if len(a) != len(b) {
+			t.Fatalf("output length changed: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("x=%d output[%d]: %d vs %d", x, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestOptimizeShrinksModule(t *testing.T) {
+	orig := compile(t, mixedSrc)
+	before := orig.NumInstrs()
+	if err := Optimize(orig); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	after := orig.NumInstrs()
+	if after >= before {
+		t.Fatalf("optimization did not shrink module: %d -> %d", before, after)
+	}
+}
+
+func TestConstFoldFoldsArithmetic(t *testing.T) {
+	m := compile(t, `func main() { emiti(2 + 3 * 4 - 1); emitf(1.5 * 2.0); }`)
+	if _, err := (ConstFold{}).Run(m); err != nil {
+		t.Fatalf("ConstFold: %v", err)
+	}
+	m.Finalize()
+	for _, in := range m.Instrs {
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpFMul:
+			t.Errorf("unfolded %s survived", in.Op)
+		}
+	}
+	out := runOut(t, m, nil)
+	if int64(out[0]) != 13 || math.Float64frombits(out[1]) != 3.0 {
+		t.Fatalf("folded output wrong: %v", out)
+	}
+}
+
+func TestConstFoldKeepsTrappingOps(t *testing.T) {
+	// 1/0 must not be folded away or into a constant: the program should
+	// still crash at runtime.
+	m := ir.NewModule("trap")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	d := b.Bin(ir.OpDiv, ir.ConstI(1), ir.ConstI(0))
+	b.CallB(ir.BuiltinEmitI, d)
+	b.RetVoid()
+	m.Finalize()
+
+	if _, err := (ConstFold{}).Run(m); err != nil {
+		t.Fatalf("ConstFold: %v", err)
+	}
+	m.Finalize()
+	r := interp.NewRunner(m, interp.Config{})
+	res := r.Run(interp.Binding{}, nil, nil)
+	if res.Status != interp.StatusCrash {
+		t.Fatalf("status = %v, want crash", res.Status)
+	}
+}
+
+func TestDCERemovesUnusedChains(t *testing.T) {
+	m := compile(t, `
+func main(x int) {
+	var a int = x * 2;
+	var b int = a + 5;   // b unused -> whole chain dead after DCE+fixpoint
+	emiti(x);
+}`)
+	before := m.NumInstrs()
+	if err := RunPipeline(m, DCE{}); err != nil {
+		t.Fatalf("DCE: %v", err)
+	}
+	if m.NumInstrs() >= before {
+		t.Fatalf("DCE removed nothing: %d -> %d", before, m.NumInstrs())
+	}
+	out := runOut(t, m, []uint64{21})
+	if int64(out[0]) != 21 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestDCEKeepsCallsAndStores(t *testing.T) {
+	m := compile(t, `
+var g int;
+func bump() int { g = g + 1; return g; }
+func main() {
+	bump();       // unused result but side effect must stay
+	emiti(g);
+}`)
+	if err := RunPipeline(m, DCE{}); err != nil {
+		t.Fatalf("DCE: %v", err)
+	}
+	out := runOut(t, m, nil)
+	if int64(out[0]) != 1 {
+		t.Fatalf("call side effect lost: g = %d, want 1", int64(out[0]))
+	}
+}
+
+func TestSimplifyCFGRemovesDeadBranch(t *testing.T) {
+	m := compile(t, `
+func main(x int) {
+	if (1 < 2) { emiti(x); } else { emiti(0 - x); }
+}`)
+	if err := RunPipeline(m, ConstFold{}, SimplifyCFG{}); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	// After folding the comparison and simplifying, no condbr remains in main.
+	mainFn := m.Funcs[0]
+	for _, b := range mainFn.Blocks {
+		if tr := b.Terminator(); tr != nil && tr.Op == ir.OpCondBr {
+			t.Fatalf("condbr survived constant folding + simplifycfg")
+		}
+	}
+	out := runOut(t, m, []uint64{9})
+	if int64(out[0]) != 9 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestSimplifyCFGMergesBlocks(t *testing.T) {
+	m := compile(t, `func main(x int) { emiti(x); { emiti(x + 1); } emiti(x + 2); }`)
+	before := len(m.Funcs[0].Blocks)
+	if err := RunPipeline(m, SimplifyCFG{}); err != nil {
+		t.Fatalf("SimplifyCFG: %v", err)
+	}
+	after := len(m.Funcs[0].Blocks)
+	if after > before {
+		t.Fatalf("block count grew: %d -> %d", before, after)
+	}
+	out := runOut(t, m, []uint64{5})
+	if int64(out[0]) != 5 || int64(out[1]) != 6 || int64(out[2]) != 7 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestPipelineOnShortCircuitPhis(t *testing.T) {
+	// Short-circuit lowering emits phis; the pipeline must keep them correct.
+	src := `
+func main(a int, b int) {
+	if (a > 0 && b > 0) { emiti(1); } else { emiti(0); }
+	if (a > 0 || b > 0) { emiti(1); } else { emiti(0); }
+}`
+	orig := compile(t, src)
+	opt := orig.Clone()
+	if err := Optimize(opt); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	for _, args := range [][2]int64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}, {0, 0}} {
+		raw := []uint64{uint64(args[0]), uint64(args[1])}
+		a := runOut(t, orig, raw)
+		b := runOut(t, opt, raw)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("args %v: %v vs %v", args, a, b)
+		}
+	}
+}
+
+func TestSingleAssignmentCheck(t *testing.T) {
+	m := ir.NewModule("bad")
+	f := m.AddFunction("main", nil, ir.Void)
+	b := ir.NewBuilder(m, f)
+	x := b.Bin(ir.OpAdd, ir.ConstI(1), ir.ConstI(2))
+	// Manually create a second write to the same register.
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+		&ir.Instr{Op: ir.OpAdd, Type: ir.I64, Dst: x.Reg, Args: []ir.Operand{ir.ConstI(1), ir.ConstI(1)}})
+	b.RetVoid()
+	m.Finalize()
+	if err := RunPipeline(m, DCE{}); err == nil {
+		t.Fatal("RunPipeline accepted multi-assigned registers")
+	}
+}
+
+// TestOptimizeEquivalenceProperty: for random (x, y) the optimized module
+// computes the same result as the original on a program mixing foldable
+// arithmetic, branches, loops, and short circuits.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	src := `
+func f(x int, y int) int {
+	var acc int = 0;
+	for (var i int = 0; i < 8; i = i + 1) {
+		if (x % 2 == 0 && i % 2 == 0 || y % 3 == 1) {
+			acc = acc + i * (2 + 3);
+		} else {
+			acc = acc - (i + 4 / 2);
+		}
+	}
+	return acc;
+}
+func main(x int, y int) { emiti(f(x, y)); }`
+	orig := compile(t, src)
+	opt := orig.Clone()
+	if err := Optimize(opt); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	r1 := interp.NewRunner(orig, interp.Config{})
+	r2 := interp.NewRunner(opt, interp.Config{})
+	prop := func(x, y int16) bool {
+		args := []uint64{uint64(int64(x)), uint64(int64(y))}
+		a := r1.Run(interp.Binding{Args: args}, nil, nil)
+		b := r2.Run(interp.Binding{Args: args}, nil, nil)
+		return a.Status == b.Status && len(a.Output) == 1 &&
+			len(b.Output) == 1 && a.Output[0] == b.Output[0]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadJumpsRemovesForwardingBlocks(t *testing.T) {
+	// An if/else whose then-branch is empty produces a forwarding block
+	// at -O0; after simplification the CFG should have no block whose
+	// only instruction is an unconditional branch (except possibly entry).
+	m := compile(t, `
+func main(x int) {
+	if (x > 3) { } else { emiti(0 - x); }
+	emiti(x);
+}`)
+	if err := RunPipeline(m, Mem2Reg{}, SimplifyCFG{}); err != nil {
+		t.Fatal(err)
+	}
+	for bi, b := range m.Funcs[0].Blocks {
+		if bi == 0 {
+			continue
+		}
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpBr {
+			t.Fatalf("forwarding block bb%d survived simplification", bi)
+		}
+	}
+	for _, args := range []uint64{0, 5} {
+		out := runOut(t, m, []uint64{args})
+		if args == 0 {
+			if int64(out[0]) != 0 || int64(out[1]) != 0 {
+				t.Fatalf("x=0 output %v", out)
+			}
+		} else if int64(out[0]) != 5 {
+			t.Fatalf("x=5 output %v", out)
+		}
+	}
+}
+
+func TestThreadJumpsPreservesPhiSemantics(t *testing.T) {
+	// Full pipeline on a phi-heavy program: semantics must hold for both
+	// branch directions and loop iterations.
+	src := `
+func pick(a int, b int, c bool) int {
+	var r int = a;
+	if (c) { } else { r = b; }
+	return r;
+}
+func main(x int) {
+	var acc int = 0;
+	for (var i int = 0; i < 6; i = i + 1) {
+		acc = acc + pick(i, 0 - i, i % 2 == 0);
+	}
+	emiti(acc);
+	emiti(pick(7, 9, x > 0));
+}`
+	orig := compile(t, src)
+	opt := orig.Clone()
+	if err := Optimize(opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []uint64{0, 1, 100} {
+		a := runOut(t, orig, []uint64{x})
+		b := runOut(t, opt, []uint64{x})
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("x=%d output[%d]: %d vs %d", x, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package profile derives the dynamic profiles SID and MINPSID consume
+// from raw interpreter statistics: the per-instruction cycle cost profile
+// (paper Eq. 1) and the weighted control-flow graph with its indexed CFG
+// list (paper Fig. 5 and Eq. 3).
+package profile
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Cost is the per-instruction cost profile of one execution: the fraction
+// of total dynamic cycles attributable to each static instruction.
+type Cost struct {
+	InstrCycles []int64 // modeled cycles per static instruction ID
+	InstrCount  []int64 // dynamic executions per static instruction ID
+	TotalCycles int64
+	TotalDyn    int64
+}
+
+// NewCost builds a cost profile from an interpreter profile.
+func NewCost(p *interp.Profile) *Cost {
+	c := &Cost{
+		InstrCycles: append([]int64(nil), p.InstrCycles...),
+		InstrCount:  append([]int64(nil), p.InstrCount...),
+	}
+	for i := range p.InstrCycles {
+		c.TotalCycles += p.InstrCycles[i]
+		c.TotalDyn += p.InstrCount[i]
+	}
+	return c
+}
+
+// Of returns Cost_i = DynamicCycles_i / TotalCycles (paper Eq. 1).
+func (c *Cost) Of(instrID int) float64 {
+	if c.TotalCycles == 0 {
+		return 0
+	}
+	return float64(c.InstrCycles[instrID]) / float64(c.TotalCycles)
+}
+
+// DynFraction returns the fraction of dynamic instructions contributed by
+// instrID (used for protection-level accounting, §VIII-A).
+func (c *Cost) DynFraction(instrID int) float64 {
+	if c.TotalDyn == 0 {
+		return 0
+	}
+	return float64(c.InstrCount[instrID]) / float64(c.TotalDyn)
+}
+
+// WeightedCFG is the dynamic control-flow profile of one execution: every
+// basic block of the program (module-wide indexing) annotated with its
+// execution count, plus the traversed edge multiset.
+type WeightedCFG struct {
+	BlockCount []int64
+	EdgeCount  map[[2]int]int64
+}
+
+// NewWeightedCFG extracts the weighted CFG from an interpreter profile.
+func NewWeightedCFG(m *ir.Module, p *interp.Profile) *WeightedCFG {
+	w := &WeightedCFG{
+		BlockCount: append([]int64(nil), p.BlockCount...),
+		EdgeCount:  make(map[[2]int]int64, len(p.EdgeCount)),
+	}
+	for e, c := range p.EdgeCount {
+		w.EdgeCount[e] = c
+	}
+	_ = m
+	return w
+}
+
+// IndexedList converts the weighted CFG into the indexed CFG list of the
+// paper (Fig. 5): position n holds the execution count of basic block n.
+func (w *WeightedCFG) IndexedList() []int64 {
+	return append([]int64(nil), w.BlockCount...)
+}
+
+// Distance returns the Euclidean distance between two indexed CFG lists.
+// Lists of different lengths are compared over the longer length with
+// missing entries treated as zero.
+func Distance(a, b []int64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var av, bv int64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d := float64(av - bv)
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// AvgDistance computes the fitness score S_L of the paper's Eq. 3: the
+// average Euclidean distance between list l and every list in history.
+// (The paper normalizes by |M|+1; with M = len(history) recorded inputs.)
+func AvgDistance(l []int64, history [][]int64) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range history {
+		sum += Distance(l, h)
+	}
+	return sum / float64(len(history)+1)
+}

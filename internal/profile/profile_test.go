@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/minicc"
+)
+
+func TestCostProfile(t *testing.T) {
+	m, err := minicc.Compile("c.mc", `
+func main(n int) {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) { s = s + i; }
+	emiti(s);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := interp.NewProfile(m)
+	r := interp.NewRunner(m, interp.Config{})
+	res := r.Run(interp.Binding{Args: []uint64{100}}, nil, prof)
+	if res.Status != interp.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+
+	c := NewCost(prof)
+	if c.TotalCycles != res.Cycles || c.TotalDyn != res.DynInstrs {
+		t.Fatalf("totals mismatch: %d/%d vs %d/%d", c.TotalCycles, c.TotalDyn, res.Cycles, res.DynInstrs)
+	}
+	var sumCost, sumDyn float64
+	for id := 0; id < m.NumInstrs(); id++ {
+		sumCost += c.Of(id)
+		sumDyn += c.DynFraction(id)
+	}
+	if math.Abs(sumCost-1) > 1e-9 {
+		t.Errorf("costs sum to %f, want 1", sumCost)
+	}
+	if math.Abs(sumDyn-1) > 1e-9 {
+		t.Errorf("dyn fractions sum to %f, want 1", sumDyn)
+	}
+}
+
+func TestWeightedCFGIndexedList(t *testing.T) {
+	// The Fig. 5 scenario: a loop whose body splits on a condition. The
+	// indexed CFG list must reflect per-block execution counts.
+	m, err := minicc.Compile("w.mc", `
+func main(n int) {
+	var acc int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) { acc = acc + 1; } else { acc = acc + 2; }
+	}
+	emiti(acc);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := interp.NewProfile(m)
+	r := interp.NewRunner(m, interp.Config{})
+	r.Run(interp.Binding{Args: []uint64{10}}, nil, prof)
+
+	w := NewWeightedCFG(m, prof)
+	list := w.IndexedList()
+	if len(list) != m.NumBlocks() {
+		t.Fatalf("list len %d != blocks %d", len(list), m.NumBlocks())
+	}
+	// Entry executes once; total block entries match edges+entries.
+	if list[0] != 1 {
+		t.Errorf("entry block count = %d, want 1", list[0])
+	}
+	var edgeSum int64
+	for _, c := range w.EdgeCount {
+		edgeSum += c
+	}
+	var blockSum int64
+	for _, c := range list {
+		blockSum += c
+	}
+	// Every block entry except function entries comes from an edge.
+	if blockSum != edgeSum+1 { // one function (main) entered once
+		t.Errorf("block entries %d != edges %d + 1", blockSum, edgeSum)
+	}
+
+	// Different inputs must give different indexed lists.
+	prof2 := interp.NewProfile(m)
+	r.Run(interp.Binding{Args: []uint64{20}}, nil, prof2)
+	w2 := NewWeightedCFG(m, prof2)
+	if Distance(list, w2.IndexedList()) == 0 {
+		t.Error("different inputs produced identical indexed CFG lists")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance([]int64{0, 3}, []int64{4, 0}); d != 5 {
+		t.Errorf("Distance = %f, want 5", d)
+	}
+	if d := Distance([]int64{1, 2, 3}, []int64{1, 2, 3}); d != 0 {
+		t.Errorf("self distance = %f", d)
+	}
+	// Length mismatch pads with zeros.
+	if d := Distance([]int64{1}, []int64{1, 2}); d != 2 {
+		t.Errorf("padded distance = %f, want 2", d)
+	}
+}
+
+func TestAvgDistance(t *testing.T) {
+	if AvgDistance([]int64{1}, nil) != 0 {
+		t.Error("empty history must give 0")
+	}
+	l := []int64{0, 0}
+	h := [][]int64{{3, 4}, {0, 0}}
+	// distances: 5 and 0; Eq. 3 divides by |M|+1 = 3.
+	want := 5.0 / 3.0
+	if got := AvgDistance(l, h); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AvgDistance = %f, want %f", got, want)
+	}
+}
+
+// Properties of the distance metric: symmetry, identity, triangle
+// inequality on random vectors.
+func TestDistanceMetricProperties(t *testing.T) {
+	norm := func(xs []int16) []int64 {
+		out := make([]int64, len(xs))
+		for i, x := range xs {
+			out[i] = int64(x)
+		}
+		return out
+	}
+	sym := func(a, b []int16) bool {
+		return Distance(norm(a), norm(b)) == Distance(norm(b), norm(a))
+	}
+	ident := func(a []int16) bool { return Distance(norm(a), norm(a)) == 0 }
+	tri := func(a, b, c []int16) bool {
+		ab := Distance(norm(a), norm(b))
+		bc := Distance(norm(b), norm(c))
+		ac := Distance(norm(a), norm(c))
+		return ac <= ab+bc+1e-9
+	}
+	for name, prop := range map[string]any{"symmetry": sym, "identity": ident, "triangle": tri} {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package sid
+
+import (
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// This file implements a static, fault-injection-free estimator of
+// per-instruction SDC proneness in the spirit of SDCTune (Lu et al.,
+// CASES'14), one of the cheaper alternatives to per-instruction FI that
+// the SID literature explores. It scores each value by how strongly it
+// flows into observable outputs: values reaching emit calls or stores are
+// SDC-prone; values feeding branch conditions mostly cause (detectable)
+// path changes; values used as addresses mostly cause crashes, not SDCs.
+//
+// The estimator exists as an ablation point: selection quality of
+// heuristic scores versus measured FI probabilities, at a tiny fraction
+// of the analysis cost.
+
+// Flow-sink scores: the SDC propensity contributed by each kind of use.
+const (
+	sinkEmit    = 1.0  // program output: corrupt value = SDC
+	sinkStore   = 0.8  // memory: likely read back into outputs
+	sinkRet     = 0.7  // flows to the caller
+	sinkCallArg = 0.6  // flows into a callee
+	sinkBranch  = 0.25 // wrong-but-legal path: often masked or crash
+	sinkAddr    = 0.1  // address corruption: mostly crashes, few SDCs
+	flowDamping = 0.9  // attenuation per def-use hop
+)
+
+// opMaskFactor approximates the logic-masking probability of each opcode:
+// the chance a single-bit flip in the result survives downstream use.
+func opMaskFactor(op ir.Op) float64 {
+	switch op {
+	case ir.OpAnd, ir.OpOr:
+		return 0.5 // bit flips frequently masked by the other operand
+	case ir.OpICmp, ir.OpFCmp:
+		return 0.6 // single-bit result; flips always change the value
+	case ir.OpShl, ir.OpShr:
+		return 0.7
+	case ir.OpDiv, ir.OpRem:
+		return 0.8
+	case ir.OpLoad, ir.OpPhi, ir.OpSelect:
+		return 1.0 // pure value movement: nothing masked
+	default:
+		return 0.9
+	}
+}
+
+// HeuristicSDCProb statically scores every instruction of m with an
+// estimated SDC probability in [0,1].
+func HeuristicSDCProb(m *ir.Module) []float64 {
+	score := make([]float64, m.NumInstrs())
+
+	// Per-function fixpoint over the register def-use graph.
+	for _, f := range m.Funcs {
+		// defOf[r] = instruction defining register r (single-assignment).
+		defOf := make([]*ir.Instr, f.NumRegs)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.HasResult() {
+					defOf[in.Dst] = in
+				}
+			}
+		}
+		regScore := make([]float64, f.NumRegs)
+
+		// bump raises a register's flow score.
+		bump := func(o ir.Operand, s float64) bool {
+			if o.Kind != ir.OperReg || s <= regScore[o.Reg] {
+				return false
+			}
+			regScore[o.Reg] = s
+			return true
+		}
+
+		for changed := true; changed; {
+			changed = false
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					switch in.Op {
+					case ir.OpCallB:
+						s := sinkEmit
+						if in.BFunc != ir.BuiltinEmitI && in.BFunc != ir.BuiltinEmitF {
+							s = sinkCallArg // math builtin: flows onward via result
+						}
+						for _, a := range in.Args {
+							if bump(a, s) {
+								changed = true
+							}
+						}
+					case ir.OpStore:
+						if bump(in.Args[0], sinkStore) {
+							changed = true
+						}
+						if bump(in.Args[1], sinkAddr) {
+							changed = true
+						}
+					case ir.OpLoad:
+						if bump(in.Args[0], sinkAddr) {
+							changed = true
+						}
+					case ir.OpGEP:
+						// A GEP result is an address; its inputs inherit
+						// the GEP's own flow score (address-ness applies
+						// when the result is consumed).
+						for _, a := range in.Args {
+							if in.HasResult() && bump(a, regScore[in.Dst]*flowDamping) {
+								changed = true
+							}
+						}
+					case ir.OpCondBr, ir.OpDetect:
+						if bump(in.Args[0], sinkBranch) {
+							changed = true
+						}
+					case ir.OpRet:
+						for _, a := range in.Args {
+							if bump(a, sinkRet) {
+								changed = true
+							}
+						}
+					case ir.OpCall, ir.OpSpawn:
+						for _, a := range in.Args {
+							if bump(a, sinkCallArg) {
+								changed = true
+							}
+						}
+					default:
+						// Pure value op: operands inherit the result's
+						// score, attenuated.
+						if !in.HasResult() {
+							continue
+						}
+						s := regScore[in.Dst] * flowDamping
+						for _, a := range in.Args {
+							if bump(a, s) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+
+		for r, in := range defOf {
+			if in == nil {
+				continue
+			}
+			p := regScore[r] * opMaskFactor(in.Op)
+			if p > 1 {
+				p = 1
+			}
+			score[in.ID] = p
+		}
+	}
+	return score
+}
+
+// HeuristicMeasure builds a Measurement whose SDC probabilities come from
+// the static estimator instead of fault injection. Only a profiling run
+// (for costs) is needed, so preparation is orders of magnitude cheaper.
+func HeuristicMeasure(m *ir.Module, bind interp.Binding, exec interp.Config) (*Measurement, error) {
+	golden, err := fault.RunGolden(m, bind, exec)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumInstrs()
+	meas := &Measurement{
+		Cost:    make([]float64, n),
+		DynFrac: make([]float64, n),
+		SDCProb: HeuristicSDCProb(m),
+		Benefit: make([]float64, n),
+		Golden:  golden,
+	}
+	totalCycles := float64(golden.Cycles)
+	totalDyn := float64(golden.DynInstrs)
+	for id := 0; id < n; id++ {
+		meas.Cost[id] = float64(golden.Profile.InstrCycles[id]) / totalCycles
+		meas.DynFrac[id] = float64(golden.Profile.InstrCount[id]) / totalDyn
+		meas.Benefit[id] = meas.SDCProb[id] * meas.Cost[id]
+	}
+	return meas, nil
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics for coverage distributions (the
+// candlesticks of Figs. 2/6/9) and binomial confidence intervals for
+// fault-injection estimates (the error bars of §III-A3).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample distribution.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P25    float64
+	P75    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample returns a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		Median: Percentile(sorted, 0.50),
+		P25:    Percentile(sorted, 0.25),
+		P75:    Percentile(sorted, 0.75),
+	}
+}
+
+// Percentile returns the p-th percentile (0..1) of a sorted sample using
+// linear interpolation between closest ranks.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilsonInterval returns the 95% Wilson score interval for k successes in
+// n trials: the error bars reported for FI-derived probabilities.
+func WilsonInterval(k, n int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.959963984540054 // 97.5th normal percentile
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MarginOfError returns the half-width of the 95% Wilson interval — the
+// "error bar" quoted in the paper (0.26% to 3.10%).
+func MarginOfError(k, n int64) float64 {
+	lo, hi := WilsonInterval(k, n)
+	return (hi - lo) / 2
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

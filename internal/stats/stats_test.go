@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	if s.N != 8 || s.Min != 1 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-31.0/8) > 1e-12 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if s.Median != 3.5 {
+		t.Errorf("median = %f, want 3.5", s.Median)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary has N != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 0.25: 20, 0.5: 30, 0.75: 40, 1: 50}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%.0f = %f, want %f", p*100, got, want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %f, want 5", got)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%f,%f] does not contain p=0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide for n=100: %f", hi-lo)
+	}
+	// Paper-scale check: 1000 trials yields margins of a few percent.
+	if m := MarginOfError(100, 1000); m < 0.0026 || m > 0.031 {
+		t.Errorf("margin for 100/1000 = %f, want within the paper's 0.26%%..3.10%% band", m)
+	}
+	// Degenerate cases.
+	if lo, hi := WilsonInterval(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("n=0 interval = [%f,%f]", lo, hi)
+	}
+	if lo, _ := WilsonInterval(0, 10); lo != 0 {
+		t.Errorf("k=0 lower bound = %f", lo)
+	}
+	if _, hi := WilsonInterval(10, 10); hi != 1 {
+		t.Errorf("k=n upper bound = %f", hi)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%50) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 || v < xs[0]-1e-12 || v > xs[m-1]+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Wilson interval always contains the point estimate.
+func TestWilsonContainsEstimateProperty(t *testing.T) {
+	prop := func(k, n uint16) bool {
+		nn := int64(n%1000) + 1
+		kk := int64(k) % (nn + 1)
+		lo, hi := WilsonInterval(kk, nn)
+		p := float64(kk) / float64(nn)
+		return lo <= p+1e-12 && p <= hi+1e-12 && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
