@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the fault campaign engine
+# (cache single-flight, parallel runSites) and the parallel GA fitness
+# evaluation. -short trims the invariance matrix to keep this quick.
+race:
+	$(GO) test -race -short ./internal/fault/... ./internal/minpsid/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

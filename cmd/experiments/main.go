@@ -29,6 +29,7 @@ func main() {
 		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
 		seed    = flag.Int64("seed", 2022, "experiment seed")
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
+		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 	)
 	flag.Parse()
 
@@ -39,13 +40,13 @@ func main() {
 	if *full {
 		profile = "full"
 	}
-	if err := run(*exp, profile, *benches, *seed, *workers); err != nil {
+	if err := run(*exp, profile, *benches, *seed, *workers, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, profile, benchList string, seed int64, workers int) error {
+func run(expList, profile, benchList string, seed int64, workers int, metrics bool) error {
 	p := harness.Quick()
 	switch profile {
 	case "medium":
@@ -119,6 +120,12 @@ func run(expList, profile, benchList string, seed int64, workers int) error {
 			return err
 		}
 		fmt.Fprintln(w)
+	}
+	if metrics {
+		if err := r.Metrics.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Cache.Stats())
 	}
 	return nil
 }

@@ -5,16 +5,16 @@ import "testing"
 func TestRunSelectedExperiments(t *testing.T) {
 	// Light experiments only; the heavy ones are covered by the harness
 	// tests and the root benchmark suite.
-	if err := run("table1,fig5", "quick", "", 1, 0); err != nil {
+	if err := run("table1,fig5", "quick", "", 1, 0, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("figX", "quick", "", 1, 0); err == nil {
+	if err := run("figX", "quick", "", 1, 0, false); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("table1", "quick", "nope", 1, 0); err == nil {
+	if err := run("table1", "quick", "nope", 1, 0, false); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

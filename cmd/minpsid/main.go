@@ -14,17 +14,19 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "kmeans", "benchmark name (see -list)")
-		tech  = flag.String("tech", "minpsid", "protection technique: sid or minpsid")
-		level = flag.Float64("level", 0.5, "protection level (fraction of dynamic cycles)")
-		quick = flag.Bool("quick", true, "use reduced fault-injection budgets")
-		seed  = flag.Int64("seed", 1, "random seed")
-		dump  = flag.Bool("dump", false, "dump the protected IR module")
-		list  = flag.Bool("list", false, "list available benchmarks and exit")
+		bench   = flag.String("bench", "kmeans", "benchmark name (see -list)")
+		tech    = flag.String("tech", "minpsid", "protection technique: sid or minpsid")
+		level   = flag.Float64("level", 0.5, "protection level (fraction of dynamic cycles)")
+		quick   = flag.Bool("quick", true, "use reduced fault-injection budgets")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dump    = flag.Bool("dump", false, "dump the protected IR module")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 	)
 	flag.Parse()
 
@@ -35,13 +37,13 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *tech, *level, *quick, *seed, *dump); err != nil {
+	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, techName string, level float64, quick bool, seed int64, dump bool) error {
+func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool) error {
 	technique, err := core.ParseTechnique(techName)
 	if err != nil {
 		return err
@@ -56,6 +58,10 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump boo
 		opts = core.QuickOptions()
 	}
 	opts.Seed = seed
+	if metrics {
+		opts.Cache = fault.NewCache(0)
+		opts.Metrics = fault.NewMetrics()
+	}
 
 	fmt.Printf("protecting %s with %s at %.0f%% level (faults/instr=%d)\n",
 		bench, technique, level*100, opts.FaultsPerInstr)
@@ -92,6 +98,13 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump boo
 	fmt.Printf("verification: protected output matches original (%d words); dyn instrs %d -> %d (+%.1f%%)\n",
 		len(orig.Output), orig.DynInstrs, after.DynInstrs,
 		100*float64(after.DynInstrs-orig.DynInstrs)/float64(orig.DynInstrs))
+
+	if metrics {
+		if err := opts.Metrics.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println(opts.Cache.Stats())
+	}
 
 	if dump {
 		fmt.Println(prot.Module.String())

@@ -3,16 +3,16 @@ package main
 import "testing"
 
 func TestRunProtectsBenchmark(t *testing.T) {
-	if err := run("pathfinder", "sid", 0.3, true, 1, false); err != nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, false, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "sid", 0.3, true, 1, false); err == nil {
+	if err := run("nope", "sid", 0.3, true, 1, false, false); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("pathfinder", "bogus", 0.3, true, 1, false); err == nil {
+	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false); err == nil {
 		t.Fatal("unknown technique accepted")
 	}
 }

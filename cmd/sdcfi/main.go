@@ -26,16 +26,17 @@ func main() {
 		input     = flag.String("input", "ref", "input selection: ref or random")
 		inputSeed = flag.Int64("input-seed", 7, "seed for -input random")
 		seed      = flag.Int64("seed", 1, "fault-site sampling seed")
+		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
 	)
 	flag.Parse()
 
-	if err := run(*bench, *n, *input, *inputSeed, *seed); err != nil {
+	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench string, n int, input string, inputSeed, seed int64) error {
+func run(bench string, n int, input string, inputSeed, seed int64, metrics bool) error {
 	prog, err := core.FromBenchmark(bench)
 	if err != nil {
 		return err
@@ -46,17 +47,29 @@ func run(bench string, n int, input string, inputSeed, seed int64) error {
 	}
 	fmt.Printf("benchmark %s, input: %s\n", bench, prog.Spec.String(in))
 
-	res, err := prog.InjectionCampaign(in, n, seed)
+	var m *fault.Metrics
+	if metrics {
+		m = fault.NewMetrics()
+	}
+	res, err := prog.InjectionCampaignOpts(in, n, seed, nil, m.Phase("program-fi"))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trials: %d\n", res.Trials)
+	if res.Shortfall > 0 {
+		fmt.Printf("shortfall: %d of %d requested trials could not be drawn\n", res.Shortfall, res.Requested)
+	}
 	for _, o := range []fault.Outcome{fault.OutcomeBenign, fault.OutcomeSDC,
 		fault.OutcomeCrash, fault.OutcomeHang, fault.OutcomeDetected} {
 		k := res.Counts[o]
 		lo, hi := stats.WilsonInterval(k, res.Trials)
 		fmt.Printf("  %-9s %6d  (%6.2f%%, 95%% CI [%.2f%%, %.2f%%])\n",
 			o, k, 100*res.Rate(o), lo*100, hi*100)
+	}
+	if metrics {
+		if err := m.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

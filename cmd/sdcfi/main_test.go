@@ -3,16 +3,16 @@ package main
 import "testing"
 
 func TestRunCampaign(t *testing.T) {
-	if err := run("pathfinder", 100, "ref", 7, 1); err != nil {
+	if err := run("pathfinder", 100, "ref", 7, 1, true); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("fft", 50, "random", 7, 1); err != nil {
+	if err := run("fft", 50, "random", 7, 1, false); err != nil {
 		t.Fatalf("run with random input: %v", err)
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", 10, "ref", 0, 0); err == nil {
+	if err := run("nope", 10, "ref", 0, 0, false); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

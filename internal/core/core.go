@@ -145,6 +145,12 @@ type Options struct {
 	// Seed drives all stochastic steps; Workers bounds FI parallelism.
 	Seed    int64
 	Workers int
+	// Cache, if non-nil, memoizes golden runs and campaigns across the
+	// protection pipeline; Metrics, if non-nil, collects per-phase campaign
+	// accounting. Both are observational: results are bit-identical with or
+	// without them.
+	Cache   *fault.Cache
+	Metrics *fault.Metrics
 }
 
 // DefaultOptions returns paper-scale settings.
@@ -167,6 +173,8 @@ func (o Options) searchConfig() minpsid.Config {
 		Strategy:       o.SearchStrategy,
 		Seed:           o.Seed,
 		Workers:        o.Workers,
+		Cache:          o.Cache,
+		Metrics:        o.Metrics,
 	}
 }
 
@@ -211,6 +219,8 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 			FaultsPerInstr: opts.FaultsPerInstr,
 			Seed:           opts.Seed,
 			Workers:        opts.Workers,
+			Cache:          opts.Cache,
+			Metrics:        opts.Metrics.Phase(fault.PhaseRefFI),
 		}, level, sid.MethodDP)
 		if err != nil {
 			return nil, err
@@ -253,12 +263,18 @@ func (pr *Protection) EvaluateCoverage(in inputgen.Input, n int, seed int64) (Co
 // InjectionCampaign runs a program-level FI campaign on the *unprotected*
 // program under one input: the raw resilience characterization step.
 func (p *Program) InjectionCampaign(in inputgen.Input, n int, seed int64) (fault.CampaignResult, error) {
+	return p.InjectionCampaignOpts(in, n, seed, nil, nil)
+}
+
+// InjectionCampaignOpts is InjectionCampaign with optional golden-run
+// memoization and campaign metrics.
+func (p *Program) InjectionCampaignOpts(in inputgen.Input, n int, seed int64, cache *fault.Cache, pm *fault.PhaseMetrics) (fault.CampaignResult, error) {
 	bind := p.Bind(in)
-	golden, err := fault.RunGolden(p.Module, bind, p.Exec)
+	golden, err := cache.Golden(p.Module, bind, p.Exec, pm)
 	if err != nil {
 		return fault.CampaignResult{}, err
 	}
-	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden}
+	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden, Metrics: pm}
 	return c.Run(n, seed), nil
 }
 

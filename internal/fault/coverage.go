@@ -2,7 +2,6 @@ package fault
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -44,29 +43,48 @@ func (r TrueCoverageResult) Coverage() (float64, bool) {
 // coverage.
 func TrueCoverage(orig, prot *ir.Module, idMap map[int]int, bind interp.Binding,
 	exec interp.Config, n int, seed int64, workers int) (TrueCoverageResult, error) {
+	return TrueCoverageOpts(orig, prot, idMap, bind, exec, CoverageOptions{
+		Trials: n, Seed: seed, Workers: workers,
+	})
+}
 
-	goldenO, err := RunGolden(orig, bind, exec)
+// CoverageOptions bundles the knobs of a TrueCoverage measurement. Cache,
+// if non-nil, memoizes the golden runs and the phase-1 unprotected-program
+// campaign: evaluating several protections of the same program under the
+// same input at the same (Trials, Seed) then shares one site sample and
+// one set of unprotected outcomes instead of re-executing them. Metrics,
+// if non-nil, receives the campaign accounting.
+type CoverageOptions struct {
+	Trials  int
+	Seed    int64
+	Workers int
+	Cache   *Cache
+	Metrics *PhaseMetrics
+}
+
+// TrueCoverageOpts is TrueCoverage with memoization and metrics.
+func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Binding,
+	exec interp.Config, opt CoverageOptions) (TrueCoverageResult, error) {
+
+	goldenO, err := opt.Cache.Golden(orig, bind, exec, opt.Metrics)
 	if err != nil {
 		return TrueCoverageResult{}, fmt.Errorf("fault: original golden: %w", err)
 	}
-	goldenP, err := RunGolden(prot, bind, exec)
+	goldenP, err := opt.Cache.Golden(prot, bind, exec, opt.Metrics)
 	if err != nil {
 		return TrueCoverageResult{}, fmt.Errorf("fault: protected golden: %w", err)
 	}
 
-	// Phase 1: campaign on the original program.
-	rng := rand.New(rand.NewSource(seed))
-	sampler := NewSampler(orig, goldenO, true)
-	sites := make([]interp.Fault, 0, n)
-	for i := 0; i < n; i++ {
-		if s, ok := sampler.RandomSite(rng); ok {
-			sites = append(sites, s)
-		}
-	}
-	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO, Workers: workers}
-	outcomesO := campO.runSites(sites)
+	// Phase 1: campaign on the original program (memoized: identical for
+	// every protection of the same original under this input and seed).
+	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO,
+		Workers: opt.Workers, Metrics: opt.Metrics}
+	sites, outcomesO, shortfall := opt.Cache.unprotectedCampaign(campO, true, opt.Trials, opt.Seed)
 
 	res := TrueCoverageResult{Trials: int64(len(sites))}
+	res.Unprotect.Requested = int64(opt.Trials)
+	res.Unprotect.Shortfall = shortfall
+	campO.Metrics.AddShortfall(shortfall)
 	var replay []interp.Fault
 	for i, o := range outcomesO {
 		res.Unprotect.Add(o)
@@ -83,7 +101,8 @@ func TrueCoverage(orig, prot *ir.Module, idMap map[int]int, bind interp.Binding,
 	}
 
 	// Phase 2: replay SDC sites against the protected program.
-	campP := &Campaign{Mod: prot, Bind: bind, Cfg: exec, Golden: goldenP, Workers: workers}
+	campP := &Campaign{Mod: prot, Bind: bind, Cfg: exec, Golden: goldenP,
+		Workers: opt.Workers, Metrics: opt.Metrics}
 	outcomesP := campP.runSites(replay)
 	for _, o := range outcomesP {
 		if o == OutcomeDetected {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -191,10 +192,16 @@ func (s *Sampler) SiteFor(instrID int, rng *rand.Rand) (interp.Fault, bool) {
 	}, true
 }
 
-// CampaignResult aggregates trial outcomes.
+// CampaignResult aggregates trial outcomes. Requested records how many
+// trials the campaign was asked for and Shortfall how many of those could
+// not be drawn even after bounded redraws (a program with no injectable
+// dynamic instructions): Trials == Requested - Shortfall, so a loss of
+// statistical power is visible instead of silent.
 type CampaignResult struct {
-	Counts [NumOutcomes]int64
-	Trials int64
+	Counts    [NumOutcomes]int64
+	Trials    int64
+	Requested int64
+	Shortfall int64
 }
 
 // Add accumulates one outcome.
@@ -209,6 +216,8 @@ func (c *CampaignResult) Merge(o CampaignResult) {
 		c.Counts[i] += o.Counts[i]
 	}
 	c.Trials += o.Trials
+	c.Requested += o.Requested
+	c.Shortfall += o.Shortfall
 }
 
 // Rate returns the fraction of trials with outcome o (0 if no trials).
@@ -232,12 +241,15 @@ func (c *CampaignResult) SDCCoverage() (float64, bool) {
 }
 
 // Campaign runs fault-injection trials over a module with one input.
+// Metrics, if non-nil, receives trial outcomes, wall/busy time, and
+// worker-count observations (it never influences results).
 type Campaign struct {
 	Mod     *ir.Module
 	Bind    interp.Binding
 	Cfg     interp.Config
 	Golden  *Golden
 	Workers int // 0 = GOMAXPROCS
+	Metrics *PhaseMetrics
 }
 
 func (c *Campaign) workers() int {
@@ -250,6 +262,7 @@ func (c *Campaign) workers() int {
 // runSites executes the given fault sites in parallel and returns one
 // outcome per site (index-aligned), deterministic for fixed sites.
 func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
+	t0 := time.Now()
 	outcomes := make([]Outcome, len(sites))
 	cfg := faultyConfig(c.Cfg, c.Golden)
 	nw := c.workers()
@@ -258,44 +271,90 @@ func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
 	}
 	if nw <= 1 {
 		r := interp.NewRunner(c.Mod, cfg)
+		busy := time.Now()
 		for i := range sites {
 			outcomes[i] = Classify(c.Golden, r.Run(c.Bind, &sites[i], nil))
 		}
+		c.Metrics.AddBusy(time.Since(busy))
+		c.finishSites(outcomes, 1, t0)
 		return outcomes
 	}
-	var wg sync.WaitGroup
-	next := make(chan int) // work queue of site indices
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r := interp.NewRunner(c.Mod, cfg)
-			for i := range next {
-				outcomes[i] = Classify(c.Golden, r.Run(c.Bind, &sites[i], nil))
-			}
-		}()
-	}
+	// The queue is buffered to the full site count and filled before any
+	// worker starts: dispatch never blocks, so workers drain at full speed
+	// instead of rendezvousing with a producer once per trial.
+	next := make(chan int, len(sites))
 	for i := range sites {
 		next <- i
 	}
 	close(next)
+	// Pre-size per-worker runner state before spawning so allocation cost
+	// is not interleaved with execution.
+	runners := make([]*interp.Runner, nw)
+	for w := range runners {
+		runners[w] = interp.NewRunner(c.Mod, cfg)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(r *interp.Runner) {
+			defer wg.Done()
+			var busy time.Duration
+			for i := range next {
+				t := time.Now()
+				res := r.Run(c.Bind, &sites[i], nil)
+				busy += time.Since(t)
+				outcomes[i] = Classify(c.Golden, res)
+			}
+			c.Metrics.AddBusy(busy)
+		}(runners[w])
+	}
 	wg.Wait()
+	c.finishSites(outcomes, nw, t0)
 	return outcomes
 }
 
-// Run performs n program-level trials with sites drawn from seed and
-// returns the aggregated outcome counts. The result is deterministic for a
-// fixed (module, input, n, seed) regardless of worker count.
-func (c *Campaign) Run(n int, seed int64) CampaignResult {
+// finishSites folds one runSites batch into the campaign metrics.
+func (c *Campaign) finishSites(outcomes []Outcome, nw int, t0 time.Time) {
+	if c.Metrics == nil {
+		return
+	}
+	c.Metrics.AddOutcomes(outcomes)
+	c.Metrics.ObserveWorkers(nw)
+	c.Metrics.AddWall(time.Since(t0))
+}
+
+// siteRetries bounds redraws for a failed site draw before the trial is
+// counted as shortfall.
+const siteRetries = 8
+
+// sampleSites draws n sites from a fresh RNG seeded with seed, redrawing
+// each failed draw up to siteRetries times, and returns the sites plus the
+// number of trials that could not be drawn.
+func sampleSites(n int, seed int64, draw func(*rand.Rand) (interp.Fault, bool)) ([]interp.Fault, int64) {
 	rng := rand.New(rand.NewSource(seed))
-	sampler := NewSampler(c.Mod, c.Golden, false)
 	sites := make([]interp.Fault, 0, n)
 	for i := 0; i < n; i++ {
-		if site, ok := sampler.RandomSite(rng); ok {
+		site, ok := draw(rng)
+		for retry := 0; !ok && retry < siteRetries; retry++ {
+			site, ok = draw(rng)
+		}
+		if ok {
 			sites = append(sites, site)
 		}
 	}
-	var res CampaignResult
+	return sites, int64(n - len(sites))
+}
+
+// Run performs n program-level trials with sites drawn from seed and
+// returns the aggregated outcome counts. Failed site draws are retried up
+// to a bound; any remaining shortfall is recorded in the result rather
+// than silently shrinking the sample. The result is deterministic for a
+// fixed (module, input, n, seed) regardless of worker count.
+func (c *Campaign) Run(n int, seed int64) CampaignResult {
+	sampler := NewSampler(c.Mod, c.Golden, false)
+	sites, shortfall := sampleSites(n, seed, sampler.RandomSite)
+	res := CampaignResult{Requested: int64(n), Shortfall: shortfall}
+	c.Metrics.AddShortfall(shortfall)
 	for _, o := range c.runSites(sites) {
 		res.Add(o)
 	}
@@ -399,15 +458,12 @@ func (s *Sampler) RandomMultiBitSite(rng *rand.Rand, k int) (interp.Fault, bool)
 
 // RunMultiBit is Run with k-bit flips per trial instead of single-bit.
 func (c *Campaign) RunMultiBit(n int, seed int64, k int) CampaignResult {
-	rng := rand.New(rand.NewSource(seed))
 	sampler := NewSampler(c.Mod, c.Golden, false)
-	sites := make([]interp.Fault, 0, n)
-	for i := 0; i < n; i++ {
-		if site, ok := sampler.RandomMultiBitSite(rng, k); ok {
-			sites = append(sites, site)
-		}
-	}
-	var res CampaignResult
+	sites, shortfall := sampleSites(n, seed, func(rng *rand.Rand) (interp.Fault, bool) {
+		return sampler.RandomMultiBitSite(rng, k)
+	})
+	res := CampaignResult{Requested: int64(n), Shortfall: shortfall}
+	c.Metrics.AddShortfall(shortfall)
 	for _, o := range c.runSites(sites) {
 		res.Add(o)
 	}

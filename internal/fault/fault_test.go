@@ -382,3 +382,77 @@ func TestMultiBitSiteMask(t *testing.T) {
 		}
 	}
 }
+
+// A campaign on a program with no injectable dynamic instructions must
+// report the undrawable trials as shortfall rather than silently
+// returning fewer trials than requested.
+func TestCampaignShortfallReported(t *testing.T) {
+	m, err := minicc.Compile("empty.mc", `func main(n int) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := RunGolden(m, interp.Binding{Args: []uint64{1}}, interp.Config{})
+	if err != nil {
+		t.Fatalf("RunGolden: %v", err)
+	}
+	c := &Campaign{Mod: m, Bind: interp.Binding{Args: []uint64{1}}, Cfg: interp.Config{}, Golden: g}
+	res := c.Run(10, 3)
+	if res.Requested != 10 {
+		t.Errorf("Requested = %d, want 10", res.Requested)
+	}
+	if res.Trials+res.Shortfall != res.Requested {
+		t.Errorf("Trials %d + Shortfall %d != Requested %d", res.Trials, res.Shortfall, res.Requested)
+	}
+	if NewSampler(m, g, false).Total() == 0 && res.Shortfall != 10 {
+		t.Errorf("no injectable sites but Shortfall = %d, want 10", res.Shortfall)
+	}
+}
+
+// Campaign results must be bit-identical across worker counts, including
+// the new Requested/Shortfall accounting (CampaignResult is comparable).
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	m, bind, g := setup(t)
+	base := (&Campaign{Mod: m, Bind: bind, Cfg: interp.Config{}, Golden: g, Workers: 1}).Run(300, 9)
+	for _, nw := range []int{2, 8} {
+		c := &Campaign{Mod: m, Bind: bind, Cfg: interp.Config{}, Golden: g, Workers: nw}
+		if got := c.Run(300, 9); got != base {
+			t.Fatalf("Workers=%d result differs:\n%+v\n%+v", nw, got, base)
+		}
+	}
+}
+
+// TrueCoverage through a warm cache must be bit-identical to an uncached
+// run: memoization of goldens and the phase-1 campaign may change cost,
+// never results.
+func TestTrueCoverageCacheInvariance(t *testing.T) {
+	m, bind, _ := setup(t)
+	identity := make(map[int]int, m.NumInstrs())
+	for i := 0; i < m.NumInstrs(); i++ {
+		identity[i] = i
+	}
+	want, err := TrueCoverage(m, m, identity, bind, interp.Config{}, 200, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(0)
+	pm := NewMetrics().Phase(PhaseEvaluation)
+	opts := CoverageOptions{Trials: 200, Seed: 42, Workers: 1, Cache: cache, Metrics: pm}
+	cold, err := TrueCoverageOpts(m, m, identity, bind, interp.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := TrueCoverageOpts(m, m, identity, bind, interp.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != want || warm != want {
+		t.Fatalf("cached TrueCoverage differs:\nuncached %+v\ncold     %+v\nwarm     %+v", want, cold, warm)
+	}
+	s := cache.Stats()
+	if s.CampaignHits == 0 || s.GoldenHits == 0 {
+		t.Fatalf("warm run did not hit the cache: %+v", s)
+	}
+	if snap := pm.Snapshot(); snap.Trials == 0 {
+		t.Error("evaluation phase recorded no trials")
+	}
+}

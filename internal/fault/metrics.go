@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Canonical campaign phases: the Fig. 8 cost categories of the MINPSID
+// pipeline plus the coverage-evaluation campaigns the harness runs on top.
+const (
+	PhaseRefFI        = "ref-fi"        // ① per-instruction FI on the reference input
+	PhaseSearchEngine = "search-engine" // ③-⑥ input search incl. fitness golden runs
+	PhaseIncubativeFI = "incubative-fi" // ⑦ per-instruction FI on searched inputs
+	PhaseEvaluation   = "evaluation"    // coverage campaigns on evaluation inputs
+)
+
+// Metrics aggregates campaign-engine measurements grouped by pipeline
+// phase: trial counts, outcome histograms, golden-run and cache traffic,
+// and wall/busy time. All methods are safe for concurrent use and are
+// no-ops on a nil receiver, so instrumentation call sites need no guards.
+//
+// Metrics observe the engine; they never influence it. Enabling or
+// disabling metrics cannot change any campaign result.
+type Metrics struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*PhaseMetrics
+}
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{phases: make(map[string]*PhaseMetrics)}
+}
+
+// Phase returns the named phase accumulator, creating it on first use.
+// A nil Metrics returns a nil *PhaseMetrics whose methods are no-ops.
+func (m *Metrics) Phase(name string) *PhaseMetrics {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.phases[name]
+	if !ok {
+		p = &PhaseMetrics{name: name}
+		m.phases[name] = p
+		m.order = append(m.order, name)
+	}
+	return p
+}
+
+// PhaseMetrics accumulates measurements for one pipeline phase.
+type PhaseMetrics struct {
+	mu          sync.Mutex
+	name        string
+	trials      int64
+	outcomes    [NumOutcomes]int64
+	shortfall   int64
+	goldenRuns  int64
+	cacheHits   int64
+	cacheMisses int64
+	wall        time.Duration
+	busy        time.Duration
+	maxWorkers  int
+}
+
+// AddOutcomes folds one batch of executed trial outcomes into the phase.
+func (p *PhaseMetrics) AddOutcomes(os []Outcome) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	for _, o := range os {
+		p.outcomes[o]++
+	}
+	p.trials += int64(len(os))
+	p.mu.Unlock()
+}
+
+// AddShortfall records trials a campaign requested but could not draw.
+func (p *PhaseMetrics) AddShortfall(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.shortfall += n
+	p.mu.Unlock()
+}
+
+// AddGoldenRun records one executed (non-memoized) golden run.
+func (p *PhaseMetrics) AddGoldenRun() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.goldenRuns++
+	p.mu.Unlock()
+}
+
+// AddCacheHit records one memoization hit (golden run or campaign).
+func (p *PhaseMetrics) AddCacheHit() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cacheHits++
+	p.mu.Unlock()
+}
+
+// AddCacheMiss records one memoization miss.
+func (p *PhaseMetrics) AddCacheMiss() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.cacheMisses++
+	p.mu.Unlock()
+}
+
+// AddWall adds wall-clock time spent in the phase.
+func (p *PhaseMetrics) AddWall(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.wall += d
+	p.mu.Unlock()
+}
+
+// AddBusy adds worker execution time (summed across workers).
+func (p *PhaseMetrics) AddBusy(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.busy += d
+	p.mu.Unlock()
+}
+
+// ObserveWorkers records the worker count of one campaign; the phase keeps
+// the maximum observed.
+func (p *PhaseMetrics) ObserveWorkers(n int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if n > p.maxWorkers {
+		p.maxWorkers = n
+	}
+	p.mu.Unlock()
+}
+
+// PhaseSnapshot is a consistent copy of one phase's counters.
+type PhaseSnapshot struct {
+	Name        string
+	Trials      int64 // executed faulty-run trials
+	Outcomes    [NumOutcomes]int64
+	Shortfall   int64 // requested-but-undrawable trials
+	GoldenRuns  int64 // golden executions actually run (cache misses run once)
+	CacheHits   int64
+	CacheMisses int64
+	Wall        time.Duration // wall-clock time inside instrumented sections
+	Busy        time.Duration // summed per-worker execution time
+	MaxWorkers  int
+}
+
+// HitRate returns the cache hit fraction (0 when the phase saw no lookups).
+func (s PhaseSnapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Utilization returns Busy / (Wall x MaxWorkers): the fraction of the
+// phase's worker-seconds spent executing rather than stalled on dispatch.
+func (s PhaseSnapshot) Utilization() float64 {
+	if s.Wall <= 0 || s.MaxWorkers <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / (float64(s.Wall) * float64(s.MaxWorkers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Snapshot returns a copy of the phase counters.
+func (p *PhaseMetrics) Snapshot() PhaseSnapshot {
+	if p == nil {
+		return PhaseSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PhaseSnapshot{
+		Name:        p.name,
+		Trials:      p.trials,
+		Outcomes:    p.outcomes,
+		Shortfall:   p.shortfall,
+		GoldenRuns:  p.goldenRuns,
+		CacheHits:   p.cacheHits,
+		CacheMisses: p.cacheMisses,
+		Wall:        p.wall,
+		Busy:        p.busy,
+		MaxWorkers:  p.maxWorkers,
+	}
+}
+
+// Snapshots returns every phase in first-use order.
+func (m *Metrics) Snapshots() []PhaseSnapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	phases := make([]*PhaseMetrics, len(names))
+	for i, n := range names {
+		phases[i] = m.phases[n]
+	}
+	m.mu.Unlock()
+	out := make([]PhaseSnapshot, len(phases))
+	for i, p := range phases {
+		out[i] = p.Snapshot()
+	}
+	return out
+}
+
+// Render prints the per-phase metrics table (the -metrics CLI output).
+func (m *Metrics) Render(w io.Writer) error {
+	snaps := m.Snapshots()
+	fmt.Fprintln(w, "Campaign-engine metrics (per phase)")
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "  (no campaigns recorded)")
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Phase\tTrials\tSDC\tCrash\tHang\tDetected\tBenign\tShortfall\tGoldenRuns\tCacheHit%\tWall\tWorkers\tUtil%")
+	for _, s := range snaps {
+		hit := "-"
+		if s.CacheHits+s.CacheMisses > 0 {
+			hit = fmt.Sprintf("%.1f%% (%d/%d)", 100*s.HitRate(), s.CacheHits, s.CacheHits+s.CacheMisses)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%.2fs\t%d\t%.0f%%\n",
+			s.Name, s.Trials,
+			s.Outcomes[OutcomeSDC], s.Outcomes[OutcomeCrash], s.Outcomes[OutcomeHang],
+			s.Outcomes[OutcomeDetected], s.Outcomes[OutcomeBenign],
+			s.Shortfall, s.GoldenRuns, hit, s.Wall.Seconds(), s.MaxWorkers, 100*s.Utilization())
+	}
+	return tw.Flush()
+}

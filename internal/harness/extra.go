@@ -151,10 +151,10 @@ func Fig7(r *Runner, benches []*benchprog.Benchmark, w io.Writer) ([]Fig7Result,
 			return nil, err
 		}
 		tgt := target(b)
-		cfgRnd := r.P.searchConfig(r.P.Seed + 17) // same budget and seed as GA
+		cfgRnd := r.searchConfig(r.P.Seed + 17) // same budget and seed as GA
 		cfgRnd.Strategy = minpsid.StrategyRandom
 		rnd := minpsid.Search(tgt, cfgRnd, b.Reference, ev.RefMeas)
-		cfgSA := r.P.searchConfig(r.P.Seed + 17)
+		cfgSA := r.searchConfig(r.P.Seed + 17)
 		cfgSA.Strategy = minpsid.StrategyAnneal
 		sa := minpsid.Search(tgt, cfgSA, b.Reference, ev.RefMeas)
 
@@ -263,7 +263,7 @@ func Fig9(r *Runner, w io.Writer) ([]CaseStudyEval, error) {
 				var covs []float64
 				loss := 0
 				for i, bind := range binds {
-					cov, ok := measureCoverage(prot, bind, b.ExecConfig(), r.P, r.P.Seed+int64(i)*7)
+					cov, ok := r.measureCoverage(prot, bind, b.ExecConfig(), r.P.Seed+int64(i)*7)
 					if !ok {
 						continue
 					}
@@ -327,11 +327,13 @@ func MTFFT(r *Runner, w io.Writer) error {
 			FaultsPerInstr: r.P.FaultsPerInstr,
 			Seed:           r.P.Seed,
 			Workers:        r.P.Workers,
+			Cache:          r.Cache,
+			Metrics:        r.Metrics.Phase(fault.PhaseRefFI),
 		})
 		if err != nil {
 			return err
 		}
-		search := minpsid.Search(tgt, r.P.searchConfig(r.P.Seed+int64(nt)), ref, refMeas)
+		search := minpsid.Search(tgt, r.searchConfig(r.P.Seed+int64(nt)), ref, refMeas)
 		updated := minpsid.Reprioritize(refMeas, search)
 
 		for _, tech := range []Technique{Baseline, Minpsid} {
@@ -351,7 +353,7 @@ func MTFFT(r *Runner, w io.Writer) error {
 			for i := 0; i < max(r.P.EvalInputs/2, 4); i++ {
 				in := ref.Clone()
 				in.I[2] = int64(10_000 + i*131) // new dataset seed
-				cov, ok := measureCoverage(prot, b.Bind(in), tgt.Exec, r.P, r.P.Seed+int64(i))
+				cov, ok := r.measureCoverage(prot, b.Bind(in), tgt.Exec, r.P.Seed+int64(i))
 				if !ok {
 					continue
 				}
@@ -439,7 +441,7 @@ func ErrorBars(r *Runner, benches []*benchprog.Benchmark, w io.Writer) error {
 	for _, b := range benches {
 		m := b.MustModule()
 		bind := b.Bind(b.Reference)
-		golden, err := fault.RunGolden(m, bind, b.ExecConfig())
+		golden, err := r.Cache.Golden(m, bind, b.ExecConfig(), nil)
 		if err != nil {
 			return err
 		}

@@ -101,6 +101,15 @@ func (p Profile) searchConfig(seed int64) minpsid.Config {
 	}
 }
 
+// searchConfig builds the search config wired to the runner's shared
+// cache and metrics.
+func (r *Runner) searchConfig(seed int64) minpsid.Config {
+	cfg := r.P.searchConfig(seed)
+	cfg.Cache = r.Cache
+	cfg.Metrics = r.Metrics
+	return cfg
+}
+
 // Technique names the two protection schemes under comparison.
 type Technique uint8
 
@@ -154,15 +163,25 @@ type BenchEval struct {
 	RefFITime time.Duration
 }
 
-// Runner executes and caches experiments under one profile.
+// Runner executes and caches experiments under one profile. All
+// experiments of one Runner share a golden-run/campaign cache and a
+// per-phase metrics collector; both are purely observational — results
+// are bit-identical with or without them.
 type Runner struct {
-	P     Profile
-	cache map[string]*BenchEval
+	P       Profile
+	Cache   *fault.Cache   // shared golden-run/campaign memoization
+	Metrics *fault.Metrics // per-phase campaign accounting
+	cache   map[string]*BenchEval
 }
 
 // NewRunner returns a Runner for profile p.
 func NewRunner(p Profile) *Runner {
-	return &Runner{P: p, cache: make(map[string]*BenchEval)}
+	return &Runner{
+		P:       p,
+		Cache:   fault.NewCache(0),
+		Metrics: fault.NewMetrics(),
+		cache:   make(map[string]*BenchEval),
+	}
 }
 
 // target adapts a benchmark to the MINPSID target interface.
@@ -176,16 +195,17 @@ func target(b *benchprog.Benchmark) minpsid.Target {
 }
 
 // admissibleInputs draws n fresh inputs that run to completion within the
-// benchmark's budget (the paper's input filtering, §III-A2).
-func admissibleInputs(b *benchprog.Benchmark, n int, seed int64) []inputgen.Input {
+// benchmark's budget (the paper's input filtering, §III-A2). The golden
+// runs go through the runner's cache, priming it for the coverage
+// evaluation of the same inputs.
+func (r *Runner) admissibleInputs(b *benchprog.Benchmark, n int, seed int64) []inputgen.Input {
 	rng := rand.New(rand.NewSource(seed))
 	m := b.MustModule()
-	r := interp.NewRunner(m, b.ExecConfig())
+	pm := r.Metrics.Phase(fault.PhaseEvaluation)
 	var out []inputgen.Input
 	for tries := 0; len(out) < n && tries < n*50; tries++ {
 		in := b.Spec.Random(rng)
-		res := r.Run(b.Bind(in), nil, nil)
-		if res.Status != interp.StatusOK {
+		if _, err := r.Cache.Golden(m, b.Bind(in), b.ExecConfig(), pm); err != nil {
 			continue
 		}
 		out = append(out, in)
@@ -205,11 +225,14 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 
 	// Reference measurement (shared by both techniques).
 	t0 := time.Now()
+	pmRef := r.Metrics.Phase(fault.PhaseRefFI)
 	refMeas, err := sid.Measure(tgt.Mod, tgt.Bind(b.Reference), sid.Config{
 		Exec:           tgt.Exec,
 		FaultsPerInstr: p.FaultsPerInstr,
 		Seed:           p.Seed,
 		Workers:        p.Workers,
+		Cache:          r.Cache,
+		Metrics:        pmRef,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness %s: reference measurement: %w", b.Name, err)
@@ -217,7 +240,7 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 	refFITime := time.Since(t0)
 
 	// MINPSID search (once per benchmark; selections per level reuse it).
-	search := minpsid.Search(tgt, p.searchConfig(p.Seed+17), b.Reference, refMeas)
+	search := minpsid.Search(tgt, r.searchConfig(p.Seed+17), b.Reference, refMeas)
 	updated := minpsid.Reprioritize(refMeas, search)
 
 	ev := &BenchEval{
@@ -231,7 +254,7 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 		RefFITime: refFITime,
 	}
 
-	ev.EvalInputs = admissibleInputs(b, p.EvalInputs, p.Seed+1000)
+	ev.EvalInputs = r.admissibleInputs(b, p.EvalInputs, p.Seed+1000)
 
 	for _, level := range p.Levels {
 		baseSel := sid.Select(tgt.Mod, refMeas, level, sid.MethodDP)
@@ -244,10 +267,17 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 			mod:  sid.Duplicate(tgt.Mod, baseSel.Chosen),
 			ids:  sid.ProtectedMap(tgt.Mod, baseSel.Chosen),
 		}
-		minpProt := protection{
-			orig: tgt.Mod,
-			mod:  sid.Duplicate(tgt.Mod, minpSel.Chosen),
-			ids:  sid.ProtectedMap(tgt.Mod, minpSel.Chosen),
+		// When re-prioritization does not change the selection, the two
+		// protected binaries are structurally identical and every coverage
+		// measurement is deterministic, so MINPSID can share the baseline's
+		// module and measurements bit-for-bit instead of recomputing them.
+		minpProt := baseProt
+		if !equalIDs(baseSel.Chosen, minpSel.Chosen) {
+			minpProt = protection{
+				orig: tgt.Mod,
+				mod:  sid.Duplicate(tgt.Mod, minpSel.Chosen),
+				ids:  sid.ProtectedMap(tgt.Mod, minpSel.Chosen),
+			}
 		}
 		ev.BaseProt[level] = baseProt
 		ev.MinpProt[level] = minpProt
@@ -257,17 +287,22 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 		for i, in := range ev.EvalInputs {
 			seed := p.Seed + int64(i)*31 + int64(level*100)
 			bind := b.Bind(in)
-			if cov, ok := measureCoverage(baseProt, bind, tgt.Exec, p, seed); ok {
+			cov, ok := r.measureCoverage(baseProt, bind, tgt.Exec, seed)
+			if ok {
 				be.Coverage = append(be.Coverage, cov)
 				be.Inputs++
 				if cov < be.Expected-1e-9 {
 					be.LossCount++
 				}
 			}
-			if cov, ok := measureCoverage(minpProt, bind, tgt.Exec, p, seed); ok {
-				me.Coverage = append(me.Coverage, cov)
+			mcov, mok := cov, ok
+			if minpProt.mod != baseProt.mod {
+				mcov, mok = r.measureCoverage(minpProt, bind, tgt.Exec, seed)
+			}
+			if mok {
+				me.Coverage = append(me.Coverage, mcov)
 				me.Inputs++
-				if cov < me.Expected-1e-9 {
+				if mcov < me.Expected-1e-9 {
 					me.LossCount++
 				}
 			}
@@ -288,13 +323,34 @@ type protection struct {
 	ids  map[int]int
 }
 
+// equalIDs reports whether two sorted selection slices are identical.
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // measureCoverage measures the paper-definition SDC coverage of a
 // protected program under one input: faults are sampled on the original
 // program and the SDC-producing ones replayed against the protected
-// binary (fault.TrueCoverage). ok is false when the input is inadmissible
-// or no SDC fault was observed (coverage undefined).
-func measureCoverage(prot protection, bind interp.Binding, exec interp.Config, p Profile, seed int64) (float64, bool) {
-	res, err := fault.TrueCoverage(prot.orig, prot.mod, prot.ids, bind, exec, p.FaultsPerProgram, seed, p.Workers)
+// binary (fault.TrueCoverage). The runner's cache memoizes the golden
+// runs and the phase-1 unprotected campaign, which both techniques share
+// at each (input, seed). ok is false when the input is inadmissible or no
+// SDC fault was observed (coverage undefined).
+func (r *Runner) measureCoverage(prot protection, bind interp.Binding, exec interp.Config, seed int64) (float64, bool) {
+	res, err := fault.TrueCoverageOpts(prot.orig, prot.mod, prot.ids, bind, exec, fault.CoverageOptions{
+		Trials:  r.P.FaultsPerProgram,
+		Seed:    seed,
+		Workers: r.P.Workers,
+		Cache:   r.Cache,
+		Metrics: r.Metrics.Phase(fault.PhaseEvaluation),
+	})
 	if err != nil {
 		return 0, false
 	}

@@ -1,0 +1,152 @@
+package minpsid
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sid"
+)
+
+// fingerprint flattens everything observable about a search result into a
+// comparable string, so invariance tests can assert bit-identical output.
+func fingerprint(r *SearchResult) string {
+	s := fmt.Sprintf("incubative=%v evals=%d\n", r.Incubative, r.FitnessEvals)
+	for _, tp := range r.Trace {
+		s += fmt.Sprintf("trace %d %d %.17g\n", tp.InputIndex, tp.Incubative, tp.Fitness)
+	}
+	for _, in := range r.Inputs {
+		s += "input " + in.Key() + "\n"
+	}
+	for id, b := range r.MaxBenefit {
+		if b != 0 {
+			s += fmt.Sprintf("benefit %d %.17g\n", id, b)
+		}
+	}
+	return s
+}
+
+// TestSearchWorkerAndCacheInvariance asserts the tentpole determinism
+// contract: neither the fitness-evaluation worker count nor golden-run
+// memoization may change any selection, trace point, or fitness count.
+func TestSearchWorkerAndCacheInvariance(t *testing.T) {
+	strategies := []Strategy{StrategyGA, StrategyRandom, StrategyAnneal}
+	if testing.Short() {
+		strategies = strategies[:1] // GA exercises every batch path
+	}
+	for _, strategy := range strategies {
+		tgt, ref := targetFor(t, "knn")
+		base := quickCfg(21)
+		base.Strategy = strategy
+		base.Workers = 1
+		base.NoCache = true
+		refMeas, err := sid.Measure(tgt.Mod, tgt.Bind(ref), sid.Config{
+			Exec: tgt.Exec, FaultsPerInstr: base.FaultsPerInstr, Seed: base.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint(Search(tgt, base, ref, refMeas))
+
+		variants := []struct {
+			name string
+			mut  func(*Config)
+		}{
+			{"workers=8 nocache", func(c *Config) { c.Workers = 8 }},
+			{"workers=1 cache", func(c *Config) { c.NoCache = false }},
+			{"workers=8 cache", func(c *Config) { c.Workers = 8; c.NoCache = false }},
+			{"workers=8 cache metrics", func(c *Config) {
+				c.Workers = 8
+				c.NoCache = false
+				c.Metrics = fault.NewMetrics()
+			}},
+			{"workers=8 shared cache reused", func(c *Config) {
+				c.Workers = 8
+				c.NoCache = false
+				c.Cache = fault.NewCache(0)
+				// Warm the cache with a full prior search: the second run
+				// below must still be bit-identical despite near-100% hits.
+				cfg := *c
+				Search(tgt, cfg, ref, refMeas)
+			}},
+		}
+		for _, v := range variants {
+			cfg := base
+			v.mut(&cfg)
+			got := fingerprint(Search(tgt, cfg, ref, refMeas))
+			if got != want {
+				t.Errorf("strategy %s, variant %q: search result differs from workers=1/no-cache baseline\nwant:\n%s\ngot:\n%s",
+					strategy, v.name, want, got)
+			}
+		}
+	}
+}
+
+// TestApplyWorkerAndCacheInvariance runs the full pipeline at both worker
+// counts and with/without cache: the final selection and coverage estimate
+// must be bit-identical.
+func TestApplyWorkerAndCacheInvariance(t *testing.T) {
+	tgt, ref := targetFor(t, "pathfinder")
+	base := quickCfg(5)
+	base.Workers = 1
+	base.NoCache = true
+	want, err := Apply(tgt, ref, 0.5, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"workers=8 nocache", func(c *Config) { c.Workers = 8 }},
+		{"workers=8 cache metrics", func(c *Config) {
+			c.Workers = 8
+			c.NoCache = false
+			c.Metrics = fault.NewMetrics()
+		}},
+	} {
+		cfg := base
+		v.mut(&cfg)
+		got, err := Apply(tgt, ref, 0.5, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got.Selection.Chosen) != fmt.Sprint(want.Selection.Chosen) {
+			t.Errorf("%s: selection differs: %v vs %v", v.name, got.Selection.Chosen, want.Selection.Chosen)
+		}
+		if got.Selection.ExpectedCoverage != want.Selection.ExpectedCoverage {
+			t.Errorf("%s: expected coverage differs: %v vs %v",
+				v.name, got.Selection.ExpectedCoverage, want.Selection.ExpectedCoverage)
+		}
+		if fingerprint(got.Search) != fingerprint(want.Search) {
+			t.Errorf("%s: search result differs", v.name)
+		}
+	}
+}
+
+// TestSearchMetricsAccounting checks that a metrics-enabled search records
+// golden runs and FI trials in the expected phases.
+func TestSearchMetricsAccounting(t *testing.T) {
+	tgt, ref := targetFor(t, "knn")
+	cfg := quickCfg(21)
+	cfg.Metrics = fault.NewMetrics()
+	refMeas, err := sid.Measure(tgt.Mod, tgt.Bind(ref), sid.Config{
+		Exec: tgt.Exec, FaultsPerInstr: cfg.FaultsPerInstr, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Search(tgt, cfg, ref, refMeas)
+	eng := cfg.Metrics.Phase(fault.PhaseSearchEngine).Snapshot()
+	fi := cfg.Metrics.Phase(fault.PhaseIncubativeFI).Snapshot()
+	if eng.GoldenRuns+eng.CacheHits == 0 {
+		t.Error("search-engine phase recorded no golden-run activity")
+	}
+	if int64(res.FitnessEvals) > eng.GoldenRuns+eng.CacheHits {
+		t.Errorf("fitness evals %d exceed golden lookups %d",
+			res.FitnessEvals, eng.GoldenRuns+eng.CacheHits)
+	}
+	if len(res.Inputs) > 0 && fi.Trials == 0 {
+		t.Error("incubative-fi phase recorded no trials despite measured inputs")
+	}
+}

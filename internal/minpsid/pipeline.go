@@ -3,6 +3,7 @@ package minpsid
 import (
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/inputgen"
 	"repro/internal/ir"
 	"repro/internal/sid"
@@ -51,11 +52,14 @@ func Apply(t Target, refInput inputgen.Input, level float64, cfg Config) (*Resul
 	cfg = cfg.withDefaults()
 
 	t0 := time.Now()
+	pmRef := cfg.Metrics.Phase(fault.PhaseRefFI)
 	refMeas, err := sid.Measure(t.Mod, t.Bind(refInput), sid.Config{
 		Exec:           t.Exec,
 		FaultsPerInstr: cfg.FaultsPerInstr,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
+		Cache:          cfg.Cache,
+		Metrics:        pmRef,
 	})
 	if err != nil {
 		return nil, err
@@ -90,5 +94,7 @@ func ApplyBaseline(t Target, refInput inputgen.Input, level float64, cfg Config)
 		FaultsPerInstr: cfg.FaultsPerInstr,
 		Seed:           cfg.Seed,
 		Workers:        cfg.Workers,
+		Cache:          cfg.Cache,
+		Metrics:        cfg.Metrics.Phase(fault.PhaseRefFI),
 	}, level, sid.MethodDP)
 }

@@ -3,6 +3,8 @@ package minpsid
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/fault"
@@ -51,6 +53,15 @@ type Config struct {
 	UseRandomSearch bool
 	// Strategy selects the search engine (default StrategyGA).
 	Strategy Strategy
+	// Cache memoizes golden runs across fitness evaluations and FI
+	// measurements. Left nil, withDefaults installs a fresh bounded cache;
+	// set NoCache to run without memoization. Results are bit-identical
+	// either way.
+	Cache   *fault.Cache
+	NoCache bool
+	// Metrics, if non-nil, receives per-phase campaign accounting
+	// (search-engine and incubative-fi phases).
+	Metrics *fault.Metrics
 }
 
 // Strategy selects the input-search engine.
@@ -104,7 +115,18 @@ func (c Config) withDefaults() Config {
 	if c.CrossoverRate <= 0 {
 		c.CrossoverRate = 0.05
 	}
+	if c.Cache == nil && !c.NoCache {
+		c.Cache = fault.NewCache(0)
+	}
 	return c
+}
+
+// workers returns the fitness-evaluation worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // TracePoint records the search state after measuring one input (for the
@@ -135,6 +157,10 @@ type engine struct {
 	rng  *rand.Rand
 	cand []int // candidate instruction IDs (duplicable)
 
+	cache    *fault.Cache
+	pmEngine *fault.PhaseMetrics // search-engine phase (fitness golden runs)
+	pmFI     *fault.PhaseMetrics // incubative-fi phase (per-instruction FI)
+
 	refMeas *sid.Measurement
 	history [][]int64 // indexed CFG lists of all measured inputs (ref first)
 	seen    map[string]bool
@@ -153,6 +179,9 @@ func Search(t Target, cfg Config, refInput inputgen.Input, refMeas *sid.Measurem
 		t:          t,
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		cache:      cfg.Cache,
+		pmEngine:   cfg.Metrics.Phase(fault.PhaseSearchEngine),
+		pmFI:       cfg.Metrics.Phase(fault.PhaseIncubativeFI),
 		refMeas:    refMeas,
 		seen:       map[string]bool{refInput.Key(): true},
 		incubative: make(map[int]bool),
@@ -215,17 +244,19 @@ type gaCandidate struct {
 	fitness float64
 }
 
-// evaluate runs the candidate's golden execution and computes its Eq.-3
-// fitness. ok is false for inadmissible inputs (crash/hang/over-budget).
-func (e *engine) evaluate(in inputgen.Input) (gaCandidate, bool) {
+// evaluateOne runs the candidate's golden execution (memoized when the
+// engine has a cache) and computes its Eq.-3 fitness. ok is false for
+// inadmissible inputs (crash/hang/over-budget). It touches no engine
+// state and consumes no RNG, so batches of evaluations can run on any
+// number of workers without changing any result.
+func (e *engine) evaluateOne(in inputgen.Input) (gaCandidate, bool) {
 	if err := e.t.Spec.Validate(in); err != nil {
 		return gaCandidate{}, false
 	}
-	golden, err := fault.RunGolden(e.t.Mod, e.t.Bind(in), e.t.Exec)
+	golden, err := e.cache.Golden(e.t.Mod, e.t.Bind(in), e.t.Exec, e.pmEngine)
 	if err != nil {
 		return gaCandidate{}, false
 	}
-	e.res.FitnessEvals++
 	list := profile.NewWeightedCFG(e.t.Mod, golden.Profile).IndexedList()
 	return gaCandidate{
 		in:      in,
@@ -235,8 +266,68 @@ func (e *engine) evaluate(in inputgen.Input) (gaCandidate, bool) {
 	}, true
 }
 
+// evaluate is the sequential entry point (annealing walks, whose next
+// proposal depends on the previous verdict, cannot batch).
+func (e *engine) evaluate(in inputgen.Input) (gaCandidate, bool) {
+	c, ok := e.evaluateOne(in)
+	if ok {
+		e.res.FitnessEvals++
+	}
+	return c, ok
+}
+
+// evalResult pairs one batch candidate with its admissibility.
+type evalResult struct {
+	cand gaCandidate
+	ok   bool
+}
+
+// evaluateBatch evaluates a batch of inputs across the engine's worker
+// pool and returns results index-aligned with ins. The engine history is
+// read-only during the batch and evaluateOne consumes no RNG, so the
+// output is bit-identical for any worker count.
+func (e *engine) evaluateBatch(ins []inputgen.Input) []evalResult {
+	out := make([]evalResult, len(ins))
+	nw := e.cfg.workers()
+	if nw > len(ins) {
+		nw = len(ins)
+	}
+	if nw <= 1 {
+		for i, in := range ins {
+			out[i].cand, out[i].ok = e.evaluateOne(in)
+		}
+	} else {
+		next := make(chan int, len(ins))
+		for i := range ins {
+			next <- i
+		}
+		close(next)
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i].cand, out[i].ok = e.evaluateOne(ins[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Fold accounting in deterministic (input) order.
+	for _, r := range out {
+		if r.ok {
+			e.res.FitnessEvals++
+		}
+	}
+	return out
+}
+
 // nextGA runs one GA search for the input with maximal weighted-CFG
-// distance from history (§V-B2).
+// distance from history (§V-B2). Each generation's proposals are drawn
+// sequentially from the engine RNG (preserving the exact draw stream of a
+// one-at-a-time implementation) and then fitness-evaluated as one
+// parallel batch.
 func (e *engine) nextGA() (inputgen.Input, *fault.Golden, float64, bool) {
 	pop := e.seedPopulation()
 	if len(pop) == 0 {
@@ -244,23 +335,22 @@ func (e *engine) nextGA() (inputgen.Input, *fault.Golden, float64, bool) {
 	}
 	best := bestOf(pop)
 	for gen := 0; gen < e.cfg.MaxGenerations; gen++ {
-		var offspring []gaCandidate
+		var proposals []inputgen.Input
 		for _, c := range pop {
 			if e.rng.Float64() < e.cfg.MutationRate {
-				if nc, ok := e.evaluate(e.t.Spec.Mutate(c.in, e.rng)); ok {
-					offspring = append(offspring, nc)
-				}
+				proposals = append(proposals, e.t.Spec.Mutate(c.in, e.rng))
 			}
 		}
 		if len(pop) >= 2 && e.rng.Float64() < e.cfg.CrossoverRate {
 			a := pop[e.rng.Intn(len(pop))]
 			b := pop[e.rng.Intn(len(pop))]
 			ca, cb := e.t.Spec.Crossover(a.in, b.in, e.rng)
-			if nc, ok := e.evaluate(ca); ok {
-				offspring = append(offspring, nc)
-			}
-			if nc, ok := e.evaluate(cb); ok {
-				offspring = append(offspring, nc)
+			proposals = append(proposals, ca, cb)
+		}
+		var offspring []gaCandidate
+		for _, r := range e.evaluateBatch(proposals) {
+			if r.ok {
+				offspring = append(offspring, r.cand)
 			}
 		}
 		pop = selectTop(append(pop, offspring...), e.cfg.PopSize)
@@ -280,12 +370,26 @@ func (e *engine) nextGA() (inputgen.Input, *fault.Golden, float64, bool) {
 	return inputgen.Input{}, nil, 0, false
 }
 
-// seedPopulation draws random admissible inputs.
+// seedPopulation draws random admissible inputs, evaluating each draw
+// round as a parallel batch. The RNG consumption and the accepted
+// population are identical to a sequential draw-then-evaluate loop.
 func (e *engine) seedPopulation() []gaCandidate {
 	var pop []gaCandidate
-	for tries := 0; len(pop) < e.cfg.PopSize && tries < e.cfg.PopSize*10; tries++ {
-		if c, ok := e.evaluate(e.t.Spec.Random(e.rng)); ok {
-			pop = append(pop, c)
+	budget := e.cfg.PopSize * 10
+	for tries := 0; len(pop) < e.cfg.PopSize && tries < budget; {
+		batch := e.cfg.PopSize - len(pop)
+		if batch > budget-tries {
+			batch = budget - tries
+		}
+		ins := make([]inputgen.Input, batch)
+		for i := range ins {
+			ins[i] = e.t.Spec.Random(e.rng)
+		}
+		tries += batch
+		for _, r := range e.evaluateBatch(ins) {
+			if r.ok && len(pop) < e.cfg.PopSize {
+				pop = append(pop, r.cand)
+			}
 		}
 	}
 	return pop
@@ -357,7 +461,7 @@ func (e *engine) nextRandom() (inputgen.Input, *fault.Golden, float64, bool) {
 		if e.seen[in.Key()] {
 			continue
 		}
-		golden, err := fault.RunGolden(e.t.Mod, e.t.Bind(in), e.t.Exec)
+		golden, err := e.cache.Golden(e.t.Mod, e.t.Bind(in), e.t.Exec, e.pmEngine)
 		if err != nil {
 			continue
 		}
@@ -376,6 +480,8 @@ func (e *engine) measureAndAbsorb(in inputgen.Input, golden *fault.Golden, fitne
 		FaultsPerInstr: e.cfg.FaultsPerInstr,
 		Seed:           e.cfg.Seed + int64(len(e.res.Inputs)) + 1,
 		Workers:        e.cfg.Workers,
+		Cache:          e.cache,
+		Metrics:        e.pmFI,
 	}, golden)
 	if err != nil {
 		return // cannot happen: golden already validated

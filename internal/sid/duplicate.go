@@ -116,11 +116,12 @@ func Apply(m *ir.Module, bind interp.Binding, cfg Config, level float64, method 
 // output must match the unprotected program's: duplication preserves
 // semantics).
 func EvaluateCoverage(protected *ir.Module, bind interp.Binding, cfg Config, n int, seed int64) (fault.CampaignResult, error) {
-	golden, err := fault.RunGolden(protected, bind, cfg.Exec)
+	golden, err := cfg.Cache.Golden(protected, bind, cfg.Exec, cfg.Metrics)
 	if err != nil {
 		return fault.CampaignResult{}, err
 	}
-	c := &fault.Campaign{Mod: protected, Bind: bind, Cfg: cfg.Exec, Golden: golden, Workers: cfg.Workers}
+	c := &fault.Campaign{Mod: protected, Bind: bind, Cfg: cfg.Exec, Golden: golden,
+		Workers: cfg.Workers, Metrics: cfg.Metrics}
 	return c.Run(n, seed), nil
 }
 

@@ -31,13 +31,18 @@ type Config struct {
 	FaultsPerInstr int   // per-instruction FI trials (paper: 100)
 	Seed           int64 // RNG seed for site sampling
 	Workers        int   // 0 = GOMAXPROCS
+	// Cache, if non-nil, memoizes golden runs across measurements (the
+	// result is bit-identical either way); Metrics, if non-nil, receives
+	// the campaign accounting for this measurement's phase.
+	Cache   *fault.Cache
+	Metrics *fault.PhaseMetrics
 }
 
 // Measure profiles the module under one input and runs per-instruction
 // fault injection, producing the cost/benefit profile of SID preparation
 // (steps 1-2 of the paper's Fig. 4).
 func Measure(m *ir.Module, bind interp.Binding, cfg Config) (*Measurement, error) {
-	golden, err := fault.RunGolden(m, bind, cfg.Exec)
+	golden, err := cfg.Cache.Golden(m, bind, cfg.Exec, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +55,8 @@ func MeasureWithGolden(m *ir.Module, bind interp.Binding, cfg Config, golden *fa
 	if cfg.FaultsPerInstr <= 0 {
 		cfg.FaultsPerInstr = 100
 	}
-	c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg.Exec, Golden: golden, Workers: cfg.Workers}
+	c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg.Exec, Golden: golden,
+		Workers: cfg.Workers, Metrics: cfg.Metrics}
 	stats := c.PerInstruction(cfg.FaultsPerInstr, cfg.Seed)
 
 	n := m.NumInstrs()

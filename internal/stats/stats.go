@@ -44,10 +44,17 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the p-th percentile (0..1) of a sorted sample using
-// linear interpolation between closest ranks.
+// linear interpolation between closest ranks. The input is expected
+// pre-sorted; an unsorted sample is defensively copied and sorted rather
+// than silently interpolating between the wrong ranks.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		cp := append([]float64(nil), sorted...)
+		sort.Float64s(cp)
+		sorted = cp
 	}
 	if p <= 0 {
 		return sorted[0]

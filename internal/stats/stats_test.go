@@ -109,3 +109,24 @@ func TestWilsonContainsEstimateProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Percentile must not trust its precondition: an unsorted sample yields
+// the same result as a sorted one, and the caller's slice is not mutated.
+func TestPercentileUnsortedInput(t *testing.T) {
+	unsorted := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	orig := append([]float64(nil), unsorted...)
+	sorted := append([]float64(nil), unsorted...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := Percentile(unsorted, p)
+		want := Percentile(sorted, p)
+		if got != want {
+			t.Errorf("Percentile(unsorted, %v) = %v, want %v", p, got, want)
+		}
+	}
+	for i := range orig {
+		if unsorted[i] != orig[i] {
+			t.Fatalf("Percentile mutated its input: %v -> %v", orig, unsorted)
+		}
+	}
+}
