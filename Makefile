@@ -21,5 +21,15 @@ race:
 
 check: build vet test race
 
+# Interpreter engine benchmarks. Results are appended as JSON lines to
+# BENCH_interp.json (one object per benchmark per run, UTC-timestamped)
+# so engine regressions are comparable across commits.
+BENCH_JSON ?= BENCH_interp.json
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 200ms -run '^$$' ./internal/interp | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3; \
+		if ($$6 == "ns/instr") printf ",\"ns_per_instr\":%s", $$5; \
+		print "}" }' >> $(BENCH_JSON)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/benchprog"
 	"repro/internal/harness"
+	"repro/internal/interp"
 )
 
 func main() {
@@ -30,8 +31,16 @@ func main() {
 		seed    = flag.Int64("seed", 2022, "experiment seed")
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
+		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
 	)
 	flag.Parse()
+
+	if eng, err := interp.ParseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	} else if eng != interp.EngineAuto {
+		interp.DefaultEngine = eng
+	}
 
 	profile := "quick"
 	if *medium {

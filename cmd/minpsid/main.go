@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/interp"
 )
 
 func main() {
@@ -27,8 +28,16 @@ func main() {
 		dump    = flag.Bool("dump", false, "dump the protected IR module")
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
+		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
 	)
 	flag.Parse()
+
+	if eng, err := interp.ParseEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "minpsid:", err)
+		os.Exit(2)
+	} else if eng != interp.EngineAuto {
+		interp.DefaultEngine = eng
+	}
 
 	if *list {
 		for _, n := range core.BenchmarkNames() {

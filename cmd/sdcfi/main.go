@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/interp"
 	"repro/internal/stats"
 )
 
@@ -27,13 +28,30 @@ func main() {
 		inputSeed = flag.Int64("input-seed", 7, "seed for -input random")
 		seed      = flag.Int64("seed", 1, "fault-site sampling seed")
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
+		engine    = flag.String("engine", "image", "execution engine: image, legacy, or auto")
 	)
 	flag.Parse()
 
+	if err := setEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "sdcfi:", err)
+		os.Exit(2)
+	}
 	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(1)
 	}
+}
+
+// setEngine applies the -engine flag to the process-wide default.
+func setEngine(s string) error {
+	eng, err := interp.ParseEngine(s)
+	if err != nil {
+		return err
+	}
+	if eng != interp.EngineAuto {
+		interp.DefaultEngine = eng
+	}
+	return nil
 }
 
 func run(bench string, n int, input string, inputSeed, seed int64, metrics bool) error {

@@ -99,8 +99,12 @@ func Fig5(w io.Writer) error {
 		count    int64
 	}
 	var edges []edge
-	for e, c := range wcfg.EdgeCount {
-		edges = append(edges, edge{e[0], e[1], c})
+	for i, c := range wcfg.Edges {
+		if c == 0 {
+			continue
+		}
+		from, to := wcfg.Index.Edge(i)
+		edges = append(edges, edge{from, to, c})
 	}
 	sort.Slice(edges, func(i, j int) bool { return edges[i].count > edges[j].count })
 	tw := newTable(w)

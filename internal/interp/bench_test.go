@@ -1,0 +1,90 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+)
+
+// Microbenchmarks for the three specialized run loops, each under the
+// legacy reference stepper and the pre-decoded image engine. `make bench`
+// runs these and appends the results to BENCH_interp.json so engine
+// regressions are visible across commits.
+
+func benchSetup(b *testing.B) (*interp.Runner, *interp.Runner, interp.Binding, *benchprog.Benchmark) {
+	b.Helper()
+	bm, ok := benchprog.ByName("hpccg")
+	if !ok {
+		b.Fatal("hpccg benchmark missing")
+	}
+	m := bm.MustModule()
+	lcfg := bm.ExecConfig()
+	lcfg.Engine = interp.EngineLegacy
+	icfg := bm.ExecConfig()
+	icfg.Engine = interp.EngineImage
+	return interp.NewRunner(m, lcfg), interp.NewRunner(m, icfg), bm.Bind(bm.Reference), bm
+}
+
+func BenchmarkRunPlain(b *testing.B) {
+	legacy, image, bind, bm := benchSetup(b)
+	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, nil, false, bm) })
+	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, nil, false, bm) })
+}
+
+func BenchmarkRunProfiled(b *testing.B) {
+	legacy, image, bind, bm := benchSetup(b)
+	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, nil, true, bm) })
+	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, nil, true, bm) })
+}
+
+func BenchmarkRunFault(b *testing.B) {
+	legacy, image, bind, bm := benchSetup(b)
+	// A late never-matching site: the fault loop pays its per-instruction
+	// arming cost for the whole run without perturbing execution.
+	f := &interp.Fault{InstrID: 0, DynIndex: 1 << 40, Bit: 3}
+	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, f, false, bm) })
+	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, f, false, bm) })
+}
+
+func benchRunBound(b *testing.B, r *interp.Runner, bind interp.Binding, f *interp.Fault, withProf bool, bm *benchprog.Benchmark) {
+	b.Helper()
+	var prof *interp.Profile
+	if withProf {
+		prof = interp.NewProfile(bm.MustModule())
+	}
+	var dyn int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ff *interp.Fault
+		if f != nil {
+			cp := *f
+			ff = &cp
+		}
+		res := r.RunScratch(bind, ff, prof)
+		dyn = res.DynInstrs
+		if res.Status != interp.StatusOK {
+			b.Fatalf("status %v (%s)", res.Status, res.Trap)
+		}
+	}
+	b.StopTimer()
+	if dyn > 0 && b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(dyn)/float64(b.N), "ns/instr")
+	}
+}
+
+// BenchmarkLower measures the one-time decode cost of the image engine
+// (amortized across runs by the package-level image cache in practice).
+func BenchmarkLower(b *testing.B) {
+	bm, ok := benchprog.ByName("hpccg")
+	if !ok {
+		b.Fatal("hpccg benchmark missing")
+	}
+	m := bm.MustModule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if interp.Lower(m).LegacyOnly() {
+			b.Fatal("hpccg lowered legacy-only")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package interp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/sid"
+)
+
+// The differential suite pins the pre-decoded image engine to the legacy
+// reference stepper: for every benchmark program (and fault-injected and
+// SID-protected variants) the two engines must produce bit-identical
+// results and dynamic profiles. Any divergence in instruction accounting,
+// phi semantics, trap ordering, or flip placement shows up here.
+
+func runEngine(t *testing.T, m *ir.Module, bind interp.Binding, cfg interp.Config,
+	f *interp.Fault, eng interp.Engine) (interp.Result, *interp.Profile) {
+	t.Helper()
+	cfg.Engine = eng
+	prof := interp.NewProfile(m)
+	r := interp.NewRunner(m, cfg)
+	var ff *interp.Fault
+	if f != nil {
+		cp := *f
+		ff = &cp
+	}
+	return r.Run(bind, ff, prof), prof
+}
+
+func eqInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffRun executes (m, bind, f) under both engines and fails the test on
+// any observable difference. It returns the legacy result.
+func diffRun(t *testing.T, name string, m *ir.Module, bind interp.Binding,
+	cfg interp.Config, f *interp.Fault) interp.Result {
+	t.Helper()
+	lres, lprof := runEngine(t, m, bind, cfg, f, interp.EngineLegacy)
+	ires, iprof := runEngine(t, m, bind, cfg, f, interp.EngineImage)
+
+	if lres.Status != ires.Status || lres.Trap != ires.Trap {
+		t.Fatalf("%s: status/trap diverge: legacy %v %q, image %v %q",
+			name, lres.Status, lres.Trap, ires.Status, ires.Trap)
+	}
+	if lres.DynInstrs != ires.DynInstrs || lres.Cycles != ires.Cycles {
+		t.Fatalf("%s: accounting diverges: legacy dyn=%d cyc=%d, image dyn=%d cyc=%d",
+			name, lres.DynInstrs, lres.Cycles, ires.DynInstrs, ires.Cycles)
+	}
+	if len(lres.Output) != len(ires.Output) {
+		t.Fatalf("%s: output length diverges: %d vs %d", name, len(lres.Output), len(ires.Output))
+	}
+	for i := range lres.Output {
+		if lres.Output[i] != ires.Output[i] {
+			t.Fatalf("%s: output word %d diverges: %#x vs %#x", name, i, lres.Output[i], ires.Output[i])
+		}
+	}
+	if lres.OutputHash != ires.OutputHash {
+		t.Fatalf("%s: output hash diverges: %#x vs %#x", name, lres.OutputHash, ires.OutputHash)
+	}
+	if !eqInt64s(lprof.InstrCount, iprof.InstrCount) {
+		t.Fatalf("%s: InstrCount profiles diverge", name)
+	}
+	if !eqInt64s(lprof.InstrCycles, iprof.InstrCycles) {
+		t.Fatalf("%s: InstrCycles profiles diverge", name)
+	}
+	if !eqInt64s(lprof.BlockCount, iprof.BlockCount) {
+		t.Fatalf("%s: BlockCount profiles diverge", name)
+	}
+	if !eqInt64s(lprof.EdgeHits, iprof.EdgeHits) {
+		t.Fatalf("%s: EdgeHits profiles diverge", name)
+	}
+	return lres
+}
+
+func diffBenchmarks(t *testing.T) []*benchprog.Benchmark {
+	all := benchprog.Eleven()
+	if testing.Short() {
+		return all[:3]
+	}
+	return all
+}
+
+func TestEngineDifferentialBenchprogs(t *testing.T) {
+	for _, b := range diffBenchmarks(t) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			m := b.MustModule()
+			if interp.Lower(m).LegacyOnly() {
+				t.Fatalf("%s decodes legacy-only; image engine not exercised", b.Name)
+			}
+			res := diffRun(t, b.Name, m, b.Bind(b.Reference), b.ExecConfig(), nil)
+			if res.Status != interp.StatusOK {
+				t.Fatalf("reference run not OK: %v (%s)", res.Status, res.Trap)
+			}
+			if res.OutputHash == 0 {
+				t.Fatal("real run produced zero OutputHash; fast-path guard would be bypassed")
+			}
+		})
+	}
+}
+
+func TestEngineDifferentialFaults(t *testing.T) {
+	nSites := 8
+	if testing.Short() {
+		nSites = 2
+	}
+	for _, b := range diffBenchmarks(t) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			m := b.MustModule()
+			bind := b.Bind(b.Reference)
+			cfg := b.ExecConfig()
+			cfg.Engine = interp.EngineLegacy
+			g, err := fault.RunGolden(m, bind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := fault.NewSampler(m, g, false)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < nSites; i++ {
+				f, ok := s.RandomSite(rng)
+				if !ok {
+					t.Fatal("no injectable sites")
+				}
+				diffRun(t, b.Name, m, bind, b.ExecConfig(), &f)
+			}
+		})
+	}
+}
+
+// Full duplication inserts the icmp-eq + detect pairs that the image engine
+// fuses into a single opcode (in spawn-free modules); this pins the fused
+// path, including detection halts under injected faults, to the reference.
+func TestEngineDifferentialProtected(t *testing.T) {
+	nSites := 6
+	if testing.Short() {
+		nSites = 2
+	}
+	for _, b := range diffBenchmarks(t) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			prot := sid.FullDuplication(b.MustModule())
+			bind := b.Bind(b.Reference)
+			res := diffRun(t, b.Name+"/dup", prot, bind, b.ExecConfig(), nil)
+			if res.Status != interp.StatusOK {
+				t.Fatalf("protected reference run not OK: %v (%s)", res.Status, res.Trap)
+			}
+			cfg := b.ExecConfig()
+			cfg.Engine = interp.EngineLegacy
+			g, err := fault.RunGolden(prot, bind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := fault.NewSampler(prot, g, false)
+			rng := rand.New(rand.NewSource(7))
+			detected := false
+			for i := 0; i < nSites; i++ {
+				f, ok := s.RandomSite(rng)
+				if !ok {
+					t.Fatal("no injectable sites")
+				}
+				if diffRun(t, b.Name+"/dup", prot, bind, b.ExecConfig(), &f).Status == interp.StatusDetected {
+					detected = true
+				}
+			}
+			_ = detected // detection is input-dependent; identity is what's pinned
+		})
+	}
+}
+
+// A whole campaign table (benign/SDC/crash/hang/detected counts at a fixed
+// seed) must be identical under both engines.
+func TestEngineDifferentialCampaign(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	b, ok := benchprog.ByName(diffBenchmarks(t)[0].Name)
+	if !ok {
+		t.Fatal("benchmark lookup failed")
+	}
+	m := b.MustModule()
+	bind := b.Bind(b.Reference)
+	var tables [2]fault.CampaignResult
+	for i, eng := range []interp.Engine{interp.EngineLegacy, interp.EngineImage} {
+		cfg := b.ExecConfig()
+		cfg.Engine = eng
+		g, err := fault.RunGolden(m, bind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g, Workers: 1}
+		tables[i] = c.Run(trials, 1234)
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("campaign tables diverge:\nlegacy: %+v\nimage:  %+v", tables[0], tables[1])
+	}
+}

@@ -1,0 +1,93 @@
+package interp
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// EdgeIndex is the static control-flow edge table of a module in CSR
+// (compressed sparse row) form: for every global basic-block index the
+// sorted list of successor blocks reachable through a branch terminator.
+// Edges are numbered densely in (from, to) order; the profiler counts
+// edge executions in a plain slice indexed by that number instead of
+// hashing [2]int keys into a map on every branch.
+type EdgeIndex struct {
+	rowStart []int32 // len NumBlocks+1; edges of block b are [rowStart[b], rowStart[b+1])
+	to       []int32 // global block index of each edge's target
+}
+
+// NewEdgeIndex builds the edge table of m (which must be finalized). The
+// construction is deterministic: two calls on the same module snapshot
+// produce identical numbering, so an index built independently by a
+// profile and by a decoded program image agree edge-for-edge.
+func NewEdgeIndex(m *ir.Module) *EdgeIndex {
+	n := m.NumBlocks()
+	succs := make([][]int32, n)
+	for fi, f := range m.Funcs {
+		for bi, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || (t.Op != ir.OpBr && t.Op != ir.OpCondBr) {
+				continue
+			}
+			from := m.GlobalBlockIndex(fi, bi)
+			for _, s := range t.Succs {
+				if s < 0 || s >= len(f.Blocks) {
+					continue // undecodable target: traps before any edge is recorded
+				}
+				succs[from] = append(succs[from], int32(m.GlobalBlockIndex(fi, s)))
+			}
+		}
+	}
+	e := &EdgeIndex{rowStart: make([]int32, n+1)}
+	for b := 0; b < n; b++ {
+		row := succs[b]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		// Dedup (a condbr with both arms on one block contributes one edge).
+		var w int
+		for i, t := range row {
+			if i == 0 || t != row[i-1] {
+				row[w] = t
+				w++
+			}
+		}
+		e.rowStart[b] = int32(len(e.to))
+		e.to = append(e.to, row[:w]...)
+	}
+	e.rowStart[n] = int32(len(e.to))
+	return e
+}
+
+// NumEdges returns the number of static edges.
+func (e *EdgeIndex) NumEdges() int { return len(e.to) }
+
+// Lookup returns the dense edge number of (from, to) in global block
+// indices, or -1 if the static CFG has no such edge.
+func (e *EdgeIndex) Lookup(from, to int) int {
+	if from < 0 || from >= len(e.rowStart)-1 {
+		return -1
+	}
+	lo, hi := e.rowStart[from], e.rowStart[from+1]
+	for i := lo; i < hi; i++ { // rows hold at most two entries; scan beats search
+		if e.to[i] == int32(to) {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// Edge returns the (from, to) global block pair of edge i.
+func (e *EdgeIndex) Edge(i int) (from, to int) {
+	to = int(e.to[i])
+	// Invert rowStart: find the row owning position i.
+	lo, hi := 0, len(e.rowStart)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(e.rowStart[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, to
+}

@@ -1,0 +1,1074 @@
+package interp
+
+import "math"
+
+// This file contains the image engine's run loops. There are three
+// hand-specialized variants so the common campaign trial pays nothing for
+// features it does not use:
+//
+//   quantumPlain    — no fault, no profile (golden re-runs, plain Exec)
+//   quantumProfiled — profile attached, no fault (characterization runs)
+//   quantumFault    — fault armed, profile optional (campaign trials)
+//
+// All three replicate the reference stepper's observable order exactly:
+// account (nDyn, cycles, profile counters) → hang check → execute; branch:
+// validity → block/edge counters → phi transfer; a lone leading phi runs
+// as its own step; fault flips apply after the result write and count
+// every dynamic execution of the target instruction. Generic or
+// closure-parameterized loops were rejected because Go does not stencil
+// zero-size mode parameters into separate code, which would reintroduce
+// the per-step feature checks this split exists to remove.
+
+// quantumPlain executes up to q image instructions on t with no fault and
+// no profile attached.
+func (r *Runner) quantumPlain(t *thread, q int) {
+	maxDyn := r.cfg.MaxDynInstrs
+	for i := 0; i < q; i++ {
+		if t.done || t.joining || r.halted {
+			return
+		}
+		fr := &t.frames[len(t.frames)-1]
+		in := &fr.ifn.code[fr.pc]
+		r.nDyn++
+		r.cycles += int64(in.cyc)
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs := fr.regs
+		var res uint64
+
+		switch in.op {
+		case xAdd:
+			res = regs[in.a] + regs[in.b]
+		case xSub:
+			res = regs[in.a] - regs[in.b]
+		case xMul:
+			res = regs[in.a] * regs[in.b]
+		case xDiv:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer divide by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer divide overflow")
+				return
+			}
+			res = uint64(a / b)
+		case xRem:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer remainder by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer remainder overflow")
+				return
+			}
+			res = uint64(a % b)
+		case xAnd:
+			res = regs[in.a] & regs[in.b]
+		case xOr:
+			res = regs[in.a] | regs[in.b]
+		case xXor:
+			res = regs[in.a] ^ regs[in.b]
+		case xShl:
+			res = uint64(int64(regs[in.a]) << (regs[in.b] & 63))
+		case xShr:
+			res = uint64(int64(regs[in.a]) >> (regs[in.b] & 63))
+		case xFAdd:
+			res = fromF(asF(regs[in.a]) + asF(regs[in.b]))
+		case xFSub:
+			res = fromF(asF(regs[in.a]) - asF(regs[in.b]))
+		case xFMul:
+			res = fromF(asF(regs[in.a]) * asF(regs[in.b]))
+		case xFDiv:
+			res = fromF(asF(regs[in.a]) / asF(regs[in.b]))
+
+		case xICmpEQ:
+			res = boolWord(int64(regs[in.a]) == int64(regs[in.b]))
+		case xICmpNE:
+			res = boolWord(int64(regs[in.a]) != int64(regs[in.b]))
+		case xICmpLT:
+			res = boolWord(int64(regs[in.a]) < int64(regs[in.b]))
+		case xICmpLE:
+			res = boolWord(int64(regs[in.a]) <= int64(regs[in.b]))
+		case xICmpGT:
+			res = boolWord(int64(regs[in.a]) > int64(regs[in.b]))
+		case xICmpGE:
+			res = boolWord(int64(regs[in.a]) >= int64(regs[in.b]))
+		case xFCmpEQ:
+			res = boolWord(asF(regs[in.a]) == asF(regs[in.b]))
+		case xFCmpNE:
+			res = boolWord(asF(regs[in.a]) != asF(regs[in.b]))
+		case xFCmpLT:
+			res = boolWord(asF(regs[in.a]) < asF(regs[in.b]))
+		case xFCmpLE:
+			res = boolWord(asF(regs[in.a]) <= asF(regs[in.b]))
+		case xFCmpGT:
+			res = boolWord(asF(regs[in.a]) > asF(regs[in.b]))
+		case xFCmpGE:
+			res = boolWord(asF(regs[in.a]) >= asF(regs[in.b]))
+
+		case xIToF:
+			res = fromF(float64(int64(regs[in.a])))
+		case xFToI:
+			f := asF(regs[in.a])
+			if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+				r.haltTrap("float-to-int out of range")
+				return
+			}
+			res = uint64(int64(f))
+
+		case xAlloca:
+			n := int64(regs[in.a])
+			if n < 0 || t.sp+int(n) > t.stackEnd {
+				r.haltTrap("stack overflow")
+				return
+			}
+			res = uint64(t.sp)
+			clear(r.mem[t.sp : t.sp+int(n)])
+			t.sp += int(n)
+		case xLoad:
+			p := regs[in.a]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(loadOOB(p))
+				return
+			}
+			res = r.mem[p]
+		case xStore:
+			p := regs[in.b]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(storeOOB(p))
+				return
+			}
+			r.mem[p] = regs[in.a]
+			fr.pc++
+			continue
+		case xGEP:
+			res = uint64(int64(regs[in.a]) + int64(regs[in.b]))
+		case xGlobalAddr:
+			res = uint64(r.globalBase[in.a])
+		case xArrayLen:
+			res = uint64(r.globalLen[in.a])
+
+		case xBr:
+			r.takeEdgePlain(fr, in.ex0)
+			continue
+		case xCondBr:
+			e := in.ex1
+			if regs[in.a]&1 != 0 {
+				e = in.ex0
+			}
+			r.takeEdgePlain(fr, e)
+			continue
+		case xRet, xRetVoid:
+			hasVal := in.op == xRet
+			var rv uint64
+			if hasVal {
+				rv = regs[in.a]
+			}
+			t.sp = fr.spSave
+			retDst := fr.retDst
+			t.frames = t.frames[:len(t.frames)-1]
+			t.callDepth--
+			if len(t.frames) == 0 {
+				t.done = true
+				continue
+			}
+			if hasVal && retDst >= 0 {
+				t.frames[len(t.frames)-1].regs[retDst] = rv
+			}
+			continue
+
+		case xEntryPhi:
+			if in.a < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[in.a]
+		case xLonePhi:
+			if fr.phiSrc < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[fr.phiSrc]
+
+		case xCall:
+			if t.callDepth >= r.cfg.MaxCallDepth {
+				r.haltTrap("call depth exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			fr.pc++
+			r.pushIFrame(t, callee, args, int(in.dst), callIDOf(in), in.tbits)
+			continue
+		case xSelect:
+			if regs[in.a]&1 != 0 {
+				res = regs[in.b]
+			} else {
+				res = regs[in.c]
+			}
+		case xSpawn:
+			if len(r.threads) >= r.cfg.MaxThreads {
+				r.haltTrap("thread limit exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			nt := r.newThread()
+			r.pushIFrame(nt, callee, args, -1, -1, 0)
+			fr.pc++
+			continue
+		case xJoin:
+			fr.pc++
+			if !r.othersDone(t) {
+				t.joining = true
+			}
+			continue
+		case xDetect:
+			if regs[in.a]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		case xEmit:
+			if len(r.out) >= r.cfg.MaxOutputWords {
+				r.haltTrap("output overflow")
+				return
+			}
+			r.out = append(r.out, regs[in.a])
+			fr.pc++
+			continue
+		case xSqrt:
+			res = fromF(math.Sqrt(asF(regs[in.a])))
+		case xFabs:
+			res = fromF(math.Abs(asF(regs[in.a])))
+		case xExp:
+			res = fromF(math.Exp(asF(regs[in.a])))
+		case xLog:
+			res = fromF(math.Log(asF(regs[in.a])))
+		case xSin:
+			res = fromF(math.Sin(asF(regs[in.a])))
+		case xCos:
+			res = fromF(math.Cos(asF(regs[in.a])))
+		case xPow:
+			res = fromF(math.Pow(asF(regs[in.a]), asF(regs[in.b])))
+		case xFloor:
+			res = fromF(math.Floor(asF(regs[in.a])))
+		case xIAbs:
+			v := int64(regs[in.a])
+			if v < 0 {
+				v = -v
+			}
+			res = uint64(v)
+
+		case xCmpEqDetect:
+			regs[in.dst] = boolWord(regs[in.a] == regs[in.b])
+			r.nDyn++
+			r.cycles += int64(in.cyc2)
+			if r.nDyn > maxDyn {
+				r.haltHang()
+				return
+			}
+			if regs[in.dst]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		default: // xTrapOp
+			r.haltTrap(r.img.traps[in.a])
+			return
+		}
+
+		regs[in.dst] = res
+		fr.pc++
+	}
+}
+
+// takeEdgePlain transfers control along edge e with no profiling and no
+// fault. e < 0 is a branch to an invalid block.
+func (r *Runner) takeEdgePlain(fr *frame, e int32) {
+	if e < 0 {
+		r.haltTrap("branch to invalid block")
+		return
+	}
+	ep := &r.img.edgeProgs[e]
+	if ep.trap {
+		r.haltTrap("phi with no matching predecessor")
+		return
+	}
+	if ep.lone {
+		fr.phiSrc = ep.moves[0].src
+		fr.pc = int(ep.target)
+		return
+	}
+	moves := ep.moves
+	if len(moves) == 0 {
+		fr.pc = int(ep.target)
+		return
+	}
+	regs := fr.regs
+	vals := r.phiVals[:len(moves)]
+	for i := range moves {
+		vals[i] = regs[moves[i].src]
+	}
+	maxDyn := r.cfg.MaxDynInstrs
+	for i := range moves {
+		mv := &moves[i]
+		r.nDyn++
+		r.cycles += int64(mv.cyc)
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs[mv.dst] = vals[i]
+	}
+	fr.pc = int(ep.target)
+}
+
+// quantumProfiled executes up to q image instructions on t with a profile
+// attached and no fault armed.
+func (r *Runner) quantumProfiled(t *thread, q int) {
+	maxDyn := r.cfg.MaxDynInstrs
+	p := r.prof
+	for i := 0; i < q; i++ {
+		if t.done || t.joining || r.halted {
+			return
+		}
+		fr := &t.frames[len(t.frames)-1]
+		in := &fr.ifn.code[fr.pc]
+		r.nDyn++
+		cyc := int64(in.cyc)
+		r.cycles += cyc
+		p.InstrCount[in.id]++
+		p.InstrCycles[in.id] += cyc
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs := fr.regs
+		var res uint64
+
+		switch in.op {
+		case xAdd:
+			res = regs[in.a] + regs[in.b]
+		case xSub:
+			res = regs[in.a] - regs[in.b]
+		case xMul:
+			res = regs[in.a] * regs[in.b]
+		case xDiv:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer divide by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer divide overflow")
+				return
+			}
+			res = uint64(a / b)
+		case xRem:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer remainder by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer remainder overflow")
+				return
+			}
+			res = uint64(a % b)
+		case xAnd:
+			res = regs[in.a] & regs[in.b]
+		case xOr:
+			res = regs[in.a] | regs[in.b]
+		case xXor:
+			res = regs[in.a] ^ regs[in.b]
+		case xShl:
+			res = uint64(int64(regs[in.a]) << (regs[in.b] & 63))
+		case xShr:
+			res = uint64(int64(regs[in.a]) >> (regs[in.b] & 63))
+		case xFAdd:
+			res = fromF(asF(regs[in.a]) + asF(regs[in.b]))
+		case xFSub:
+			res = fromF(asF(regs[in.a]) - asF(regs[in.b]))
+		case xFMul:
+			res = fromF(asF(regs[in.a]) * asF(regs[in.b]))
+		case xFDiv:
+			res = fromF(asF(regs[in.a]) / asF(regs[in.b]))
+
+		case xICmpEQ:
+			res = boolWord(int64(regs[in.a]) == int64(regs[in.b]))
+		case xICmpNE:
+			res = boolWord(int64(regs[in.a]) != int64(regs[in.b]))
+		case xICmpLT:
+			res = boolWord(int64(regs[in.a]) < int64(regs[in.b]))
+		case xICmpLE:
+			res = boolWord(int64(regs[in.a]) <= int64(regs[in.b]))
+		case xICmpGT:
+			res = boolWord(int64(regs[in.a]) > int64(regs[in.b]))
+		case xICmpGE:
+			res = boolWord(int64(regs[in.a]) >= int64(regs[in.b]))
+		case xFCmpEQ:
+			res = boolWord(asF(regs[in.a]) == asF(regs[in.b]))
+		case xFCmpNE:
+			res = boolWord(asF(regs[in.a]) != asF(regs[in.b]))
+		case xFCmpLT:
+			res = boolWord(asF(regs[in.a]) < asF(regs[in.b]))
+		case xFCmpLE:
+			res = boolWord(asF(regs[in.a]) <= asF(regs[in.b]))
+		case xFCmpGT:
+			res = boolWord(asF(regs[in.a]) > asF(regs[in.b]))
+		case xFCmpGE:
+			res = boolWord(asF(regs[in.a]) >= asF(regs[in.b]))
+
+		case xIToF:
+			res = fromF(float64(int64(regs[in.a])))
+		case xFToI:
+			f := asF(regs[in.a])
+			if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+				r.haltTrap("float-to-int out of range")
+				return
+			}
+			res = uint64(int64(f))
+
+		case xAlloca:
+			n := int64(regs[in.a])
+			if n < 0 || t.sp+int(n) > t.stackEnd {
+				r.haltTrap("stack overflow")
+				return
+			}
+			res = uint64(t.sp)
+			clear(r.mem[t.sp : t.sp+int(n)])
+			t.sp += int(n)
+		case xLoad:
+			p := regs[in.a]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(loadOOB(p))
+				return
+			}
+			res = r.mem[p]
+		case xStore:
+			p := regs[in.b]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(storeOOB(p))
+				return
+			}
+			r.mem[p] = regs[in.a]
+			fr.pc++
+			continue
+		case xGEP:
+			res = uint64(int64(regs[in.a]) + int64(regs[in.b]))
+		case xGlobalAddr:
+			res = uint64(r.globalBase[in.a])
+		case xArrayLen:
+			res = uint64(r.globalLen[in.a])
+
+		case xBr:
+			r.takeEdgeProfiled(fr, in.ex0)
+			continue
+		case xCondBr:
+			e := in.ex1
+			if regs[in.a]&1 != 0 {
+				e = in.ex0
+			}
+			r.takeEdgeProfiled(fr, e)
+			continue
+		case xRet, xRetVoid:
+			hasVal := in.op == xRet
+			var rv uint64
+			if hasVal {
+				rv = regs[in.a]
+			}
+			t.sp = fr.spSave
+			retDst := fr.retDst
+			t.frames = t.frames[:len(t.frames)-1]
+			t.callDepth--
+			if len(t.frames) == 0 {
+				t.done = true
+				continue
+			}
+			if hasVal && retDst >= 0 {
+				t.frames[len(t.frames)-1].regs[retDst] = rv
+			}
+			continue
+
+		case xEntryPhi:
+			if in.a < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[in.a]
+		case xLonePhi:
+			if fr.phiSrc < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[fr.phiSrc]
+
+		case xCall:
+			if t.callDepth >= r.cfg.MaxCallDepth {
+				r.haltTrap("call depth exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			fr.pc++
+			r.pushIFrame(t, callee, args, int(in.dst), callIDOf(in), in.tbits)
+			p.BlockCount[callee.entryBlock]++
+			continue
+		case xSelect:
+			if regs[in.a]&1 != 0 {
+				res = regs[in.b]
+			} else {
+				res = regs[in.c]
+			}
+		case xSpawn:
+			if len(r.threads) >= r.cfg.MaxThreads {
+				r.haltTrap("thread limit exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			nt := r.newThread()
+			r.pushIFrame(nt, callee, args, -1, -1, 0)
+			p.BlockCount[callee.entryBlock]++
+			fr.pc++
+			continue
+		case xJoin:
+			fr.pc++
+			if !r.othersDone(t) {
+				t.joining = true
+			}
+			continue
+		case xDetect:
+			if regs[in.a]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		case xEmit:
+			if len(r.out) >= r.cfg.MaxOutputWords {
+				r.haltTrap("output overflow")
+				return
+			}
+			r.out = append(r.out, regs[in.a])
+			fr.pc++
+			continue
+		case xSqrt:
+			res = fromF(math.Sqrt(asF(regs[in.a])))
+		case xFabs:
+			res = fromF(math.Abs(asF(regs[in.a])))
+		case xExp:
+			res = fromF(math.Exp(asF(regs[in.a])))
+		case xLog:
+			res = fromF(math.Log(asF(regs[in.a])))
+		case xSin:
+			res = fromF(math.Sin(asF(regs[in.a])))
+		case xCos:
+			res = fromF(math.Cos(asF(regs[in.a])))
+		case xPow:
+			res = fromF(math.Pow(asF(regs[in.a]), asF(regs[in.b])))
+		case xFloor:
+			res = fromF(math.Floor(asF(regs[in.a])))
+		case xIAbs:
+			v := int64(regs[in.a])
+			if v < 0 {
+				v = -v
+			}
+			res = uint64(v)
+
+		case xCmpEqDetect:
+			regs[in.dst] = boolWord(regs[in.a] == regs[in.b])
+			r.nDyn++
+			cyc2 := int64(in.cyc2)
+			r.cycles += cyc2
+			p.InstrCount[in.id2]++
+			p.InstrCycles[in.id2] += cyc2
+			if r.nDyn > maxDyn {
+				r.haltHang()
+				return
+			}
+			if regs[in.dst]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		default: // xTrapOp
+			r.haltTrap(r.img.traps[in.a])
+			return
+		}
+
+		regs[in.dst] = res
+		fr.pc++
+	}
+}
+
+// takeEdgeProfiled transfers control along edge e, counting the entered
+// block and the edge (in the order of the reference stepper: before any
+// phi work, including a missing-predecessor trap).
+func (r *Runner) takeEdgeProfiled(fr *frame, e int32) {
+	if e < 0 {
+		r.haltTrap("branch to invalid block")
+		return
+	}
+	ep := &r.img.edgeProgs[e]
+	p := r.prof
+	p.BlockCount[ep.dstBlock]++
+	p.EdgeHits[e]++
+	if ep.trap {
+		r.haltTrap("phi with no matching predecessor")
+		return
+	}
+	if ep.lone {
+		fr.phiSrc = ep.moves[0].src
+		fr.pc = int(ep.target)
+		return
+	}
+	moves := ep.moves
+	if len(moves) == 0 {
+		fr.pc = int(ep.target)
+		return
+	}
+	regs := fr.regs
+	vals := r.phiVals[:len(moves)]
+	for i := range moves {
+		vals[i] = regs[moves[i].src]
+	}
+	maxDyn := r.cfg.MaxDynInstrs
+	for i := range moves {
+		mv := &moves[i]
+		r.nDyn++
+		cyc := int64(mv.cyc)
+		r.cycles += cyc
+		p.InstrCount[mv.id]++
+		p.InstrCycles[mv.id] += cyc
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs[mv.dst] = vals[i]
+	}
+	fr.pc = int(ep.target)
+}
+
+// quantumFault executes up to q image instructions on t with a fault
+// armed. A profile may also be attached (rare: incubative characterization
+// of faulty runs), so profile updates are guarded here — this loop is off
+// the no-fault fast paths.
+func (r *Runner) quantumFault(t *thread, q int) {
+	maxDyn := r.cfg.MaxDynInstrs
+	p := r.prof
+	fid := r.faultID
+	for i := 0; i < q; i++ {
+		if t.done || t.joining || r.halted {
+			return
+		}
+		fr := &t.frames[len(t.frames)-1]
+		in := &fr.ifn.code[fr.pc]
+		r.nDyn++
+		cyc := int64(in.cyc)
+		r.cycles += cyc
+		if p != nil {
+			p.InstrCount[in.id]++
+			p.InstrCycles[in.id] += cyc
+		}
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs := fr.regs
+		var res uint64
+
+		switch in.op {
+		case xAdd:
+			res = regs[in.a] + regs[in.b]
+		case xSub:
+			res = regs[in.a] - regs[in.b]
+		case xMul:
+			res = regs[in.a] * regs[in.b]
+		case xDiv:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer divide by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer divide overflow")
+				return
+			}
+			res = uint64(a / b)
+		case xRem:
+			a, b := int64(regs[in.a]), int64(regs[in.b])
+			if b == 0 {
+				r.haltTrap("integer remainder by zero")
+				return
+			}
+			if a == math.MinInt64 && b == -1 {
+				r.haltTrap("integer remainder overflow")
+				return
+			}
+			res = uint64(a % b)
+		case xAnd:
+			res = regs[in.a] & regs[in.b]
+		case xOr:
+			res = regs[in.a] | regs[in.b]
+		case xXor:
+			res = regs[in.a] ^ regs[in.b]
+		case xShl:
+			res = uint64(int64(regs[in.a]) << (regs[in.b] & 63))
+		case xShr:
+			res = uint64(int64(regs[in.a]) >> (regs[in.b] & 63))
+		case xFAdd:
+			res = fromF(asF(regs[in.a]) + asF(regs[in.b]))
+		case xFSub:
+			res = fromF(asF(regs[in.a]) - asF(regs[in.b]))
+		case xFMul:
+			res = fromF(asF(regs[in.a]) * asF(regs[in.b]))
+		case xFDiv:
+			res = fromF(asF(regs[in.a]) / asF(regs[in.b]))
+
+		case xICmpEQ:
+			res = boolWord(int64(regs[in.a]) == int64(regs[in.b]))
+		case xICmpNE:
+			res = boolWord(int64(regs[in.a]) != int64(regs[in.b]))
+		case xICmpLT:
+			res = boolWord(int64(regs[in.a]) < int64(regs[in.b]))
+		case xICmpLE:
+			res = boolWord(int64(regs[in.a]) <= int64(regs[in.b]))
+		case xICmpGT:
+			res = boolWord(int64(regs[in.a]) > int64(regs[in.b]))
+		case xICmpGE:
+			res = boolWord(int64(regs[in.a]) >= int64(regs[in.b]))
+		case xFCmpEQ:
+			res = boolWord(asF(regs[in.a]) == asF(regs[in.b]))
+		case xFCmpNE:
+			res = boolWord(asF(regs[in.a]) != asF(regs[in.b]))
+		case xFCmpLT:
+			res = boolWord(asF(regs[in.a]) < asF(regs[in.b]))
+		case xFCmpLE:
+			res = boolWord(asF(regs[in.a]) <= asF(regs[in.b]))
+		case xFCmpGT:
+			res = boolWord(asF(regs[in.a]) > asF(regs[in.b]))
+		case xFCmpGE:
+			res = boolWord(asF(regs[in.a]) >= asF(regs[in.b]))
+
+		case xIToF:
+			res = fromF(float64(int64(regs[in.a])))
+		case xFToI:
+			f := asF(regs[in.a])
+			if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+				r.haltTrap("float-to-int out of range")
+				return
+			}
+			res = uint64(int64(f))
+
+		case xAlloca:
+			n := int64(regs[in.a])
+			if n < 0 || t.sp+int(n) > t.stackEnd {
+				r.haltTrap("stack overflow")
+				return
+			}
+			res = uint64(t.sp)
+			clear(r.mem[t.sp : t.sp+int(n)])
+			t.sp += int(n)
+		case xLoad:
+			p := regs[in.a]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(loadOOB(p))
+				return
+			}
+			res = r.mem[p]
+		case xStore:
+			p := regs[in.b]
+			if p < reservedLow || p >= uint64(len(r.mem)) {
+				r.haltTrap(storeOOB(p))
+				return
+			}
+			r.mem[p] = regs[in.a]
+			fr.pc++
+			continue
+		case xGEP:
+			res = uint64(int64(regs[in.a]) + int64(regs[in.b]))
+		case xGlobalAddr:
+			res = uint64(r.globalBase[in.a])
+		case xArrayLen:
+			res = uint64(r.globalLen[in.a])
+
+		case xBr:
+			r.takeEdgeFault(fr, in.ex0)
+			continue
+		case xCondBr:
+			e := in.ex1
+			if regs[in.a]&1 != 0 {
+				e = in.ex0
+			}
+			r.takeEdgeFault(fr, e)
+			continue
+		case xRet, xRetVoid:
+			hasVal := in.op == xRet
+			var rv uint64
+			if hasVal {
+				rv = regs[in.a]
+			}
+			t.sp = fr.spSave
+			retDst, callID, ctb := fr.retDst, fr.callID, fr.callTBits
+			t.frames = t.frames[:len(t.frames)-1]
+			t.callDepth--
+			if len(t.frames) == 0 {
+				t.done = true
+				continue
+			}
+			if hasVal && retDst >= 0 {
+				caller := &t.frames[len(t.frames)-1]
+				caller.regs[retDst] = rv
+				if callID >= 0 && callID == fid {
+					r.flipSlot(caller.regs, int32(retDst), ctb)
+				}
+			}
+			continue
+
+		case xEntryPhi:
+			if in.a < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[in.a]
+		case xLonePhi:
+			if fr.phiSrc < 0 {
+				r.haltTrap("phi with no matching predecessor")
+				return
+			}
+			res = regs[fr.phiSrc]
+
+		case xCall:
+			if t.callDepth >= r.cfg.MaxCallDepth {
+				r.haltTrap("call depth exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			fr.pc++
+			r.pushIFrame(t, callee, args, int(in.dst), callIDOf(in), in.tbits)
+			if p != nil {
+				p.BlockCount[callee.entryBlock]++
+			}
+			continue
+		case xSelect:
+			if regs[in.a]&1 != 0 {
+				res = regs[in.b]
+			} else {
+				res = regs[in.c]
+			}
+		case xSpawn:
+			if len(r.threads) >= r.cfg.MaxThreads {
+				r.haltTrap("thread limit exceeded")
+				return
+			}
+			callee := r.img.funcs[in.id2]
+			args := r.argScratch[:in.b]
+			pool := r.img.argPool[in.a:]
+			for k := range args {
+				args[k] = regs[pool[k]]
+			}
+			nt := r.newThread()
+			r.pushIFrame(nt, callee, args, -1, -1, 0)
+			if p != nil {
+				p.BlockCount[callee.entryBlock]++
+			}
+			fr.pc++
+			continue
+		case xJoin:
+			fr.pc++
+			if !r.othersDone(t) {
+				t.joining = true
+			}
+			continue
+		case xDetect:
+			if regs[in.a]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		case xEmit:
+			if len(r.out) >= r.cfg.MaxOutputWords {
+				r.haltTrap("output overflow")
+				return
+			}
+			r.out = append(r.out, regs[in.a])
+			fr.pc++
+			continue
+		case xSqrt:
+			res = fromF(math.Sqrt(asF(regs[in.a])))
+		case xFabs:
+			res = fromF(math.Abs(asF(regs[in.a])))
+		case xExp:
+			res = fromF(math.Exp(asF(regs[in.a])))
+		case xLog:
+			res = fromF(math.Log(asF(regs[in.a])))
+		case xSin:
+			res = fromF(math.Sin(asF(regs[in.a])))
+		case xCos:
+			res = fromF(math.Cos(asF(regs[in.a])))
+		case xPow:
+			res = fromF(math.Pow(asF(regs[in.a]), asF(regs[in.b])))
+		case xFloor:
+			res = fromF(math.Floor(asF(regs[in.a])))
+		case xIAbs:
+			v := int64(regs[in.a])
+			if v < 0 {
+				v = -v
+			}
+			res = uint64(v)
+
+		case xCmpEqDetect:
+			regs[in.dst] = boolWord(regs[in.a] == regs[in.b])
+			if in.id == fid {
+				r.flipSlot(regs, in.dst, in.tbits)
+			}
+			r.nDyn++
+			cyc2 := int64(in.cyc2)
+			r.cycles += cyc2
+			if p != nil {
+				p.InstrCount[in.id2]++
+				p.InstrCycles[in.id2] += cyc2
+			}
+			if r.nDyn > maxDyn {
+				r.haltHang()
+				return
+			}
+			if regs[in.dst]&1 == 0 {
+				r.haltDetected()
+				return
+			}
+			fr.pc++
+			continue
+
+		default: // xTrapOp
+			r.haltTrap(r.img.traps[in.a])
+			return
+		}
+
+		regs[in.dst] = res
+		if in.id == fid {
+			r.flipSlot(regs, in.dst, in.tbits)
+		}
+		fr.pc++
+	}
+}
+
+// takeEdgeFault transfers control along edge e with a fault armed (and an
+// optional profile).
+func (r *Runner) takeEdgeFault(fr *frame, e int32) {
+	if e < 0 {
+		r.haltTrap("branch to invalid block")
+		return
+	}
+	ep := &r.img.edgeProgs[e]
+	p := r.prof
+	if p != nil {
+		p.BlockCount[ep.dstBlock]++
+		p.EdgeHits[e]++
+	}
+	if ep.trap {
+		r.haltTrap("phi with no matching predecessor")
+		return
+	}
+	if ep.lone {
+		fr.phiSrc = ep.moves[0].src
+		fr.pc = int(ep.target)
+		return
+	}
+	moves := ep.moves
+	if len(moves) == 0 {
+		fr.pc = int(ep.target)
+		return
+	}
+	regs := fr.regs
+	vals := r.phiVals[:len(moves)]
+	for i := range moves {
+		vals[i] = regs[moves[i].src]
+	}
+	maxDyn := r.cfg.MaxDynInstrs
+	fid := r.faultID
+	for i := range moves {
+		mv := &moves[i]
+		r.nDyn++
+		cyc := int64(mv.cyc)
+		r.cycles += cyc
+		if p != nil {
+			p.InstrCount[mv.id]++
+			p.InstrCycles[mv.id] += cyc
+		}
+		if r.nDyn > maxDyn {
+			r.haltHang()
+			return
+		}
+		regs[mv.dst] = vals[i]
+		if mv.id == fid {
+			r.flipSlot(regs, mv.dst, mv.tbits)
+		}
+	}
+	fr.pc = int(ep.target)
+}
+
+// flipSlot applies the armed fault to regs[dst] if this dynamic execution
+// of the target instruction is the injection point, and advances the
+// dynamic-occurrence counter either way (mirroring Runner.flip).
+func (r *Runner) flipSlot(regs []uint64, dst int32, tbits uint8) {
+	if r.faultSeen == r.fault.DynIndex {
+		if r.fault.Mask != 0 {
+			mask := r.fault.Mask
+			if tbits == 1 {
+				mask &= 1
+			}
+			regs[dst] ^= mask
+		} else {
+			bit := r.fault.Bit % uint(tbits)
+			regs[dst] ^= 1 << bit
+		}
+	}
+	r.faultSeen++
+}
+
+// callIDOf returns the static ID a frame must remember for return-value
+// fault injection: the call's ID when it produces a result, else -1.
+func callIDOf(in *iword) int32 {
+	if in.c != 0 {
+		return in.id
+	}
+	return -1
+}

@@ -63,6 +63,50 @@ type Binding struct {
 	Globals map[string][]uint64 // values for dynamically sized or overridden globals
 }
 
+// Engine selects the execution engine of a Runner.
+type Engine uint8
+
+const (
+	// EngineAuto resolves to the package-level DefaultEngine.
+	EngineAuto Engine = iota
+	// EngineImage executes a pre-decoded program image with specialized
+	// run loops (see image.go / engine.go). This is the production engine.
+	EngineImage
+	// EngineLegacy executes the reference tree-walking stepper below. It
+	// defines the semantics; the image engine is differentially tested
+	// against it.
+	EngineLegacy
+)
+
+// DefaultEngine is the engine used when Config.Engine is EngineAuto.
+// CLIs expose it via the -engine flag.
+var DefaultEngine = EngineImage
+
+// ParseEngine parses an -engine flag value ("auto", "image", "legacy").
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "image":
+		return EngineImage, nil
+	case "legacy":
+		return EngineLegacy, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, image, or legacy)", s)
+}
+
+// String returns the flag spelling of e.
+func (e Engine) String() string {
+	switch e {
+	case EngineImage:
+		return "image"
+	case EngineLegacy:
+		return "legacy"
+	default:
+		return "auto"
+	}
+}
+
 // Config bounds an execution.
 type Config struct {
 	// MaxDynInstrs is the hang budget. Zero selects DefaultMaxDynInstrs.
@@ -81,6 +125,10 @@ type Config struct {
 	// that corrupts a spawn loop would otherwise allocate stacks without
 	// bound. Zero selects a default.
 	MaxThreads int
+	// Engine selects the execution engine. The zero value (EngineAuto)
+	// defers to the package-level DefaultEngine. Config stays comparable,
+	// so caches keyed on it keep working.
+	Engine Engine
 }
 
 // Defaults for Config fields.
@@ -122,37 +170,119 @@ type Result struct {
 	Output    []uint64 // the program's emitted words
 	DynInstrs int64    // dynamic instructions executed
 	Cycles    int64    // modeled cycles
+	// OutputHash is an FNV-1a 64 hash over Output. Two runs of the same
+	// module have equal outputs iff the hashes match is NOT guaranteed
+	// (hashes can collide), but unequal hashes prove unequal outputs, so
+	// campaigns use it as a fast reject before the exact word compare.
+	OutputHash uint64
+}
+
+// hashWords computes the FNV-1a 64 hash of a word slice.
+func hashWords(words []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range words {
+		for i := 0; i < 64; i += 8 {
+			h ^= (w >> i) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // Profile accumulates dynamic execution statistics when attached to a run.
-// Slices are indexed by module-wide instruction / basic-block IDs.
+// Slices are indexed by module-wide instruction / basic-block IDs. Edge
+// executions are counted in a dense slice indexed by the static CSR edge
+// table (see EdgeIndex) instead of a map keyed by block pairs.
 type Profile struct {
-	InstrCount  []int64          // dynamic executions per static instruction
-	InstrCycles []int64          // modeled cycles per static instruction
-	BlockCount  []int64          // executions per global basic block
-	EdgeCount   map[[2]int]int64 // executions per global CFG edge
+	InstrCount  []int64 // dynamic executions per static instruction
+	InstrCycles []int64 // modeled cycles per static instruction
+	BlockCount  []int64 // executions per global basic block
+
+	// Edges is the static edge numbering; EdgeHits[i] counts executions of
+	// Edges.Edge(i). The numbering is deterministic, so an index built here
+	// and one built by the program image agree.
+	Edges    *EdgeIndex
+	EdgeHits []int64
+
+	// extra catches edges outside the static table (only reachable if a
+	// caller mutates the module between NewProfile and Run; stays nil in
+	// normal operation).
+	extra map[[2]int]int64
 }
 
 // NewProfile returns a Profile sized for m.
 func NewProfile(m *ir.Module) *Profile {
+	e := NewEdgeIndex(m)
 	return &Profile{
 		InstrCount:  make([]int64, m.NumInstrs()),
 		InstrCycles: make([]int64, m.NumInstrs()),
 		BlockCount:  make([]int64, m.NumBlocks()),
-		EdgeCount:   make(map[[2]int]int64),
+		Edges:       e,
+		EdgeHits:    make([]int64, e.NumEdges()),
 	}
 }
 
-// frame is one function activation.
+// addEdge counts one execution of the edge (from, to) in global block
+// indices. The legacy stepper calls this on every branch; the image engine
+// increments EdgeHits directly by precomputed edge number.
+func (p *Profile) addEdge(from, to int) {
+	if i := p.Edges.Lookup(from, to); i >= 0 {
+		p.EdgeHits[i]++
+		return
+	}
+	if p.extra == nil {
+		p.extra = make(map[[2]int]int64)
+	}
+	p.extra[[2]int{from, to}]++
+}
+
+// EdgeCount returns the execution count of edge (from, to) in global block
+// indices.
+func (p *Profile) EdgeCount(from, to int) int64 {
+	if i := p.Edges.Lookup(from, to); i >= 0 {
+		return p.EdgeHits[i]
+	}
+	return p.extra[[2]int{from, to}]
+}
+
+// EdgeCountMap materializes the edge counters as the map view the profile
+// historically exposed. Hot paths should iterate EdgeHits instead.
+func (p *Profile) EdgeCountMap() map[[2]int]int64 {
+	m := make(map[[2]int]int64, len(p.EdgeHits))
+	for i, c := range p.EdgeHits {
+		if c == 0 {
+			continue
+		}
+		from, to := p.Edges.Edge(i)
+		m[[2]int{from, to}] = c
+	}
+	for e, c := range p.extra {
+		m[e] += c
+	}
+	return m
+}
+
+// frame is one function activation. Both engines share the struct; the
+// legacy stepper uses fn/block/prevBlock, the image engine uses ifn and a
+// flat pc, plus precomputed return-flip metadata (callID/callTBits) so
+// doReturn needs no *ir.Instr.
 type frame struct {
 	fn        *ir.Function
+	ifn       *ifunc // image engine: decoded function (nil under legacy)
 	regs      []uint64
-	block     int       // current block index within fn
-	prevBlock int       // predecessor block (for phi resolution)
-	pc        int       // index into block's instruction slice
+	block     int       // legacy: current block index within fn
+	prevBlock int       // legacy: predecessor block (for phi resolution)
+	pc        int       // legacy: index into block; image: offset into ifn.code
 	spSave    int       // thread stack pointer at entry, restored at return
 	retDst    int       // caller register to receive the return value (-1: none)
 	callInstr *ir.Instr // the OpCall that created this frame (nil for entry/spawn)
+	callID    int32     // image: static ID of the creating call if it has a result, else -1
+	callTBits uint8     // image: flip width of the call's result type
+	phiSrc    int32     // image: incoming slot for a pending xLonePhi (-1: no match)
 }
 
 // thread is one simulated thread of execution.
@@ -185,6 +315,7 @@ type Runner struct {
 
 	fault     *Fault
 	faultSeen int64
+	faultID   int32 // fault.InstrID, pre-narrowed for the image loop
 
 	prof   *Profile
 	tracer *Tracer
@@ -192,6 +323,16 @@ type Runner struct {
 	status Status
 	trap   string
 	halted bool
+
+	// Image-engine state: the decoded program and per-run scratch buffers
+	// (call-argument staging, phi-group staging), sized once per image.
+	img        *Image
+	argScratch []uint64
+	phiVals    []uint64
+
+	// threadPool retains thread structs (and through them frame slices and
+	// register files) across runs; threads[i] aliases threadPool[i].
+	threadPool []*thread
 }
 
 // reservedLow is the unmapped "null page" at the bottom of memory; loads
@@ -210,24 +351,90 @@ func (r *Runner) Module() *ir.Module { return r.mod }
 // fault, if non-nil, injects a single-bit flip; prof, if non-nil, receives
 // dynamic execution statistics.
 func (r *Runner) Run(bind Binding, fault *Fault, prof *Profile) Result {
+	return r.run(bind, fault, prof, true)
+}
+
+// RunScratch is Run without the defensive copy of the output buffer: the
+// returned Result.Output aliases the Runner's internal buffer and is valid
+// only until the next run. Campaign loops use it (they hash/compare the
+// output and move on); everyone else should call Run.
+func (r *Runner) RunScratch(bind Binding, fault *Fault, prof *Profile) Result {
+	return r.run(bind, fault, prof, false)
+}
+
+// resolveEngine picks the engine for the next run, decoding (or re-fetching
+// from the shared cache) the program image when needed. Tracing and
+// modules the decoder cannot lower always use the legacy stepper, which
+// defines the semantics.
+func (r *Runner) resolveEngine() Engine {
+	e := r.cfg.Engine
+	if e == EngineAuto {
+		e = DefaultEngine
+	}
+	if r.tracer != nil {
+		return EngineLegacy
+	}
+	if e == EngineLegacy {
+		return e
+	}
+	if r.img == nil || r.img.version != r.mod.Version() {
+		r.img = imageOf(r.mod)
+		if n := r.img.maxArgs; cap(r.argScratch) < n {
+			r.argScratch = make([]uint64, n)
+		}
+		if n := r.img.maxPhi; cap(r.phiVals) < n {
+			r.phiVals = make([]uint64, n)
+		}
+	}
+	if r.img.legacyOnly {
+		return EngineLegacy
+	}
+	return EngineImage
+}
+
+func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Result {
 	r.setup(bind)
 	r.fault = fault
 	r.faultSeen = 0
 	r.prof = prof
+	if fault != nil {
+		r.faultID = int32(fault.InstrID)
+	}
 
 	entry := r.mod.Entry()
-	main := r.mod.Funcs[entry]
-	t := r.newThread()
-	r.pushFrame(t, main, bind.Args, -1)
+	if r.resolveEngine() == EngineLegacy {
+		main := r.mod.Funcs[entry]
+		t := r.newThread()
+		r.pushFrame(t, main, bind.Args, -1)
+		r.schedule(r.runQuantum)
+	} else {
+		main := r.img.funcs[entry]
+		t := r.newThread()
+		r.pushIFrame(t, main, bind.Args, -1, -1, 0)
+		if prof != nil {
+			prof.BlockCount[main.entryBlock]++
+		}
+		switch {
+		case fault != nil:
+			r.schedule(r.quantumFault)
+		case prof != nil:
+			r.schedule(r.quantumProfiled)
+		default:
+			r.schedule(r.quantumPlain)
+		}
+	}
 
-	r.schedule()
-
+	out := r.out
+	if copyOut {
+		out = append([]uint64(nil), r.out...)
+	}
 	return Result{
-		Status:    r.status,
-		Trap:      r.trap,
-		Output:    append([]uint64(nil), r.out...),
-		DynInstrs: r.nDyn,
-		Cycles:    r.cycles,
+		Status:     r.status,
+		Trap:       r.trap,
+		Output:     out,
+		DynInstrs:  r.nDyn,
+		Cycles:     r.cycles,
+		OutputHash: hashWords(r.out),
 	}
 }
 
@@ -279,10 +486,52 @@ func (r *Runner) setup(bind Binding) {
 
 func (r *Runner) newThread() *thread {
 	start := len(r.mem)
-	r.mem = append(r.mem, make([]uint64, r.cfg.StackWords)...)
-	t := &thread{sp: start, stackEnd: start + r.cfg.StackWords}
+	if n := start + r.cfg.StackWords; cap(r.mem) >= n {
+		r.mem = r.mem[:n]
+		clear(r.mem[start:])
+	} else {
+		r.mem = append(r.mem, make([]uint64, r.cfg.StackWords)...)
+	}
+	var t *thread
+	if len(r.threads) < len(r.threadPool) {
+		t = r.threadPool[len(r.threads)]
+		t.frames = t.frames[:0]
+		t.done = false
+		t.joining = false
+		t.callDepth = 0
+	} else {
+		t = &thread{}
+		r.threadPool = append(r.threadPool, t)
+	}
+	t.sp = start
+	t.stackEnd = start + r.cfg.StackWords
 	r.threads = append(r.threads, t)
 	return t
+}
+
+// pushSlot extends t's frame stack by one, reusing the slot (and its
+// register backing array) from an earlier run when available. The caller
+// must overwrite every field.
+func (t *thread) pushSlot() *frame {
+	if len(t.frames) < cap(t.frames) {
+		t.frames = t.frames[:len(t.frames)+1]
+	} else {
+		t.frames = append(t.frames, frame{})
+	}
+	return &t.frames[len(t.frames)-1]
+}
+
+// frameRegs returns fr's register file resized to n words and zeroed,
+// reusing the previous backing array when it is large enough (a cleared
+// reused array is indistinguishable from a fresh allocation).
+func frameRegs(fr *frame, n int) []uint64 {
+	if cap(fr.regs) >= n {
+		fr.regs = fr.regs[:n]
+		clear(fr.regs)
+	} else {
+		fr.regs = make([]uint64, n)
+	}
+	return fr.regs
 }
 
 func (r *Runner) pushFrame(t *thread, fn *ir.Function, args []uint64, retDst int) {
@@ -290,22 +539,45 @@ func (r *Runner) pushFrame(t *thread, fn *ir.Function, args []uint64, retDst int
 }
 
 func (r *Runner) pushFrameFor(t *thread, fn *ir.Function, args []uint64, retDst int, call *ir.Instr) {
-	regs := make([]uint64, fn.NumRegs)
+	fr := t.pushSlot()
+	regs := frameRegs(fr, fn.NumRegs)
 	copy(regs, args)
-	t.frames = append(t.frames, frame{
+	*fr = frame{
 		fn:        fn,
 		regs:      regs,
 		spSave:    t.sp,
 		retDst:    retDst,
 		callInstr: call,
-	})
+		callID:    -1,
+	}
 	t.callDepth++
 	r.noteBlockEntry(fn.Index, 0, -1)
 }
 
+// pushIFrame is the image engine's frame push: registers are cleared, the
+// arguments copied in, and the constant pool loaded above the registers.
+func (r *Runner) pushIFrame(t *thread, ifn *ifunc, args []uint64, retDst int, callID int32, callTBits uint8) {
+	fr := t.pushSlot()
+	regs := frameRegs(fr, ifn.nSlots)
+	copy(regs, args)
+	copy(regs[ifn.nRegs:], ifn.consts)
+	*fr = frame{
+		ifn:       ifn,
+		regs:      regs,
+		spSave:    t.sp,
+		retDst:    retDst,
+		callID:    callID,
+		callTBits: callTBits,
+		phiSrc:    ifn.entryPhiSrc,
+	}
+	t.callDepth++
+}
+
 // schedule runs all threads round-robin, quantum instructions at a time,
 // until every thread finishes or the machine halts (trap, hang, detect).
-func (r *Runner) schedule() {
+// runQ is the engine-specific quantum executor; the scheduling policy is
+// shared so both engines interleave threads identically.
+func (r *Runner) schedule(runQ func(*thread, int)) {
 	q := r.cfg.Quantum
 	for !r.halted {
 		alive := 0
@@ -319,7 +591,7 @@ func (r *Runner) schedule() {
 				continue
 			}
 			t.joining = false
-			r.runQuantum(t, q)
+			runQ(t, q)
 			progressed = true
 			if r.halted {
 				return
@@ -360,6 +632,11 @@ func (r *Runner) haltDetected() {
 	r.status = StatusDetected
 	r.halted = true
 }
+
+// Trap-message formatters shared by both engines (the differential tests
+// compare Result.Trap byte-for-byte).
+func loadOOB(p uint64) string  { return fmt.Sprintf("load out of bounds (addr %d)", int64(p)) }
+func storeOOB(p uint64) string { return fmt.Sprintf("store out of bounds (addr %d)", int64(p)) }
 
 // runQuantum executes up to q instructions on t.
 func (r *Runner) runQuantum(t *thread, q int) {
@@ -492,14 +769,14 @@ func (r *Runner) step(t *thread) {
 	case ir.OpLoad:
 		p := val(fr, in.Args[0])
 		if p < reservedLow || p >= uint64(len(r.mem)) {
-			r.haltTrap(fmt.Sprintf("load out of bounds (addr %d)", int64(p)))
+			r.haltTrap(loadOOB(p))
 			return
 		}
 		res = r.mem[p]
 	case ir.OpStore:
 		p := val(fr, in.Args[1])
 		if p < reservedLow || p >= uint64(len(r.mem)) {
-			r.haltTrap(fmt.Sprintf("store out of bounds (addr %d)", int64(p)))
+			r.haltTrap(storeOOB(p))
 			return
 		}
 		r.mem[p] = val(fr, in.Args[0])
@@ -706,8 +983,7 @@ func (r *Runner) noteBlockEntry(fn, block, from int) {
 	g := r.mod.GlobalBlockIndex(fn, block)
 	r.prof.BlockCount[g]++
 	if from >= 0 {
-		e := [2]int{r.mod.GlobalBlockIndex(fn, from), g}
-		r.prof.EdgeCount[e]++
+		r.prof.addEdge(r.mod.GlobalBlockIndex(fn, from), g)
 	}
 }
 

@@ -389,9 +389,13 @@ func TestProfileCounts(t *testing.T) {
 		t.Errorf("body block count = %d, want 10", got)
 	}
 	// Edge body->cond executed 10 times.
-	e := [2]int{m.GlobalBlockIndex(0, bodyIdx), m.GlobalBlockIndex(0, condIdx)}
-	if got := prof.EdgeCount[e]; got != 10 {
+	if got := prof.EdgeCount(m.GlobalBlockIndex(0, bodyIdx), m.GlobalBlockIndex(0, condIdx)); got != 10 {
 		t.Errorf("body->cond edge count = %d, want 10", got)
+	}
+	// The map view agrees with the dense counters.
+	e := [2]int{m.GlobalBlockIndex(0, bodyIdx), m.GlobalBlockIndex(0, condIdx)}
+	if got := prof.EdgeCountMap()[e]; got != 10 {
+		t.Errorf("EdgeCountMap body->cond = %d, want 10", got)
 	}
 }
 

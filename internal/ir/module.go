@@ -71,6 +71,11 @@ type Module struct {
 	// indexed CFG list covers the whole program (paper Fig. 5).
 	blockBase []int
 	numBlocks int
+
+	// version counts Finalize calls. Consumers that pre-decode the module
+	// (the interpreter's program-image cache) key on (pointer, version) so
+	// a re-finalized module is never served a stale decode.
+	version uint64
 }
 
 // InstrLoc identifies the static position of an instruction.
@@ -131,6 +136,7 @@ func (m *Module) Entry() int {
 // after construction and after any transform that adds or removes
 // instructions or blocks.
 func (m *Module) Finalize() {
+	m.version++
 	m.Instrs = m.Instrs[:0]
 	m.instrLoc = m.instrLoc[:0]
 	m.blockBase = make([]int, len(m.Funcs))
@@ -151,6 +157,11 @@ func (m *Module) Finalize() {
 	}
 	m.numBlocks = bb
 }
+
+// Version returns the module's finalization counter: it changes whenever
+// Finalize re-numbers the module, so (pointer, Version) identifies one
+// immutable snapshot of the instruction stream.
+func (m *Module) Version() uint64 { return m.version }
 
 // NumInstrs returns the number of static instructions (after Finalize).
 func (m *Module) NumInstrs() int { return len(m.Instrs) }

@@ -192,7 +192,7 @@ func Search(t Target, cfg Config, refInput inputgen.Input, refMeas *sid.Measurem
 			e.cand = append(e.cand, in.ID)
 		}
 	}
-	refList := profile.NewWeightedCFG(t.Mod, refMeas.Golden.Profile).IndexedList()
+	refList := profile.IndexedListOf(refMeas.Golden.Profile)
 	e.history = append(e.history, refList)
 
 	noProgress := 0
@@ -257,7 +257,7 @@ func (e *engine) evaluateOne(in inputgen.Input) (gaCandidate, bool) {
 	if err != nil {
 		return gaCandidate{}, false
 	}
-	list := profile.NewWeightedCFG(e.t.Mod, golden.Profile).IndexedList()
+	list := profile.IndexedListOf(golden.Profile)
 	return gaCandidate{
 		in:      in,
 		golden:  golden,
@@ -497,7 +497,7 @@ func (e *engine) measureAndAbsorb(in inputgen.Input, golden *fault.Golden, fitne
 	}
 
 	e.seen[in.Key()] = true
-	e.history = append(e.history, profile.NewWeightedCFG(e.t.Mod, golden.Profile).IndexedList())
+	e.history = append(e.history, profile.IndexedListOf(golden.Profile))
 	e.res.Inputs = append(e.res.Inputs, in)
 	e.res.Trace = append(e.res.Trace, TracePoint{
 		InputIndex: len(e.res.Inputs),

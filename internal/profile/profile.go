@@ -52,29 +52,54 @@ func (c *Cost) DynFraction(instrID int) float64 {
 
 // WeightedCFG is the dynamic control-flow profile of one execution: every
 // basic block of the program (module-wide indexing) annotated with its
-// execution count, plus the traversed edge multiset.
+// execution count, plus the traversed edge multiset in the interpreter's
+// dense CSR numbering (Edges[i] counts executions of Index.Edge(i)).
 type WeightedCFG struct {
 	BlockCount []int64
-	EdgeCount  map[[2]int]int64
+	Index      *interp.EdgeIndex
+	Edges      []int64
 }
 
 // NewWeightedCFG extracts the weighted CFG from an interpreter profile.
+// The edge table is shared with (not copied from) the profile's static
+// index; the counters are snapshotted.
 func NewWeightedCFG(m *ir.Module, p *interp.Profile) *WeightedCFG {
 	w := &WeightedCFG{
 		BlockCount: append([]int64(nil), p.BlockCount...),
-		EdgeCount:  make(map[[2]int]int64, len(p.EdgeCount)),
-	}
-	for e, c := range p.EdgeCount {
-		w.EdgeCount[e] = c
+		Index:      p.Edges,
+		Edges:      append([]int64(nil), p.EdgeHits...),
 	}
 	_ = m
 	return w
+}
+
+// EdgeCountMap materializes the edge counters keyed by global block pairs,
+// the view the weighted CFG historically exposed. Hot paths (GA fitness)
+// should iterate Edges instead.
+func (w *WeightedCFG) EdgeCountMap() map[[2]int]int64 {
+	m := make(map[[2]int]int64, len(w.Edges))
+	for i, c := range w.Edges {
+		if c == 0 {
+			continue
+		}
+		from, to := w.Index.Edge(i)
+		m[[2]int{from, to}] = c
+	}
+	return m
 }
 
 // IndexedList converts the weighted CFG into the indexed CFG list of the
 // paper (Fig. 5): position n holds the execution count of basic block n.
 func (w *WeightedCFG) IndexedList() []int64 {
 	return append([]int64(nil), w.BlockCount...)
+}
+
+// IndexedListOf extracts the indexed CFG list straight from an interpreter
+// profile, skipping the WeightedCFG intermediate (and its edge snapshot).
+// GA fitness evaluation calls this once per candidate input, so the saved
+// copies add up.
+func IndexedListOf(p *interp.Profile) []int64 {
+	return append([]int64(nil), p.BlockCount...)
 }
 
 // Distance returns the Euclidean distance between two indexed CFG lists.

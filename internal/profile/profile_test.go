@@ -71,8 +71,16 @@ func main(n int) {
 		t.Errorf("entry block count = %d, want 1", list[0])
 	}
 	var edgeSum int64
-	for _, c := range w.EdgeCount {
+	for _, c := range w.Edges {
 		edgeSum += c
+	}
+	// The map view must agree with the dense counters.
+	var mapSum int64
+	for _, c := range w.EdgeCountMap() {
+		mapSum += c
+	}
+	if mapSum != edgeSum {
+		t.Errorf("EdgeCountMap sum %d != dense sum %d", mapSum, edgeSum)
 	}
 	var blockSum int64
 	for _, c := range list {
