@@ -9,17 +9,26 @@
 // Experiments: table1, fig2, chart2 (ASCII candlesticks), table2, fig3,
 // fig5, fig6, chart6, table3, fig7, fig8, fig9 (includes table4),
 // overhead (§VIII-A), mtfft (§VIII-B).
+//
+// Tables and figures print to stdout; each experiment additionally writes
+// a machine-readable metrics report to <out>/<exp>.json, and task
+// artifacts persist under <out>/cache so interrupted or repeated runs
+// resume instead of re-injecting faults (-cache=false disables). Cached
+// or not, the printed tables are byte-identical for a given seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/benchprog"
 	"repro/internal/harness"
 	"repro/internal/interp"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -32,6 +41,8 @@ func main() {
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		outDir  = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
+		cache   = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
 	)
 	flag.Parse()
 
@@ -49,28 +60,60 @@ func main() {
 	if *full {
 		profile = "full"
 	}
-	if err := run(*exp, profile, *benches, *seed, *workers, *metrics); err != nil {
+	o := options{
+		exps:       *exp,
+		profile:    profile,
+		benches:    *benches,
+		seed:       *seed,
+		workers:    *workers,
+		metrics:    *metrics,
+		resultsDir: *outDir,
+		out:        os.Stdout,
+	}
+	if *cache && *outDir != "" {
+		o.cacheDir = filepath.Join(*outDir, "cache")
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(expList, profile, benchList string, seed int64, workers int, metrics bool) error {
+// options parameterizes one invocation (flag surface minus the engine,
+// which is process-global).
+type options struct {
+	exps       string
+	profile    string
+	benches    string
+	seed       int64
+	workers    int
+	metrics    bool
+	resultsDir string // per-experiment JSON reports; "" disables
+	cacheDir   string // on-disk artifact tier; "" disables
+	out        io.Writer
+}
+
+func run(o options) error {
 	p := harness.Quick()
-	switch profile {
+	switch o.profile {
 	case "medium":
 		p = harness.Medium()
 	case "full":
 		p = harness.Full()
 	}
-	p.Seed = seed
-	p.Workers = workers
+	p.Seed = o.seed
+	p.Workers = o.workers
 	r := harness.NewRunner(p)
+	if o.cacheDir != "" {
+		if err := r.Pipe.EnableDisk(o.cacheDir); err != nil {
+			return err
+		}
+	}
 
 	bs := benchprog.Eleven()
-	if benchList != "" {
+	if o.benches != "" {
 		bs = bs[:0]
-		for _, name := range strings.Split(benchList, ",") {
+		for _, name := range strings.Split(o.benches, ",") {
 			b, ok := benchprog.ByName(strings.TrimSpace(name))
 			if !ok {
 				return fmt.Errorf("unknown benchmark %q", name)
@@ -79,17 +122,19 @@ func run(expList, profile, benchList string, seed int64, workers int, metrics bo
 		}
 	}
 
-	exps := strings.Split(expList, ",")
-	if expList == "all" {
+	exps := strings.Split(o.exps, ",")
+	if o.exps == "all" {
 		exps = []string{"table1", "fig2", "chart2", "table2", "fig3", "fig5",
 			"fig6", "chart6", "table3", "fig7", "fig8", "fig9", "overhead",
 			"overlap", "errorbars", "mtfft"}
 	}
 
-	w := os.Stdout
+	w := o.out
 	for _, e := range exps {
+		name := strings.TrimSpace(e)
+		before := r.Pipe.NumNodes()
 		var err error
-		switch strings.TrimSpace(e) {
+		switch name {
 		case "table1":
 			err = harness.Table1(w)
 		case "fig2":
@@ -123,18 +168,49 @@ func run(expList, profile, benchList string, seed int64, workers int, metrics bo
 		case "mtfft":
 			err = harness.MTFFT(r, w)
 		default:
-			err = fmt.Errorf("unknown experiment %q", e)
+			err = fmt.Errorf("unknown experiment %q", name)
 		}
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
+		if o.resultsDir != "" {
+			if err := writeReport(r, o, name, before); err != nil {
+				return err
+			}
+		}
 	}
-	if metrics {
-		if err := r.Metrics.Render(w); err != nil {
+	if o.metrics {
+		if err := pipeline.RenderMetrics(w, r.Metrics, r.Cache, r.Pipe); err != nil {
 			return err
 		}
-		fmt.Fprintln(w, r.Cache.Stats())
 	}
 	return nil
+}
+
+// writeReport emits <resultsDir>/<exp>.json: the task nodes this
+// experiment touched (everything recorded since fromNode) plus the
+// cumulative store, campaign-cache, and per-phase accounting.
+func writeReport(r *harness.Runner, o options, exp string, fromNode int) error {
+	nodes := r.Pipe.Nodes()
+	if fromNode <= len(nodes) {
+		nodes = nodes[fromNode:]
+	}
+	store := r.Pipe.Stats()
+	camp := r.Cache.Stats()
+	rep := &pipeline.Report{
+		Schema:      pipeline.ReportSchema,
+		Tool:        "experiments",
+		Experiment:  exp,
+		Profile:     o.profile,
+		Seed:        o.seed,
+		Workers:     o.workers,
+		CacheDir:    r.Pipe.DiskDir(),
+		Nodes:       nodes,
+		NodeSummary: pipeline.Summarize(nodes),
+		Store:       &store,
+		Campaigns:   &camp,
+		Phases:      r.Metrics.Snapshots(),
+	}
+	return pipeline.WriteReport(filepath.Join(o.resultsDir, exp+".json"), rep)
 }

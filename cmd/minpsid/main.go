@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/pipeline"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		dump    = flag.Bool("dump", false, "dump the protected IR module")
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
+		jsonOut = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
 	)
 	flag.Parse()
@@ -46,13 +48,13 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics); err != nil {
+	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool) error {
+func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool, jsonOut string) error {
 	technique, err := core.ParseTechnique(techName)
 	if err != nil {
 		return err
@@ -67,10 +69,14 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 		opts = core.QuickOptions()
 	}
 	opts.Seed = seed
-	if metrics {
+	if metrics || jsonOut != "" {
 		opts.Cache = fault.NewCache(0)
 		opts.Metrics = fault.NewMetrics()
 	}
+	// The protection runs as a task graph; keep the pipeline so the
+	// metrics output can report its nodes.
+	pipe := pipeline.NewMem(0)
+	opts.Pipe = pipe
 
 	fmt.Printf("protecting %s with %s at %.0f%% level (faults/instr=%d)\n",
 		bench, technique, level*100, opts.FaultsPerInstr)
@@ -109,10 +115,27 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 		100*float64(after.DynInstrs-orig.DynInstrs)/float64(orig.DynInstrs))
 
 	if metrics {
-		if err := opts.Metrics.Render(os.Stdout); err != nil {
+		if err := pipeline.RenderMetrics(os.Stdout, opts.Metrics, opts.Cache, pipe); err != nil {
 			return err
 		}
-		fmt.Println(opts.Cache.Stats())
+	}
+	if jsonOut != "" {
+		nodes := pipe.Nodes()
+		store := pipe.Stats()
+		camp := opts.Cache.Stats()
+		rep := &pipeline.Report{
+			Schema:      pipeline.ReportSchema,
+			Tool:        "minpsid",
+			Seed:        seed,
+			Nodes:       nodes,
+			NodeSummary: pipeline.Summarize(nodes),
+			Store:       &store,
+			Campaigns:   &camp,
+			Phases:      opts.Metrics.Snapshots(),
+		}
+		if err := pipeline.WriteReport(jsonOut, rep); err != nil {
+			return err
+		}
 	}
 
 	if dump {

@@ -1,18 +1,26 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunProtectsBenchmark(t *testing.T) {
-	if err := run("pathfinder", "sid", 0.3, true, 1, false, true); err != nil {
+	jsonOut := filepath.Join(t.TempDir(), "minpsid.json")
+	if err := run("pathfinder", "sid", 0.3, true, 1, false, true, jsonOut); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(jsonOut); err != nil {
+		t.Errorf("missing JSON report: %v", err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "sid", 0.3, true, 1, false, false); err == nil {
+	if err := run("nope", "sid", 0.3, true, 1, false, false, ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false); err == nil {
+	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false, ""); err == nil {
 		t.Fatal("unknown technique accepted")
 	}
 }

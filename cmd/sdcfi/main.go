@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		inputSeed = flag.Int64("input-seed", 7, "seed for -input random")
 		seed      = flag.Int64("seed", 1, "fault-site sampling seed")
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
+		jsonOut   = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine    = flag.String("engine", "image", "execution engine: image, legacy, or auto")
 	)
 	flag.Parse()
@@ -36,7 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(2)
 	}
-	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics); err != nil {
+	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(1)
 	}
@@ -54,7 +56,7 @@ func setEngine(s string) error {
 	return nil
 }
 
-func run(bench string, n int, input string, inputSeed, seed int64, metrics bool) error {
+func run(bench string, n int, input string, inputSeed, seed int64, metrics bool, jsonOut string) error {
 	prog, err := core.FromBenchmark(bench)
 	if err != nil {
 		return err
@@ -66,7 +68,7 @@ func run(bench string, n int, input string, inputSeed, seed int64, metrics bool)
 	fmt.Printf("benchmark %s, input: %s\n", bench, prog.Spec.String(in))
 
 	var m *fault.Metrics
-	if metrics {
+	if metrics || jsonOut != "" {
 		m = fault.NewMetrics()
 	}
 	res, err := prog.InjectionCampaignOpts(in, n, seed, nil, m.Phase("program-fi"))
@@ -85,7 +87,18 @@ func run(bench string, n int, input string, inputSeed, seed int64, metrics bool)
 			o, k, 100*res.Rate(o), lo*100, hi*100)
 	}
 	if metrics {
-		if err := m.Render(os.Stdout); err != nil {
+		if err := pipeline.RenderMetrics(os.Stdout, m, nil, nil); err != nil {
+			return err
+		}
+	}
+	if jsonOut != "" {
+		rep := &pipeline.Report{
+			Schema: pipeline.ReportSchema,
+			Tool:   "sdcfi",
+			Seed:   seed,
+			Phases: m.Snapshots(),
+		}
+		if err := pipeline.WriteReport(jsonOut, rep); err != nil {
 			return err
 		}
 	}

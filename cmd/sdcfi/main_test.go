@@ -1,18 +1,26 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunCampaign(t *testing.T) {
-	if err := run("pathfinder", 100, "ref", 7, 1, true); err != nil {
+	jsonOut := filepath.Join(t.TempDir(), "sdcfi.json")
+	if err := run("pathfinder", 100, "ref", 7, 1, true, jsonOut); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("fft", 50, "random", 7, 1, false); err != nil {
+	if _, err := os.Stat(jsonOut); err != nil {
+		t.Errorf("missing JSON report: %v", err)
+	}
+	if err := run("fft", 50, "random", 7, 1, false, ""); err != nil {
 		t.Fatalf("run with random input: %v", err)
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", 10, "ref", 0, 0, false); err == nil {
+	if err := run("nope", 10, "ref", 0, 0, false, ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

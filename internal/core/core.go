@@ -22,6 +22,7 @@ import (
 	"repro/internal/minicc"
 	"repro/internal/minpsid"
 	"repro/internal/passes"
+	"repro/internal/pipeline"
 	"repro/internal/sid"
 )
 
@@ -151,6 +152,11 @@ type Options struct {
 	// without them.
 	Cache   *fault.Cache
 	Metrics *fault.Metrics
+	// Pipe, if non-nil, supplies the task scheduler and artifact store the
+	// protection graph runs on, sharing measurement/search/protection nodes
+	// with other work on the same pipeline (and across processes when its
+	// disk tier is enabled). Nil runs on a private in-memory pipeline.
+	Pipe *pipeline.Pipeline
 }
 
 // DefaultOptions returns paper-scale settings.
@@ -195,44 +201,53 @@ type Protection struct {
 }
 
 // Protect applies the chosen technique at the given protection level.
+// The protection runs as a task graph — reference measurement, optional
+// input search, selection + duplication — so equal work is deduplicated
+// against anything else scheduled on Options.Pipe. The graph is
+// value-equivalent to minpsid.Apply / sid.Apply on the same settings.
 func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protection, error) {
 	tgt := minpsid.Target{Mod: p.Module, Spec: p.Spec, Bind: p.Bind, Exec: p.Exec}
+	env := pipeline.Env{Cache: opts.Cache, Metrics: opts.Metrics, Workers: opts.Workers}
+	pipe := opts.Pipe
+	if pipe == nil {
+		pipe = pipeline.NewMem(opts.Workers)
+	}
+
+	mt := &pipeline.MeasureTask{Target: tgt, Input: p.Reference,
+		FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed, Env: env}
+	pt := &pipeline.ProtectTask{Target: tgt, Level: level, Measure: mt, Env: env}
+	prot := &Protection{Program: p, Technique: tech, Level: level}
+
 	switch tech {
 	case TechniqueMINPSID:
-		res, err := minpsid.Apply(tgt, p.Reference, level, opts.searchConfig())
+		st := &pipeline.SearchTask{Target: tgt, Ref: p.Reference,
+			Cfg: opts.searchConfig(), Measure: mt, Env: env}
+		pt.Search = st
+		outs, err := pipe.RunAll(mt, st, pt)
 		if err != nil {
 			return nil, err
 		}
-		return &Protection{
-			Program:          p,
-			Technique:        tech,
-			Level:            level,
-			Module:           res.Protected,
-			Chosen:           res.Selection.Chosen,
-			ExpectedCoverage: res.Selection.ExpectedCoverage,
-			Incubative:       res.Search.Incubative,
-			Timing:           res.Timing,
-		}, nil
+		mo, sr, po := outs[0].(*pipeline.MeasureOut), outs[1].(*minpsid.SearchResult), outs[2].(*pipeline.ProtectOut)
+		prot.Module = po.Mod
+		prot.Chosen = po.Sel.Chosen
+		prot.ExpectedCoverage = po.Sel.ExpectedCoverage
+		prot.Incubative = sr.Incubative
+		prot.Timing = minpsid.Timing{
+			RefFI:        mo.Wall,
+			SearchEngine: sr.EngineTime,
+			IncubativeFI: sr.FITime,
+		}
+		return prot, nil
 	default:
-		res, err := sid.Apply(p.Module, p.Bind(p.Reference), sid.Config{
-			Exec:           p.Exec,
-			FaultsPerInstr: opts.FaultsPerInstr,
-			Seed:           opts.Seed,
-			Workers:        opts.Workers,
-			Cache:          opts.Cache,
-			Metrics:        opts.Metrics.Phase(fault.PhaseRefFI),
-		}, level, sid.MethodDP)
+		outs, err := pipe.RunAll(mt, pt)
 		if err != nil {
 			return nil, err
 		}
-		return &Protection{
-			Program:          p,
-			Technique:        tech,
-			Level:            level,
-			Module:           res.Module,
-			Chosen:           res.Selection.Chosen,
-			ExpectedCoverage: res.Selection.ExpectedCoverage,
-		}, nil
+		po := outs[1].(*pipeline.ProtectOut)
+		prot.Module = po.Mod
+		prot.Chosen = po.Sel.Chosen
+		prot.ExpectedCoverage = po.Sel.ExpectedCoverage
+		return prot, nil
 	}
 }
 

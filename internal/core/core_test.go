@@ -2,10 +2,13 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/inputgen"
 	"repro/internal/interp"
+	"repro/internal/minpsid"
+	"repro/internal/sid"
 )
 
 func TestFromBenchmark(t *testing.T) {
@@ -155,4 +158,63 @@ func TestEvaluateTrueCoverage(t *testing.T) {
 	}
 	t.Logf("true coverage on reference at 60%% level: %.3f (%d/%d SDC faults mitigated)",
 		rep.Coverage, rep.Result.Mitigated, rep.Result.SDCFaults)
+}
+
+// TestProtectMatchesDirectApply pins the task-graph form of Protect to
+// the direct pipeline implementations: same selection, same expected
+// coverage, same protected module, for both techniques.
+func TestProtectMatchesDirectApply(t *testing.T) {
+	p, err := FromBenchmark("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.FaultsPerInstr = 6
+	opts.SearchMaxInputs = 2
+	opts.PopSize = 3
+	opts.MaxGenerations = 1
+	tgt := minpsid.Target{Mod: p.Module, Spec: p.Spec, Bind: p.Bind, Exec: p.Exec}
+
+	sidProt, err := p.Protect(TechniqueSID, 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidDirect, err := sid.Apply(p.Module, p.Bind(p.Reference), sid.Config{
+		Exec: p.Exec, FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed,
+	}, 0.5, sid.MethodDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sidProt.Chosen, sidDirect.Selection.Chosen) {
+		t.Errorf("SID chosen: graph %v, direct %v", sidProt.Chosen, sidDirect.Selection.Chosen)
+	}
+	if sidProt.ExpectedCoverage != sidDirect.Selection.ExpectedCoverage {
+		t.Errorf("SID expected coverage: graph %v, direct %v",
+			sidProt.ExpectedCoverage, sidDirect.Selection.ExpectedCoverage)
+	}
+	if sidProt.Module.String() != sidDirect.Module.String() {
+		t.Error("SID protected modules differ")
+	}
+
+	minpProt, err := p.Protect(TechniqueMINPSID, 0.5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minpDirect, err := minpsid.Apply(tgt, p.Reference, 0.5, opts.searchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(minpProt.Chosen, minpDirect.Selection.Chosen) {
+		t.Errorf("MINPSID chosen: graph %v, direct %v", minpProt.Chosen, minpDirect.Selection.Chosen)
+	}
+	if !reflect.DeepEqual(minpProt.Incubative, minpDirect.Search.Incubative) {
+		t.Errorf("MINPSID incubative: graph %v, direct %v", minpProt.Incubative, minpDirect.Search.Incubative)
+	}
+	if minpProt.ExpectedCoverage != minpDirect.Selection.ExpectedCoverage {
+		t.Errorf("MINPSID expected coverage: graph %v, direct %v",
+			minpProt.ExpectedCoverage, minpDirect.Selection.ExpectedCoverage)
+	}
+	if minpProt.Module.String() != minpDirect.Protected.String() {
+		t.Error("MINPSID protected modules differ")
+	}
 }

@@ -240,9 +240,13 @@ func (c *Cache) unprotectedCampaign(camp *Campaign, excludeDup bool, n int, seed
 
 // CacheStats reports cumulative cache traffic and current sizes.
 type CacheStats struct {
-	GoldenHits, GoldenMisses     int64
-	CampaignHits, CampaignMisses int64
-	Goldens, Campaigns           int // entries currently resident
+	GoldenHits     int64 `json:"golden_hits"`
+	GoldenMisses   int64 `json:"golden_misses"`
+	CampaignHits   int64 `json:"campaign_hits"`
+	CampaignMisses int64 `json:"campaign_misses"`
+	// Entries currently resident.
+	Goldens   int `json:"goldens"`
+	Campaigns int `json:"campaigns"`
 }
 
 // HitRate returns the overall hit fraction across both tables.

@@ -155,16 +155,16 @@ func (p *PhaseMetrics) ObserveWorkers(n int) {
 
 // PhaseSnapshot is a consistent copy of one phase's counters.
 type PhaseSnapshot struct {
-	Name        string
-	Trials      int64 // executed faulty-run trials
-	Outcomes    [NumOutcomes]int64
-	Shortfall   int64 // requested-but-undrawable trials
-	GoldenRuns  int64 // golden executions actually run (cache misses run once)
-	CacheHits   int64
-	CacheMisses int64
-	Wall        time.Duration // wall-clock time inside instrumented sections
-	Busy        time.Duration // summed per-worker execution time
-	MaxWorkers  int
+	Name        string             `json:"name"`
+	Trials      int64              `json:"trials"` // executed faulty-run trials
+	Outcomes    [NumOutcomes]int64 `json:"outcomes"`
+	Shortfall   int64              `json:"shortfall"`   // requested-but-undrawable trials
+	GoldenRuns  int64              `json:"golden_runs"` // golden executions actually run (cache misses run once)
+	CacheHits   int64              `json:"cache_hits"`
+	CacheMisses int64              `json:"cache_misses"`
+	Wall        time.Duration      `json:"wall_ns"` // wall-clock time inside instrumented sections
+	Busy        time.Duration      `json:"busy_ns"` // summed per-worker execution time
+	MaxWorkers  int                `json:"max_workers"`
 }
 
 // HitRate returns the cache hit fraction (0 when the phase saw no lookups).

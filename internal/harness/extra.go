@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minpsid"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/sid"
 	"repro/internal/stats"
@@ -140,6 +141,25 @@ type Fig7Result struct {
 	AnnealFound int
 }
 
+// searchVariant runs the input search with an alternate strategy on the
+// same budget and seed as the evaluation's GA search (r.P.Seed+17),
+// reusing its reference-measurement node.
+func (r *Runner) searchVariant(b *benchprog.Benchmark, s minpsid.Strategy) (*minpsid.SearchResult, error) {
+	cfg := r.P.searchConfig(r.P.Seed + 17)
+	cfg.Strategy = s
+	v, err := r.Pipe.Run(&pipeline.SearchTask{
+		Target:  target(b),
+		Ref:     b.Reference,
+		Cfg:     cfg,
+		Measure: r.evalTask(b).Measure(),
+		Env:     r.env(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*minpsid.SearchResult), nil
+}
+
 // Fig7 reproduces the search-efficiency comparison (paper Fig. 7): the
 // number of incubative instructions found per measured input by the GA
 // engine versus a blind random searcher, on the same budget.
@@ -154,13 +174,16 @@ func Fig7(r *Runner, benches []*benchprog.Benchmark, w io.Writer) ([]Fig7Result,
 		if err != nil {
 			return nil, err
 		}
-		tgt := target(b)
-		cfgRnd := r.searchConfig(r.P.Seed + 17) // same budget and seed as GA
-		cfgRnd.Strategy = minpsid.StrategyRandom
-		rnd := minpsid.Search(tgt, cfgRnd, b.Reference, ev.RefMeas)
-		cfgSA := r.searchConfig(r.P.Seed + 17)
-		cfgSA.Strategy = minpsid.StrategyAnneal
-		sa := minpsid.Search(tgt, cfgSA, b.Reference, ev.RefMeas)
+		// Alternate-strategy searches are their own task nodes sharing the
+		// evaluation's reference-measurement node.
+		rnd, err := r.searchVariant(b, minpsid.StrategyRandom)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := r.searchVariant(b, minpsid.StrategyAnneal)
+		if err != nil {
+			return nil, err
+		}
 
 		res := Fig7Result{
 			Bench:       b.Name,
@@ -316,7 +339,6 @@ func Fig9(r *Runner, w io.Writer) ([]CaseStudyEval, error) {
 func MTFFT(r *Runner, w io.Writer) error {
 	fmt.Fprintf(w, "§VIII-B: multi-threaded FFT (profile %s)\n", r.P.Name)
 	b, _ := benchprog.ByName("fft-mt")
-	m := b.MustModule()
 	tgt := target(b)
 	level := 0.5
 
@@ -326,31 +348,24 @@ func MTFFT(r *Runner, w io.Writer) error {
 		ref := b.Reference.Clone()
 		ref.I[1] = nt
 
-		refMeas, err := sid.Measure(m, b.Bind(ref), sid.Config{
-			Exec:           tgt.Exec,
-			FaultsPerInstr: r.P.FaultsPerInstr,
-			Seed:           r.P.Seed,
-			Workers:        r.P.Workers,
-			Cache:          r.Cache,
-			Metrics:        r.Metrics.Phase(fault.PhaseRefFI),
-		})
-		if err != nil {
-			return err
-		}
-		search := minpsid.Search(tgt, r.searchConfig(r.P.Seed+int64(nt)), ref, refMeas)
-		updated := minpsid.Reprioritize(refMeas, search)
+		// Measurement and search are task nodes shared by both techniques
+		// (and by warm reruns).
+		mt := &pipeline.MeasureTask{Target: tgt, Input: ref,
+			FaultsPerInstr: r.P.FaultsPerInstr, Seed: r.P.Seed, Env: r.env()}
+		st := &pipeline.SearchTask{Target: tgt, Ref: ref,
+			Cfg: r.P.searchConfig(r.P.Seed + int64(nt)), Measure: mt, Env: r.env()}
 
 		for _, tech := range []Technique{Baseline, Minpsid} {
-			meas := refMeas
+			pt := &pipeline.ProtectTask{Target: tgt, Level: level, Measure: mt, Env: r.env()}
 			if tech == Minpsid {
-				meas = updated
+				pt.Search = st
 			}
-			sel := sid.Select(m, meas, level, sid.MethodDP)
-			prot := protection{
-				orig: m,
-				mod:  sid.Duplicate(m, sel.Chosen),
-				ids:  sid.ProtectedMap(m, sel.Chosen),
+			v, err := r.Pipe.Run(pt)
+			if err != nil {
+				return err
 			}
+			po := v.(*pipeline.ProtectOut)
+			prot := protectionOf(po)
 
 			// Evaluate with the same thread count but varied signals.
 			var covs, losses []float64
@@ -362,14 +377,14 @@ func MTFFT(r *Runner, w io.Writer) error {
 					continue
 				}
 				covs = append(covs, cov)
-				loss := sel.ExpectedCoverage - cov
+				loss := po.Sel.ExpectedCoverage - cov
 				if loss < 0 {
 					loss = 0
 				}
 				losses = append(losses, loss)
 			}
 			fmt.Fprintf(tw, "%d\t%s\t%.2f%%\t%.2f%%\t%.2f%%\n",
-				nt, tech, sel.ExpectedCoverage*100,
+				nt, tech, po.Sel.ExpectedCoverage*100,
 				stats.Mean(covs)*100, stats.Mean(losses)*100)
 		}
 	}

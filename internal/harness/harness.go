@@ -6,12 +6,15 @@
 //
 // Experiments run under a Profile: Quick (seconds-to-minutes, reduced
 // fault counts, used by tests and `go test -bench`) or Full (paper-scale
-// fault counts, used by cmd/experiments -full).
+// fault counts, used by cmd/experiments -full). All heavy work is
+// expressed as pipeline task nodes, so experiments sharing a benchmark
+// share its measurement, search, protection, and campaign nodes — within
+// one invocation through the in-memory tier, and across invocations when
+// the on-disk artifact store is enabled.
 package harness
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -21,6 +24,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minpsid"
+	"repro/internal/pipeline"
 	"repro/internal/sid"
 )
 
@@ -159,29 +163,39 @@ type BenchEval struct {
 
 	// RefFITime is the wall time of the reference per-instruction FI
 	// (component ① of the Fig. 8 breakdown; the search components live in
-	// Search.EngineTime / Search.FITime).
+	// Search.EngineTime / Search.FITime). On a warm artifact store this is
+	// the recorded wall time of the original measurement.
 	RefFITime time.Duration
 }
 
 // Runner executes and caches experiments under one profile. All
-// experiments of one Runner share a golden-run/campaign cache and a
-// per-phase metrics collector; both are purely observational — results
-// are bit-identical with or without them.
+// experiments of one Runner share one task pipeline (single-flight dedup
+// plus the two-tier artifact store), a golden-run/campaign cache, and a
+// per-phase metrics collector; all three are purely observational —
+// results are bit-identical with or without them.
 type Runner struct {
 	P       Profile
-	Cache   *fault.Cache   // shared golden-run/campaign memoization
-	Metrics *fault.Metrics // per-phase campaign accounting
+	Pipe    *pipeline.Pipeline // task scheduler + artifact store
+	Cache   *fault.Cache       // shared golden-run/campaign memoization
+	Metrics *fault.Metrics     // per-phase campaign accounting
 	cache   map[string]*BenchEval
 }
 
-// NewRunner returns a Runner for profile p.
+// NewRunner returns a Runner for profile p with a memory-only pipeline.
+// Call Pipe.EnableDisk to make its artifacts survive the process.
 func NewRunner(p Profile) *Runner {
 	return &Runner{
 		P:       p,
+		Pipe:    pipeline.NewMem(p.Workers),
 		Cache:   fault.NewCache(0),
 		Metrics: fault.NewMetrics(),
 		cache:   make(map[string]*BenchEval),
 	}
+}
+
+// env bundles the runner's observational machinery for task nodes.
+func (r *Runner) env() pipeline.Env {
+	return pipeline.Env{Cache: r.Cache, Metrics: r.Metrics, Workers: r.P.Workers}
 }
 
 // target adapts a benchmark to the MINPSID target interface.
@@ -194,23 +208,22 @@ func target(b *benchprog.Benchmark) minpsid.Target {
 	}
 }
 
-// admissibleInputs draws n fresh inputs that run to completion within the
-// benchmark's budget (the paper's input filtering, §III-A2). The golden
-// runs go through the runner's cache, priming it for the coverage
-// evaluation of the same inputs.
-func (r *Runner) admissibleInputs(b *benchprog.Benchmark, n int, seed int64) []inputgen.Input {
-	rng := rand.New(rand.NewSource(seed))
-	m := b.MustModule()
-	pm := r.Metrics.Phase(fault.PhaseEvaluation)
-	var out []inputgen.Input
-	for tries := 0; len(out) < n && tries < n*50; tries++ {
-		in := b.Spec.Random(rng)
-		if _, err := r.Cache.Golden(m, b.Bind(in), b.ExecConfig(), pm); err != nil {
-			continue
-		}
-		out = append(out, in)
+// evalTask builds the composite evaluation node for one benchmark. Every
+// experiment needing this benchmark's evaluation converges on the same
+// task key, so the work runs at most once per store state.
+func (r *Runner) evalTask(b *benchprog.Benchmark) *pipeline.EvalTask {
+	p := r.P
+	return &pipeline.EvalTask{
+		Target:         target(b),
+		Ref:            b.Reference,
+		Levels:         p.Levels,
+		EvalInputs:     p.EvalInputs,
+		Trials:         p.FaultsPerProgram,
+		FaultsPerInstr: p.FaultsPerInstr,
+		Seed:           p.Seed,
+		SearchCfg:      p.searchConfig(p.Seed + 17),
+		Env:            r.env(),
 	}
-	return out
 }
 
 // Evaluate computes (and caches) the full evaluation of one benchmark:
@@ -220,141 +233,84 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 	if ev, ok := r.cache[b.Name]; ok {
 		return ev, nil
 	}
-	p := r.P
-	tgt := target(b)
-
-	// Reference measurement (shared by both techniques).
-	t0 := time.Now()
-	pmRef := r.Metrics.Phase(fault.PhaseRefFI)
-	refMeas, err := sid.Measure(tgt.Mod, tgt.Bind(b.Reference), sid.Config{
-		Exec:           tgt.Exec,
-		FaultsPerInstr: p.FaultsPerInstr,
-		Seed:           p.Seed,
-		Workers:        p.Workers,
-		Cache:          r.Cache,
-		Metrics:        pmRef,
-	})
+	v, err := r.Pipe.Run(r.evalTask(b))
 	if err != nil {
-		return nil, fmt.Errorf("harness %s: reference measurement: %w", b.Name, err)
+		return nil, fmt.Errorf("harness %s: %w", b.Name, err)
 	}
-	refFITime := time.Since(t0)
-
-	// MINPSID search (once per benchmark; selections per level reuse it).
-	search := minpsid.Search(tgt, r.searchConfig(p.Seed+17), b.Reference, refMeas)
-	updated := minpsid.Reprioritize(refMeas, search)
+	out := v.(*pipeline.EvalOut)
 
 	ev := &BenchEval{
-		Bench:     b,
-		RefMeas:   refMeas,
-		Search:    search,
-		BaseSel:   make(map[float64]sid.Selection),
-		MinpSel:   make(map[float64]sid.Selection),
-		BaseProt:  make(map[float64]protection),
-		MinpProt:  make(map[float64]protection),
-		RefFITime: refFITime,
+		Bench:      b,
+		RefMeas:    out.Meas.Meas,
+		Search:     out.Search,
+		BaseSel:    make(map[float64]sid.Selection),
+		MinpSel:    make(map[float64]sid.Selection),
+		BaseProt:   make(map[float64]protection),
+		MinpProt:   make(map[float64]protection),
+		EvalInputs: out.Inputs,
+		RefFITime:  out.Meas.Wall,
 	}
-
-	ev.EvalInputs = r.admissibleInputs(b, p.EvalInputs, p.Seed+1000)
-
-	for _, level := range p.Levels {
-		baseSel := sid.Select(tgt.Mod, refMeas, level, sid.MethodDP)
-		minpSel := sid.Select(tgt.Mod, updated, level, sid.MethodDP)
-		ev.BaseSel[level] = baseSel
-		ev.MinpSel[level] = minpSel
-
-		baseProt := protection{
-			orig: tgt.Mod,
-			mod:  sid.Duplicate(tgt.Mod, baseSel.Chosen),
-			ids:  sid.ProtectedMap(tgt.Mod, baseSel.Chosen),
-		}
-		// When re-prioritization does not change the selection, the two
-		// protected binaries are structurally identical and every coverage
-		// measurement is deterministic, so MINPSID can share the baseline's
-		// module and measurements bit-for-bit instead of recomputing them.
-		minpProt := baseProt
-		if !equalIDs(baseSel.Chosen, minpSel.Chosen) {
-			minpProt = protection{
-				orig: tgt.Mod,
-				mod:  sid.Duplicate(tgt.Mod, minpSel.Chosen),
-				ids:  sid.ProtectedMap(tgt.Mod, minpSel.Chosen),
-			}
-		}
-		ev.BaseProt[level] = baseProt
-		ev.MinpProt[level] = minpProt
-
-		be := LevelEval{Level: level, Expected: baseSel.ExpectedCoverage}
-		me := LevelEval{Level: level, Expected: minpSel.ExpectedCoverage}
-		for i, in := range ev.EvalInputs {
-			seed := p.Seed + int64(i)*31 + int64(level*100)
-			bind := b.Bind(in)
-			cov, ok := r.measureCoverage(baseProt, bind, tgt.Exec, seed)
-			if ok {
-				be.Coverage = append(be.Coverage, cov)
-				be.Inputs++
-				if cov < be.Expected-1e-9 {
-					be.LossCount++
-				}
-			}
-			mcov, mok := cov, ok
-			if minpProt.mod != baseProt.mod {
-				mcov, mok = r.measureCoverage(minpProt, bind, tgt.Exec, seed)
-			}
-			if mok {
-				me.Coverage = append(me.Coverage, mcov)
-				me.Inputs++
-				if mcov < me.Expected-1e-9 {
-					me.LossCount++
-				}
-			}
-		}
-		ev.Baseline = append(ev.Baseline, be)
-		ev.Minpsid = append(ev.Minpsid, me)
+	for _, lo := range out.Levels {
+		ev.BaseSel[lo.Level] = lo.Base.Sel
+		ev.MinpSel[lo.Level] = lo.Minp.Sel
+		ev.BaseProt[lo.Level] = protectionOf(lo.Base.Prot)
+		ev.MinpProt[lo.Level] = protectionOf(lo.Minp.Prot)
+		ev.Baseline = append(ev.Baseline, LevelEval{
+			Level: lo.Level, Expected: lo.Base.Expected,
+			Coverage: lo.Base.Coverage, LossCount: lo.Base.LossCount, Inputs: lo.Base.Inputs,
+		})
+		ev.Minpsid = append(ev.Minpsid, LevelEval{
+			Level: lo.Level, Expected: lo.Minp.Expected,
+			Coverage: lo.Minp.Coverage, LossCount: lo.Minp.LossCount, Inputs: lo.Minp.Inputs,
+		})
 	}
-
 	r.cache[b.Name] = ev
 	return ev, nil
 }
 
 // protection bundles a protected binary with what true-coverage replay
-// needs: the original module and the static instruction-ID mapping.
+// needs: the original module, the static instruction-ID mapping, and the
+// chosen instruction IDs that content-address its campaigns.
 type protection struct {
-	orig *ir.Module
-	mod  *ir.Module
-	ids  map[int]int
+	orig   *ir.Module
+	mod    *ir.Module
+	ids    map[int]int
+	chosen []int
 }
 
-// equalIDs reports whether two sorted selection slices are identical.
-func equalIDs(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
+// protectionOf adapts a pipeline protection output.
+func protectionOf(p *pipeline.ProtectOut) protection {
+	return protection{orig: p.Orig, mod: p.Mod, ids: p.IDs, chosen: p.Sel.Chosen}
+}
+
+// taskOf rebuilds the pipeline form of a protection.
+func (pr protection) taskOf() *pipeline.ProtectOut {
+	return &pipeline.ProtectOut{Orig: pr.orig, Mod: pr.mod, IDs: pr.ids,
+		Sel: sid.Selection{Chosen: pr.chosen}}
 }
 
 // measureCoverage measures the paper-definition SDC coverage of a
-// protected program under one input: faults are sampled on the original
-// program and the SDC-producing ones replayed against the protected
-// binary (fault.TrueCoverage). The runner's cache memoizes the golden
-// runs and the phase-1 unprotected campaign, which both techniques share
-// at each (input, seed). ok is false when the input is inadmissible or no
-// SDC fault was observed (coverage undefined).
+// protected program under one input through a pipeline campaign node:
+// faults are sampled on the original program and the SDC-producing ones
+// replayed against the protected binary (fault.TrueCoverage). The node is
+// keyed on the selection — not the technique — so techniques choosing the
+// same instructions share one campaign, and a warm artifact store serves
+// it without re-executing. ok is false when the input is inadmissible or
+// no SDC fault was observed (coverage undefined).
 func (r *Runner) measureCoverage(prot protection, bind interp.Binding, exec interp.Config, seed int64) (float64, bool) {
-	res, err := fault.TrueCoverageOpts(prot.orig, prot.mod, prot.ids, bind, exec, fault.CoverageOptions{
-		Trials:  r.P.FaultsPerProgram,
-		Seed:    seed,
-		Workers: r.P.Workers,
-		Cache:   r.Cache,
-		Metrics: r.Metrics.Phase(fault.PhaseEvaluation),
+	v, err := r.Pipe.Run(&pipeline.CampaignTask{
+		Prot:   prot.taskOf(),
+		Bind:   bind,
+		Exec:   exec,
+		Trials: r.P.FaultsPerProgram,
+		Seed:   seed,
+		Env:    r.env(),
 	})
 	if err != nil {
 		return 0, false
 	}
-	return res.Coverage()
+	cov := v.(*pipeline.CoverageOut)
+	return cov.Cov, cov.Ok
 }
 
 // LossInputPct returns the percentage of evaluation inputs with coverage

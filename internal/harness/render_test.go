@@ -1,0 +1,137 @@
+package harness
+
+// Golden-file tests for the text renderers: tables (Fig2/Table2/Table3/
+// Fig6) and the ASCII candlestick charts. Synthetic evaluations are
+// injected straight into the Runner's memo cache so the renderers run on
+// fixed data with no fault injection. Regenerate with:
+//
+//	go test ./internal/harness -run TestRenderGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/minpsid"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// syntheticEval builds a deterministic BenchEval for a fake benchmark.
+// Coverage points are spread with simple arithmetic so the candlesticks
+// exercise min/IQR/median/expected glyph placement.
+func syntheticEval(b *benchprog.Benchmark, base float64) *BenchEval {
+	levels := []float64{0.3, 0.5, 0.7}
+	ev := &BenchEval{Bench: b, Search: &minpsid.SearchResult{Incubative: []int{2, 5, 7}}}
+	for li, l := range levels {
+		mk := func(off float64) LevelEval {
+			le := LevelEval{Level: l, Expected: base + 0.1*float64(li) + off}
+			for i := 0; i < 8; i++ {
+				c := le.Expected - 0.15 + 0.04*float64(i) + 0.01*float64(li)
+				if c < 0 {
+					c = 0
+				}
+				if c > 1 {
+					c = 1
+				}
+				le.Coverage = append(le.Coverage, c)
+				le.Inputs++
+				if c < le.Expected-1e-9 {
+					le.LossCount++
+				}
+			}
+			return le
+		}
+		ev.Baseline = append(ev.Baseline, mk(0))
+		ev.Minpsid = append(ev.Minpsid, mk(0.05))
+	}
+	return ev
+}
+
+// syntheticRunner returns a Runner whose Evaluate is pre-seeded for two
+// fake benchmarks, so every renderer is deterministic and instant.
+func syntheticRunner() (*Runner, []*benchprog.Benchmark) {
+	r := NewRunner(Quick())
+	bs := []*benchprog.Benchmark{
+		{Name: "alpha", Suite: "synthetic"},
+		{Name: "beta", Suite: "synthetic"},
+	}
+	r.cache["alpha"] = syntheticEval(bs[0], 0.55)
+	r.cache["beta"] = syntheticEval(bs[1], 0.72)
+	return r, bs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s does not match golden file (regenerate with -update if intended):\n--- got\n%s\n--- want\n%s",
+			name, got, want)
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	r, bs := syntheticRunner()
+	cases := []struct {
+		golden string
+		render func(w io.Writer) error
+	}{
+		{"fig2.golden", func(w io.Writer) error { return Fig2(r, bs, w) }},
+		{"table2.golden", func(w io.Writer) error { return Table2(r, bs, w) }},
+		{"table3.golden", func(w io.Writer) error { return Table3(r, bs, w) }},
+		{"fig6.golden", func(w io.Writer) error { return Fig6(r, bs, w) }},
+		{"chart2.golden", func(w io.Writer) error { return CoverageChart(r, bs, false, w) }},
+		{"chart6.golden", func(w io.Writer) error { return CoverageChart(r, bs, true, w) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.render(&buf); err != nil {
+				t.Fatalf("render: %v", err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}
+
+// TestRenderCandleGlyphs pins the exact candlestick string for a small
+// hand-checked distribution.
+func TestRenderCandleGlyphs(t *testing.T) {
+	le := LevelEval{
+		Level:    0.5,
+		Expected: 0.9,
+		Coverage: []float64{0.2, 0.4, 0.5, 0.6, 0.8},
+	}
+	got := renderCandle(le)
+	// min=0.2 max=0.8 → '-' cells 10..40; P25/P75 bound '='; median '|';
+	// expected 'E' at cell 45.
+	if got[10] != '-' || got[40] != '-' {
+		t.Errorf("min/max whiskers misplaced: %q", got)
+	}
+	if got[25] != '|' {
+		t.Errorf("median glyph misplaced: %q", got)
+	}
+	if got[45] != 'E' {
+		t.Errorf("expected-coverage glyph misplaced: %q", got)
+	}
+	if got[0] != ' ' || got[candleWidth] != ' ' {
+		t.Errorf("axis ends not blank: %q", got)
+	}
+}

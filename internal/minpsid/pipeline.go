@@ -48,6 +48,12 @@ func Reprioritize(refMeas *sid.Measurement, search *SearchResult) *sid.Measureme
 // Apply runs the end-to-end MINPSID pipeline (Fig. 4): reference
 // measurement, incubative-instruction search, re-prioritization, knapsack
 // selection at the requested protection level, and duplication transform.
+//
+// Apply is the direct, single-flow reference implementation. The
+// production drivers (core.Protect, the harness) run the same stages as
+// content-addressed task nodes on internal/pipeline, which dedups and
+// persists them; the pipeline invariance tests pin the two forms
+// bit-identical, so Apply doubles as the task graph's oracle.
 func Apply(t Target, refInput inputgen.Input, level float64, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 

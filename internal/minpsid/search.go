@@ -90,6 +90,47 @@ func (s Strategy) String() string {
 	}
 }
 
+// Canonical returns the config with every search-shaping parameter
+// normalized to its default when unset, without installing a cache. Two
+// configs with equal Canonical parameter fields run identical searches,
+// so content-addressed pipelines key search artifacts on them.
+func (c Config) Canonical() Config {
+	out := c
+	out.Cache = nil
+	out.NoCache = false
+	out.Metrics = nil
+	out.Workers = 0
+	if out.UseRandomSearch {
+		out.Strategy = StrategyRandom
+		out.UseRandomSearch = false
+	}
+	if out.Rule == (Rule{}) {
+		out.Rule = DefaultRule()
+	}
+	if out.FaultsPerInstr <= 0 {
+		out.FaultsPerInstr = 100
+	}
+	if out.MaxInputs <= 0 {
+		out.MaxInputs = 20
+	}
+	if out.Patience <= 0 {
+		out.Patience = 3
+	}
+	if out.PopSize <= 0 {
+		out.PopSize = 8
+	}
+	if out.MaxGenerations <= 0 {
+		out.MaxGenerations = 6
+	}
+	if out.MutationRate <= 0 {
+		out.MutationRate = 0.4
+	}
+	if out.CrossoverRate <= 0 {
+		out.CrossoverRate = 0.05
+	}
+	return out
+}
+
 func (c Config) withDefaults() Config {
 	if c.Rule == (Rule{}) {
 		c.Rule = DefaultRule()

@@ -1,0 +1,25 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+)
+
+// RenderMetrics prints the unified -metrics text block shared by every
+// CLI: the per-phase campaign table, then (when present) the campaign
+// cache and artifact-store summary lines. Nil metrics render as an empty
+// table; nil cache and pipe suppress their lines.
+func RenderMetrics(w io.Writer, m *fault.Metrics, cache *fault.Cache, pipe *Pipeline) error {
+	if err := m.Render(w); err != nil {
+		return err
+	}
+	if cache != nil {
+		fmt.Fprintln(w, cache.Stats())
+	}
+	if pipe != nil {
+		fmt.Fprintln(w, pipe.Stats())
+	}
+	return nil
+}

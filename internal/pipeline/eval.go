@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"repro/internal/inputgen"
+	"repro/internal/minpsid"
+	"repro/internal/sid"
+)
+
+// TechOut is one (technique, level) cell of the evaluation: the expected
+// coverage claimed by the selection and the measured coverage
+// distribution over the evaluation inputs.
+type TechOut struct {
+	Expected  float64
+	Coverage  []float64
+	LossCount int
+	Inputs    int
+	Sel       sid.Selection
+	Prot      *ProtectOut
+}
+
+// LevelOut pairs both techniques at one protection level.
+type LevelOut struct {
+	Level float64
+	Base  TechOut
+	Minp  TechOut
+}
+
+// EvalOut is the full evaluation of one benchmark.
+type EvalOut struct {
+	Meas   *MeasureOut
+	Search *minpsid.SearchResult
+	Inputs []inputgen.Input
+	Levels []LevelOut
+}
+
+// EvalTask is the composite root node evaluating one benchmark: reference
+// measurement, MINPSID input search, per-level protection by both
+// techniques, and true-coverage campaigns over freshly drawn evaluation
+// inputs. It fans out dynamically (campaign tasks depend on the drawn
+// inputs), shares subtask nodes with every other experiment in the same
+// pipeline, and — because campaign keys are content-addressed on the
+// selection, not the technique — runs each distinct campaign exactly
+// once even when baseline and MINPSID select identical instructions.
+type EvalTask struct {
+	Target         minpsid.Target
+	Ref            inputgen.Input
+	Levels         []float64
+	EvalInputs     int
+	Trials         int // program-level faults per input
+	FaultsPerInstr int
+	Seed           int64
+	SearchCfg      minpsid.Config // carries the search seed
+	Env            Env
+}
+
+// Measure returns the reference-measurement subtask (shared with
+// figure-specific drivers that need the raw measurement node).
+func (t *EvalTask) Measure() *MeasureTask {
+	return &MeasureTask{Target: t.Target, Input: t.Ref, FaultsPerInstr: t.FaultsPerInstr, Seed: t.Seed, Env: t.Env}
+}
+
+// SearchNode returns the input-search subtask.
+func (t *EvalTask) SearchNode() *SearchTask {
+	return &SearchTask{Target: t.Target, Ref: t.Ref, Cfg: t.SearchCfg, Measure: t.Measure(), Env: t.Env}
+}
+
+// InputsNode returns the evaluation-input subtask.
+func (t *EvalTask) InputsNode() *InputsTask {
+	return &InputsTask{Target: t.Target, N: t.EvalInputs, Seed: t.Seed + 1000, Env: t.Env}
+}
+
+// Kind implements Task.
+func (t *EvalTask) Kind() string { return "eval" }
+
+// Key implements Task.
+func (t *EvalTask) Key() Key {
+	return NewHasher("eval").
+		Key(t.Measure().Key()).
+		Key(t.SearchNode().Key()).
+		Key(t.InputsNode().Key()).
+		F64s(t.Levels).
+		I64(int64(t.EvalInputs)).
+		I64(int64(t.Trials)).
+		I64(t.Seed).
+		Sum()
+}
+
+// Deps implements Task.
+func (t *EvalTask) Deps() []Task { return nil }
+
+// Run implements Task.
+func (t *EvalTask) Run(rt *Runtime) (any, error) {
+	mt := t.Measure()
+	st := t.SearchNode()
+	it := t.InputsNode()
+
+	// Protections for both techniques at every level; awaiting them pulls
+	// the measurement and search in as dependencies.
+	roots := []Task{mt, st, it}
+	for _, level := range t.Levels {
+		roots = append(roots,
+			&ProtectTask{Target: t.Target, Level: level, Measure: mt, Env: t.Env},
+			&ProtectTask{Target: t.Target, Level: level, Measure: mt, Search: st, Env: t.Env},
+		)
+	}
+	outs, err := rt.Await(roots...)
+	if err != nil {
+		return nil, err
+	}
+	out := &EvalOut{
+		Meas:   outs[0].(*MeasureOut),
+		Search: outs[1].(*minpsid.SearchResult),
+		Inputs: outs[2].([]inputgen.Input),
+	}
+
+	// Campaigns: one per (level, technique, input); identical selections
+	// collapse onto one node by key.
+	var camps []Task
+	for li, level := range t.Levels {
+		base := outs[3+2*li].(*ProtectOut)
+		minp := outs[4+2*li].(*ProtectOut)
+		out.Levels = append(out.Levels, LevelOut{
+			Level: level,
+			Base:  TechOut{Expected: base.Sel.ExpectedCoverage, Sel: base.Sel, Prot: base},
+			Minp:  TechOut{Expected: minp.Sel.ExpectedCoverage, Sel: minp.Sel, Prot: minp},
+		})
+		for i, in := range out.Inputs {
+			seed := t.Seed + int64(i)*31 + int64(level*100)
+			bind := t.Target.Bind(in)
+			camps = append(camps,
+				&CampaignTask{Prot: base, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials, Seed: seed, Env: t.Env},
+				&CampaignTask{Prot: minp, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials, Seed: seed, Env: t.Env},
+			)
+		}
+	}
+	covs, err := rt.Await(camps...)
+	if err != nil {
+		return nil, err
+	}
+
+	ci := 0
+	for li := range out.Levels {
+		lo := &out.Levels[li]
+		for range out.Inputs {
+			lo.Base.accumulate(covs[ci].(*CoverageOut))
+			lo.Minp.accumulate(covs[ci+1].(*CoverageOut))
+			ci += 2
+		}
+	}
+	return out, nil
+}
+
+// accumulate folds one campaign result into the cell's distribution.
+func (c *TechOut) accumulate(cov *CoverageOut) {
+	if !cov.Ok {
+		return
+	}
+	c.Coverage = append(c.Coverage, cov.Cov)
+	c.Inputs++
+	if cov.Cov < c.Expected-1e-9 {
+		c.LossCount++
+	}
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+// Determinism guard for the task graph: the scheduler, worker count, and
+// store state (memory-only, disk-cold, disk-warm, cache-disabled Env) are
+// observational — every configuration must produce bit-identical
+// evaluation results. A warm disk store must additionally satisfy the
+// resumability guarantee: no fault campaign re-executes.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/minpsid"
+)
+
+// tinyEval builds a small but complete evaluation task (pathfinder,
+// reduced budgets) on the given environment.
+func tinyEval(env Env) *EvalTask {
+	b, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		panic("pathfinder benchmark missing")
+	}
+	return &EvalTask{
+		Target: minpsid.Target{
+			Mod:  b.MustModule(),
+			Spec: b.Spec,
+			Bind: b.Bind,
+			Exec: b.ExecConfig(),
+		},
+		Ref:            b.Reference,
+		Levels:         []float64{0.3, 0.7},
+		EvalInputs:     3,
+		Trials:         60,
+		FaultsPerInstr: 5,
+		Seed:           1,
+		SearchCfg: minpsid.Config{
+			FaultsPerInstr: 5,
+			MaxInputs:      2,
+			Patience:       1,
+			PopSize:        3,
+			MaxGenerations: 1,
+			Seed:           18,
+		},
+		Env: env,
+	}
+}
+
+// fingerprint flattens every result-bearing field of an evaluation; %v on
+// float64 prints the shortest exact representation, so equal fingerprints
+// mean bit-identical values.
+func fingerprint(out *EvalOut) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "incubative=%v\nsearchInputs=%d\nevalInputs=%v\n",
+		out.Search.Incubative, len(out.Search.Inputs), out.Inputs)
+	for _, lo := range out.Levels {
+		fmt.Fprintf(&sb, "level=%v\n", lo.Level)
+		for _, c := range []TechOut{lo.Base, lo.Minp} {
+			fmt.Fprintf(&sb, "  chosen=%v expected=%v cov=%v loss=%d inputs=%d\n",
+				c.Sel.Chosen, c.Expected, c.Coverage, c.LossCount, c.Inputs)
+		}
+	}
+	return sb.String()
+}
+
+func runTinyEval(t *testing.T, p *Pipeline, env Env) string {
+	t.Helper()
+	v, err := p.Run(tinyEval(env))
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return fingerprint(v.(*EvalOut))
+}
+
+// newEnv returns a fresh observational environment (its cache must not be
+// shared across pipelines in these tests, so hits cannot leak results).
+func newEnv() Env {
+	return Env{Cache: fault.NewCache(0), Metrics: fault.NewMetrics()}
+}
+
+func TestEvalInvariantAcrossWorkersAndStores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation invariance is slow")
+	}
+	want := runTinyEval(t, NewMem(1), newEnv())
+
+	t.Run("workers8", func(t *testing.T) {
+		if got := runTinyEval(t, NewMem(8), newEnv()); got != want {
+			t.Errorf("worker count changed results:\n--- w1\n%s--- w8\n%s", want, got)
+		}
+	})
+	t.Run("noCampaignCache", func(t *testing.T) {
+		// A nil fault.Cache disables golden/campaign memoization entirely.
+		if got := runTinyEval(t, NewMem(2), Env{}); got != want {
+			t.Errorf("disabling the campaign cache changed results:\n--- cached\n%s--- uncached\n%s", want, got)
+		}
+	})
+
+	dir := t.TempDir()
+	t.Run("diskCold", func(t *testing.T) {
+		p, err := New(Options{Workers: 4, DiskDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runTinyEval(t, p, newEnv()); got != want {
+			t.Errorf("cold disk store changed results:\n--- mem\n%s--- disk\n%s", want, got)
+		}
+	})
+	t.Run("diskWarm", func(t *testing.T) {
+		p, err := New(Options{Workers: 4, DiskDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runTinyEval(t, p, newEnv()); got != want {
+			t.Errorf("warm disk store changed results:\n--- mem\n%s--- warm\n%s", want, got)
+		}
+		// Resumability: nothing fault-injecting re-ran. Only composite or
+		// non-persisted nodes (eval, protect) may execute on a warm store.
+		for _, n := range p.Nodes() {
+			if n.Source != SourceRun {
+				continue
+			}
+			switch n.Kind {
+			case "measure", "search", "campaign", "inputs":
+				t.Errorf("warm rerun executed %s %s", n.Kind, n.Key)
+			}
+		}
+		if s := p.Stats(); s.DiskHits == 0 {
+			t.Errorf("warm rerun hit the disk store 0 times: %+v", s)
+		}
+	})
+}

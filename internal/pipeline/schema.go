@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// ReportSchema versions the results/<exp>.json document format.
+const ReportSchema = 1
+
+// Report is the machine-readable metrics document every CLI emits: which
+// task nodes an invocation touched and how each was satisfied (run, disk
+// hit, memory hit), plus the cumulative store and campaign-engine
+// accounting. All contents are observational — two runs that differ only
+// in Report contents (timings, hit sources) still printed byte-identical
+// experiment tables.
+type Report struct {
+	Schema     int    `json:"schema"`
+	Tool       string `json:"tool"`
+	Experiment string `json:"experiment,omitempty"`
+	Profile    string `json:"profile,omitempty"`
+	Seed       int64  `json:"seed"`
+	Workers    int    `json:"workers"`
+	// CacheDir is the versioned on-disk artifact directory, empty when the
+	// persistent tier was disabled.
+	CacheDir string `json:"cache_dir,omitempty"`
+
+	// Nodes lists this invocation's (or experiment's) task nodes in
+	// completion order; NodeSummary aggregates them kind -> source -> count.
+	Nodes       []NodeMetric              `json:"nodes,omitempty"`
+	NodeSummary map[string]map[string]int `json:"node_summary,omitempty"`
+
+	// Store is the pipeline-cumulative artifact-store traffic at emission
+	// time; Campaigns is the golden-run/campaign memoization traffic; Phases
+	// is the per-phase campaign-engine accounting.
+	Store     *StoreStats           `json:"store,omitempty"`
+	Campaigns *fault.CacheStats     `json:"campaigns,omitempty"`
+	Phases    []fault.PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// Summarize aggregates node metrics into kind -> source -> count.
+func Summarize(nodes []NodeMetric) map[string]map[string]int {
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]int)
+	for _, n := range nodes {
+		m, ok := out[n.Kind]
+		if !ok {
+			m = make(map[string]int)
+			out[n.Kind] = m
+		}
+		m[n.Source]++
+	}
+	return out
+}
+
+// WriteReport writes rep as indented JSON to path, creating parent
+// directories and writing atomically (temp file + rename).
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StoreVersion versions every on-disk artifact. Bump it whenever an
+// artifact's meaning changes: a key component is added or removed, a
+// payload field changes semantics, or a stage's algorithm changes in a
+// way old artifacts would silently misrepresent. Bumping the version
+// retires the whole v<N> directory; old artifacts are simply never read
+// again.
+const StoreVersion = 1
+
+// memLRU is the in-memory artifact tier: completed task outputs keyed by
+// content hash, bounded by entry count. Eviction is safe — a recompute of
+// any evicted key produces a bit-identical value.
+type memLRU struct {
+	cap int
+	ll  *list.List // front = most recent
+	m   map[Key]*list.Element
+}
+
+type memNode struct {
+	key Key
+	val any
+}
+
+// defaultMemEntries bounds the in-memory tier of a Pipeline built with
+// Options.MemEntries == 0. Campaign outputs are tiny; the large artifacts
+// (measurements, search results) number in the dozens per run.
+const defaultMemEntries = 8192
+
+func newMemLRU(capacity int) *memLRU {
+	if capacity <= 0 {
+		capacity = defaultMemEntries
+	}
+	return &memLRU{cap: capacity, ll: list.New(), m: make(map[Key]*list.Element)}
+}
+
+func (t *memLRU) get(k Key) (any, bool) {
+	e, ok := t.m[k]
+	if !ok {
+		return nil, false
+	}
+	t.ll.MoveToFront(e)
+	return e.Value.(*memNode).val, true
+}
+
+func (t *memLRU) add(k Key, v any) {
+	if e, ok := t.m[k]; ok {
+		t.ll.MoveToFront(e)
+		e.Value.(*memNode).val = v
+		return
+	}
+	t.m[k] = t.ll.PushFront(&memNode{key: k, val: v})
+	for t.ll.Len() > t.cap {
+		back := t.ll.Back()
+		t.ll.Remove(back)
+		delete(t.m, back.Value.(*memNode).key)
+	}
+}
+
+func (t *memLRU) len() int { return t.ll.Len() }
+
+// DiskStore is the persistent artifact tier: hash-named JSON files under
+// <root>/v<StoreVersion>/<kind>/<hex>.json. Writes are atomic (temp file
+// + rename) and best-effort — a disk failure degrades to a cache miss,
+// never to a wrong result.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) the versioned artifact
+// directory under root.
+func NewDiskStore(root string) (*DiskStore, error) {
+	dir := filepath.Join(root, fmt.Sprintf("v%d", StoreVersion))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the versioned artifact directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(kind string, k Key) string {
+	return filepath.Join(s.dir, kind, k.Hex()+".json")
+}
+
+// Get returns the stored artifact bytes for (kind, key), if present.
+func (s *DiskStore) Get(kind string, k Key) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(kind, k))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores artifact bytes for (kind, key) atomically. Errors are
+// returned for accounting but leave the store consistent: either the old
+// state or the complete new artifact is visible, never a torn write.
+func (s *DiskStore) Put(kind string, k Key, data []byte) error {
+	dir := filepath.Join(s.dir, kind)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+k.Short()+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(kind, k))
+}
+
+// envelope wraps every persisted payload with enough self-description to
+// reject artifacts written by a different store version or task kind.
+type envelope struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// encodeArtifact wraps v in the versioned envelope.
+func encodeArtifact(kind string, v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{V: StoreVersion, Kind: kind, Data: data})
+}
+
+// decodeArtifact unwraps an envelope into out, verifying version and kind.
+func decodeArtifact(kind string, data []byte, out any) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	if env.V != StoreVersion {
+		return fmt.Errorf("pipeline: artifact version %d, want %d", env.V, StoreVersion)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("pipeline: artifact kind %q, want %q", env.Kind, kind)
+	}
+	return json.Unmarshal(env.Data, out)
+}
+
+// StoreStats is the cumulative traffic of both artifact tiers.
+type StoreStats struct {
+	MemHits    int64 `json:"mem_hits"`
+	DiskHits   int64 `json:"disk_hits"`
+	Runs       int64 `json:"runs"` // tasks actually executed
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"` // best-effort writes or decodes that failed
+	MemEntries int   `json:"mem_entries"`
+}
+
+// String renders the one-line store summary printed by -metrics.
+func (s StoreStats) String() string {
+	return fmt.Sprintf("artifact store: %d mem hit, %d disk hit, %d run, %d disk write (%d resident, %d disk errors)",
+		s.MemHits, s.DiskHits, s.Runs, s.DiskWrites, s.MemEntries, s.DiskErrors)
+}
