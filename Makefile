@@ -26,6 +26,12 @@ check: build vet test race
 # so engine regressions are comparable across commits.
 BENCH_JSON ?= BENCH_interp.json
 
+# Static-analysis benchmarks: triage cost, masked-site accounting, and
+# campaign wall-clock with pruning on/off, appended to BENCH_analysis.json
+# in the same JSON-lines shape. Custom ReportMetric columns (masked_frac,
+# masked_bits, total_bits, pruned_frac) are captured generically.
+BENCH_ANALYSIS_JSON ?= BENCH_analysis.json
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) test -bench . -benchtime 200ms -run '^$$' ./internal/interp | tee /dev/stderr | \
@@ -33,3 +39,10 @@ bench:
 		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3; \
 		if ($$6 == "ns/instr") printf ",\"ns_per_instr\":%s", $$5; \
 		print "}" }' >> $(BENCH_JSON)
+	$(GO) test -bench 'Triage|VerifySSA' -benchtime 100ms -run '^$$' \
+		./internal/analysis ./internal/fault | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3; \
+		for (i = 5; i < NF; i += 2) \
+			if ($$(i+1) ~ /^[a-z_]+$$/) printf ",\"%s\":%s", $$(i+1), $$i; \
+		print "}" }' >> $(BENCH_ANALYSIS_JSON)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
@@ -31,6 +32,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		jsonOut = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		analyze = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
 	)
 	flag.Parse()
 
@@ -48,10 +50,40 @@ func main() {
 		return
 	}
 
+	if *analyze {
+		if err := runAnalyze(*bench, *seed, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "minpsid:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
+}
+
+// runAnalyze implements -analyze: the triage of one benchmark module,
+// as a human-readable table and optionally the shared JSON report.
+func runAnalyze(bench string, seed int64, jsonOut string) error {
+	prog, err := core.FromBenchmark(bench)
+	if err != nil {
+		return err
+	}
+	rep := analysis.TriageFor(prog.Module).Report()
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	if jsonOut != "" {
+		return pipeline.WriteReport(jsonOut, &pipeline.Report{
+			Schema:   pipeline.ReportSchema,
+			Tool:     "minpsid",
+			Seed:     seed,
+			Analysis: rep,
+		})
+	}
+	return nil
 }
 
 func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool, jsonOut string) error {

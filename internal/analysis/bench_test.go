@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+)
+
+// BenchmarkTriage measures the cost of the full analysis chain (dead
+// stores + interprocedural demanded bits + classification) per benchmark
+// module, and reports the masked-site accounting as benchmark metrics so
+// `make bench` lands them in BENCH_analysis.json.
+func BenchmarkTriage(b *testing.B) {
+	for _, bench := range benchprog.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			m, err := bench.Module()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var tri *Triage
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tri = NewTriage(m)
+			}
+			b.StopTimer()
+			rep := tri.Report()
+			b.ReportMetric(rep.MaskedSiteFrac, "masked_frac")
+			b.ReportMetric(float64(rep.MaskedBits), "masked_bits")
+			b.ReportMetric(float64(rep.TotalBits), "total_bits")
+		})
+	}
+}
+
+// BenchmarkVerifySSA measures the strict SSA checker on every benchmark
+// module (it runs inside test suites and CI, so its cost matters).
+func BenchmarkVerifySSA(b *testing.B) {
+	for _, bench := range benchprog.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			m, err := bench.Module()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := VerifySSA(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// checkFacts asserts the structural invariants of a triage: demand and
+// masked bits partition the type width, branch/detect conditions are
+// demanded in the tested bit, and verdicts agree with the masks.
+func checkFacts(t *testing.T, m *ir.Module, tri *Triage) {
+	t.Helper()
+	for _, in := range m.Instrs {
+		if !in.IsInjectable() {
+			continue
+		}
+		w := widthMask(in.Type)
+		d, mk := tri.DemandedBits(in.ID), tri.MaskedBits(in.ID)
+		if d&mk != 0 || d|mk != w {
+			t.Fatalf("[%d] %s: demand %#x / masked %#x must partition %#x", in.ID, in.Op, d, mk, w)
+		}
+		for b := uint(0); b < uint(in.Type.Bits()); b++ {
+			v, proof := tri.Site(in.ID, b)
+			if masked := mk&(1<<b) != 0; masked != (v == VerdictProvablyMasked) {
+				t.Fatalf("[%d] bit %d: verdict %v disagrees with mask %#x", in.ID, b, v, mk)
+			} else if masked && proof == ProofNone {
+				t.Fatalf("[%d] bit %d: masked site lacks a proof tag", in.ID, b)
+			}
+		}
+	}
+	// Every branch/detect condition must be demanded in bit 0 — rule 2 of
+	// the soundness argument (control sensitivity).
+	d := BuildDemand(m, BuildDeadStores(m))
+	for fi, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCondBr && in.Op != ir.OpDetect {
+					continue
+				}
+				if a := in.Args[0]; a.Kind == ir.OperReg && d.Regs[fi][a.Reg]&1 == 0 {
+					t.Fatalf("func %s [%d] %s: condition register %%r%d lacks bit-0 demand", f.Name, in.ID, in.Op, a.Reg)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalysisOnBenchmarks validates the whole analysis chain on every
+// built-in benchmark module: strict SSA holds, and the triage facts are
+// internally consistent.
+func TestAnalysisOnBenchmarks(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m, err := b.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ir.VerifyStrict(m); err != nil {
+				t.Fatalf("strict verify: %v", err)
+			}
+			checkFacts(t, m, TriageFor(m))
+		})
+	}
+}
+
+// TestAnalysisOnTransformedBenchmarks re-validates the analysis after
+// the optimization pipeline (mem2reg + CSE + DCE) rewrites each
+// benchmark: the facts must hold on transformed modules too, since the
+// campaign engine may run either form.
+func TestAnalysisOnTransformedBenchmarks(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig, err := b.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := orig.Clone()
+			if err := passes.RunPipeline(m, passes.Mem2Reg{}, passes.CSE{}, passes.DCE{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := ir.VerifyStrict(m); err != nil {
+				t.Fatalf("strict verify after passes: %v", err)
+			}
+			tri := NewTriage(m)
+			checkFacts(t, m, tri)
+
+			// mem2reg promotes scalars into SSA registers, which is what
+			// exposes dead loop-carried cycles; the transformed module
+			// must never mask FEWER sites in total than zero (sanity) and
+			// the report arithmetic must be consistent.
+			rep := tri.Report()
+			sumBits, sumMasked := 0, 0
+			for _, fr := range rep.Funcs {
+				sumBits += fr.TotalBits
+				sumMasked += fr.MaskedBits
+			}
+			if sumBits != rep.TotalBits || sumMasked != rep.MaskedBits {
+				t.Fatal("report totals disagree with per-function sums")
+			}
+			if rep.TotalBits > 0 && (rep.MaskedSiteFrac < 0 || rep.MaskedSiteFrac > 1) {
+				t.Fatalf("masked fraction %f out of range", rep.MaskedSiteFrac)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import "math/bits"
+
+// BitSet is a fixed-capacity bitset over small integer keys (registers).
+type BitSet []uint64
+
+// NewBitSet returns a bitset able to hold keys 0..n-1.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds key i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear removes key i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether key i is present.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// UnionWith adds every key of o to s and reports whether s changed.
+func (s BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with o (equal capacity).
+func (s BitSet) Copy(o BitSet) { copy(s, o) }
+
+// Count returns the number of keys present.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of s.
+func (s BitSet) Clone() BitSet { return append(BitSet(nil), s...) }

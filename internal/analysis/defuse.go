@@ -1,0 +1,53 @@
+package analysis
+
+import "repro/internal/ir"
+
+// DefUse holds register def-use and use-def chains for one function. The
+// IR is single-assignment register form, so each register has at most
+// one defining instruction; parameters occupy registers 0..len(Params)-1
+// and have no def.
+type DefUse struct {
+	F *ir.Function
+
+	// Def[r] is the instruction defining register r, nil for parameters
+	// and never-defined registers.
+	Def []*ir.Instr
+
+	// Uses[r] lists the instructions reading register r (phi edge uses
+	// included), in program order.
+	Uses [][]*ir.Instr
+
+	// SingleAssignment is false when some register has more than one
+	// defining instruction; chain facts are unreliable in that case and
+	// clients must not draw dataflow conclusions from them.
+	SingleAssignment bool
+}
+
+// BuildDefUse scans f and builds its def-use chains.
+func BuildDefUse(f *ir.Function) *DefUse {
+	du := &DefUse{
+		F:                f,
+		Def:              make([]*ir.Instr, f.NumRegs),
+		Uses:             make([][]*ir.Instr, f.NumRegs),
+		SingleAssignment: true,
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a.Kind == ir.OperReg {
+					du.Uses[a.Reg] = append(du.Uses[a.Reg], in)
+				}
+			}
+			if in.HasResult() {
+				if du.Def[in.Dst] != nil {
+					du.SingleAssignment = false
+				}
+				du.Def[in.Dst] = in
+			}
+		}
+	}
+	return du
+}
+
+// IsParam reports whether register r is a function parameter.
+func (du *DefUse) IsParam(r int) bool { return r < len(du.F.Params) }

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// This file implements the backward demanded-bits analysis the triage is
+// built on. For every register it computes a 64-bit mask of bits that
+// can influence the program's observable outcome: its output words, its
+// termination status (traps, detection, hang), and its control flow. A
+// bit OUTSIDE the mask is provably masked — flipping it in the
+// register's value leaves the execution otherwise bit-identical.
+//
+// Soundness rests on three rules (DESIGN.md §9 gives the full argument):
+//
+//  1. Trap sensitivity: operands that can influence a trap condition
+//     (div/rem operands, ftoi inputs, alloca sizes, load/store
+//     addresses) are fully demanded regardless of whether the result is
+//     used, so a masked flip can never introduce a crash.
+//  2. Control sensitivity: branch and detect conditions are demanded in
+//     the bit the interpreter tests, so a masked flip can never change
+//     the executed path (and therefore cannot change timing, phi
+//     selection, thread scheduling, or the hang budget).
+//  3. Per-use transfers may consult only constants, never facts derived
+//     from other registers: a register fact may be invalidated by the
+//     injection itself when the corrupted value reconverges, while a
+//     constant operand masks corrupt inputs unconditionally.
+//
+// The analysis is a least fixpoint from zero demand: interprocedural
+// summaries (parameter demand, aggregated return demand) only grow, so
+// the result over-approximates every call context.
+
+const fullDemand = ^uint64(0)
+
+// widthMask bounds demand to the representable bits of a type.
+func widthMask(t ir.Type) uint64 {
+	switch t {
+	case ir.Void:
+		return 0
+	case ir.I1:
+		return 1
+	default:
+		return fullDemand
+	}
+}
+
+// upTo returns a mask covering bit 0 through the highest set bit of m:
+// the demand of an operand whose corruption can only ripple upward
+// (addition carries, multiplication partial products).
+func upTo(m uint64) uint64 {
+	if m == 0 {
+		return 0
+	}
+	h := 63 - bits.LeadingZeros64(m)
+	if h == 63 {
+		return fullDemand
+	}
+	return 1<<(uint(h)+1) - 1
+}
+
+// Demand holds the module's demanded-bits solution.
+type Demand struct {
+	Mod *ir.Module
+
+	// Regs[f][r] is the demanded-bit mask of register r in function f.
+	Regs [][]uint64
+
+	// Param[f][i] is the demand summary of function f's i-th parameter;
+	// Ret[f] aggregates the demand of f's return value over all call
+	// sites.
+	Param [][]uint64
+	Ret   []uint64
+}
+
+// BuildDemand solves the interprocedural demanded-bits fixpoint. ds may
+// be nil (all stores treated as live).
+func BuildDemand(m *ir.Module, ds *DeadStores) *Demand {
+	d := &Demand{
+		Mod:   m,
+		Regs:  make([][]uint64, len(m.Funcs)),
+		Param: make([][]uint64, len(m.Funcs)),
+		Ret:   make([]uint64, len(m.Funcs)),
+	}
+	for fi, f := range m.Funcs {
+		d.Regs[fi] = make([]uint64, f.NumRegs)
+		d.Param[fi] = make([]uint64, len(f.Params))
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := range m.Funcs {
+			if d.analyzeFunc(fi, ds) {
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// analyzeFunc recomputes one function's register demand to a local
+// fixpoint under the current interprocedural summaries, updates the
+// function's parameter summary, and reports whether anything grew (its
+// registers, its parameter summary, or a callee's return demand).
+func (d *Demand) analyzeFunc(fi int, ds *DeadStores) bool {
+	f := d.Mod.Funcs[fi]
+	dem := d.Regs[fi]
+	anyChange := false
+
+	var dirty bool
+	bump := func(o ir.Operand, mask uint64) {
+		if o.Kind != ir.OperReg {
+			return
+		}
+		mask &= widthMask(o.Type)
+		if dem[o.Reg]|mask != dem[o.Reg] {
+			dem[o.Reg] |= mask
+			dirty = true
+		}
+	}
+
+	for {
+		dirty = false
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				d.transfer(in, dem, bump, &dirty, ds)
+			}
+		}
+		if !dirty {
+			break
+		}
+		anyChange = true
+	}
+
+	// Fold register demand of parameter registers into the summary.
+	for i := range d.Param[fi] {
+		if d.Param[fi][i] != dem[i] {
+			d.Param[fi][i] = dem[i]
+			anyChange = true
+		}
+	}
+	return anyChange
+}
+
+// transfer propagates demand backward through one instruction, setting
+// *dirty on any growth (register demand or callee return summary).
+func (d *Demand) transfer(in *ir.Instr, dem []uint64, bump func(ir.Operand, uint64), dirty *bool, ds *DeadStores) {
+	var resDem uint64
+	if in.HasResult() {
+		resDem = dem[in.Dst] & widthMask(in.Type)
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		u := upTo(resDem)
+		bump(in.Args[0], u)
+		bump(in.Args[1], u)
+
+	case ir.OpMul:
+		u := upTo(resDem)
+		for i := range in.Args {
+			other := in.Args[1-i]
+			if other.Kind == ir.OperConst {
+				if other.Imm == 0 {
+					continue // result is constant 0: operand irrelevant
+				}
+				tz := bits.TrailingZeros64(uint64(other.Imm))
+				bump(in.Args[i], u>>uint(tz))
+			} else {
+				bump(in.Args[i], u)
+			}
+		}
+
+	case ir.OpDiv, ir.OpRem:
+		rhs := in.Args[1]
+		// A constant divisor outside {0,-1} can never trap; any other
+		// divisor makes both operands trap-sensitive (divide-by-zero,
+		// MinInt64/-1 overflow), so they are fully demanded even when
+		// the quotient itself is dead.
+		safe := rhs.Kind == ir.OperConst && rhs.Imm != 0 && rhs.Imm != -1
+		if safe {
+			if resDem != 0 {
+				bump(in.Args[0], fullDemand)
+			}
+		} else {
+			bump(in.Args[0], fullDemand)
+			bump(rhs, fullDemand)
+		}
+
+	case ir.OpAnd:
+		for i := range in.Args {
+			other := in.Args[1-i]
+			if other.Kind == ir.OperConst {
+				bump(in.Args[i], resDem&uint64(other.Imm))
+			} else {
+				bump(in.Args[i], resDem)
+			}
+		}
+	case ir.OpOr:
+		for i := range in.Args {
+			other := in.Args[1-i]
+			if other.Kind == ir.OperConst {
+				bump(in.Args[i], resDem&^uint64(other.Imm))
+			} else {
+				bump(in.Args[i], resDem)
+			}
+		}
+	case ir.OpXor:
+		bump(in.Args[0], resDem)
+		bump(in.Args[1], resDem)
+
+	case ir.OpShl:
+		amt := in.Args[1]
+		if amt.Kind == ir.OperConst {
+			bump(in.Args[0], resDem>>(uint64(amt.Imm)&63))
+		} else if resDem != 0 {
+			bump(in.Args[0], fullDemand)
+			bump(amt, 63) // the interpreter masks shift amounts & 63
+		}
+	case ir.OpShr:
+		amt := in.Args[1]
+		if amt.Kind == ir.OperConst {
+			c := uint(uint64(amt.Imm) & 63)
+			u := resDem << c
+			if c > 0 && resDem>>(64-c) != 0 {
+				u |= 1 << 63 // high result bits replicate the sign bit
+			}
+			bump(in.Args[0], u)
+		} else if resDem != 0 {
+			bump(in.Args[0], fullDemand)
+			bump(amt, 63)
+		}
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		// IEEE arithmetic in the interpreter never traps; demand exists
+		// only when the result does.
+		if resDem != 0 {
+			bump(in.Args[0], fullDemand)
+			bump(in.Args[1], fullDemand)
+		}
+
+	case ir.OpICmp, ir.OpFCmp:
+		if resDem != 0 {
+			bump(in.Args[0], fullDemand)
+			bump(in.Args[1], fullDemand)
+		}
+
+	case ir.OpIToF:
+		if resDem != 0 {
+			bump(in.Args[0], fullDemand)
+		}
+	case ir.OpFToI:
+		bump(in.Args[0], fullDemand) // traps on NaN / out of range
+
+	case ir.OpAlloca:
+		// Traps on negative/oversized counts and shifts the stack
+		// pointer of every later allocation.
+		bump(in.Args[0], fullDemand)
+	case ir.OpLoad:
+		bump(in.Args[0], fullDemand) // out-of-bounds trap
+	case ir.OpStore:
+		if ds == nil || !ds.Dead[in.ID] {
+			bump(in.Args[0], fullDemand)
+		}
+		bump(in.Args[1], fullDemand) // out-of-bounds trap
+
+	case ir.OpGEP:
+		u := upTo(resDem)
+		bump(in.Args[0], u)
+		bump(in.Args[1], u)
+
+	case ir.OpBr, ir.OpJoin:
+		// no value operands
+	case ir.OpCondBr, ir.OpDetect:
+		bump(in.Args[0], 1) // the interpreter tests value & 1
+
+	case ir.OpRet:
+		for _, a := range in.Args {
+			bump(a, d.retDemand(in))
+		}
+
+	case ir.OpPhi, ir.OpSelect:
+		if in.Op == ir.OpSelect {
+			if resDem != 0 {
+				bump(in.Args[0], 1)
+			}
+			bump(in.Args[1], resDem)
+			bump(in.Args[2], resDem)
+		} else {
+			for _, a := range in.Args {
+				bump(a, resDem)
+			}
+		}
+
+	case ir.OpCall, ir.OpSpawn:
+		params := d.Param[in.Callee]
+		for i, a := range in.Args {
+			bump(a, params[i])
+		}
+		if in.Op == ir.OpCall && d.Ret[in.Callee]|resDem != d.Ret[in.Callee] {
+			d.Ret[in.Callee] |= resDem
+			*dirty = true
+		}
+
+	case ir.OpCallB:
+		switch in.BFunc {
+		case ir.BuiltinEmitI, ir.BuiltinEmitF:
+			bump(in.Args[0], fullDemand) // program output
+		case ir.BuiltinFabs:
+			// math.Abs clears bit 63 unconditionally (even for NaN
+			// payloads), so the operand's sign bit is provably masked.
+			bump(in.Args[0], resDem&^(1<<63))
+		default:
+			// Math builtins never trap; args matter iff the result does.
+			if resDem != 0 {
+				for _, a := range in.Args {
+					bump(a, fullDemand)
+				}
+			}
+		}
+
+	case ir.OpGlobalAddr, ir.OpArrayLen:
+		// no value operands
+	}
+}
+
+// retDemand returns the demand flowing into a return statement of the
+// instruction's enclosing function.
+func (d *Demand) retDemand(in *ir.Instr) uint64 {
+	loc := d.Mod.Loc(in.ID)
+	return d.Ret[loc.Func]
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import "repro/internal/ir"
+
+// ForwardProblem describes a forward dataflow problem over one
+// function's CFG for the generic worklist engine. S is the per-block
+// state (the fact holding at a block boundary).
+type ForwardProblem[S any] interface {
+	// Entry returns the fact holding at the entry block's start.
+	Entry() S
+	// Top returns the optimistic initial fact for unvisited block inputs;
+	// Meet moves facts strictly down the lattice from it.
+	Top() S
+	// Meet combines a predecessor's out-fact into a block's in-fact,
+	// returning the (possibly reused) combined state.
+	Meet(dst, src S) S
+	// Transfer applies block b to in and returns the out-fact. It must
+	// not retain or mutate in.
+	Transfer(b *ir.Block, in S) S
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b S) bool
+	// Clone returns an independent copy of a fact.
+	Clone(s S) S
+}
+
+// Forward solves p over c with a worklist seeded in reverse postorder
+// and returns the in- and out-facts per block (indexed by block number;
+// unreachable blocks keep Top).
+func Forward[S any](c *CFG, p ForwardProblem[S]) (in, out []S) {
+	n := len(c.F.Blocks)
+	in = make([]S, n)
+	out = make([]S, n)
+	for b := 0; b < n; b++ {
+		in[b] = p.Top()
+		out[b] = p.Top()
+	}
+
+	inWork := make([]bool, n)
+	work := make([]int, 0, n)
+	push := func(b int) {
+		if !inWork[b] {
+			inWork[b] = true
+			work = append(work, b)
+		}
+	}
+	// Seed in RPO so the first sweep visits defs before most uses.
+	for _, b := range c.RPO {
+		push(b)
+	}
+	for len(work) > 0 {
+		// Pop from the front to keep near-RPO processing order.
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		var cur S
+		if b == 0 {
+			cur = p.Entry()
+		} else {
+			cur = p.Top()
+			for _, pr := range c.Preds[b] {
+				if c.Reachable(pr) {
+					cur = p.Meet(cur, out[pr])
+				}
+			}
+		}
+		in[b] = cur
+		next := p.Transfer(c.F.Blocks[b], p.Clone(cur))
+		if !p.Equal(next, out[b]) {
+			out[b] = next
+			for _, s := range c.Succs[b] {
+				push(s)
+			}
+		}
+	}
+	return in, out
+}

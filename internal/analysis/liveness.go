@@ -1,0 +1,89 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Liveness holds per-block backward register liveness for one function.
+// Phi nodes follow SSA convention: a phi's arguments are uses on the
+// incoming edges (live out of the matching predecessor, not live into
+// the phi's block), and its destination is defined at the block head.
+type Liveness struct {
+	CFG *CFG
+
+	// LiveIn[b] / LiveOut[b] are the registers live at block b's entry
+	// and exit.
+	LiveIn, LiveOut []BitSet
+}
+
+// BuildLiveness computes backward liveness over c with a worklist
+// seeded in postorder.
+func BuildLiveness(c *CFG) *Liveness {
+	f := c.F
+	n := len(f.Blocks)
+	l := &Liveness{CFG: c, LiveIn: make([]BitSet, n), LiveOut: make([]BitSet, n)}
+
+	// Per-block upward-exposed uses and defs. Phi args are excluded from
+	// use (edge uses); phi dsts count as defs.
+	use := make([]BitSet, n)
+	def := make([]BitSet, n)
+	// phiUse[p] accumulates, for predecessor block p, the registers its
+	// outgoing edges feed into successor phis.
+	phiUse := make([]BitSet, n)
+	for b := range f.Blocks {
+		use[b] = NewBitSet(f.NumRegs)
+		def[b] = NewBitSet(f.NumRegs)
+		phiUse[b] = NewBitSet(f.NumRegs)
+		l.LiveIn[b] = NewBitSet(f.NumRegs)
+		l.LiveOut[b] = NewBitSet(f.NumRegs)
+	}
+	for bi, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, a := range in.Args {
+					if a.Kind == ir.OperReg {
+						phiUse[in.Succs[i]].Set(a.Reg)
+					}
+				}
+			} else {
+				for _, a := range in.Args {
+					if a.Kind == ir.OperReg && !def[bi].Has(a.Reg) {
+						use[bi].Set(a.Reg)
+					}
+				}
+			}
+			if in.HasResult() {
+				def[bi].Set(in.Dst)
+			}
+		}
+	}
+
+	// Backward fixpoint: iterate in postorder (reverse RPO) until stable.
+	for changed := true; changed; {
+		changed = false
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			b := c.RPO[i]
+			out := l.LiveOut[b]
+			for _, s := range c.Succs[b] {
+				if out.UnionWith(l.LiveIn[s]) {
+					changed = true
+				}
+			}
+			if out.UnionWith(phiUse[b]) {
+				changed = true
+			}
+			// in = use ∪ (out − def)
+			in := NewBitSet(f.NumRegs)
+			in.Copy(out)
+			for w := range in {
+				in[w] &^= def[b][w]
+				in[w] |= use[b][w]
+			}
+			if l.LiveIn[b].UnionWith(in) {
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// LiveAt reports whether register r is live at the entry of block b.
+func (l *Liveness) LiveAt(r, b int) bool { return l.LiveIn[b].Has(r) }

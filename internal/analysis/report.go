@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"text/tabwriter"
+)
+
+// FuncReport summarizes the triage of one function.
+type FuncReport struct {
+	Name       string `json:"name"`
+	Injectable int    `json:"injectable"` // injectable static instructions
+	// Sites counted at bit granularity: an i64 result contributes 64,
+	// an i1 result 1.
+	TotalBits  int `json:"total_bits"`
+	MaskedBits int `json:"masked_bits"`
+	// Instructions fully masked (every result bit provable) and
+	// partially masked (a proper subset).
+	FullyMasked     int `json:"fully_masked"`
+	PartiallyMasked int `json:"partially_masked"`
+	// Proof tag histogram over masked instructions.
+	DeadValue  int `json:"dead_value"`
+	MaskedOnly int `json:"masked_bits_tag"`
+	DeadStore  int `json:"dead_store"`
+}
+
+// ModuleReport is the per-module triage summary emitted by the
+// -analyze flag and embedded in pipeline JSON reports.
+type ModuleReport struct {
+	Module     string       `json:"module"`
+	Version    string       `json:"analysis_version"`
+	Funcs      []FuncReport `json:"funcs"`
+	Injectable int          `json:"injectable"`
+	TotalBits  int          `json:"total_bits"`
+	MaskedBits int          `json:"masked_bits"`
+	// MaskedSiteFrac is MaskedBits / TotalBits: the fraction of static
+	// single-bit fault sites the campaign engine may skip.
+	MaskedSiteFrac float64 `json:"masked_site_frac"`
+}
+
+// Report summarizes t per function and module-wide.
+func (t *Triage) Report() *ModuleReport {
+	rep := &ModuleReport{Module: t.mod.Name, Version: Version}
+	for _, f := range t.mod.Funcs {
+		fr := FuncReport{Name: f.Name}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsInjectable() {
+					continue
+				}
+				fr.Injectable++
+				width := int(in.Type.Bits())
+				fr.TotalBits += width
+				mb := bits.OnesCount64(t.masked[in.ID])
+				fr.MaskedBits += mb
+				if mb == width {
+					fr.FullyMasked++
+				} else if mb > 0 {
+					fr.PartiallyMasked++
+				}
+				switch t.proof[in.ID] {
+				case ProofDeadValue:
+					fr.DeadValue++
+				case ProofMaskedBits:
+					fr.MaskedOnly++
+				case ProofDeadStore:
+					fr.DeadStore++
+				}
+			}
+		}
+		rep.Funcs = append(rep.Funcs, fr)
+		rep.Injectable += fr.Injectable
+		rep.TotalBits += fr.TotalBits
+		rep.MaskedBits += fr.MaskedBits
+	}
+	if rep.TotalBits > 0 {
+		rep.MaskedSiteFrac = float64(rep.MaskedBits) / float64(rep.TotalBits)
+	}
+	return rep
+}
+
+// Func returns the triage summary of one function by index.
+func (t *Triage) Func(fn int) FuncReport {
+	return t.Report().Funcs[fn]
+}
+
+// Render prints the human-readable triage table (the -analyze output).
+func (r *ModuleReport) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Static SDC-masking triage: %s (%s)\n", r.Module, r.Version)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Function\tInjectable\tFullyMasked\tPartial\tMaskedBits\tTotalBits\tdead-value\tmasked-bits\tdead-store")
+	for _, f := range r.Funcs {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			f.Name, f.Injectable, f.FullyMasked, f.PartiallyMasked,
+			f.MaskedBits, f.TotalBits, f.DeadValue, f.MaskedOnly, f.DeadStore)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "module: %d/%d fault sites provably masked (%.2f%%)\n",
+		r.MaskedBits, r.TotalBits, 100*r.MaskedSiteFrac)
+	return err
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Version identifies the triage rule set. It participates in pipeline
+// cache keys so persisted campaign artifacts invalidate whenever the
+// analysis changes; bump it with any rule change that can alter a
+// classification.
+const Version = "sdc-triage/v1"
+
+// Proof tags the reason a site is provably masked. Tags are
+// machine-checkable: each names the fact that justifies the verdict,
+// and the differential soundness test re-validates them by injection.
+type Proof uint8
+
+const (
+	// ProofNone marks an unknown (not provably masked) site.
+	ProofNone Proof = iota
+	// ProofDeadValue: no bit of the result can reach program output,
+	// control flow, or a trap condition (demanded mask is zero). The
+	// dominant instance is dead loop-carried phi cycles that classic
+	// DCE cannot remove because every member has a use.
+	ProofDeadValue
+	// ProofMaskedBits: a proper subset of result bits is demanded; the
+	// masked bits are absorbed by constant masks, shifts, truncating
+	// consumers, or the interpreter's shift-amount masking.
+	ProofMaskedBits
+	// ProofDeadStore: the value is demanded only by stores into memory
+	// objects that are never read, flagged dead by the memory pass.
+	ProofDeadStore
+)
+
+// String returns the tag name used in reports.
+func (p Proof) String() string {
+	switch p {
+	case ProofDeadValue:
+		return "dead-value"
+	case ProofMaskedBits:
+		return "masked-bits"
+	case ProofDeadStore:
+		return "dead-store"
+	default:
+		return "none"
+	}
+}
+
+// Verdict classifies one fault site.
+type Verdict uint8
+
+const (
+	// VerdictUnknown: the analysis cannot prove the site benign; the
+	// campaign must execute it.
+	VerdictUnknown Verdict = iota
+	// VerdictProvablyMasked: flipping this site can never change the
+	// program's outcome; the campaign may count it benign unrun.
+	VerdictProvablyMasked
+)
+
+// Triage is the per-module fault-site classification. All methods are
+// safe for concurrent use after construction (the struct is immutable).
+type Triage struct {
+	mod *ir.Module
+
+	// demand[id] is the demanded-bit mask of instruction id's result
+	// (within its type width); masked[id] the complementary provably
+	// masked bits. proof[id] tags why masked[id] is nonzero.
+	demand []uint64
+	masked []uint64
+	proof  []Proof
+
+	// sound is false when the module is not in single-assignment form;
+	// every site is then VerdictUnknown.
+	sound bool
+}
+
+// NewTriage analyzes m and classifies every injection site. Modules not
+// in single-assignment register form yield an inert triage that masks
+// nothing.
+func NewTriage(m *ir.Module) *Triage {
+	t := &Triage{
+		mod:    m,
+		demand: make([]uint64, m.NumInstrs()),
+		masked: make([]uint64, m.NumInstrs()),
+		proof:  make([]Proof, m.NumInstrs()),
+		sound:  true,
+	}
+	for _, f := range m.Funcs {
+		if !BuildDefUse(f).SingleAssignment {
+			t.sound = false
+		}
+	}
+	if !t.sound {
+		for id := range t.demand {
+			t.demand[id] = fullDemand
+		}
+		return t
+	}
+
+	ds := BuildDeadStores(m)
+	dem := BuildDemand(m, ds)
+	for fi, f := range m.Funcs {
+		du := BuildDefUse(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsInjectable() {
+					t.demand[in.ID] = fullDemand
+					continue
+				}
+				width := widthMask(in.Type)
+				d := dem.Regs[fi][in.Dst] & width
+				t.demand[in.ID] = d
+				t.masked[in.ID] = width &^ d
+				switch {
+				case t.masked[in.ID] == 0:
+					t.proof[in.ID] = ProofNone
+				case d == 0 && feedsDeadStore(du, in, ds):
+					t.proof[in.ID] = ProofDeadStore
+				case d == 0:
+					t.proof[in.ID] = ProofDeadValue
+				default:
+					t.proof[in.ID] = ProofMaskedBits
+				}
+			}
+		}
+	}
+	return t
+}
+
+// feedsDeadStore reports whether some use of in's result is a store the
+// memory pass proved dead (used to attribute the proof tag).
+func feedsDeadStore(du *DefUse, in *ir.Instr, ds *DeadStores) bool {
+	for _, u := range du.Uses[in.Dst] {
+		if u.Op == ir.OpStore && ds.Dead[u.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// DemandedBits returns the demanded-bit mask of instruction id's result.
+func (t *Triage) DemandedBits(id int) uint64 { return t.demand[id] }
+
+// MaskedBits returns the provably masked bits of instruction id's
+// result (zero for unknown or non-injectable sites).
+func (t *Triage) MaskedBits(id int) uint64 { return t.masked[id] }
+
+// Site classifies the single-bit fault site (id, bit). bit follows the
+// injector's convention and is reduced modulo the value width.
+func (t *Triage) Site(id int, bit uint) (Verdict, Proof) {
+	in := t.mod.Instrs[id]
+	if !in.IsInjectable() {
+		return VerdictUnknown, ProofNone
+	}
+	b := bit % in.Type.Bits()
+	if t.masked[id]&(1<<b) != 0 {
+		return VerdictProvablyMasked, t.proof[id]
+	}
+	return VerdictUnknown, ProofNone
+}
+
+// Masked reports whether the fault described by (bit, mask) — the
+// injector's single-bit Bit or, when mask is nonzero, a multi-bit XOR
+// mask — is provably benign at instruction id. The mask is narrowed
+// exactly as the interpreter narrows it before flipping.
+func (t *Triage) Masked(id int, bit uint, mask uint64) bool {
+	if !t.sound {
+		return false
+	}
+	in := t.mod.Instrs[id]
+	if !in.IsInjectable() {
+		return false
+	}
+	if mask != 0 {
+		if in.Type == ir.I1 {
+			mask &= 1
+		}
+		return mask&^t.masked[id] == 0
+	}
+	b := bit % in.Type.Bits()
+	return t.masked[id]&(1<<b) != 0
+}
+
+// triageKey identifies one immutable module snapshot, mirroring the
+// (pointer, version) identity the interpreter's image cache uses.
+type triageKey struct {
+	mod     *ir.Module
+	version uint64
+}
+
+var triageCache sync.Map // triageKey -> *Triage
+
+// TriageFor returns the memoized triage of m's current finalized
+// snapshot, computing it on first use. Modules are analyzed at most
+// once per Finalize generation.
+func TriageFor(m *ir.Module) *Triage {
+	key := triageKey{mod: m, version: m.Version()}
+	if v, ok := triageCache.Load(key); ok {
+		return v.(*Triage)
+	}
+	t := NewTriage(m)
+	actual, _ := triageCache.LoadOrStore(key, t)
+	return actual.(*Triage)
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -249,6 +250,22 @@ func (c *CampaignResult) SDCCoverage() (float64, bool) {
 	return float64(d) / float64(d+s), true
 }
 
+// TriagePolicy selects whether a campaign consults the static
+// SDC-masking triage (package analysis) before executing trials.
+type TriagePolicy uint8
+
+const (
+	// TriageAuto (the zero value, so campaigns prune by default) skips
+	// fault sites the triage proves masked, counting them Benign without
+	// running them. Soundness of the triage guarantees the campaign
+	// result is bit-identical to an unpruned run at the same seed; the
+	// differential test in this package enforces that by injection.
+	TriageAuto TriagePolicy = iota
+	// TriageOff executes every drawn site. Used by the soundness test
+	// itself and available for audits.
+	TriageOff
+)
+
 // Campaign runs fault-injection trials over a module with one input.
 // Metrics, if non-nil, receives trial outcomes, wall/busy time, and
 // worker-count observations (it never influences results).
@@ -258,6 +275,7 @@ type Campaign struct {
 	Cfg     interp.Config
 	Golden  *Golden
 	Workers int // 0 = GOMAXPROCS
+	Triage  TriagePolicy
 	Metrics *PhaseMetrics
 }
 
@@ -268,9 +286,43 @@ func (c *Campaign) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runSites executes the given fault sites in parallel and returns one
-// outcome per site (index-aligned), deterministic for fixed sites.
+// runSites classifies the given fault sites and returns one outcome per
+// site (index-aligned), deterministic for fixed sites. Under TriageAuto
+// it first consults the static triage: provably masked sites are counted
+// Benign without execution (recorded in the Pruned metric) and only the
+// remainder is run. Because the triage is sound, the returned outcomes
+// are identical to an unpruned run.
 func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
+	if c.Triage == TriageAuto && len(sites) > 0 {
+		t := analysis.TriageFor(c.Mod)
+		outcomes := make([]Outcome, len(sites))
+		kept := make([]interp.Fault, 0, len(sites))
+		keptIdx := make([]int, 0, len(sites))
+		for i, s := range sites {
+			if t.Masked(s.InstrID, s.Bit, s.Mask) {
+				outcomes[i] = OutcomeBenign
+			} else {
+				kept = append(kept, s)
+				keptIdx = append(keptIdx, i)
+			}
+		}
+		if pruned := int64(len(sites) - len(kept)); pruned > 0 {
+			c.Metrics.AddPruned(pruned)
+		}
+		if len(kept) == 0 {
+			return outcomes
+		}
+		for j, o := range c.execSites(kept) {
+			outcomes[keptIdx[j]] = o
+		}
+		return outcomes
+	}
+	return c.execSites(sites)
+}
+
+// execSites executes fault sites in parallel and returns one outcome per
+// site (index-aligned), deterministic for fixed sites.
+func (c *Campaign) execSites(sites []interp.Fault) []Outcome {
 	t0 := time.Now()
 	outcomes := make([]Outcome, len(sites))
 	cfg := faultyConfig(c.Cfg, c.Golden)

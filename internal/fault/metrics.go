@@ -59,6 +59,7 @@ type PhaseMetrics struct {
 	trials      int64
 	outcomes    [NumOutcomes]int64
 	shortfall   int64
+	pruned      int64
 	goldenRuns  int64
 	cacheHits   int64
 	cacheMisses int64
@@ -87,6 +88,19 @@ func (p *PhaseMetrics) AddShortfall(n int64) {
 	}
 	p.mu.Lock()
 	p.shortfall += n
+	p.mu.Unlock()
+}
+
+// AddPruned records trials the static triage proved benign and the
+// campaign therefore skipped. Pruned trials still appear as Benign in
+// campaign results; this counter is the audit trail distinguishing
+// proved-benign-unrun from executed-and-observed-benign.
+func (p *PhaseMetrics) AddPruned(n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.pruned += n
 	p.mu.Unlock()
 }
 
@@ -159,6 +173,7 @@ type PhaseSnapshot struct {
 	Trials      int64              `json:"trials"` // executed faulty-run trials
 	Outcomes    [NumOutcomes]int64 `json:"outcomes"`
 	Shortfall   int64              `json:"shortfall"`   // requested-but-undrawable trials
+	Pruned      int64              `json:"pruned"`      // trials proved benign by static triage, not executed
 	GoldenRuns  int64              `json:"golden_runs"` // golden executions actually run (cache misses run once)
 	CacheHits   int64              `json:"cache_hits"`
 	CacheMisses int64              `json:"cache_misses"`
@@ -201,6 +216,7 @@ func (p *PhaseMetrics) Snapshot() PhaseSnapshot {
 		Trials:      p.trials,
 		Outcomes:    p.outcomes,
 		Shortfall:   p.shortfall,
+		Pruned:      p.pruned,
 		GoldenRuns:  p.goldenRuns,
 		CacheHits:   p.cacheHits,
 		CacheMisses: p.cacheMisses,
@@ -238,17 +254,17 @@ func (m *Metrics) Render(w io.Writer) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Phase\tTrials\tSDC\tCrash\tHang\tDetected\tBenign\tShortfall\tGoldenRuns\tCacheHit%\tWall\tWorkers\tUtil%")
+	fmt.Fprintln(tw, "Phase\tTrials\tSDC\tCrash\tHang\tDetected\tBenign\tPruned\tShortfall\tGoldenRuns\tCacheHit%\tWall\tWorkers\tUtil%")
 	for _, s := range snaps {
 		hit := "-"
 		if s.CacheHits+s.CacheMisses > 0 {
 			hit = fmt.Sprintf("%.1f%% (%d/%d)", 100*s.HitRate(), s.CacheHits, s.CacheHits+s.CacheMisses)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%.2fs\t%d\t%.0f%%\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%.2fs\t%d\t%.0f%%\n",
 			s.Name, s.Trials,
 			s.Outcomes[OutcomeSDC], s.Outcomes[OutcomeCrash], s.Outcomes[OutcomeHang],
 			s.Outcomes[OutcomeDetected], s.Outcomes[OutcomeBenign],
-			s.Shortfall, s.GoldenRuns, hit, s.Wall.Seconds(), s.MaxWorkers, 100*s.Utilization())
+			s.Pruned, s.Shortfall, s.GoldenRuns, hit, s.Wall.Seconds(), s.MaxWorkers, 100*s.Utilization())
 	}
 	return tw.Flush()
 }

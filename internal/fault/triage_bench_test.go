@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/benchprog"
+)
+
+// BenchmarkCampaignTriage measures campaign wall-clock with triage
+// pruning on versus off, on benchmarks with a meaningful masked-site
+// fraction. The on/off delta is the campaign-pruning win recorded in
+// BENCH_analysis.json; single-worker runs keep the timing stable.
+func BenchmarkCampaignTriage(b *testing.B) {
+	for _, name := range []string{"kmeans", "fft", "needle"} {
+		var bench *benchprog.Benchmark
+		for _, cand := range benchprog.All() {
+			if cand.Name == name {
+				bench = cand
+			}
+		}
+		m, err := bench.Module()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bind := bench.Bind(bench.Reference)
+		cfg := bench.ExecConfig()
+		golden, err := RunGolden(m, bind, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			label  string
+			policy TriagePolicy
+		}{{"on", TriageAuto}, {"off", TriageOff}} {
+			mode := mode
+			b.Run(name+"/triage-"+mode.label, func(b *testing.B) {
+				c := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden,
+					Workers: 1, Triage: mode.policy, Metrics: &PhaseMetrics{name: "bench"}}
+				var res CampaignResult
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res = c.Run(400, 1)
+				}
+				b.StopTimer()
+				snap := c.Metrics.Snapshot()
+				if snap.Trials+snap.Pruned > 0 {
+					b.ReportMetric(float64(snap.Pruned)/float64(snap.Trials+snap.Pruned), "pruned_frac")
+				}
+				if res.Trials == 0 {
+					b.Fatal("campaign ran no trials")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+)
+
+// TestTriageSoundnessDifferential is the soundness enforcement for the
+// static SDC-masking triage: for every benchmark it samples fault sites
+// the triage classifies ProvablyMasked and executes them for real with
+// the reference (legacy) interpreter. Every single one must come back
+// Benign — one SDC, crash, hang, or detection here is a soundness bug
+// in the analysis, not flakiness.
+func TestTriageSoundnessDifferential(t *testing.T) {
+	maxSites := 160
+	if testing.Short() {
+		maxSites = 32
+	}
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			m, err := b.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bind := b.Bind(b.Reference)
+			cfg := b.ExecConfig()
+			cfg.Engine = interp.EngineLegacy
+			golden, err := RunGolden(m, bind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tri := analysis.TriageFor(m)
+
+			rng := rand.New(rand.NewSource(7))
+			var sites []interp.Fault
+			for _, in := range m.Instrs {
+				if !in.IsInjectable() {
+					continue
+				}
+				masked := tri.MaskedBits(in.ID)
+				cnt := golden.Profile.InstrCount[in.ID]
+				if masked == 0 || cnt == 0 {
+					continue
+				}
+				// Every masked bit position, a few dynamic instances each.
+				for bit := 0; bit < 64; bit++ {
+					if masked&(1<<uint(bit)) == 0 {
+						continue
+					}
+					for k := 0; k < 2; k++ {
+						site := interp.Fault{
+							InstrID:  in.ID,
+							DynIndex: rng.Int63n(cnt),
+							Bit:      uint(bit),
+						}
+						if v, proof := tri.Site(site.InstrID, site.Bit); v != analysis.VerdictProvablyMasked || proof == analysis.ProofNone {
+							t.Fatalf("[%d] bit %d: masked mask disagrees with Site()", in.ID, bit)
+						}
+						sites = append(sites, site)
+					}
+				}
+			}
+			if len(sites) == 0 {
+				t.Skipf("%s: no provably masked executed sites", b.Name)
+			}
+			if len(sites) > maxSites {
+				rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+				sites = sites[:maxSites]
+			}
+
+			camp := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden, Triage: TriageOff}
+			for i, o := range camp.runSites(sites) {
+				if o != OutcomeBenign {
+					in := m.Instrs[sites[i].InstrID]
+					_, proof := tri.Site(sites[i].InstrID, sites[i].Bit)
+					t.Fatalf("UNSOUND: [%d] %s bit %d dyn %d (proof %s) -> %s",
+						sites[i].InstrID, in.Op, sites[i].Bit, sites[i].DynIndex, proof, o)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignTriageEquivalence checks result purity: a campaign with
+// triage pruning enabled returns a bit-identical CampaignResult to an
+// unpruned campaign at the same seed, while actually pruning trials.
+func TestCampaignTriageEquivalence(t *testing.T) {
+	for _, name := range []string{"kmeans", "fft", "pathfinder"} {
+		var bench *benchprog.Benchmark
+		for _, b := range benchprog.All() {
+			if b.Name == name {
+				bench = b
+			}
+		}
+		m := bench.MustModule()
+		bind := bench.Bind(bench.Reference)
+		cfg := bench.ExecConfig()
+		golden, err := RunGolden(m, bind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pm := &PhaseMetrics{name: "test"}
+		on := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden, Triage: TriageAuto, Metrics: pm}
+		off := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden, Triage: TriageOff}
+
+		const trials, seed = 300, 42
+		ron := on.Run(trials, seed)
+		roff := off.Run(trials, seed)
+		if ron != roff {
+			t.Fatalf("%s: triage changed the campaign result:\n  on:  %+v\n  off: %+v", name, ron, roff)
+		}
+		snap := pm.Snapshot()
+		if snap.Pruned == 0 {
+			t.Fatalf("%s: expected pruned trials on a benchmark with masked sites", name)
+		}
+		if snap.Trials+snap.Pruned != ron.Trials {
+			t.Fatalf("%s: executed (%d) + pruned (%d) != total trials (%d)",
+				name, snap.Trials, snap.Pruned, ron.Trials)
+		}
+	}
+}
+
+// TestTriagePruningFraction documents the campaign-pruning win: on at
+// least 3 benchmarks the triage must prove >= 5% of static fault sites
+// masked (the acceptance bar of the analysis framework).
+func TestTriagePruningFraction(t *testing.T) {
+	hits := 0
+	for _, b := range benchprog.All() {
+		m, err := b.Module()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := analysis.TriageFor(m).Report()
+		var masked, total int
+		for _, in := range m.Instrs {
+			if !in.IsInjectable() {
+				continue
+			}
+			masked += bits.OnesCount64(analysis.TriageFor(m).MaskedBits(in.ID))
+			total += int(in.Type.Bits())
+		}
+		if masked != rep.MaskedBits || total != rep.TotalBits {
+			t.Fatalf("%s: report disagrees with direct count", b.Name)
+		}
+		if rep.MaskedSiteFrac >= 0.05 {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("only %d benchmarks reach 5%% provably masked sites, want >= 3", hits)
+	}
+}

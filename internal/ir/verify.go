@@ -9,6 +9,9 @@ import "fmt"
 //
 // It returns the first problem found, or nil. Verify requires Finalize to
 // have been called (it relies on instruction IDs for error messages).
+//
+// Verify is purely local: it never reasons about dominance. For the
+// stronger SSA-dominance check see VerifyStrict.
 func Verify(m *Module) error {
 	if m.Entry() < 0 {
 		return fmt.Errorf("module %s: no entry function %q", m.Name, "main")
@@ -37,26 +40,28 @@ func verifyBlock(m *Module, f *Function, b *Block) error {
 		last := i == len(b.Instrs)-1
 		if in.Op.IsTerminator() != last {
 			if last {
-				return fmt.Errorf("func %s bb%d: missing terminator (ends with %s)", f.Name, b.Index, in.Op)
+				return fmt.Errorf("func %s bb%d pos %d: missing terminator (ends with %s)", f.Name, b.Index, i, in.Op)
 			}
-			return fmt.Errorf("func %s bb%d: terminator %s not at block end", f.Name, b.Index, in.Op)
+			return fmt.Errorf("func %s bb%d pos %d: terminator %s not at block end", f.Name, b.Index, i, in.Op)
 		}
-		if err := verifyInstr(m, f, b, in); err != nil {
+		if err := verifyInstr(m, f, b, i, in); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func verifyInstr(m *Module, f *Function, b *Block, in *Instr) error {
+func verifyInstr(m *Module, f *Function, b *Block, pos int, in *Instr) error {
 	fail := func(format string, args ...any) error {
-		return fmt.Errorf("func %s bb%d [%d] %s: %s", f.Name, b.Index, in.ID, in.Op, fmt.Sprintf(format, args...))
+		return fmt.Errorf("func %s bb%d pos %d [%d] %s: %s", f.Name, b.Index, pos, in.ID, in.Op, fmt.Sprintf(format, args...))
 	}
 	// Registers in range.
 	if in.Dst >= f.NumRegs {
 		return fail("dst register %d out of range (NumRegs=%d)", in.Dst, f.NumRegs)
 	}
-	if in.HasResult() && in.Dst < 0 {
+	// HasResult() is Dst >= 0 && Type != Void, so testing it here would be
+	// vacuous; the broken state is a typed instruction lacking a register.
+	if in.Type != Void && in.Dst < 0 {
 		return fail("typed result without destination register")
 	}
 	for _, a := range in.Args {
@@ -213,6 +218,31 @@ func verifyInstr(m *Module, f *Function, b *Block, in *Instr) error {
 		}
 	default:
 		return fail("unknown opcode")
+	}
+	return nil
+}
+
+// strictSSA is the pluggable dominance checker. The analysis package
+// registers its SSA verifier here from an init function, keeping the
+// dependency edge pointing from analysis to ir (ir stays leaf-level).
+var strictSSA func(*Module) error
+
+// RegisterStrictSSA installs the dominance checker used by VerifyStrict.
+// It is called once, from package analysis's init; later registrations
+// overwrite earlier ones.
+func RegisterStrictSSA(f func(*Module) error) { strictSSA = f }
+
+// VerifyStrict runs Verify and then, when a dominance checker has been
+// registered (importing repro/internal/analysis registers one), the
+// strict SSA-dominance check: single assignment per register and every
+// use dominated by its definition. Without a registered checker it is
+// identical to Verify.
+func VerifyStrict(m *Module) error {
+	if err := Verify(m); err != nil {
+		return err
+	}
+	if strictSSA != nil {
+		return strictSSA(m)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/analysis"
 	"repro/internal/fault"
 )
 
@@ -39,6 +40,11 @@ type Report struct {
 	Store     *StoreStats           `json:"store,omitempty"`
 	Campaigns *fault.CacheStats     `json:"campaigns,omitempty"`
 	Phases    []fault.PhaseSnapshot `json:"phases,omitempty"`
+
+	// Analysis is the static SDC-masking triage summary (minpsid
+	// -analyze), present only when the invocation requested it. Additive
+	// and optional, so it shares schema version 1.
+	Analysis *analysis.ModuleReport `json:"analysis,omitempty"`
 }
 
 // Summarize aggregates node metrics into kind -> source -> count.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/benchprog"
 	"repro/internal/fault"
 	"repro/internal/inputgen"
@@ -71,7 +72,11 @@ type MeasureTask struct {
 // Kind implements Task.
 func (t *MeasureTask) Kind() string { return "measure" }
 
-// Key implements Task.
+// Key implements Task. The analysis version participates because the
+// campaign engine consults the static triage when classifying trials:
+// a triage rule change must invalidate persisted measurements even
+// though a sound triage cannot change them (defense against an unsound
+// revision silently reusing stale artifacts).
 func (t *MeasureTask) Key() Key {
 	return NewHasher("measure").
 		Key(ModuleHash(t.Target.Mod)).
@@ -79,6 +84,7 @@ func (t *MeasureTask) Key() Key {
 		Key(ExecHash(t.Target.Exec)).
 		I64(int64(t.FaultsPerInstr)).
 		I64(t.Seed).
+		Str(analysis.Version).
 		Sum()
 }
 
@@ -445,7 +451,8 @@ type CampaignTask struct {
 // Kind implements Task.
 func (t *CampaignTask) Kind() string { return "campaign" }
 
-// Key implements Task.
+// Key implements Task. analysis.Version is hashed for the same reason
+// as in MeasureTask.Key: triage revisions invalidate cached campaigns.
 func (t *CampaignTask) Key() Key {
 	return NewHasher("campaign").
 		Key(ModuleHash(t.Prot.Orig)).
@@ -454,6 +461,7 @@ func (t *CampaignTask) Key() Key {
 		Key(ExecHash(t.Exec)).
 		I64(int64(t.Trials)).
 		I64(t.Seed).
+		Str(analysis.Version).
 		Sum()
 }
 

@@ -1,0 +1,116 @@
+package sid
+
+import (
+	"math/bits"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// AnalysisSDCProb refines the flow-sink heuristic with facts from the
+// dataflow analysis framework:
+//
+//   - provably dead values (zero demanded bits) score exactly 0 — no
+//     flip in them can ever become an SDC, so protecting them is waste;
+//   - partially masked values are damped by their demanded-bit
+//     fraction, the probability a uniformly random single-bit flip
+//     lands in a bit that can propagate at all;
+//   - values live across more of the function (liveness breadth) are
+//     nudged up: a long-lived value has more downstream consumers;
+//   - values defined deeper in the dominator tree are nudged down:
+//     conditionally executed code contributes fewer dynamic instances
+//     and its corruption is more often path-masked.
+//
+// The shaping factors are heuristic; the zero-score rule alone is
+// backed by the triage soundness argument (DESIGN.md §9).
+func AnalysisSDCProb(m *ir.Module) []float64 {
+	score := HeuristicSDCProb(m)
+	tri := analysis.TriageFor(m)
+
+	for _, f := range m.Funcs {
+		cfg := analysis.BuildCFG(f)
+		dom := analysis.BuildDom(cfg)
+		live := analysis.BuildLiveness(cfg)
+		depth := domDepths(dom)
+		maxDepth := 0
+		for _, d := range depth {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsInjectable() || score[in.ID] == 0 {
+					continue
+				}
+				width := in.Type.Bits()
+				dem := bits.OnesCount64(tri.DemandedBits(in.ID))
+				if dem == 0 {
+					score[in.ID] = 0
+					continue
+				}
+				s := score[in.ID] * float64(dem) / float64(width)
+
+				liveBlocks := 0
+				for bi := range f.Blocks {
+					if live.LiveAt(in.Dst, bi) {
+						liveBlocks++
+					}
+				}
+				breadth := float64(liveBlocks) / float64(len(f.Blocks))
+				s *= 0.75 + 0.25*breadth
+
+				if maxDepth > 0 {
+					s *= 1 - 0.3*float64(depth[b.Index])/float64(maxDepth)
+				}
+				if s > 1 {
+					s = 1
+				}
+				score[in.ID] = s
+			}
+		}
+	}
+	return score
+}
+
+// domDepths returns each block's depth in the dominator tree (entry 0,
+// unreachable blocks 0).
+func domDepths(dom *analysis.DomTree) []int {
+	depth := make([]int, len(dom.Idom))
+	// Idom indices always precede their children in RPO; walking blocks
+	// in RPO order guarantees parents are finalized first.
+	for _, b := range dom.CFG.RPO {
+		if p := dom.Idom[b]; p >= 0 && p != b {
+			depth[b] = depth[p] + 1
+		}
+	}
+	return depth
+}
+
+// AnalysisMeasure is HeuristicMeasure with the analysis-refined scores:
+// still a single fault-free profiling run, no fault injection.
+func AnalysisMeasure(m *ir.Module, bind interp.Binding, exec interp.Config) (*Measurement, error) {
+	golden, err := fault.RunGolden(m, bind, exec)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumInstrs()
+	meas := &Measurement{
+		Cost:    make([]float64, n),
+		DynFrac: make([]float64, n),
+		SDCProb: AnalysisSDCProb(m),
+		Benefit: make([]float64, n),
+		Golden:  golden,
+	}
+	totalCycles := float64(golden.Cycles)
+	totalDyn := float64(golden.DynInstrs)
+	for id := 0; id < n; id++ {
+		meas.Cost[id] = float64(golden.Profile.InstrCycles[id]) / totalCycles
+		meas.DynFrac[id] = float64(golden.Profile.InstrCount[id]) / totalDyn
+		meas.Benefit[id] = meas.SDCProb[id] * meas.Cost[id]
+	}
+	return meas, nil
+}

@@ -1,0 +1,127 @@
+package sid
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+	"repro/internal/minicc"
+	"repro/internal/passes"
+)
+
+func TestAnalysisSDCProbRangesAndDeadValues(t *testing.T) {
+	m, _ := buildKernel(t)
+	probs := AnalysisSDCProb(m)
+	if len(probs) != m.NumInstrs() {
+		t.Fatalf("probs len %d != instrs %d", len(probs), m.NumInstrs())
+	}
+	tri := analysis.TriageFor(m)
+	anyPos := false
+	for id, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("instr %d analysis prob %f", id, p)
+		}
+		if p > 0 {
+			anyPos = true
+		}
+		in := m.Instrs[id]
+		if !in.IsInjectable() {
+			continue
+		}
+		// A provably dead value must score exactly zero.
+		if tri.DemandedBits(id) == 0 && p != 0 {
+			t.Fatalf("provably dead instr %d scores %f, want 0", id, p)
+		}
+	}
+	if !anyPos {
+		t.Fatal("all analysis-refined probabilities are zero")
+	}
+}
+
+func TestAnalysisSDCProbZeroesDeadCycle(t *testing.T) {
+	// A scalar accumulator that is updated in the loop but never read
+	// afterwards: mem2reg turns it into a dead phi cycle that the flow
+	// heuristic scores positive (it feeds a store-like flow) but the
+	// analysis proves worthless to protect.
+	m, err := minicc.Compile("dead.mc", `
+func main(n int) {
+	var live int = 0;
+	var dead int = 7;
+	var i int = 0;
+	for (i = 0; i < n; i = i + 1) {
+		live = live + i;
+		dead = dead * 3;
+	}
+	emiti(live);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.RunPipeline(m, passes.Mem2Reg{}, passes.CSE{}); err != nil {
+		t.Fatal(err)
+	}
+	probs := AnalysisSDCProb(m)
+	tri := analysis.TriageFor(m)
+	deadSeen := false
+	for _, in := range m.Instrs {
+		if !in.IsInjectable() {
+			continue
+		}
+		if tri.DemandedBits(in.ID) == 0 {
+			deadSeen = true
+			if probs[in.ID] != 0 {
+				t.Fatalf("dead value [%d] %s scored %f", in.ID, in.Op, probs[in.ID])
+			}
+		}
+	}
+	if !deadSeen {
+		t.Fatal("expected mem2reg to expose a dead loop-carried cycle")
+	}
+}
+
+func TestAnalysisMeasureSelectsAndProtects(t *testing.T) {
+	m, bind := buildKernel(t)
+	meas, err := AnalysisMeasure(m, bind, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := Select(m, meas, 0.5, MethodDP)
+	if len(sel.Chosen) == 0 {
+		t.Fatal("analysis-guided selection empty")
+	}
+	// Selected instructions are never provably dead: protecting them
+	// would be pure overhead with zero coverage gain.
+	tri := analysis.TriageFor(m)
+	for _, id := range sel.Chosen {
+		if m.Instrs[id].IsInjectable() && tri.DemandedBits(id) == 0 {
+			t.Fatalf("selection includes provably dead instr %d", id)
+		}
+	}
+}
+
+func TestAnalysisSDCProbOnBenchmark(t *testing.T) {
+	var bench *benchprog.Benchmark
+	for _, b := range benchprog.All() {
+		if b.Name == "kmeans" {
+			bench = b
+		}
+	}
+	m := bench.MustModule()
+	base := HeuristicSDCProb(m)
+	refined := AnalysisSDCProb(m)
+	lowered := 0
+	for id := range refined {
+		// The refinement only damps: masked-bit fraction, liveness
+		// breadth, and dominator depth are all <= 1 multipliers.
+		if refined[id] > base[id]+1e-9 {
+			t.Fatalf("instr %d: refinement raised score %f -> %f", id, base[id], refined[id])
+		}
+		if base[id] > 0 && refined[id] < base[id]-1e-9 {
+			lowered++
+		}
+	}
+	if lowered == 0 {
+		t.Fatal("refinement left every kmeans score untouched")
+	}
+}
