@@ -1,0 +1,91 @@
+// Command benchdiff compares two bench files or run manifests and fails
+// on regressions. CI runs it between a PR and its merge-base:
+//
+//	go run ./cmd/benchdiff -threshold 15% base/BENCH_interp.json pr/BENCH_interp.json
+//
+// Exit status: 0 when no gated metric regressed beyond the threshold,
+// 1 when at least one did, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs/delta"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	threshold := fs.String("threshold", "10%", "regression threshold: 15%, 15, or 0.15")
+	fields := fs.String("fields", "", "comma-separated lower-is-better fields to gate on (default ns_per_op,ns_per_instr,dur_ns)")
+	all := fs.Bool("all", false, "print every delta, not only regressions")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n\nOLD and NEW are JSON-lines bench files (make bench output) or run\nmanifests (-manifest output). Flags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	th, err := parseThreshold(*threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	oldM, err := delta.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	newM, err := delta.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	opt := delta.Options{Threshold: th}
+	if *fields != "" {
+		for _, f := range strings.Split(*fields, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				opt.RegressFields = append(opt.RegressFields, f)
+			}
+		}
+	}
+	rep := delta.Compare(oldM, newM, opt)
+	if err := rep.Render(os.Stdout, *all); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(rep.Regressions()) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseThreshold accepts "15%", "15" (values > 1 read as percent), or
+// "0.15" (fractions pass through).
+func parseThreshold(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad threshold %q", s)
+	}
+	if pct || v > 1 {
+		v /= 100
+	}
+	return v, nil
+}

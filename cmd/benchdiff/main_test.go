@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const fixtureOld = `{"name":"BenchmarkRunImage/bubble","iters":100,"ns_per_op":1000}` + "\n"
+const fixtureNew = `{"name":"BenchmarkRunImage/bubble","iters":100,"ns_per_op":1200}` + "\n"
+
+func TestExitNonZeroOnSyntheticRegression(t *testing.T) {
+	old := write(t, "old.json", fixtureOld)
+	new := write(t, "new.json", fixtureNew)
+	if code := run([]string{"-threshold", "15%", old, new}); code != 1 {
+		t.Fatalf("exit = %d on 20%% regression at 15%% threshold, want 1", code)
+	}
+}
+
+func TestExitZeroOnIdenticalInputs(t *testing.T) {
+	old := write(t, "old.json", fixtureOld)
+	new := write(t, "new.json", fixtureOld)
+	if code := run([]string{"-threshold", "0", old, new}); code != 0 {
+		t.Fatalf("exit = %d on identical inputs, want 0", code)
+	}
+}
+
+func TestExitZeroWhenWithinThreshold(t *testing.T) {
+	old := write(t, "old.json", fixtureOld)
+	new := write(t, "new.json", fixtureNew)
+	if code := run([]string{"-threshold", "25%", old, new}); code != 0 {
+		t.Fatalf("exit = %d on 20%% change at 25%% threshold, want 0", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code := run([]string{"only-one-arg"}); code != 2 {
+		t.Errorf("exit = %d with one positional arg, want 2", code)
+	}
+	old := write(t, "old.json", fixtureOld)
+	if code := run([]string{"-threshold", "nope", old, old}); code != 2 {
+		t.Errorf("exit = %d with bad threshold, want 2", code)
+	}
+	if code := run([]string{old, filepath.Join(t.TempDir(), "missing.json")}); code != 2 {
+		t.Errorf("exit = %d with missing file, want 2", code)
+	}
+}
+
+func TestParseThreshold(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"15%", 0.15, false},
+		{"15", 0.15, false},
+		{"0.15", 0.15, false},
+		{"0", 0, false},
+		{"1", 1, false}, // bare 1 is a fraction (100%), not 1%
+		{"-5", 0, true},
+		{"abc", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseThreshold(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("parseThreshold(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("parseThreshold(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

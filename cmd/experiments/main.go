@@ -25,9 +25,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/benchprog"
 	"repro/internal/harness"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -41,8 +43,10 @@ func main() {
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
-		outDir  = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
-		cache   = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
+		outDir   = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
+		cache    = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
+		manifest = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)
 	flag.Parse()
 
@@ -68,6 +72,8 @@ func main() {
 		workers:    *workers,
 		metrics:    *metrics,
 		resultsDir: *outDir,
+		tracePath:  *traceOut,
+		manifest:   *manifest,
 		out:        os.Stdout,
 	}
 	if *cache && *outDir != "" {
@@ -90,6 +96,8 @@ type options struct {
 	metrics    bool
 	resultsDir string // per-experiment JSON reports; "" disables
 	cacheDir   string // on-disk artifact tier; "" disables
+	tracePath  string // Chrome trace_event output; "" disables
+	manifest   string // run-manifest output; "" disables
 	out        io.Writer
 }
 
@@ -108,6 +116,11 @@ func run(o options) error {
 		if err := r.Pipe.EnableDisk(o.cacheDir); err != nil {
 			return err
 		}
+	}
+	var ob *obs.Obs
+	if o.tracePath != "" || o.manifest != "" {
+		ob = obs.New("experiments")
+		r.SetObs(ob)
 	}
 
 	bs := benchprog.Eleven()
@@ -133,6 +146,7 @@ func run(o options) error {
 	for _, e := range exps {
 		name := strings.TrimSpace(e)
 		before := r.Pipe.NumNodes()
+		esp := ob.Start("exp:" + name)
 		var err error
 		switch name {
 		case "table1":
@@ -170,6 +184,7 @@ func run(o options) error {
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}
+		esp.End()
 		if err != nil {
 			return err
 		}
@@ -182,6 +197,12 @@ func run(o options) error {
 	}
 	if o.metrics {
 		if err := pipeline.RenderMetrics(w, r.Metrics, r.Cache, r.Pipe); err != nil {
+			return err
+		}
+	}
+	if ob != nil {
+		r.Metrics.Publish(ob.Reg)
+		if err := ob.WriteOutputs("experiments", o.seed, analysis.Version, o.manifest, o.tracePath); err != nil {
 			return err
 		}
 	}

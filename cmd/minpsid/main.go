@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -31,8 +32,10 @@ func main() {
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		jsonOut = flag.String("json", "", "write a machine-readable metrics report to this file")
-		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
-		analyze = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
+		engine   = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		analyze  = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
+		manifest = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)
 	flag.Parse()
 
@@ -58,7 +61,7 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics, *jsonOut); err != nil {
+	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
@@ -86,7 +89,7 @@ func runAnalyze(bench string, seed int64, jsonOut string) error {
 	return nil
 }
 
-func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool, jsonOut string) error {
+func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool, jsonOut, traceOut, manifestOut string) error {
 	technique, err := core.ParseTechnique(techName)
 	if err != nil {
 		return err
@@ -109,6 +112,16 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 	// metrics output can report its nodes.
 	pipe := pipeline.NewMem(0)
 	opts.Pipe = pipe
+	var ob *obs.Obs
+	if traceOut != "" || manifestOut != "" {
+		ob = obs.New("minpsid")
+		opts.Obs = ob
+		interp.SetObs(ob.Reg)
+		defer interp.SetObs(nil)
+		if opts.Metrics == nil {
+			opts.Metrics = fault.NewMetrics()
+		}
+	}
 
 	fmt.Printf("protecting %s with %s at %.0f%% level (faults/instr=%d)\n",
 		bench, technique, level*100, opts.FaultsPerInstr)
@@ -166,6 +179,13 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 			Phases:      opts.Metrics.Snapshots(),
 		}
 		if err := pipeline.WriteReport(jsonOut, rep); err != nil {
+			return err
+		}
+	}
+
+	if ob != nil {
+		opts.Metrics.Publish(ob.Reg)
+		if err := ob.WriteOutputs("minpsid", seed, analysis.Version, manifestOut, traceOut); err != nil {
 			return err
 		}
 	}

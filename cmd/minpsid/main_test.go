@@ -4,11 +4,13 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunProtectsBenchmark(t *testing.T) {
 	jsonOut := filepath.Join(t.TempDir(), "minpsid.json")
-	if err := run("pathfinder", "sid", 0.3, true, 1, false, true, jsonOut); err != nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, false, true, jsonOut, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(jsonOut); err != nil {
@@ -16,11 +18,34 @@ func TestRunProtectsBenchmark(t *testing.T) {
 	}
 }
 
+func TestRunWritesManifestAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "manifest.json")
+	trace := filepath.Join(dir, "trace.json")
+	if err := run("pathfinder", "minpsid", 0.3, true, 1, false, false, "", trace, manifest); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("parse manifest: %v", err)
+	}
+	if m.Tool != "minpsid" || m.Trace == nil {
+		t.Errorf("manifest tool=%q trace=%v, want minpsid with trace", m.Tool, m.Trace)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("missing chrome trace: %v", err)
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "sid", 0.3, true, 1, false, false, ""); err == nil {
+	if err := run("nope", "sid", 0.3, true, 1, false, false, "", "", ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false, ""); err == nil {
+	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false, "", "", ""); err == nil {
 		t.Fatal("unknown technique accepted")
 	}
 }

@@ -14,9 +14,11 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
@@ -31,6 +33,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
 		jsonOut   = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine    = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
+		manifest  = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)
 	flag.Parse()
 
@@ -38,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(2)
 	}
-	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics, *jsonOut); err != nil {
+	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(1)
 	}
@@ -56,7 +60,7 @@ func setEngine(s string) error {
 	return nil
 }
 
-func run(bench string, n int, input string, inputSeed, seed int64, metrics bool, jsonOut string) error {
+func run(bench string, n int, input string, inputSeed, seed int64, metrics bool, jsonOut, traceOut, manifestOut string) error {
 	prog, err := core.FromBenchmark(bench)
 	if err != nil {
 		return err
@@ -71,7 +75,15 @@ func run(bench string, n int, input string, inputSeed, seed int64, metrics bool,
 	if metrics || jsonOut != "" {
 		m = fault.NewMetrics()
 	}
-	res, err := prog.InjectionCampaignOpts(in, n, seed, nil, m.Phase("program-fi"))
+	var ob *obs.Obs
+	if traceOut != "" || manifestOut != "" {
+		ob = obs.New("sdcfi")
+		interp.SetObs(ob.Reg)
+		defer interp.SetObs(nil)
+	}
+	csp := ob.Start("campaign:" + bench)
+	res, err := prog.InjectionCampaignOpts(in, n, seed, nil, m.Phase("program-fi"), ob.At(csp))
+	csp.End()
 	if err != nil {
 		return err
 	}
@@ -99,6 +111,12 @@ func run(bench string, n int, input string, inputSeed, seed int64, metrics bool,
 			Phases: m.Snapshots(),
 		}
 		if err := pipeline.WriteReport(jsonOut, rep); err != nil {
+			return err
+		}
+	}
+	if ob != nil {
+		m.Publish(ob.Reg)
+		if err := ob.WriteOutputs("sdcfi", seed, analysis.Version, manifestOut, traceOut); err != nil {
 			return err
 		}
 	}

@@ -4,23 +4,46 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunCampaign(t *testing.T) {
 	jsonOut := filepath.Join(t.TempDir(), "sdcfi.json")
-	if err := run("pathfinder", 100, "ref", 7, 1, true, jsonOut); err != nil {
+	if err := run("pathfinder", 100, "ref", 7, 1, true, jsonOut, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(jsonOut); err != nil {
 		t.Errorf("missing JSON report: %v", err)
 	}
-	if err := run("fft", 50, "random", 7, 1, false, ""); err != nil {
+	if err := run("fft", 50, "random", 7, 1, false, "", "", ""); err != nil {
 		t.Fatalf("run with random input: %v", err)
 	}
 }
 
+func TestRunWritesManifest(t *testing.T) {
+	manifest := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run("pathfinder", 50, "ref", 7, 1, false, "", "", manifest); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatalf("missing manifest: %v", err)
+	}
+	m, err := obs.ParseManifest(data)
+	if err != nil {
+		t.Fatalf("parse manifest: %v", err)
+	}
+	if m.Tool != "sdcfi" {
+		t.Errorf("manifest tool = %q, want sdcfi", m.Tool)
+	}
+	if c, ok := m.Registry.Counters["interp.runs"]; !ok || c == 0 {
+		t.Errorf("manifest counter interp.runs = %d (present=%v), want > 0", c, ok)
+	}
+}
+
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", 10, "ref", 0, 0, false, ""); err == nil {
+	if err := run("nope", 10, "ref", 0, 0, false, "", "", ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minicc"
 	"repro/internal/minpsid"
+	"repro/internal/obs"
 	"repro/internal/passes"
 	"repro/internal/pipeline"
 	"repro/internal/sid"
@@ -157,6 +158,10 @@ type Options struct {
 	// with other work on the same pipeline (and across processes when its
 	// disk tier is enabled). Nil runs on a private in-memory pipeline.
 	Pipe *pipeline.Pipeline
+	// Obs, if non-nil, attaches unified tracing/metrics to the pipeline
+	// (and through it the campaign engine). Observational like Cache and
+	// Metrics.
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns paper-scale settings.
@@ -211,6 +216,9 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 	pipe := opts.Pipe
 	if pipe == nil {
 		pipe = pipeline.NewMem(opts.Workers)
+	}
+	if opts.Obs != nil {
+		pipe.SetObs(opts.Obs)
 	}
 
 	mt := &pipeline.MeasureTask{Target: tgt, Input: p.Reference,
@@ -278,18 +286,18 @@ func (pr *Protection) EvaluateCoverage(in inputgen.Input, n int, seed int64) (Co
 // InjectionCampaign runs a program-level FI campaign on the *unprotected*
 // program under one input: the raw resilience characterization step.
 func (p *Program) InjectionCampaign(in inputgen.Input, n int, seed int64) (fault.CampaignResult, error) {
-	return p.InjectionCampaignOpts(in, n, seed, nil, nil)
+	return p.InjectionCampaignOpts(in, n, seed, nil, nil, nil)
 }
 
 // InjectionCampaignOpts is InjectionCampaign with optional golden-run
-// memoization and campaign metrics.
-func (p *Program) InjectionCampaignOpts(in inputgen.Input, n int, seed int64, cache *fault.Cache, pm *fault.PhaseMetrics) (fault.CampaignResult, error) {
+// memoization, campaign metrics, and unified observability.
+func (p *Program) InjectionCampaignOpts(in inputgen.Input, n int, seed int64, cache *fault.Cache, pm *fault.PhaseMetrics, o *obs.Obs) (fault.CampaignResult, error) {
 	bind := p.Bind(in)
 	golden, err := cache.Golden(p.Module, bind, p.Exec, pm)
 	if err != nil {
 		return fault.CampaignResult{}, err
 	}
-	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden, Metrics: pm}
+	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden, Metrics: pm, Obs: o}
 	return c.Run(n, seed), nil
 }
 

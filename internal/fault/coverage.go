@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // TrueCoverageResult reports an SDC-coverage measurement in the paper's
@@ -60,6 +61,8 @@ type CoverageOptions struct {
 	Workers int
 	Cache   *Cache
 	Metrics *PhaseMetrics
+	// Obs, if non-nil, is threaded into both campaigns (observational).
+	Obs *obs.Obs
 }
 
 // TrueCoverageOpts is TrueCoverage with memoization and metrics.
@@ -78,7 +81,7 @@ func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Bind
 	// Phase 1: campaign on the original program (memoized: identical for
 	// every protection of the same original under this input and seed).
 	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO,
-		Workers: opt.Workers, Metrics: opt.Metrics}
+		Workers: opt.Workers, Metrics: opt.Metrics, Obs: opt.Obs}
 	sites, outcomesO, shortfall := opt.Cache.unprotectedCampaign(campO, true, opt.Trials, opt.Seed)
 
 	res := TrueCoverageResult{Trials: int64(len(sites))}
@@ -102,7 +105,7 @@ func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Bind
 
 	// Phase 2: replay SDC sites against the protected program.
 	campP := &Campaign{Mod: prot, Bind: bind, Cfg: exec, Golden: goldenP,
-		Workers: opt.Workers, Metrics: opt.Metrics}
+		Workers: opt.Workers, Metrics: opt.Metrics, Obs: opt.Obs}
 	outcomesP := campP.runSites(replay)
 	for _, o := range outcomesP {
 		if o == OutcomeDetected {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Outcome classifies one fault-injection trial.
@@ -277,6 +278,9 @@ type Campaign struct {
 	Workers int // 0 = GOMAXPROCS
 	Triage  TriagePolicy
 	Metrics *PhaseMetrics
+	// Obs, if non-nil, receives a span per injection batch plus trial and
+	// batch-latency registry metrics. Observational like Metrics.
+	Obs *obs.Obs
 }
 
 func (c *Campaign) workers() int {
@@ -324,6 +328,9 @@ func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
 // site (index-aligned), deterministic for fixed sites.
 func (c *Campaign) execSites(sites []interp.Fault) []Outcome {
 	t0 := time.Now()
+	sp := c.Obs.Start("fi-batch")
+	sp.SetAttrInt("sites", int64(len(sites)))
+	defer sp.End()
 	outcomes := make([]Outcome, len(sites))
 	cfg := faultyConfig(c.Cfg, c.Golden)
 	nw := c.workers()
@@ -378,12 +385,15 @@ func (c *Campaign) execSites(sites []interp.Fault) []Outcome {
 
 // finishSites folds one runSites batch into the campaign metrics.
 func (c *Campaign) finishSites(outcomes []Outcome, nw int, t0 time.Time) {
+	wall := time.Since(t0)
+	c.Obs.Counter("fault.trials").Add(int64(len(outcomes)))
+	c.Obs.Histogram("fault.batch_wall_ns").Observe(wall.Nanoseconds())
 	if c.Metrics == nil {
 		return
 	}
 	c.Metrics.AddOutcomes(outcomes)
 	c.Metrics.ObserveWorkers(nw)
-	c.Metrics.AddWall(time.Since(t0))
+	c.Metrics.AddWall(wall)
 }
 
 // siteRetries bounds redraws for a failed site draw before the trial is

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Canonical campaign phases: the Fig. 8 cost categories of the MINPSID
@@ -243,6 +245,32 @@ func (m *Metrics) Snapshots() []PhaseSnapshot {
 		out[i] = p.Snapshot()
 	}
 	return out
+}
+
+// Publish copies every phase's counters into an obs registry under
+// "fault.phase.<name>.*" keys, making Metrics a feeder of the unified
+// registry: manifests carry the per-phase accounting without a second
+// schema, and benchdiff can diff phases across runs. Call it once, when
+// the run is complete (counters are absolute values, not deltas).
+func (m *Metrics) Publish(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	for _, s := range m.Snapshots() {
+		prefix := "fault.phase." + s.Name + "."
+		reg.Counter(prefix + "trials").Add(s.Trials)
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			reg.Counter(prefix + "outcome." + o.String()).Add(s.Outcomes[o])
+		}
+		reg.Counter(prefix + "shortfall").Add(s.Shortfall)
+		reg.Counter(prefix + "pruned").Add(s.Pruned)
+		reg.Counter(prefix + "golden_runs").Add(s.GoldenRuns)
+		reg.Counter(prefix + "cache_hits").Add(s.CacheHits)
+		reg.Counter(prefix + "cache_misses").Add(s.CacheMisses)
+		reg.Counter(prefix + "wall_ns").Add(s.Wall.Nanoseconds())
+		reg.Counter(prefix + "busy_ns").Add(s.Busy.Nanoseconds())
+		reg.Gauge(prefix + "max_workers").SetMax(int64(s.MaxWorkers))
+	}
 }
 
 // Render prints the per-phase metrics table (the -metrics CLI output).

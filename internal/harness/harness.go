@@ -24,6 +24,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/minpsid"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sid"
 )
@@ -178,6 +179,7 @@ type Runner struct {
 	Pipe    *pipeline.Pipeline // task scheduler + artifact store
 	Cache   *fault.Cache       // shared golden-run/campaign memoization
 	Metrics *fault.Metrics     // per-phase campaign accounting
+	Obs     *obs.Obs           // unified tracing/metrics (nil = disabled)
 	cache   map[string]*BenchEval
 }
 
@@ -196,6 +198,22 @@ func NewRunner(p Profile) *Runner {
 // env bundles the runner's observational machinery for task nodes.
 func (r *Runner) env() pipeline.Env {
 	return pipeline.Env{Cache: r.Cache, Metrics: r.Metrics, Workers: r.P.Workers}
+}
+
+// SetObs attaches an observability context to the runner: the pipeline
+// opens task spans under it and the interpreter's process-global run
+// accounting points at its registry. Passing nil detaches both. Like
+// Cache and Metrics this is purely observational — every table, figure,
+// and campaign result is byte-identical with obs on or off (enforced by
+// TestObsInvariance).
+func (r *Runner) SetObs(o *obs.Obs) {
+	r.Obs = o
+	r.Pipe.SetObs(o)
+	if o != nil {
+		interp.SetObs(o.Reg)
+	} else {
+		interp.SetObs(nil)
+	}
 }
 
 // target adapts a benchmark to the MINPSID target interface.
@@ -232,6 +250,12 @@ func (r *Runner) evalTask(b *benchprog.Benchmark) *pipeline.EvalTask {
 func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 	if ev, ok := r.cache[b.Name]; ok {
 		return ev, nil
+	}
+	// Run the compile node explicitly: the eval path binds modules through
+	// Target (already compiled), so without this the trace would lack the
+	// compile stage of the compile→measure→search→protect→campaign chain.
+	if _, err := r.Pipe.Run(&pipeline.CompileTask{Bench: b}); err != nil {
+		return nil, fmt.Errorf("harness %s: compile: %w", b.Name, err)
 	}
 	v, err := r.Pipe.Run(r.evalTask(b))
 	if err != nil {

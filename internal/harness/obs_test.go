@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsInvariance enforces the observational-never-semantic contract for
+// the obs substrate: the rendered figure output is byte-identical with
+// tracing enabled and disabled, cold (in-memory store) and warm (shared
+// disk store, which also pins the Fig. 8 wall-time columns).
+func TestObsInvariance(t *testing.T) {
+	benches := benchSubset(t, "pathfinder")
+
+	// Cold, in-memory: Fig2 has no wall-time columns, so two independent
+	// runs must agree byte-for-byte.
+	var off, on bytes.Buffer
+	rOff := NewRunner(tinyProfile())
+	if err := Fig2(rOff, benches, &off); err != nil {
+		t.Fatal(err)
+	}
+	rOn := NewRunner(tinyProfile())
+	rOn.SetObs(obs.New("test"))
+	defer rOn.SetObs(nil) // detach the process-global interp hook
+	if err := Fig2(rOn, benches, &on); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(off.Bytes(), on.Bytes()) {
+		t.Errorf("Fig2 output differs with obs enabled:\n--- off ---\n%s\n--- on ---\n%s", off.String(), on.String())
+	}
+
+	// Warm, shared disk store: Fig8's wall columns come from persisted
+	// artifacts, so obs-off and obs-on reruns must also agree.
+	dir := t.TempDir()
+	var w8off, w8on bytes.Buffer
+	r1 := NewRunner(tinyProfile())
+	if err := r1.Pipe.EnableDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig8(r1, benches, &w8off); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(tinyProfile())
+	if err := r2.Pipe.EnableDisk(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2.SetObs(obs.New("test"))
+	defer r2.SetObs(nil)
+	if err := Fig8(r2, benches, &w8on); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w8off.Bytes(), w8on.Bytes()) {
+		t.Errorf("Fig8 output differs with obs enabled:\n--- off ---\n%s\n--- on ---\n%s", w8off.String(), w8on.String())
+	}
+
+	// The obs-on run must have recorded the full task chain as spans.
+	ts := rOn.Obs.Trace.Snapshot()
+	found := map[string]bool{}
+	ts.Walk(func(path string, _ *obs.SpanSnapshot) { found[path] = true })
+	for _, kind := range []string{"compile", "measure", "search", "protect", "campaign", "eval", "inputs"} {
+		if !found["pipeline/"+kind] {
+			t.Errorf("span tree missing pipeline/%s (have %v)", kind, found)
+		}
+	}
+
+	// And the interpreter's run accounting must have flowed into the
+	// registry while attached.
+	snap := rOn.Obs.Reg.Snapshot()
+	if snap.Counters["interp.runs"] == 0 {
+		t.Error("interp.runs counter not incremented during instrumented run")
+	}
+	if snap.Counters["interp.dyn_instrs"] == 0 {
+		t.Error("interp.dyn_instrs counter not incremented during instrumented run")
+	}
+}

@@ -401,8 +401,15 @@ func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Re
 		r.faultID = int32(fault.InstrID)
 	}
 
+	rc := obsCounters.Load()
+	var edgeBase int64
+	if rc != nil && prof != nil {
+		edgeBase = edgeTotal(prof)
+	}
+
 	entry := r.mod.Entry()
-	if r.resolveEngine() == EngineLegacy {
+	legacy := r.resolveEngine() == EngineLegacy
+	if legacy {
 		main := r.mod.Funcs[entry]
 		t := r.newThread()
 		r.pushFrame(t, main, bind.Args, -1)
@@ -428,7 +435,7 @@ func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Re
 	if copyOut {
 		out = append([]uint64(nil), r.out...)
 	}
-	return Result{
+	res := Result{
 		Status:     r.status,
 		Trap:       r.trap,
 		Output:     out,
@@ -436,6 +443,10 @@ func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Re
 		Cycles:     r.cycles,
 		OutputHash: hashWords(r.out),
 	}
+	if rc != nil {
+		rc.recordRun(&res, legacy, prof, edgeBase)
+	}
+	return res
 }
 
 func (r *Runner) setup(bind Binding) {

@@ -1,0 +1,71 @@
+package interp
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// runCounters caches registry handles so the per-run accounting is a few
+// atomic adds, never a map lookup. One struct per SetObs call.
+type runCounters struct {
+	runs       *obs.Counter
+	dynInstrs  *obs.Counter
+	runsImage  *obs.Counter
+	runsLegacy *obs.Counter
+	profRuns   *obs.Counter
+	profDyn    *obs.Counter
+	profEdges  *obs.Counter
+}
+
+// obsCounters is the process-global observability hook, mirroring the
+// DefaultEngine precedent: Runner configs are hashed into content-addressed
+// cache keys, so an observational registry must not live on them.
+var obsCounters atomic.Pointer[runCounters]
+
+// SetObs points the interpreter's run accounting at reg (nil detaches).
+// Purely observational: execution results are bit-identical either way.
+// Safe for concurrent use with running interpreters.
+func SetObs(reg *obs.Registry) {
+	if reg == nil {
+		obsCounters.Store(nil)
+		return
+	}
+	obsCounters.Store(&runCounters{
+		runs:       reg.Counter("interp.runs"),
+		dynInstrs:  reg.Counter("interp.dyn_instrs"),
+		runsImage:  reg.Counter("interp.runs.image"),
+		runsLegacy: reg.Counter("interp.runs.legacy"),
+		profRuns:   reg.Counter("interp.profiled.runs"),
+		profDyn:    reg.Counter("interp.profiled.dyn_instrs"),
+		profEdges:  reg.Counter("interp.profiled.edge_hits"),
+	})
+}
+
+// recordRun folds one completed run into the registry. edgeBase is the
+// profile's edge-hit total before the run, so reused profiles report only
+// this run's traversals.
+func (rc *runCounters) recordRun(res *Result, legacy bool, prof *Profile, edgeBase int64) {
+	rc.runs.Inc()
+	rc.dynInstrs.Add(res.DynInstrs)
+	if legacy {
+		rc.runsLegacy.Inc()
+	} else {
+		rc.runsImage.Inc()
+	}
+	if prof != nil {
+		rc.profRuns.Inc()
+		rc.profDyn.Add(res.DynInstrs)
+		rc.profEdges.Add(edgeTotal(prof) - edgeBase)
+	}
+}
+
+// edgeTotal sums a profile's edge traversal counts (static edge tables are
+// small, so the scan is cheap relative to a profiled run).
+func edgeTotal(prof *Profile) int64 {
+	var n int64
+	for _, h := range prof.EdgeHits {
+		n += h
+	}
+	return n
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/inputgen"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/sid"
 )
@@ -62,6 +63,10 @@ type Config struct {
 	// Metrics, if non-nil, receives per-phase campaign accounting
 	// (search-engine and incubative-fi phases).
 	Metrics *fault.Metrics
+	// Obs, if non-nil, receives a span per accepted input and per GA
+	// generation plus search-progress registry counters. Observational
+	// like Cache and Metrics: results are bit-identical either way.
+	Obs *obs.Obs
 }
 
 // Strategy selects the input-search engine.
@@ -99,6 +104,7 @@ func (c Config) Canonical() Config {
 	out.Cache = nil
 	out.NoCache = false
 	out.Metrics = nil
+	out.Obs = nil
 	out.Workers = 0
 	if out.UseRandomSearch {
 		out.Strategy = StrategyRandom
@@ -201,6 +207,8 @@ type engine struct {
 	cache    *fault.Cache
 	pmEngine *fault.PhaseMetrics // search-engine phase (fitness golden runs)
 	pmFI     *fault.PhaseMetrics // incubative-fi phase (per-instruction FI)
+	obs      *obs.Obs            // scoped to the search; nil disables
+	span     *obs.Span           // current search-input span (GA generations nest here)
 
 	refMeas *sid.Measurement
 	history [][]int64 // indexed CFG lists of all measured inputs (ref first)
@@ -223,6 +231,7 @@ func Search(t Target, cfg Config, refInput inputgen.Input, refMeas *sid.Measurem
 		cache:      cfg.Cache,
 		pmEngine:   cfg.Metrics.Phase(fault.PhaseSearchEngine),
 		pmFI:       cfg.Metrics.Phase(fault.PhaseIncubativeFI),
+		obs:        cfg.Obs,
 		refMeas:    refMeas,
 		seen:       map[string]bool{refInput.Key(): true},
 		incubative: make(map[int]bool),
@@ -238,10 +247,12 @@ func Search(t Target, cfg Config, refInput inputgen.Input, refMeas *sid.Measurem
 
 	noProgress := 0
 	for len(e.res.Inputs) < cfg.MaxInputs && noProgress < cfg.Patience {
+		e.span = e.obs.Start("search-input")
 		t0 := time.Now()
 		in, golden, fitness, ok := e.nextInput()
 		e.res.EngineTime += time.Since(t0)
 		if !ok {
+			e.span.End()
 			break
 		}
 		before := len(e.incubative)
@@ -253,6 +264,8 @@ func Search(t Target, cfg Config, refInput inputgen.Input, refMeas *sid.Measurem
 		} else {
 			noProgress = 0
 		}
+		e.span.SetAttrInt("incubative", int64(len(e.incubative)))
+		e.span.End()
 	}
 
 	e.res.MaxBenefit = e.maxBenefit
@@ -313,6 +326,7 @@ func (e *engine) evaluate(in inputgen.Input) (gaCandidate, bool) {
 	c, ok := e.evaluateOne(in)
 	if ok {
 		e.res.FitnessEvals++
+		e.obs.Counter("minpsid.fitness_evals").Inc()
 	}
 	return c, ok
 }
@@ -359,6 +373,7 @@ func (e *engine) evaluateBatch(ins []inputgen.Input) []evalResult {
 	for _, r := range out {
 		if r.ok {
 			e.res.FitnessEvals++
+			e.obs.Counter("minpsid.fitness_evals").Inc()
 		}
 	}
 	return out
@@ -376,6 +391,8 @@ func (e *engine) nextGA() (inputgen.Input, *fault.Golden, float64, bool) {
 	}
 	best := bestOf(pop)
 	for gen := 0; gen < e.cfg.MaxGenerations; gen++ {
+		gsp := e.obs.At(e.span).Start("ga-generation")
+		e.obs.Counter("minpsid.generations").Inc()
 		var proposals []inputgen.Input
 		for _, c := range pop {
 			if e.rng.Float64() < e.cfg.MutationRate {
@@ -396,6 +413,8 @@ func (e *engine) nextGA() (inputgen.Input, *fault.Golden, float64, bool) {
 		}
 		pop = selectTop(append(pop, offspring...), e.cfg.PopSize)
 		newBest := bestOf(pop)
+		gsp.SetAttrInt("proposals", int64(len(proposals)))
+		gsp.End()
 		if newBest.fitness <= best.fitness {
 			break // fitness no longer improves: end this GA search
 		}
@@ -516,6 +535,7 @@ func (e *engine) nextRandom() (inputgen.Input, *fault.Golden, float64, bool) {
 // input to the search history.
 func (e *engine) measureAndAbsorb(in inputgen.Input, golden *fault.Golden, fitness float64) {
 	bind := e.t.Bind(in)
+	e.obs.Counter("minpsid.inputs_measured").Inc()
 	meas, err := sid.MeasureWithGolden(e.t.Mod, bind, sid.Config{
 		Exec:           e.t.Exec,
 		FaultsPerInstr: e.cfg.FaultsPerInstr,
@@ -523,6 +543,7 @@ func (e *engine) measureAndAbsorb(in inputgen.Input, golden *fault.Golden, fitne
 		Workers:        e.cfg.Workers,
 		Cache:          e.cache,
 		Metrics:        e.pmFI,
+		Obs:            e.obs.At(e.span),
 	}, golden)
 	if err != nil {
 		return // cannot happen: golden already validated

@@ -1,0 +1,263 @@
+// Package delta compares two observability documents — JSON-lines bench
+// files (make bench's BENCH_interp.json / BENCH_analysis.json) or obs run
+// manifests — and reports per-metric deltas with a configurable
+// regression threshold. cmd/benchdiff exposes it; CI runs it on every PR
+// against the merge-base so perf regressions fail the build instead of
+// landing silently.
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/obs"
+)
+
+// Metrics maps metric name -> field name -> value. A bench line
+// {"name":"BenchmarkX","ns_per_op":123,...} becomes
+// Metrics["BenchmarkX"]["ns_per_op"] = 123; a manifest flattens its
+// registry and span tree into the same shape (see FromManifest).
+type Metrics map[string]map[string]float64
+
+// DefaultRegressFields lists the lower-is-better fields checked against
+// the threshold: benchmark nanoseconds and span durations. Other numeric
+// fields (iters, masked_frac, counters) are reported but never gate.
+var DefaultRegressFields = []string{"ns_per_op", "ns_per_instr", "dur_ns"}
+
+// ParseBenchLines reads a JSON-lines bench file. Later lines win per
+// (name, field): files are append-only across runs, so the freshest run
+// is the one compared. Blank lines and non-JSON noise lines are skipped;
+// a file with no parsable line is an error.
+func ParseBenchLines(r io.Reader) (Metrics, error) {
+	out := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	parsed := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			continue
+		}
+		name, _ := raw["name"].(string)
+		if name == "" {
+			continue
+		}
+		parsed++
+		fields := make(map[string]float64)
+		for k, v := range raw {
+			if f, ok := v.(float64); ok {
+				fields[k] = f
+			}
+		}
+		out[name] = fields // later lines overwrite: freshest run wins
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parsed == 0 {
+		return nil, fmt.Errorf("delta: no bench lines found")
+	}
+	return out, nil
+}
+
+// FromManifest flattens a run manifest: registry counters become
+// "counter.<name>" {value}, gauges "gauge.<name>" {value}, histograms
+// "hist.<name>" {count, sum, mean}, and the span tree aggregates by path
+// into "span.<path>" {dur_ns, count} (durations summed over same-path
+// spans, e.g. the scheduler's many "measure" task spans).
+func FromManifest(m *obs.Manifest) Metrics {
+	out := make(Metrics)
+	for k, v := range m.Registry.Counters {
+		out["counter."+k] = map[string]float64{"value": float64(v)}
+	}
+	for k, v := range m.Registry.Gauges {
+		out["gauge."+k] = map[string]float64{"value": float64(v)}
+	}
+	for k, h := range m.Registry.Histograms {
+		out["hist."+k] = map[string]float64{
+			"count": float64(h.Count),
+			"sum":   float64(h.Sum),
+			"mean":  h.Mean(),
+		}
+	}
+	m.Trace.Walk(func(path string, s *obs.SpanSnapshot) {
+		key := "span." + path
+		f := out[key]
+		if f == nil {
+			f = map[string]float64{"dur_ns": 0, "count": 0}
+			out[key] = f
+		}
+		f["dur_ns"] += float64(s.DurNS)
+		f["count"]++
+	})
+	return out
+}
+
+// Load reads path and parses it as a manifest (a JSON object with the
+// manifest schema) or a JSON-lines bench file (anything else).
+func Load(path string) (Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		if m, err := obs.ParseManifest(trimmed); err == nil {
+			return FromManifest(m), nil
+		}
+	}
+	m, err := ParseBenchLines(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Delta is one (metric, field) comparison.
+type Delta struct {
+	Name  string  `json:"name"`
+	Field string  `json:"field"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	// Pct is the relative change in percent ((new-old)/old * 100);
+	// +Inf when old == 0 and new != 0.
+	Pct float64 `json:"pct"`
+	// Regression marks a gated field that worsened beyond the threshold.
+	Regression bool `json:"regression"`
+}
+
+// Options shapes a comparison.
+type Options struct {
+	// Threshold is the relative regression bound (0.15 = 15%). A gated
+	// field regresses when new > old*(1+Threshold).
+	Threshold float64
+	// RegressFields are the lower-is-better fields to gate on; nil
+	// selects DefaultRegressFields.
+	RegressFields []string
+}
+
+// Compare diffs every (name, field) present in both sides, in sorted
+// order. Metrics present on only one side are reported through Missing /
+// Added on the Report.
+func Compare(old, new Metrics, opt Options) Report {
+	gate := make(map[string]bool)
+	fields := opt.RegressFields
+	if fields == nil {
+		fields = DefaultRegressFields
+	}
+	for _, f := range fields {
+		gate[f] = true
+	}
+
+	var rep Report
+	rep.Threshold = opt.Threshold
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nf, ok := new[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		of := old[name]
+		fieldNames := make([]string, 0, len(of))
+		for f := range of {
+			fieldNames = append(fieldNames, f)
+		}
+		sort.Strings(fieldNames)
+		for _, f := range fieldNames {
+			nv, ok := nf[f]
+			if !ok {
+				continue
+			}
+			ov := of[f]
+			d := Delta{Name: name, Field: f, Old: ov, New: nv}
+			switch {
+			case ov == nv:
+				d.Pct = 0
+			case ov == 0:
+				d.Pct = math.Inf(1)
+			default:
+				d.Pct = (nv - ov) / math.Abs(ov) * 100
+			}
+			if gate[f] && nv > ov*(1+opt.Threshold) && nv-ov > 0 {
+				d.Regression = true
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			rep.Added = append(rep.Added, name)
+		}
+	}
+	sort.Strings(rep.Added)
+	return rep
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	Threshold float64  `json:"threshold"`
+	Deltas    []Delta  `json:"deltas"`
+	Missing   []string `json:"missing,omitempty"` // in old only
+	Added     []string `json:"added,omitempty"`   // in new only
+}
+
+// Regressions returns the deltas that exceeded the threshold.
+func (r Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render prints the report as an aligned table. With all=false only
+// regressions (plus the missing/added lists) are printed.
+func (r Report) Render(w io.Writer, all bool) error {
+	regs := r.Regressions()
+	fmt.Fprintf(w, "benchdiff: %d metrics compared, %d regression(s) at threshold %.0f%%\n",
+		len(r.Deltas), len(regs), r.Threshold*100)
+	rows := regs
+	if all {
+		rows = r.Deltas
+	}
+	if len(rows) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "Metric\tField\tOld\tNew\tDelta")
+		for _, d := range rows {
+			mark := ""
+			if d.Regression {
+				mark = "  << REGRESSION"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.6g\t%.6g\t%+.2f%%%s\n", d.Name, d.Field, d.Old, d.New, d.Pct, mark)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	if len(r.Missing) > 0 {
+		fmt.Fprintf(w, "missing in new: %s\n", strings.Join(r.Missing, ", "))
+	}
+	if len(r.Added) > 0 {
+		fmt.Fprintf(w, "added in new: %s\n", strings.Join(r.Added, ", "))
+	}
+	return nil
+}

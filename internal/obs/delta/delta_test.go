@@ -1,0 +1,123 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const benchOld = `
+{"ts":"2026-08-01T00:00:00Z","name":"BenchmarkRunImage/bubble","iters":100,"ns_per_op":1000,"ns_per_instr":2.5}
+{"ts":"2026-08-01T00:00:00Z","name":"BenchmarkRunLegacy/bubble","iters":100,"ns_per_op":2000}
+{"ts":"2026-08-01T00:00:00Z","name":"analysis/masked","masked_frac":0.42}
+`
+
+// benchNew regresses BenchmarkRunImage/bubble by exactly 20% and
+// improves the legacy engine; masked_frac shifts but is not gated.
+const benchNew = `
+{"ts":"2026-08-02T00:00:00Z","name":"BenchmarkRunImage/bubble","iters":100,"ns_per_op":1200,"ns_per_instr":3.0}
+{"ts":"2026-08-02T00:00:00Z","name":"BenchmarkRunLegacy/bubble","iters":100,"ns_per_op":1500}
+{"ts":"2026-08-02T00:00:00Z","name":"analysis/masked","masked_frac":0.50}
+`
+
+func parse(t *testing.T, s string) Metrics {
+	t.Helper()
+	m, err := ParseBenchLines(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSyntheticRegressionCaught(t *testing.T) {
+	rep := Compare(parse(t, benchOld), parse(t, benchNew), Options{Threshold: 0.15})
+	regs := rep.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want ns_per_op and ns_per_instr of the image engine", regs)
+	}
+	for _, d := range regs {
+		if d.Name != "BenchmarkRunImage/bubble" {
+			t.Errorf("unexpected regression on %s.%s", d.Name, d.Field)
+		}
+	}
+}
+
+func TestRegressionWithinThresholdPasses(t *testing.T) {
+	rep := Compare(parse(t, benchOld), parse(t, benchNew), Options{Threshold: 0.25})
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("20%% change at 25%% threshold flagged: %+v", regs)
+	}
+}
+
+func TestIdenticalInputsPass(t *testing.T) {
+	rep := Compare(parse(t, benchOld), parse(t, benchOld), Options{Threshold: 0})
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical inputs flagged: %+v", regs)
+	}
+	for _, d := range rep.Deltas {
+		if d.Pct != 0 {
+			t.Errorf("%s.%s pct = %v, want 0", d.Name, d.Field, d.Pct)
+		}
+	}
+}
+
+func TestUngatedFieldNeverRegresses(t *testing.T) {
+	rep := Compare(parse(t, benchOld), parse(t, benchNew), Options{Threshold: 0.01})
+	for _, d := range rep.Regressions() {
+		if d.Field == "masked_frac" || d.Field == "iters" {
+			t.Errorf("ungated field %s flagged as regression", d.Field)
+		}
+	}
+}
+
+func TestLastLineWinsPerName(t *testing.T) {
+	two := `{"name":"B","ns_per_op":500}` + "\n" + `{"name":"B","ns_per_op":900}` + "\n"
+	m := parse(t, two)
+	if got := m["B"]["ns_per_op"]; got != 900 {
+		t.Fatalf("ns_per_op = %v, want freshest line (900)", got)
+	}
+}
+
+func TestMissingAndAdded(t *testing.T) {
+	old := Metrics{"A": {"ns_per_op": 1}, "B": {"ns_per_op": 1}}
+	new := Metrics{"B": {"ns_per_op": 1}, "C": {"ns_per_op": 1}}
+	rep := Compare(old, new, Options{Threshold: 0.1})
+	if len(rep.Missing) != 1 || rep.Missing[0] != "A" {
+		t.Errorf("Missing = %v, want [A]", rep.Missing)
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "C" {
+		t.Errorf("Added = %v, want [C]", rep.Added)
+	}
+}
+
+func TestFromManifestFlattens(t *testing.T) {
+	o := obs.New("test")
+	o.Counter("interp.runs").Add(7)
+	o.Gauge("pipeline.workers").Set(4)
+	o.Histogram("fault.batch_wall_ns").Observe(100)
+	o.Histogram("fault.batch_wall_ns").Observe(300)
+	root := o.Start("pipeline")
+	root.Child("measure").End()
+	root.Child("measure").End()
+	root.End()
+	m := o.BuildManifest("test", 1, "")
+
+	flat := FromManifest(m)
+	if got := flat["counter.interp.runs"]["value"]; got != 7 {
+		t.Errorf("counter value = %v, want 7", got)
+	}
+	if got := flat["gauge.pipeline.workers"]["value"]; got != 4 {
+		t.Errorf("gauge value = %v, want 4", got)
+	}
+	h := flat["hist.fault.batch_wall_ns"]
+	if h["count"] != 2 || h["sum"] != 400 || h["mean"] != 200 {
+		t.Errorf("hist = %v, want count 2 sum 400 mean 200", h)
+	}
+	if got := flat["span.pipeline/measure"]["count"]; got != 2 {
+		t.Errorf("span.pipeline/measure count = %v, want 2 (same-path spans aggregate)", got)
+	}
+	if _, ok := flat["span.pipeline"]; !ok {
+		t.Error("span.pipeline missing from flattened manifest")
+	}
+}

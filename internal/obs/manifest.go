@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// ManifestSchema versions the manifest document format.
+const ManifestSchema = 1
+
+// Manifest is the machine-readable record of one instrumented run: the
+// environment that produced it, the full span tree, and a registry
+// snapshot. It is written only when a CLI asks for it (-manifest), and its
+// contents are purely observational — a run that writes a manifest prints
+// byte-identical experiment output to one that does not.
+type Manifest struct {
+	Schema     int    `json:"schema"`
+	Tool       string `json:"tool"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Seed       int64  `json:"seed"`
+	// AnalysisVersion pins the static-triage rule revision active during
+	// the run (analysis.Version), so manifests are comparable only between
+	// runs that pruned identically.
+	AnalysisVersion string `json:"analysis_version,omitempty"`
+
+	Trace    *TraceSnapshot   `json:"trace,omitempty"`
+	Registry RegistrySnapshot `json:"registry"`
+}
+
+// BuildManifest snapshots o into a manifest. Works on a nil o (empty
+// trace and registry), so CLIs can build unconditionally.
+func (o *Obs) BuildManifest(tool string, seed int64, analysisVersion string) *Manifest {
+	m := &Manifest{
+		Schema:          ManifestSchema,
+		Tool:            tool,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Seed:            seed,
+		AnalysisVersion: analysisVersion,
+	}
+	if o != nil {
+		m.Trace = o.Trace.Snapshot()
+		m.Registry = o.Reg.Snapshot()
+	}
+	return m
+}
+
+// WriteManifest writes m as indented JSON to path, creating parent
+// directories and writing atomically (temp file + rename).
+func WriteManifest(path string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// WriteOutputs writes the observability artifacts a CLI's -manifest and
+// -trace flags request (empty paths are skipped; both empty is a no-op).
+// Safe on a nil o: the manifest then records only the environment.
+func (o *Obs) WriteOutputs(tool string, seed int64, analysisVersion, manifestPath, tracePath string) error {
+	if manifestPath == "" && tracePath == "" {
+		return nil
+	}
+	m := o.BuildManifest(tool, seed, analysisVersion)
+	if manifestPath != "" {
+		if err := WriteManifest(manifestPath, m); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		return WriteChromeTrace(tracePath, m.Trace)
+	}
+	return nil
+}
+
+// ParseManifest decodes a manifest document, rejecting unknown schemas.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obs: parse manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("obs: manifest schema %d, want %d", m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// chromeEvent is one Chrome trace_event "complete" event. Timestamps and
+// durations are microseconds (float), per the trace-event spec.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the span tree as a Chrome trace_event JSON
+// document loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Spans are packed onto thread lanes so that every lane's events nest
+// properly: a span reuses its parent's lane when the parent is the
+// innermost active span there, and otherwise opens the first lane whose
+// active spans all enclose it. Concurrent scheduler tasks therefore land
+// on separate lanes instead of rendering as corrupt overlaps.
+func WriteChromeTrace(path string, ts *TraceSnapshot) error {
+	doc := chromeDoc{TraceEvents: chromeEvents(ts), DisplayUnit: "ns"}
+	data, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// flatSpan pairs a span with its parent index for lane assignment.
+type flatSpan struct {
+	s      *SpanSnapshot
+	parent int // index into the flat list, -1 for roots
+}
+
+func chromeEvents(ts *TraceSnapshot) []chromeEvent {
+	if ts == nil {
+		return []chromeEvent{}
+	}
+	var flat []flatSpan
+	var flatten func(s *SpanSnapshot, parent int)
+	flatten = func(s *SpanSnapshot, parent int) {
+		idx := len(flat)
+		flat = append(flat, flatSpan{s: s, parent: parent})
+		for _, c := range s.Children {
+			flatten(c, idx)
+		}
+	}
+	for _, s := range ts.Spans {
+		flatten(s, -1)
+	}
+
+	// Sort by start (stable: children after parents at equal starts
+	// because flatten appended them later).
+	order := make([]int, len(flat))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := flat[order[j-1]], flat[order[j]]
+			if a.s.StartNS <= b.s.StartNS {
+				break
+			}
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	// Greedy lane packing with nesting preserved: a lane accepts a span
+	// only if its innermost active span encloses it.
+	type laneState struct {
+		active []int64 // stack of active span end times
+	}
+	var lanes []laneState
+	lane := make([]int, len(flat))
+	endOf := func(i int) int64 { return flat[i].s.StartNS + flat[i].s.DurNS }
+	fits := func(l *laneState, start, end int64) bool {
+		for len(l.active) > 0 && l.active[len(l.active)-1] <= start {
+			l.active = l.active[:len(l.active)-1]
+		}
+		return len(l.active) == 0 || l.active[len(l.active)-1] >= end
+	}
+	for _, i := range order {
+		start, end := flat[i].s.StartNS, endOf(i)
+		chosen := -1
+		if p := flat[i].parent; p >= 0 && fits(&lanes[lane[p]], start, end) {
+			chosen = lane[p]
+		} else {
+			for li := range lanes {
+				if fits(&lanes[li], start, end) {
+					chosen = li
+					break
+				}
+			}
+		}
+		if chosen < 0 {
+			lanes = append(lanes, laneState{})
+			chosen = len(lanes) - 1
+		}
+		lanes[chosen].active = append(lanes[chosen].active, end)
+		lane[i] = chosen
+	}
+
+	events := make([]chromeEvent, 0, len(flat))
+	for _, i := range order {
+		s := flat[i].s
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  1,
+			TID:  lane[i] + 1,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// writeFileAtomic writes data to path via a temp file and rename,
+// creating parent directories.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,72 @@
+package obs
+
+// Obs bundles the two halves of the observability layer — a trace and a
+// metrics registry — plus an optional current span that scopes child
+// spans. A nil *Obs disables everything: Start returns a nil span,
+// Counter/Gauge/Histogram return nil handles, and every downstream call
+// is a no-op, so instrumented code paths never branch on "enabled".
+type Obs struct {
+	Trace *Trace
+	Reg   *Registry
+	cur   *Span
+}
+
+// New returns an enabled Obs with a fresh trace and registry.
+func New(name string) *Obs {
+	return &Obs{Trace: NewTrace(name), Reg: NewRegistry()}
+}
+
+// At returns a copy of o whose Start calls open children of sp. A nil o
+// stays nil; a nil sp scopes back to trace roots.
+func (o *Obs) At(sp *Span) *Obs {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.cur = sp
+	return &c
+}
+
+// Span returns the current scope span (nil when unscoped or disabled).
+func (o *Obs) Span() *Span {
+	if o == nil {
+		return nil
+	}
+	return o.cur
+}
+
+// Start opens a span under the current scope (or at the trace root when
+// unscoped). Nil-safe.
+func (o *Obs) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	if o.cur != nil {
+		return o.cur.Child(name)
+	}
+	return o.Trace.Start(name)
+}
+
+// Counter returns the named registry counter (nil-safe).
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Gauge returns the named registry gauge (nil-safe).
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name)
+}
+
+// Histogram returns the named registry histogram (nil-safe).
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name)
+}

@@ -1,0 +1,292 @@
+// Package obs is the unified observability substrate of the repository:
+// a lock-cheap metrics registry (counters, gauges, log-scale histograms),
+// hierarchical tracing spans, and a run-manifest writer that serializes
+// both — plus a Chrome trace_event export loadable in Perfetto.
+//
+// Everything in this package follows the observational-never-semantic
+// contract established for the campaign cache, the task scheduler, and the
+// static triage: instrumentation observes the system and can never
+// influence a result. Every type is safe for concurrent use and every
+// method is a no-op on a nil receiver, so call sites need no enabled
+// checks — a disabled run passes nil and pays one predictable branch per
+// call, with zero allocation.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric with an atomic hot path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-written-value metric with an atomic hot path.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v (no-op on a nil receiver).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// NumBuckets is the fixed histogram bucket count: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds v <= 0 and
+// bucket i >= 1 holds 2^(i-1) <= v < 2^i. The inclusive upper bound of
+// bucket i is therefore 2^i - 1. Log-scale buckets cover the full int64
+// range (nanoseconds to hours, single trials to billions) with no
+// configuration and no allocation.
+const NumBuckets = 65
+
+// Histogram accumulates observations into fixed log2-scale buckets.
+// Observe is a single atomic add per call; negative observations clamp
+// into bucket 0.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value (no-op on a nil receiver).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (2^i - 1).
+// The last bucket's bound saturates at MaxInt64.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: N observations
+// with value <= Le (and greater than the previous bucket's bound).
+type Bucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is a consistent copy of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"` // non-empty buckets, ascending
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram state. Buckets incremented concurrently
+// with the snapshot may or may not be included; each bucket value is
+// individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: BucketUpper(i), N: n})
+		}
+	}
+	return s
+}
+
+// Registry names and owns metrics. Lookup takes the registry mutex once;
+// call sites keep the returned handle and then update it with plain
+// atomics, so the hot path never contends on the registry. Keys are
+// canonical dotted strings ("interp.dyn_instrs", "fault.phase.ref-fi.trials")
+// and are stored verbatim — never hashed or truncated — so two snapshots
+// are comparable by key across runs, tools, and commits.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil *Counter whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil-safe).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use
+// (nil-safe).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a copy of every metric, keyed by canonical name.
+// encoding/json serializes maps in sorted key order, so the document is
+// deterministic for a given set of values.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. A nil registry snapshots empty.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var s RegistrySnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges))
+		for k, g := range gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			s.Histograms[k] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the registered counter names in sorted order.
+func (r *Registry) CounterNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Values are strings; numeric attributes are
+// formatted by the setter so the manifest stays schema-stable.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Trace owns a tree of spans describing one run. All spans of a trace
+// share the trace mutex: span lifecycles are coarse (tasks, phases,
+// generations — not instructions), so one uncontended lock per start/end
+// is cheap, and a single lock makes interleaved parent/child mutation
+// from many goroutines trivially safe.
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	roots []*Span
+}
+
+// NewTrace starts a trace anchored at the current time.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name returns the trace name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Start opens a root-level span. A nil trace returns a nil span whose
+// methods are all no-ops.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed region of a trace. Spans nest: Child opens a span
+// under this one. A span may be ended exactly once; ending is optional —
+// snapshots close still-open spans at snapshot time.
+type Span struct {
+	t        *Trace
+	name     string
+	start    time.Time
+	end      time.Time // zero until End
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a sub-span (nil-safe: a nil span returns a nil child).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{t: s.t, name: name, start: time.Now()}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a string attribute (nil-safe).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.t.mu.Unlock()
+}
+
+// SetAttrInt attaches an integer attribute (nil-safe).
+func (s *Span) SetAttrInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End closes the span at the current time (nil-safe; later Ends of the
+// same span keep the first end time).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.t.mu.Unlock()
+}
+
+// SpanSnapshot is the serialized form of one span. Times are nanoseconds
+// relative to the trace start, so two manifests of the same workload are
+// comparable without wall-clock anchoring.
+type SpanSnapshot struct {
+	Name     string          `json:"name"`
+	StartNS  int64           `json:"start_ns"`
+	DurNS    int64           `json:"dur_ns"`
+	Attrs    []Attr          `json:"attrs,omitempty"`
+	Children []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the serialized span tree of one trace.
+type TraceSnapshot struct {
+	Name  string          `json:"name"`
+	Spans []*SpanSnapshot `json:"spans,omitempty"`
+}
+
+// Snapshot copies the span tree. Spans still open are reported with a
+// duration up to the snapshot time. A nil trace snapshots empty.
+func (t *Trace) Snapshot() *TraceSnapshot {
+	if t == nil {
+		return &TraceSnapshot{}
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &TraceSnapshot{Name: t.name}
+	for _, s := range t.roots {
+		out.Spans = append(out.Spans, t.snapshotLocked(s, now))
+	}
+	return out
+}
+
+func (t *Trace) snapshotLocked(s *Span, now time.Time) *SpanSnapshot {
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	out := &SpanSnapshot{
+		Name:    s.name,
+		StartNS: s.start.Sub(t.start).Nanoseconds(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, t.snapshotLocked(c, now))
+	}
+	return out
+}
+
+// Walk visits every span of the snapshot tree depth-first, passing the
+// slash-joined path of span names ("pipeline/measure").
+func (ts *TraceSnapshot) Walk(fn func(path string, s *SpanSnapshot)) {
+	if ts == nil {
+		return
+	}
+	var walk func(prefix string, s *SpanSnapshot)
+	walk = func(prefix string, s *SpanSnapshot) {
+		path := s.Name
+		if prefix != "" {
+			path = prefix + "/" + s.Name
+		}
+		fn(path, s)
+		for _, c := range s.Children {
+			walk(path, c)
+		}
+	}
+	for _, s := range ts.Spans {
+		walk("", s)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one node of the evaluation graph: a pure function of its Key.
@@ -84,6 +86,8 @@ type Pipeline struct {
 	disk     *DiskStore
 	nodes    []NodeMetric
 	stats    StoreStats
+	obs      *obs.Obs
+	obsRoot  *obs.Span
 }
 
 // flight is one in-progress computation; completed values move to the
@@ -130,6 +134,36 @@ func (p *Pipeline) EnableDisk(dir string) error {
 	p.disk = ds
 	p.mu.Unlock()
 	return nil
+}
+
+// SetObs attaches an observability context. Executed task nodes open
+// spans under a lazily created "pipeline" root span, and node traffic is
+// counted into the registry. Like Env, obs never participates in task
+// keys: enabling it cannot change any output.
+func (p *Pipeline) SetObs(o *obs.Obs) {
+	p.mu.Lock()
+	p.obs = o
+	p.obsRoot = nil
+	p.mu.Unlock()
+}
+
+// taskObs opens the span for one executed node and returns the obs scoped
+// to it (nil, nil when observability is off).
+func (p *Pipeline) taskObs(t Task, k Key) (*obs.Obs, *obs.Span) {
+	p.mu.Lock()
+	o := p.obs
+	if o == nil {
+		p.mu.Unlock()
+		return nil, nil
+	}
+	if p.obsRoot == nil {
+		p.obsRoot = o.Start("pipeline")
+	}
+	root := p.obsRoot
+	p.mu.Unlock()
+	sp := root.Child(t.Kind())
+	sp.SetAttr("key", k.Short())
+	return o.At(sp), sp
 }
 
 // DiskDir returns the versioned artifact directory, or "" when the disk
@@ -197,9 +231,16 @@ func (p *Pipeline) start(t Task) *flight {
 // compute satisfies one node: disk tier, then dependency resolution, then
 // execution under a worker slot, then publication to both tiers.
 func (p *Pipeline) compute(t Task, k Key, f *flight) {
+	// The node span opens before the disk tier so that warm reruns still
+	// record the full task chain; the source attribute tells the two
+	// apart. Spans are therefore inclusive of dependency waits.
+	to, sp := p.taskObs(t, k)
+
 	// Disk tier.
 	if pt, ok := t.(Persistable); ok {
 		if v, ok, wall := p.loadDisk(pt, k); ok {
+			sp.SetAttr("source", SourceDisk)
+			sp.End()
 			p.finish(t, k, f, v, nil, SourceDisk, wall, false)
 			return
 		}
@@ -215,6 +256,7 @@ func (p *Pipeline) compute(t Task, k Key, f *flight) {
 	for i, df := range depFlights {
 		<-df.done
 		if df.err != nil {
+			sp.End()
 			p.finish(t, k, f, nil, fmt.Errorf("dep %s %s: %w",
 				deps[i].Kind(), deps[i].Key().Short(), df.err), SourceRun, 0, false)
 			return
@@ -223,11 +265,14 @@ func (p *Pipeline) compute(t Task, k Key, f *flight) {
 	}
 
 	// Execute under a worker slot.
+	sp.SetAttr("source", SourceRun)
+	rt.obs = to
 	p.sem <- struct{}{}
 	t0 := time.Now()
 	v, err := t.Run(rt)
 	wall := time.Since(t0)
 	<-p.sem
+	sp.End()
 
 	persisted := false
 	if err == nil {
@@ -311,7 +356,10 @@ func (p *Pipeline) finish(t Task, k Key, f *flight, v any, err error, source str
 	if persisted {
 		p.stats.DiskWrites++
 	}
+	o := p.obs
 	p.mu.Unlock()
+	o.Counter("pipeline.nodes." + t.Kind() + "." + source).Inc()
+	o.Histogram("pipeline.wall_ns." + t.Kind()).Observe(wall.Nanoseconds())
 	close(f.done)
 }
 
@@ -348,10 +396,17 @@ type Runtime struct {
 	// holdsSlot is true inside Task.Run (which executes under a worker
 	// slot) and false inside Rehydrate (which does not).
 	holdsSlot bool
+	// obs is scoped to this task's span; engine work started inside Run
+	// nests under it.
+	obs *obs.Obs
 }
 
 // Out returns the output of a statically-declared dependency.
 func (rt *Runtime) Out(t Task) any { return rt.deps[t.Key()] }
+
+// Obs returns the task-scoped observability context (nil when disabled,
+// which every downstream consumer treats as a no-op).
+func (rt *Runtime) Obs() *obs.Obs { return rt.obs }
 
 // Await schedules dynamically-discovered subtasks and blocks until all
 // complete, returning their outputs in order. The caller's worker slot is

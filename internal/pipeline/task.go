@@ -101,6 +101,7 @@ func (t *MeasureTask) Run(rt *Runtime) (any, error) {
 		Workers:        t.Env.Workers,
 		Cache:          t.Env.Cache,
 		Metrics:        t.Env.Metrics.Phase(fault.PhaseRefFI),
+		Obs:            rt.Obs(),
 	})
 	if err != nil {
 		return nil, err
@@ -210,6 +211,7 @@ func (t *SearchTask) Run(rt *Runtime) (any, error) {
 	cfg.Cache = t.Env.Cache
 	cfg.Metrics = t.Env.Metrics
 	cfg.Workers = t.Env.Workers
+	cfg.Obs = rt.Obs()
 	return minpsid.Search(t.Target, cfg, t.Ref, mo.Meas), nil
 }
 
@@ -476,6 +478,7 @@ func (t *CampaignTask) Run(rt *Runtime) (any, error) {
 		Workers: t.Env.Workers,
 		Cache:   t.Env.Cache,
 		Metrics: t.Env.Metrics.Phase(fault.PhaseEvaluation),
+		Obs:     rt.Obs(),
 	})
 	if err != nil {
 		// Inadmissible input: deterministically undefined, not a failure.

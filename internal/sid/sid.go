@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Measurement holds the per-instruction profiles SID selection consumes,
@@ -33,9 +34,11 @@ type Config struct {
 	Workers        int   // 0 = GOMAXPROCS
 	// Cache, if non-nil, memoizes golden runs across measurements (the
 	// result is bit-identical either way); Metrics, if non-nil, receives
-	// the campaign accounting for this measurement's phase.
+	// the campaign accounting for this measurement's phase; Obs, if
+	// non-nil, receives the campaign's spans and registry metrics.
 	Cache   *fault.Cache
 	Metrics *fault.PhaseMetrics
+	Obs     *obs.Obs
 }
 
 // Measure profiles the module under one input and runs per-instruction
@@ -56,7 +59,7 @@ func MeasureWithGolden(m *ir.Module, bind interp.Binding, cfg Config, golden *fa
 		cfg.FaultsPerInstr = 100
 	}
 	c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg.Exec, Golden: golden,
-		Workers: cfg.Workers, Metrics: cfg.Metrics}
+		Workers: cfg.Workers, Metrics: cfg.Metrics, Obs: cfg.Obs}
 	stats := c.PerInstruction(cfg.FaultsPerInstr, cfg.Seed)
 
 	n := m.NumInstrs()
