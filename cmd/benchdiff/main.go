@@ -1,7 +1,7 @@
 // Command benchdiff compares two bench files or run manifests and fails
 // on regressions. CI runs it between a PR and its merge-base:
 //
-//	go run ./cmd/benchdiff -threshold 15% base/BENCH_interp.json pr/BENCH_interp.json
+//	go run ./cmd/benchdiff -threshold 15% -agg min base/BENCH_interp.json pr/BENCH_interp.json
 //
 // Exit status: 0 when no gated metric regressed beyond the threshold,
 // 1 when at least one did, 2 on usage or I/O errors.
@@ -27,6 +27,7 @@ func run(args []string) int {
 	threshold := fs.String("threshold", "10%", "regression threshold: 15%, 15, or 0.15")
 	fields := fs.String("fields", "", "comma-separated lower-is-better fields to gate on (default ns_per_op,ns_per_instr,dur_ns)")
 	all := fs.Bool("all", false, "print every delta, not only regressions")
+	aggName := fs.String("agg", "last", "combine duplicate bench lines per name: last (freshest run wins) or min (best-of-N; use with -count>=3 runs to suppress machine noise)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n\nOLD and NEW are JSON-lines bench files (make bench output) or run\nmanifests (-manifest output). Flags:\n")
 		fs.PrintDefaults()
@@ -43,13 +44,23 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
 	}
+	var agg delta.Agg
+	switch *aggName {
+	case "last":
+		agg = delta.AggLast
+	case "min":
+		agg = delta.AggMin
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -agg %q (want last or min)\n", *aggName)
+		return 2
+	}
 
-	oldM, err := delta.Load(fs.Arg(0))
+	oldM, err := delta.Load(fs.Arg(0), agg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2
 	}
-	newM, err := delta.Load(fs.Arg(1))
+	newM, err := delta.Load(fs.Arg(1), agg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return 2

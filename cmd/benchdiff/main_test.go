@@ -42,6 +42,23 @@ func TestExitZeroWhenWithinThreshold(t *testing.T) {
 	}
 }
 
+func TestAggMinGatesOnBestOfN(t *testing.T) {
+	// Noisy -count=3 new side: the worst sample is a 50% regression but
+	// the best matches the old minimum, so -agg min passes and the
+	// default -agg last (freshest sample, 20% worse) fails.
+	old := write(t, "old.json", `{"name":"B","ns_per_op":1000}`+"\n")
+	new := write(t, "new.json",
+		`{"name":"B","ns_per_op":1500}`+"\n"+
+			`{"name":"B","ns_per_op":1000}`+"\n"+
+			`{"name":"B","ns_per_op":1200}`+"\n")
+	if code := run([]string{"-threshold", "15%", "-agg", "min", old, new}); code != 0 {
+		t.Errorf("exit = %d with -agg min and matching minima, want 0", code)
+	}
+	if code := run([]string{"-threshold", "15%", old, new}); code != 1 {
+		t.Errorf("exit = %d with -agg last and regressed last sample, want 1", code)
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	if code := run([]string{"only-one-arg"}); code != 2 {
 		t.Errorf("exit = %d with one positional arg, want 2", code)
@@ -49,6 +66,9 @@ func TestUsageErrors(t *testing.T) {
 	old := write(t, "old.json", fixtureOld)
 	if code := run([]string{"-threshold", "nope", old, old}); code != 2 {
 		t.Errorf("exit = %d with bad threshold, want 2", code)
+	}
+	if code := run([]string{"-agg", "median", old, old}); code != 2 {
+		t.Errorf("exit = %d with bad -agg, want 2", code)
 	}
 	if code := run([]string{old, filepath.Join(t.TempDir(), "missing.json")}); code != 2 {
 		t.Errorf("exit = %d with missing file, want 2", code)

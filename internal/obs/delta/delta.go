@@ -32,11 +32,30 @@ type Metrics map[string]map[string]float64
 // fields (iters, masked_frac, counters) are reported but never gate.
 var DefaultRegressFields = []string{"ns_per_op", "ns_per_instr", "dur_ns"}
 
-// ParseBenchLines reads a JSON-lines bench file. Later lines win per
-// (name, field): files are append-only across runs, so the freshest run
-// is the one compared. Blank lines and non-JSON noise lines are skipped;
-// a file with no parsable line is an error.
-func ParseBenchLines(r io.Reader) (Metrics, error) {
+// Agg selects how duplicate lines for the same benchmark combine.
+type Agg int
+
+const (
+	// AggLast keeps the last line per name: bench files are append-only
+	// across local runs, so the freshest run wins.
+	AggLast Agg = iota
+	// AggMin keeps the per-field minimum of the gated (lower-is-better)
+	// fields across all lines for a name, and the last value for other
+	// fields. CI runs `make bench BENCH_COUNT=3` on a fresh checkout and
+	// compares with AggMin so shared-runner noise gates on best-of-N
+	// rather than a single noisy sample.
+	AggMin
+)
+
+// ParseBenchLines reads a JSON-lines bench file; agg decides how
+// repeated lines for one benchmark combine (see Agg). Blank lines and
+// non-JSON noise lines are skipped; a file with no parsable line is an
+// error.
+func ParseBenchLines(r io.Reader, agg Agg) (Metrics, error) {
+	minField := make(map[string]bool)
+	for _, f := range DefaultRegressFields {
+		minField[f] = true
+	}
 	out := make(Metrics)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -55,13 +74,23 @@ func ParseBenchLines(r io.Reader) (Metrics, error) {
 			continue
 		}
 		parsed++
-		fields := make(map[string]float64)
-		for k, v := range raw {
-			if f, ok := v.(float64); ok {
-				fields[k] = f
-			}
+		fields := out[name]
+		if fields == nil || agg == AggLast {
+			fields = make(map[string]float64) // AggLast: later lines replace wholesale
+			out[name] = fields
 		}
-		out[name] = fields // later lines overwrite: freshest run wins
+		for k, v := range raw {
+			f, ok := v.(float64)
+			if !ok {
+				continue
+			}
+			if agg == AggMin && minField[k] {
+				if prev, seen := fields[k]; seen && prev <= f {
+					continue
+				}
+			}
+			fields[k] = f
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -106,19 +135,32 @@ func FromManifest(m *obs.Manifest) Metrics {
 }
 
 // Load reads path and parses it as a manifest (a JSON object with the
-// manifest schema) or a JSON-lines bench file (anything else).
-func Load(path string) (Metrics, error) {
+// manifest schema) or a JSON-lines bench file (anything else), combining
+// duplicate bench lines per agg.
+func Load(path string, agg Agg) (Metrics, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	trimmed := bytes.TrimSpace(data)
 	if len(trimmed) > 0 && trimmed[0] == '{' {
-		if m, err := obs.ParseManifest(trimmed); err == nil {
+		m, merr := obs.ParseManifest(trimmed)
+		if merr == nil {
 			return FromManifest(m), nil
 		}
+		// A document that claims to be a manifest (a single JSON object
+		// carrying schema or tool fields) gets the real diagnostic —
+		// e.g. "manifest schema 2, want 1" — instead of falling through
+		// to bench-line parsing and the misleading "no bench lines".
+		var probe struct {
+			Schema int    `json:"schema"`
+			Tool   string `json:"tool"`
+		}
+		if json.Unmarshal(trimmed, &probe) == nil && (probe.Schema != 0 || probe.Tool != "") {
+			return nil, fmt.Errorf("%s: %w", path, merr)
+		}
 	}
-	m, err := ParseBenchLines(bytes.NewReader(data))
+	m, err := ParseBenchLines(bytes.NewReader(data), agg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -141,7 +183,8 @@ type Delta struct {
 // Options shapes a comparison.
 type Options struct {
 	// Threshold is the relative regression bound (0.15 = 15%). A gated
-	// field regresses when new > old*(1+Threshold).
+	// field regresses when old > 0 and new > old*(1+Threshold); a zero
+	// old value is reported (Pct +Inf) but never gated.
 	Threshold float64
 	// RegressFields are the lower-is-better fields to gate on; nil
 	// selects DefaultRegressFields.
@@ -195,7 +238,11 @@ func Compare(old, new Metrics, opt Options) Report {
 			default:
 				d.Pct = (nv - ov) / math.Abs(ov) * 100
 			}
-			if gate[f] && nv > ov*(1+opt.Threshold) && nv-ov > 0 {
+			// ov == 0 never gates: any nonzero new value would trip the
+			// relative bound (Pct is +Inf), and manifests legitimately
+			// record 0ns durations for very fast spans. The +Inf delta
+			// is still reported for eyes.
+			if gate[f] && ov > 0 && nv > ov*(1+opt.Threshold) {
 				d.Regression = true
 			}
 			rep.Deltas = append(rep.Deltas, d)

@@ -1,6 +1,9 @@
 package delta
 
 import (
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -23,7 +26,7 @@ const benchNew = `
 
 func parse(t *testing.T, s string) Metrics {
 	t.Helper()
-	m, err := ParseBenchLines(strings.NewReader(s))
+	m, err := ParseBenchLines(strings.NewReader(s), AggLast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,6 +82,41 @@ func TestLastLineWinsPerName(t *testing.T) {
 	}
 }
 
+func TestAggMinKeepsBestOfN(t *testing.T) {
+	// Three -count=3 lines for one benchmark: gated fields take the
+	// minimum over all lines, ungated fields (iters) keep the last value.
+	three := `{"name":"B","iters":100,"ns_per_op":900,"ns_per_instr":3.0}` + "\n" +
+		`{"name":"B","iters":120,"ns_per_op":500,"ns_per_instr":2.0}` + "\n" +
+		`{"name":"B","iters":110,"ns_per_op":700,"ns_per_instr":2.5}` + "\n"
+	m, err := ParseBenchLines(strings.NewReader(three), AggMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["B"]["ns_per_op"]; got != 500 {
+		t.Errorf("ns_per_op = %v, want min (500)", got)
+	}
+	if got := m["B"]["ns_per_instr"]; got != 2.0 {
+		t.Errorf("ns_per_instr = %v, want min (2.0)", got)
+	}
+	if got := m["B"]["iters"]; got != 110 {
+		t.Errorf("iters = %v, want last (110)", got)
+	}
+}
+
+func TestZeroOldValueNeverGates(t *testing.T) {
+	// A 0ns span (durations truncate to whole ns) going to any nonzero
+	// value is reported (+Inf) but must not trip the gate.
+	old := Metrics{"span.fast": {"dur_ns": 0}}
+	new := Metrics{"span.fast": {"dur_ns": 1}}
+	rep := Compare(old, new, Options{Threshold: 0.15})
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("0 -> 1 dur_ns gated: %+v", regs)
+	}
+	if len(rep.Deltas) != 1 || !math.IsInf(rep.Deltas[0].Pct, 1) {
+		t.Fatalf("deltas = %+v, want one +Inf delta", rep.Deltas)
+	}
+}
+
 func TestMissingAndAdded(t *testing.T) {
 	old := Metrics{"A": {"ns_per_op": 1}, "B": {"ns_per_op": 1}}
 	new := Metrics{"B": {"ns_per_op": 1}, "C": {"ns_per_op": 1}}
@@ -88,6 +126,20 @@ func TestMissingAndAdded(t *testing.T) {
 	}
 	if len(rep.Added) != 1 || rep.Added[0] != "C" {
 		t.Errorf("Added = %v, want [C]", rep.Added)
+	}
+}
+
+func TestLoadSurfacesManifestSchemaError(t *testing.T) {
+	// A document that claims to be a manifest but has the wrong schema
+	// must return the schema diagnostic, not fall through to bench-line
+	// parsing and report "no bench lines found".
+	p := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(p, []byte(`{"schema": 99, "tool": "experiments"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(p, AggLast)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want manifest schema diagnostic", err)
 	}
 }
 
