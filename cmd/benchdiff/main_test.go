@@ -100,3 +100,50 @@ func TestParseThreshold(t *testing.T) {
 		}
 	}
 }
+
+// A single bench file mixes metric kinds (interp reports ns_per_instr,
+// campaign loops ns_per_op, pipeline stages dur_ns). Gating must compare
+// per (name, field) pair and skip fields absent from either side.
+func TestMixedMetricManifest(t *testing.T) {
+	old := write(t, "old.json",
+		`{"name":"BenchmarkRunFault/compiled/hpccg","iters":50,"ns_per_instr":40}`+"\n"+
+			`{"name":"BenchmarkCampaign/hpccg","iters":10,"ns_per_op":100000}`+"\n"+
+			`{"name":"pipeline/emit","dur_ns":9000}`+"\n")
+
+	// Only the dur_ns row regresses; the other metric kinds improve.
+	new := write(t, "new.json",
+		`{"name":"BenchmarkRunFault/compiled/hpccg","iters":50,"ns_per_instr":30}`+"\n"+
+			`{"name":"BenchmarkCampaign/hpccg","iters":10,"ns_per_op":90000}`+"\n"+
+			`{"name":"pipeline/emit","dur_ns":12000}`+"\n")
+
+	if code := run([]string{"-threshold", "10%", old, new}); code != 1 {
+		t.Errorf("exit = %d with regressed dur_ns row, want 1", code)
+	}
+	// Restricting the gated fields must let the dur_ns regression pass.
+	if code := run([]string{"-threshold", "10%", "-fields", "ns_per_op,ns_per_instr", old, new}); code != 0 {
+		t.Errorf("exit = %d when dur_ns is not gated, want 0", code)
+	}
+	// Unreadable input stays a usage/IO error even with mixed metrics.
+	if code := run([]string{"-threshold", "10%", old, filepath.Join(t.TempDir(), "gone.json")}); code != 2 {
+		t.Errorf("exit = %d with missing new file, want 2", code)
+	}
+}
+
+// -agg min must take the minimum per metric NAME within a bench name, not
+// per line: with -count>=2 runs the best ns_per_op and the best
+// ns_per_instr can come from different lines of the same benchmark.
+func TestAggMinAggregatesPerMetricName(t *testing.T) {
+	old := write(t, "old.json",
+		`{"name":"BenchmarkRunImage/hpccg","ns_per_op":1000,"ns_per_instr":10}`+"\n")
+	// Line 1 holds the best ns_per_op, line 2 the best ns_per_instr; any
+	// per-line (or last-line) aggregation sees a 3x regression somewhere.
+	new := write(t, "new.json",
+		`{"name":"BenchmarkRunImage/hpccg","ns_per_op":1000,"ns_per_instr":30}`+"\n"+
+			`{"name":"BenchmarkRunImage/hpccg","ns_per_op":3000,"ns_per_instr":10}`+"\n")
+	if code := run([]string{"-threshold", "10%", "-agg", "min", old, new}); code != 0 {
+		t.Errorf("exit = %d with per-field minima matching old, want 0", code)
+	}
+	if code := run([]string{"-threshold", "10%", "-agg", "last", old, new}); code != 1 {
+		t.Errorf("exit = %d with -agg last and regressed last line, want 1", code)
+	}
+}

@@ -42,7 +42,7 @@ func main() {
 		seed    = flag.Int64("seed", 2022, "experiment seed")
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
-		engine  = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		engine  = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		outDir   = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
 		cache    = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")

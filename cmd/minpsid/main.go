@@ -32,7 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available benchmarks and exit")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		jsonOut = flag.String("json", "", "write a machine-readable metrics report to this file")
-		engine   = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		engine   = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		analyze  = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
 		manifest = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")

@@ -32,7 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "fault-site sampling seed")
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
 		jsonOut   = flag.String("json", "", "write a machine-readable metrics report to this file")
-		engine    = flag.String("engine", "image", "execution engine: image, legacy, or auto")
+		engine    = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
 		manifest  = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)

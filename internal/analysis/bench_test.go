@@ -1,8 +1,9 @@
-package analysis
+package analysis_test
 
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/benchprog"
 )
 
@@ -18,10 +19,10 @@ func BenchmarkTriage(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var tri *Triage
+			var tri *analysis.Triage
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tri = NewTriage(m)
+				tri = analysis.NewTriage(m)
 			}
 			b.StopTimer()
 			rep := tri.Report()
@@ -44,7 +45,7 @@ func BenchmarkVerifySSA(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := VerifySSA(m); err != nil {
+				if err := analysis.VerifySSA(m); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,8 +1,9 @@
-package analysis
+package analysis_test
 
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/benchprog"
 	"repro/internal/ir"
 	"repro/internal/passes"
@@ -11,29 +12,29 @@ import (
 // checkFacts asserts the structural invariants of a triage: demand and
 // masked bits partition the type width, branch/detect conditions are
 // demanded in the tested bit, and verdicts agree with the masks.
-func checkFacts(t *testing.T, m *ir.Module, tri *Triage) {
+func checkFacts(t *testing.T, m *ir.Module, tri *analysis.Triage) {
 	t.Helper()
 	for _, in := range m.Instrs {
 		if !in.IsInjectable() {
 			continue
 		}
-		w := widthMask(in.Type)
+		w := analysis.WidthMask(in.Type)
 		d, mk := tri.DemandedBits(in.ID), tri.MaskedBits(in.ID)
 		if d&mk != 0 || d|mk != w {
 			t.Fatalf("[%d] %s: demand %#x / masked %#x must partition %#x", in.ID, in.Op, d, mk, w)
 		}
 		for b := uint(0); b < uint(in.Type.Bits()); b++ {
 			v, proof := tri.Site(in.ID, b)
-			if masked := mk&(1<<b) != 0; masked != (v == VerdictProvablyMasked) {
+			if masked := mk&(1<<b) != 0; masked != (v == analysis.VerdictProvablyMasked) {
 				t.Fatalf("[%d] bit %d: verdict %v disagrees with mask %#x", in.ID, b, v, mk)
-			} else if masked && proof == ProofNone {
+			} else if masked && proof == analysis.ProofNone {
 				t.Fatalf("[%d] bit %d: masked site lacks a proof tag", in.ID, b)
 			}
 		}
 	}
 	// Every branch/detect condition must be demanded in bit 0 — rule 2 of
 	// the soundness argument (control sensitivity).
-	d := BuildDemand(m, BuildDeadStores(m))
+	d := analysis.BuildDemand(m, analysis.BuildDeadStores(m))
 	for fi, f := range m.Funcs {
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
@@ -62,7 +63,7 @@ func TestAnalysisOnBenchmarks(t *testing.T) {
 			if err := ir.VerifyStrict(m); err != nil {
 				t.Fatalf("strict verify: %v", err)
 			}
-			checkFacts(t, m, TriageFor(m))
+			checkFacts(t, m, analysis.TriageFor(m))
 		})
 	}
 }
@@ -86,7 +87,7 @@ func TestAnalysisOnTransformedBenchmarks(t *testing.T) {
 			if err := ir.VerifyStrict(m); err != nil {
 				t.Fatalf("strict verify after passes: %v", err)
 			}
-			tri := NewTriage(m)
+			tri := analysis.NewTriage(m)
 			checkFacts(t, m, tri)
 
 			// mem2reg promotes scalars into SSA registers, which is what

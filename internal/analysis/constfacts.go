@@ -1,0 +1,50 @@
+package analysis
+
+import "repro/internal/ir"
+
+// ConstFacts is the register-to-constant view of the known-bits lattice
+// that the interpreter's compiled tier consumes to specialize loop bodies:
+// every entry maps a register with exactly one static definition to the
+// value that definition provably computes on every fault-free execution.
+//
+// The single-static-definition restriction exists because BuildKnownBits
+// records one fact per register (the last reachable definition's), so a
+// multiply-defined register's fact does not describe all of its writers.
+// The fault-free qualifier matters to consumers: a flip upstream of the
+// definition can change the computed value, so specialized code built from
+// these facts must never run with a fault armed (see DESIGN.md §9 and the
+// compiled tier's dual code streams).
+type ConstFacts struct {
+	F *ir.Function
+	// Known maps a register number to its proven constant value.
+	Known map[int]uint64
+}
+
+// BuildConstFacts runs known-bits propagation over f and extracts the
+// fully-determined single-definition registers.
+func BuildConstFacts(f *ir.Function, c *CFG) *ConstFacts {
+	kb := BuildKnownBits(f, c)
+	defs := make([]int8, f.NumRegs)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() && defs[in.Dst] < 2 {
+				defs[in.Dst]++
+			}
+		}
+	}
+	cf := &ConstFacts{F: f, Known: make(map[int]uint64)}
+	for reg := 0; reg < f.NumRegs; reg++ {
+		if defs[reg] != 1 {
+			continue
+		}
+		z, o := kb.Zero[reg], kb.One[reg]
+		// A contradictory fact (some bit both zero and one) is the lattice
+		// top: the definition was never reached by the propagation, so no
+		// runtime value is attached to it.
+		if z&o != 0 || z|o != ^uint64(0) {
+			continue
+		}
+		cf.Known[reg] = o
+	}
+	return cf
+}

@@ -1,0 +1,7 @@
+package analysis
+
+// WidthMask exposes widthMask to the external test package
+// (analysis_test), which exists so benchmark-program tests can import
+// benchprog without creating an import cycle through the interpreter's
+// compiled tier (interp imports analysis for known-bits facts).
+var WidthMask = widthMask

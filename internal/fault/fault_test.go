@@ -456,3 +456,52 @@ func TestTrueCoverageCacheInvariance(t *testing.T) {
 		t.Error("evaluation phase recorded no trials")
 	}
 }
+
+// TestFaultSiteMappingThroughFusedOps arms a fault at every injectable
+// static instruction of the test kernel and classifies the outcome under
+// all three engines. The compiled tier fuses this kernel's loop bodies
+// into superinstructions, so sites that land inside a fused run (or on
+// the cmp half of a fused cmp+br) must still map to the same dynamic
+// instance, flip the same bit, and yield the same outcome as the unfused
+// legacy stepper — the fault-site coordinate system (InstrID, DynIndex,
+// Bit) is engine-invariant.
+func TestFaultSiteMappingThroughFusedOps(t *testing.T) {
+	m, bind, g := setup(t)
+	if c := interp.Compile(interp.Lower(m)); c.Stats().Runs == 0 {
+		t.Fatalf("test kernel compiled without any fused runs: %+v", c.Stats())
+	}
+	s := NewSampler(m, g, false)
+	engines := []interp.Engine{interp.EngineLegacy, interp.EngineImage, interp.EngineCompiled}
+	rng := rand.New(rand.NewSource(99))
+	sites := 0
+	for _, in := range m.Instrs {
+		if !in.IsInjectable() {
+			continue
+		}
+		f, ok := s.SiteFor(in.ID, rng)
+		if !ok {
+			continue // never executed on this input
+		}
+		sites++
+		var out [3]Outcome
+		var res [3]interp.Result
+		for i, eng := range engines {
+			cfg := faultyConfig(interp.Config{}, g)
+			cfg.Engine = eng
+			ff := f
+			res[i] = interp.NewRunner(m, cfg).Run(bind, &ff, nil)
+			out[i] = Classify(g, res[i])
+		}
+		for i := 1; i < len(engines); i++ {
+			if out[i] != out[0] {
+				t.Fatalf("site %+v: outcome diverges: legacy %v, %v %v", f, out[0], engines[i], out[i])
+			}
+			if res[i].DynInstrs != res[0].DynInstrs || res[i].OutputHash != res[0].OutputHash {
+				t.Fatalf("site %+v: result diverges vs %v:\nlegacy %+v\ngot    %+v", f, engines[i], res[0], res[i])
+			}
+		}
+	}
+	if sites < 10 {
+		t.Fatalf("only %d injectable sites exercised; kernel too small to pin fused-site mapping", sites)
+	}
+}

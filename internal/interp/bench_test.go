@@ -8,43 +8,51 @@ import (
 )
 
 // Microbenchmarks for the three specialized run loops, each under the
-// legacy reference stepper and the pre-decoded image engine. `make bench`
-// runs these and appends the results to BENCH_interp.json so engine
-// regressions are visible across commits.
+// legacy reference stepper, the pre-decoded image engine, and the
+// compiled superinstruction engine. `make bench` runs these and appends
+// the results to BENCH_interp.json (and the compiled subset to
+// BENCH_compiled.json) so engine regressions are visible across commits.
 
-func benchSetup(b *testing.B) (*interp.Runner, *interp.Runner, interp.Binding, *benchprog.Benchmark) {
+func benchSetup(b *testing.B) (map[string]*interp.Runner, interp.Binding, *benchprog.Benchmark) {
 	b.Helper()
 	bm, ok := benchprog.ByName("hpccg")
 	if !ok {
 		b.Fatal("hpccg benchmark missing")
 	}
 	m := bm.MustModule()
-	lcfg := bm.ExecConfig()
-	lcfg.Engine = interp.EngineLegacy
-	icfg := bm.ExecConfig()
-	icfg.Engine = interp.EngineImage
-	return interp.NewRunner(m, lcfg), interp.NewRunner(m, icfg), bm.Bind(bm.Reference), bm
+	runners := make(map[string]*interp.Runner, 3)
+	for _, eng := range []interp.Engine{interp.EngineLegacy, interp.EngineImage, interp.EngineCompiled} {
+		cfg := bm.ExecConfig()
+		cfg.Engine = eng
+		runners[eng.String()] = interp.NewRunner(m, cfg)
+	}
+	return runners, bm.Bind(bm.Reference), bm
 }
 
+var benchEngines = []string{"legacy", "image", "compiled"}
+
 func BenchmarkRunPlain(b *testing.B) {
-	legacy, image, bind, bm := benchSetup(b)
-	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, nil, false, bm) })
-	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, nil, false, bm) })
+	runners, bind, bm := benchSetup(b)
+	for _, eng := range benchEngines {
+		b.Run(eng, func(b *testing.B) { benchRunBound(b, runners[eng], bind, nil, false, bm) })
+	}
 }
 
 func BenchmarkRunProfiled(b *testing.B) {
-	legacy, image, bind, bm := benchSetup(b)
-	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, nil, true, bm) })
-	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, nil, true, bm) })
+	runners, bind, bm := benchSetup(b)
+	for _, eng := range benchEngines {
+		b.Run(eng, func(b *testing.B) { benchRunBound(b, runners[eng], bind, nil, true, bm) })
+	}
 }
 
 func BenchmarkRunFault(b *testing.B) {
-	legacy, image, bind, bm := benchSetup(b)
+	runners, bind, bm := benchSetup(b)
 	// A late never-matching site: the fault loop pays its per-instruction
 	// arming cost for the whole run without perturbing execution.
 	f := &interp.Fault{InstrID: 0, DynIndex: 1 << 40, Bit: 3}
-	b.Run("legacy", func(b *testing.B) { benchRunBound(b, legacy, bind, f, false, bm) })
-	b.Run("image", func(b *testing.B) { benchRunBound(b, image, bind, f, false, bm) })
+	for _, eng := range benchEngines {
+		b.Run(eng, func(b *testing.B) { benchRunBound(b, runners[eng], bind, f, false, bm) })
+	}
 }
 
 func benchRunBound(b *testing.B, r *interp.Runner, bind interp.Binding, f *interp.Fault, withProf bool, bm *benchprog.Benchmark) {

@@ -11,11 +11,13 @@ import (
 	"repro/internal/sid"
 )
 
-// The differential suite pins the pre-decoded image engine to the legacy
-// reference stepper: for every benchmark program (and fault-injected and
-// SID-protected variants) the two engines must produce bit-identical
-// results and dynamic profiles. Any divergence in instruction accounting,
-// phi semantics, trap ordering, or flip placement shows up here.
+// The differential suite pins the pre-decoded image engine AND the
+// compiled superinstruction engine to the legacy reference stepper: for
+// every benchmark program (and fault-injected and SID-protected variants)
+// all three engines must produce bit-identical results and dynamic
+// profiles. Any divergence in instruction accounting, phi semantics, trap
+// ordering, flip placement, fusion accounting, or known-bits
+// specialization shows up here.
 
 func runEngine(t *testing.T, m *ir.Module, bind interp.Binding, cfg interp.Config,
 	f *interp.Fault, eng interp.Engine) (interp.Result, *interp.Profile) {
@@ -43,44 +45,50 @@ func eqInt64s(a, b []int64) bool {
 	return true
 }
 
-// diffRun executes (m, bind, f) under both engines and fails the test on
-// any observable difference. It returns the legacy result.
+// diffEngines lists the oracle engine (legacy, first) and every engine
+// pinned against it.
+var diffEngines = []interp.Engine{interp.EngineLegacy, interp.EngineImage, interp.EngineCompiled}
+
+// diffRun executes (m, bind, f) under all three engines and fails the
+// test on any observable difference. It returns the legacy result.
 func diffRun(t *testing.T, name string, m *ir.Module, bind interp.Binding,
 	cfg interp.Config, f *interp.Fault) interp.Result {
 	t.Helper()
 	lres, lprof := runEngine(t, m, bind, cfg, f, interp.EngineLegacy)
-	ires, iprof := runEngine(t, m, bind, cfg, f, interp.EngineImage)
+	for _, eng := range diffEngines[1:] {
+		ires, iprof := runEngine(t, m, bind, cfg, f, eng)
 
-	if lres.Status != ires.Status || lres.Trap != ires.Trap {
-		t.Fatalf("%s: status/trap diverge: legacy %v %q, image %v %q",
-			name, lres.Status, lres.Trap, ires.Status, ires.Trap)
-	}
-	if lres.DynInstrs != ires.DynInstrs || lres.Cycles != ires.Cycles {
-		t.Fatalf("%s: accounting diverges: legacy dyn=%d cyc=%d, image dyn=%d cyc=%d",
-			name, lres.DynInstrs, lres.Cycles, ires.DynInstrs, ires.Cycles)
-	}
-	if len(lres.Output) != len(ires.Output) {
-		t.Fatalf("%s: output length diverges: %d vs %d", name, len(lres.Output), len(ires.Output))
-	}
-	for i := range lres.Output {
-		if lres.Output[i] != ires.Output[i] {
-			t.Fatalf("%s: output word %d diverges: %#x vs %#x", name, i, lres.Output[i], ires.Output[i])
+		if lres.Status != ires.Status || lres.Trap != ires.Trap {
+			t.Fatalf("%s: status/trap diverge: legacy %v %q, %v %v %q",
+				name, lres.Status, lres.Trap, eng, ires.Status, ires.Trap)
 		}
-	}
-	if lres.OutputHash != ires.OutputHash {
-		t.Fatalf("%s: output hash diverges: %#x vs %#x", name, lres.OutputHash, ires.OutputHash)
-	}
-	if !eqInt64s(lprof.InstrCount, iprof.InstrCount) {
-		t.Fatalf("%s: InstrCount profiles diverge", name)
-	}
-	if !eqInt64s(lprof.InstrCycles, iprof.InstrCycles) {
-		t.Fatalf("%s: InstrCycles profiles diverge", name)
-	}
-	if !eqInt64s(lprof.BlockCount, iprof.BlockCount) {
-		t.Fatalf("%s: BlockCount profiles diverge", name)
-	}
-	if !eqInt64s(lprof.EdgeHits, iprof.EdgeHits) {
-		t.Fatalf("%s: EdgeHits profiles diverge", name)
+		if lres.DynInstrs != ires.DynInstrs || lres.Cycles != ires.Cycles {
+			t.Fatalf("%s: accounting diverges: legacy dyn=%d cyc=%d, %v dyn=%d cyc=%d",
+				name, lres.DynInstrs, lres.Cycles, eng, ires.DynInstrs, ires.Cycles)
+		}
+		if len(lres.Output) != len(ires.Output) {
+			t.Fatalf("%s: output length diverges vs %v: %d vs %d", name, eng, len(lres.Output), len(ires.Output))
+		}
+		for i := range lres.Output {
+			if lres.Output[i] != ires.Output[i] {
+				t.Fatalf("%s: output word %d diverges vs %v: %#x vs %#x", name, i, eng, lres.Output[i], ires.Output[i])
+			}
+		}
+		if lres.OutputHash != ires.OutputHash {
+			t.Fatalf("%s: output hash diverges vs %v: %#x vs %#x", name, eng, lres.OutputHash, ires.OutputHash)
+		}
+		if !eqInt64s(lprof.InstrCount, iprof.InstrCount) {
+			t.Fatalf("%s: InstrCount profiles diverge vs %v", name, eng)
+		}
+		if !eqInt64s(lprof.InstrCycles, iprof.InstrCycles) {
+			t.Fatalf("%s: InstrCycles profiles diverge vs %v", name, eng)
+		}
+		if !eqInt64s(lprof.BlockCount, iprof.BlockCount) {
+			t.Fatalf("%s: BlockCount profiles diverge vs %v", name, eng)
+		}
+		if !eqInt64s(lprof.EdgeHits, iprof.EdgeHits) {
+			t.Fatalf("%s: EdgeHits profiles diverge vs %v", name, eng)
+		}
 	}
 	return lres
 }
@@ -184,8 +192,45 @@ func TestEngineDifferentialProtected(t *testing.T) {
 	}
 }
 
+// TestCompiledFusionCoverage pins the mining/fusion loop on a real
+// benchmark: sequence mining over an edge profile must surface hot
+// straight-line opcode runs, the compiler must fuse them, and the fused
+// words must cover a meaningful share of the dynamic instruction stream
+// (the whole point of the tier — if coverage collapses, the speedup is
+// gone even though bit-identity still holds).
+func TestCompiledFusionCoverage(t *testing.T) {
+	b, ok := benchprog.ByName("hpccg")
+	if !ok {
+		t.Fatal("benchmark lookup failed")
+	}
+	m := b.MustModule()
+	_, prof := runEngine(t, m, b.Bind(b.Reference), b.ExecConfig(), nil, interp.EngineImage)
+
+	img := interp.Lower(m)
+	seqs := interp.MineSequences(img, prof, 8)
+	if len(seqs) == 0 {
+		t.Fatal("no fusable sequences mined from a numeric kernel")
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i].Dynamic > seqs[i-1].Dynamic {
+			t.Fatalf("mined sequences not sorted by dynamic weight: %+v after %+v", seqs[i], seqs[i-1])
+		}
+	}
+
+	c := interp.Compile(img)
+	st := c.Stats()
+	if st.Runs == 0 || st.CmpBr == 0 {
+		t.Fatalf("hpccg compiled without fusion: %+v", st)
+	}
+	if frac := c.FusedDynamicFraction(prof); frac < 0.25 {
+		t.Fatalf("fused ops cover only %.1f%% of the dynamic stream, want >= 25%%", 100*frac)
+	} else {
+		t.Logf("fused dynamic coverage: %.1f%% (stats %+v)", 100*frac, st)
+	}
+}
+
 // A whole campaign table (benign/SDC/crash/hang/detected counts at a fixed
-// seed) must be identical under both engines.
+// seed) must be identical under all three engines.
 func TestEngineDifferentialCampaign(t *testing.T) {
 	trials := 40
 	if testing.Short() {
@@ -197,8 +242,8 @@ func TestEngineDifferentialCampaign(t *testing.T) {
 	}
 	m := b.MustModule()
 	bind := b.Bind(b.Reference)
-	var tables [2]fault.CampaignResult
-	for i, eng := range []interp.Engine{interp.EngineLegacy, interp.EngineImage} {
+	var tables [3]fault.CampaignResult
+	for i, eng := range diffEngines {
 		cfg := b.ExecConfig()
 		cfg.Engine = eng
 		g, err := fault.RunGolden(m, bind, cfg)
@@ -208,7 +253,9 @@ func TestEngineDifferentialCampaign(t *testing.T) {
 		c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g, Workers: 1}
 		tables[i] = c.Run(trials, 1234)
 	}
-	if tables[0] != tables[1] {
-		t.Fatalf("campaign tables diverge:\nlegacy: %+v\nimage:  %+v", tables[0], tables[1])
+	for i := 1; i < len(tables); i++ {
+		if tables[0] != tables[i] {
+			t.Fatalf("campaign tables diverge:\nlegacy: %+v\n%v: %+v", tables[0], diffEngines[i], tables[i])
+		}
 	}
 }

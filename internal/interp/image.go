@@ -160,6 +160,10 @@ type edgeProg struct {
 	moves    []phiMove
 	lone     bool // target has exactly one leading phi: stash moves[0].src in frame.phiSrc
 	trap     bool // a phi group (>=2) is missing an incoming value: trap before accounting
+	// direct marks a move group whose destinations don't overlap its
+	// sources: parallel-assignment semantics then coincide with sequential
+	// writes, so executors may skip the snapshot buffer.
+	direct bool
 }
 
 // ifunc is one decoded function.
@@ -171,6 +175,13 @@ type ifunc struct {
 	nSlots      int
 	entryBlock  int32 // global block index of block 0
 	entryPhiSrc int32 // lone entry phi: incoming slot for predecessor 0 (-1: none)
+
+	// Block layout, recorded for the compile tier (compile.go): block bi's
+	// words occupy code[blockOff[bi]:blockOff[bi+1]] (len nBlocks+1), and
+	// edgeEntry[bi] is the offset where a branch edge resumes in bi (after
+	// an entry-block phi group, at a lone leading phi otherwise).
+	blockOff  []int32
+	edgeEntry []int32
 }
 
 // Image is a fully decoded module.
@@ -320,6 +331,7 @@ func (img *Image) decodeFunc(f *ir.Function) *ifunc {
 	edgeEntry := make([]int32, len(f.Blocks))
 	emit := func(w iword) { ifn.code = append(ifn.code, w) }
 	for bi, blk := range f.Blocks {
+		ifn.blockOff = append(ifn.blockOff, int32(len(ifn.code)))
 		n := leadPhi[bi]
 		switch {
 		case n == 1:
@@ -346,6 +358,8 @@ func (img *Image) decodeFunc(f *ir.Function) *ifunc {
 			}
 		}
 	}
+	ifn.blockOff = append(ifn.blockOff, int32(len(ifn.code)))
+	ifn.edgeEntry = edgeEntry
 
 	// Build the edge programs now that the offsets are known.
 	for bi, blk := range f.Blocks {
@@ -379,6 +393,16 @@ func (img *Image) decodeFunc(f *ir.Function) *ifunc {
 					dst: int32(ph.Dst), src: src, id: int32(ph.ID),
 					cyc: int16(ph.Op.Cycles()), tbits: uint8(ph.Type.Bits()),
 				})
+			}
+			if !ep.trap && !ep.lone {
+				ep.direct = true
+				for _, mv := range ep.moves {
+					for _, other := range ep.moves {
+						if mv.dst == other.src {
+							ep.direct = false
+						}
+					}
+				}
 			}
 		}
 	}

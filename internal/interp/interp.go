@@ -76,13 +76,19 @@ const (
 	// defines the semantics; the image engine is differentially tested
 	// against it.
 	EngineLegacy
+	// EngineCompiled executes a compiled rewrite of the program image:
+	// superinstruction fusion plus direct-threaded handler-table dispatch
+	// (see compile.go / dispatch.go). Bit-identical to the other engines;
+	// pinned by the three-way differential suite.
+	EngineCompiled
 )
 
 // DefaultEngine is the engine used when Config.Engine is EngineAuto.
 // CLIs expose it via the -engine flag.
 var DefaultEngine = EngineImage
 
-// ParseEngine parses an -engine flag value ("auto", "image", "legacy").
+// ParseEngine parses an -engine flag value ("auto", "image", "legacy",
+// "compiled").
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "auto", "":
@@ -91,8 +97,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineImage, nil
 	case "legacy":
 		return EngineLegacy, nil
+	case "compiled":
+		return EngineCompiled, nil
 	}
-	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, image, or legacy)", s)
+	return EngineAuto, fmt.Errorf("unknown engine %q (want auto, image, legacy, or compiled)", s)
 }
 
 // String returns the flag spelling of e.
@@ -102,6 +110,8 @@ func (e Engine) String() string {
 		return "image"
 	case EngineLegacy:
 		return "legacy"
+	case EngineCompiled:
+		return "compiled"
 	default:
 		return "auto"
 	}
@@ -283,6 +293,13 @@ type frame struct {
 	callID    int32     // image: static ID of the creating call if it has a result, else -1
 	callTBits uint8     // image: flip width of the call's result type
 	phiSrc    int32     // image: incoming slot for a pending xLonePhi (-1: no match)
+
+	// Compiled engine only: the compiled function, the run-mode code
+	// stream (exact under a fault, specialized otherwise), and the xRun
+	// constituent table matching that stream.
+	cfn   *cfunc
+	code  []iword
+	cruns []iword
 }
 
 // thread is one simulated thread of execution.
@@ -329,6 +346,9 @@ type Runner struct {
 	img        *Image
 	argScratch []uint64
 	phiVals    []uint64
+
+	// Compiled-engine state: the compiled artifact (shares r.img).
+	comp *Compiled
 
 	// threadPool retains thread structs (and through them frame slices and
 	// register files) across runs; threads[i] aliases threadPool[i].
@@ -377,14 +397,20 @@ func (r *Runner) resolveEngine() Engine {
 	if e == EngineLegacy {
 		return e
 	}
+	if e == EngineCompiled {
+		if r.comp == nil || r.comp.img.version != r.mod.Version() {
+			r.comp = compiledOf(r.mod)
+			r.img = r.comp.img
+			r.sizeScratch()
+		}
+		if r.comp.img.legacyOnly {
+			return EngineLegacy
+		}
+		return EngineCompiled
+	}
 	if r.img == nil || r.img.version != r.mod.Version() {
 		r.img = imageOf(r.mod)
-		if n := r.img.maxArgs; cap(r.argScratch) < n {
-			r.argScratch = make([]uint64, n)
-		}
-		if n := r.img.maxPhi; cap(r.phiVals) < n {
-			r.phiVals = make([]uint64, n)
-		}
+		r.sizeScratch()
 	}
 	if r.img.legacyOnly {
 		return EngineLegacy
@@ -392,11 +418,26 @@ func (r *Runner) resolveEngine() Engine {
 	return EngineImage
 }
 
+// sizeScratch sizes the per-run staging buffers for the current image.
+func (r *Runner) sizeScratch() {
+	if n := r.img.maxArgs; cap(r.argScratch) < n {
+		r.argScratch = make([]uint64, n)
+	}
+	if n := r.img.maxPhi; cap(r.phiVals) < n {
+		r.phiVals = make([]uint64, n)
+	}
+}
+
 func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Result {
 	r.setup(bind)
 	r.fault = fault
 	r.faultSeen = 0
 	r.prof = prof
+	// Pin faultID to the no-match sentinel on unarmed runs: the compiled
+	// engine's shared handlers compare instruction IDs against it
+	// unconditionally, so a stale ID from a previous faulty run must
+	// never survive into an unarmed one.
+	r.faultID = -1
 	if fault != nil {
 		r.faultID = int32(fault.InstrID)
 	}
@@ -408,13 +449,22 @@ func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Re
 	}
 
 	entry := r.mod.Entry()
-	legacy := r.resolveEngine() == EngineLegacy
-	if legacy {
+	eng := r.resolveEngine()
+	switch eng {
+	case EngineLegacy:
 		main := r.mod.Funcs[entry]
 		t := r.newThread()
 		r.pushFrame(t, main, bind.Args, -1)
 		r.schedule(r.runQuantum)
-	} else {
+	case EngineCompiled:
+		main := r.comp.funcs[entry]
+		t := r.newThread()
+		r.pushCFrame(t, main, bind.Args, -1, -1, 0)
+		if prof != nil {
+			prof.BlockCount[main.ifn.entryBlock]++
+		}
+		r.schedule(r.quantumCompiled)
+	default:
 		main := r.img.funcs[entry]
 		t := r.newThread()
 		r.pushIFrame(t, main, bind.Args, -1, -1, 0)
@@ -444,7 +494,7 @@ func (r *Runner) run(bind Binding, fault *Fault, prof *Profile, copyOut bool) Re
 		OutputHash: hashWords(r.out),
 	}
 	if rc != nil {
-		rc.recordRun(&res, legacy, prof, edgeBase)
+		rc.recordRun(&res, eng, prof, edgeBase)
 	}
 	return res
 }

@@ -7,50 +7,67 @@ import (
 )
 
 // runCounters caches registry handles so the per-run accounting is a few
-// atomic adds, never a map lookup. One struct per SetObs call.
+// atomic adds, never a map lookup. One struct per SetObs call. The struct
+// is immutable after construction: every field is written before the
+// single atomic publish in SetObs and only read afterwards, so readers
+// can never observe a partially-initialized value.
 type runCounters struct {
-	runs       *obs.Counter
-	dynInstrs  *obs.Counter
-	runsImage  *obs.Counter
-	runsLegacy *obs.Counter
-	profRuns   *obs.Counter
-	profDyn    *obs.Counter
-	profEdges  *obs.Counter
+	runs         *obs.Counter
+	dynInstrs    *obs.Counter
+	runsImage    *obs.Counter
+	runsLegacy   *obs.Counter
+	runsCompiled *obs.Counter
+	profRuns     *obs.Counter
+	profDyn      *obs.Counter
+	profEdges    *obs.Counter
 }
 
 // obsCounters is the process-global observability hook, mirroring the
 // DefaultEngine precedent: Runner configs are hashed into content-addressed
 // cache keys, so an observational registry must not live on them.
+//
+// Concurrency contract (exercised by TestSetObsConcurrentFlip under
+// -race): the pointer is swapped with a single atomic store and loaded
+// exactly once per run (run() in interp.go), so a run observes either the
+// old registry or the new one in full — never a torn mix — and a counter
+// update can never follow a detach into freed state. Campaign workers
+// flipping SetObs mid-campaign therefore only affect which registry
+// accumulates a given run, never the run's result.
 var obsCounters atomic.Pointer[runCounters]
 
 // SetObs points the interpreter's run accounting at reg (nil detaches).
 // Purely observational: execution results are bit-identical either way.
-// Safe for concurrent use with running interpreters.
+// Safe for concurrent use with running interpreters; every engine tier
+// (legacy, image, compiled) consults the same hook.
 func SetObs(reg *obs.Registry) {
 	if reg == nil {
 		obsCounters.Store(nil)
 		return
 	}
 	obsCounters.Store(&runCounters{
-		runs:       reg.Counter("interp.runs"),
-		dynInstrs:  reg.Counter("interp.dyn_instrs"),
-		runsImage:  reg.Counter("interp.runs.image"),
-		runsLegacy: reg.Counter("interp.runs.legacy"),
-		profRuns:   reg.Counter("interp.profiled.runs"),
-		profDyn:    reg.Counter("interp.profiled.dyn_instrs"),
-		profEdges:  reg.Counter("interp.profiled.edge_hits"),
+		runs:         reg.Counter("interp.runs"),
+		dynInstrs:    reg.Counter("interp.dyn_instrs"),
+		runsImage:    reg.Counter("interp.runs.image"),
+		runsLegacy:   reg.Counter("interp.runs.legacy"),
+		runsCompiled: reg.Counter("interp.runs.compiled"),
+		profRuns:     reg.Counter("interp.profiled.runs"),
+		profDyn:      reg.Counter("interp.profiled.dyn_instrs"),
+		profEdges:    reg.Counter("interp.profiled.edge_hits"),
 	})
 }
 
 // recordRun folds one completed run into the registry. edgeBase is the
 // profile's edge-hit total before the run, so reused profiles report only
 // this run's traversals.
-func (rc *runCounters) recordRun(res *Result, legacy bool, prof *Profile, edgeBase int64) {
+func (rc *runCounters) recordRun(res *Result, eng Engine, prof *Profile, edgeBase int64) {
 	rc.runs.Inc()
 	rc.dynInstrs.Add(res.DynInstrs)
-	if legacy {
+	switch eng {
+	case EngineLegacy:
 		rc.runsLegacy.Inc()
-	} else {
+	case EngineCompiled:
+		rc.runsCompiled.Inc()
+	default:
 		rc.runsImage.Inc()
 	}
 	if prof != nil {

@@ -8,27 +8,31 @@ import (
 	"repro/internal/ir"
 )
 
-// runBothEngines executes m under the legacy stepper and the image engine
-// with identical configuration and fails on any observable divergence in
-// status, trap message, accounting, or output.
+// runBothEngines executes m under the legacy stepper, the image engine,
+// and the compiled engine with identical configuration and fails on any
+// observable divergence in status, trap message, accounting, or output.
 func runBothEngines(t *testing.T, m *ir.Module, cfg Config, args []uint64) Result {
 	t.Helper()
-	var res [2]Result
-	for i, eng := range []Engine{EngineLegacy, EngineImage} {
+	engines := []Engine{EngineLegacy, EngineImage, EngineCompiled}
+	l := Result{}
+	for i, eng := range engines {
 		c := cfg
 		c.Engine = eng
-		res[i] = NewRunner(m, c).Run(Binding{Args: args}, nil, nil)
-	}
-	l, im := res[0], res[1]
-	if l.Status != im.Status || l.Trap != im.Trap {
-		t.Fatalf("engines diverge: legacy %v %q, image %v %q", l.Status, l.Trap, im.Status, im.Trap)
-	}
-	if l.DynInstrs != im.DynInstrs || l.Cycles != im.Cycles {
-		t.Fatalf("accounting diverges: legacy dyn=%d cyc=%d, image dyn=%d cyc=%d",
-			l.DynInstrs, l.Cycles, im.DynInstrs, im.Cycles)
-	}
-	if l.OutputHash != im.OutputHash || len(l.Output) != len(im.Output) {
-		t.Fatalf("output diverges: %v vs %v", l.Output, im.Output)
+		r := NewRunner(m, c).Run(Binding{Args: args}, nil, nil)
+		if i == 0 {
+			l = r
+			continue
+		}
+		if l.Status != r.Status || l.Trap != r.Trap {
+			t.Fatalf("engines diverge: legacy %v %q, %v %v %q", l.Status, l.Trap, eng, r.Status, r.Trap)
+		}
+		if l.DynInstrs != r.DynInstrs || l.Cycles != r.Cycles {
+			t.Fatalf("accounting diverges vs %v: legacy dyn=%d cyc=%d, got dyn=%d cyc=%d",
+				eng, l.DynInstrs, l.Cycles, r.DynInstrs, r.Cycles)
+		}
+		if l.OutputHash != r.OutputHash || len(l.Output) != len(r.Output) {
+			t.Fatalf("output diverges vs %v: %v vs %v", eng, l.Output, r.Output)
+		}
 	}
 	return l
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/interp"
 )
 
 // testTask is a minimal in-memory task for scheduler tests.
@@ -278,5 +280,26 @@ func TestWriteReportCreatesDirs(t *testing.T) {
 	}
 	if back.Schema != ReportSchema || back.Store == nil || back.Store.Runs != 1 {
 		t.Fatalf("round-trip = %+v", back)
+	}
+}
+
+// TestExecHashEngineInvariant pins the cache-sharing contract: the three
+// engines are bit-identical (three-way differential suite), so ExecHash
+// must not vary with cfg.Engine — campaign artifacts computed under one
+// engine must be hits under any other. Semantically meaningful limits
+// must still change the key.
+func TestExecHashEngineInvariant(t *testing.T) {
+	base := interp.Config{}
+	for _, eng := range []interp.Engine{interp.EngineLegacy, interp.EngineImage, interp.EngineCompiled} {
+		cfg := base
+		cfg.Engine = eng
+		if ExecHash(cfg) != ExecHash(base) {
+			t.Fatalf("ExecHash varies with engine %v; artifacts would not be shared", eng)
+		}
+	}
+	limited := base
+	limited.MaxDynInstrs = 12345
+	if ExecHash(limited) == ExecHash(base) {
+		t.Fatal("ExecHash ignores MaxDynInstrs")
 	}
 }

@@ -20,11 +20,20 @@ type Summary struct {
 	P75    float64
 }
 
-// Summarize computes a Summary of xs. An empty sample returns a zero
-// Summary.
+// Summarize computes a Summary of xs. An empty sample returns N=0 with
+// every statistic NaN, and a sample containing any NaN returns its true N
+// with every statistic NaN: a missing or poisoned distribution renders as
+// an explicit NaN row in campaign tables instead of a plausible-looking
+// zero.
 func Summarize(xs []float64) Summary {
+	nan := math.NaN()
 	if len(xs) == 0 {
-		return Summary{}
+		return Summary{Min: nan, Max: nan, Mean: nan, Median: nan, P25: nan, P75: nan}
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return Summary{N: len(xs), Min: nan, Max: nan, Mean: nan, Median: nan, P25: nan, P75: nan}
+		}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -46,10 +55,18 @@ func Summarize(xs []float64) Summary {
 // Percentile returns the p-th percentile (0..1) of a sorted sample using
 // linear interpolation between closest ranks. The input is expected
 // pre-sorted; an unsorted sample is defensively copied and sorted rather
-// than silently interpolating between the wrong ranks.
+// than silently interpolating between the wrong ranks. An empty sample
+// returns NaN, and a sample containing any NaN returns NaN (NaN is
+// unordered, so rank interpolation over it would pick an
+// implementation-defined neighbor): garbage in, explicit NaN out.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		return 0
+		return math.NaN()
+	}
+	for _, x := range sorted {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	if !sort.Float64sAreSorted(sorted) {
 		cp := append([]float64(nil), sorted...)

@@ -130,3 +130,40 @@ func TestPercentileUnsortedInput(t *testing.T) {
 		}
 	}
 }
+
+// Empty and NaN-poisoned samples must yield explicit NaN statistics, not
+// plausible-looking zeros (see the guards' doc comments).
+func TestSummarizeEmptyAndNaN(t *testing.T) {
+	e := Summarize(nil)
+	if e.N != 0 {
+		t.Fatalf("empty N = %d", e.N)
+	}
+	for name, v := range map[string]float64{"Min": e.Min, "Max": e.Max, "Mean": e.Mean,
+		"Median": e.Median, "P25": e.P25, "P75": e.P75} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty sample: %s = %v, want NaN", name, v)
+		}
+	}
+	p := Summarize([]float64{1, math.NaN(), 3})
+	if p.N != 3 {
+		t.Fatalf("poisoned N = %d, want 3", p.N)
+	}
+	if !math.IsNaN(p.Mean) || !math.IsNaN(p.Median) || !math.IsNaN(p.Min) || !math.IsNaN(p.Max) {
+		t.Fatalf("NaN input must poison every statistic: %+v", p)
+	}
+}
+
+func TestPercentileEmptyAndNaN(t *testing.T) {
+	if v := Percentile(nil, 0.5); !math.IsNaN(v) {
+		t.Fatalf("Percentile(empty) = %v, want NaN", v)
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		if v := Percentile([]float64{1, math.NaN(), 2}, p); !math.IsNaN(v) {
+			t.Fatalf("Percentile(NaN sample, %v) = %v, want NaN", p, v)
+		}
+	}
+	// A clean sample is unaffected by the guards.
+	if v := Percentile([]float64{1, 2, 3}, 0.5); v != 2 {
+		t.Fatalf("clean median = %v, want 2", v)
+	}
+}
