@@ -36,6 +36,12 @@ BENCH_COMPILED_JSON ?= BENCH_compiled.json
 # masked_bits, total_bits, pruned_frac) are captured generically.
 BENCH_ANALYSIS_JSON ?= BENCH_analysis.json
 
+# Detector-portfolio benchmarks: campaign ns/trial for every fault model
+# × detector cell (BenchmarkDetectorCampaign), appended to
+# BENCH_detectors.json so CI can gate per-cell regressions in the flip
+# paths and detector lowerings.
+BENCH_DETECTORS_JSON ?= BENCH_detectors.json
+
 # Repetitions per benchmark. CI sets 3 and compares best-of-N
 # (benchdiff -agg min) so shared-runner noise doesn't gate single samples.
 BENCH_COUNT ?= 1
@@ -55,3 +61,9 @@ bench:
 		for (i = 5; i < NF; i += 2) \
 			if ($$(i+1) ~ /^[a-z_]+$$/) printf ",\"%s\":%s", $$(i+1), $$i; \
 		print "}" }' >> $(BENCH_ANALYSIS_JSON)
+	$(GO) test -bench DetectorCampaign -benchtime 50ms -count $(BENCH_COUNT) -run '^$$' \
+		./internal/harness | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		rec = sprintf("{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3); \
+		if ($$6 == "ns/trial") rec = rec sprintf(",\"ns_per_trial\":%s", $$5); \
+		rec = rec "}"; print rec }' >> $(BENCH_DETECTORS_JSON)

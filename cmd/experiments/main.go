@@ -8,7 +8,12 @@
 //
 // Experiments: table1, fig2, chart2 (ASCII candlesticks), table2, fig3,
 // fig5, fig6, chart6, table3, fig7, fig8, fig9 (includes table4),
-// overhead (§VIII-A), mtfft (§VIII-B).
+// overhead (§VIII-A), mtfft (§VIII-B), matrix (detector × fault-model
+// true-coverage matrix; not part of all).
+//
+// -fault-model and -detector swap the injected fault model and the
+// detector portfolio for every experiment; the defaults (bitflip, dup)
+// reproduce the paper's tables byte-for-byte at a fixed seed.
 //
 // Tables and figures print to stdout; each experiment additionally writes
 // a machine-readable metrics report to <out>/<exp>.json, and task
@@ -43,6 +48,8 @@ func main() {
 		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
 		engine  = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
+		model    = flag.String("fault-model", "", "fault model to inject (bitflip, bitflip2, byteflip, stuckat0, stuckat1, defect; empty = bitflip)")
+		detector = flag.String("detector", "", "detector portfolio (dup, inv, cfgsig, comma lists, or all; empty = dup)")
 		outDir   = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
 		cache    = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
@@ -71,6 +78,8 @@ func main() {
 		seed:       *seed,
 		workers:    *workers,
 		metrics:    *metrics,
+		faultModel: *model,
+		detector:   *detector,
 		resultsDir: *outDir,
 		tracePath:  *traceOut,
 		manifest:   *manifest,
@@ -94,6 +103,8 @@ type options struct {
 	seed       int64
 	workers    int
 	metrics    bool
+	faultModel string // injected fault model; "" = bitflip
+	detector   string // detector portfolio; "" = dup
 	resultsDir string // per-experiment JSON reports; "" disables
 	cacheDir   string // on-disk artifact tier; "" disables
 	tracePath  string // Chrome trace_event output; "" disables
@@ -111,6 +122,8 @@ func run(o options) error {
 	}
 	p.Seed = o.seed
 	p.Workers = o.workers
+	p.FaultModel = o.faultModel
+	p.Detector = o.detector
 	r := harness.NewRunner(p)
 	if o.cacheDir != "" {
 		if err := r.Pipe.EnableDisk(o.cacheDir); err != nil {
@@ -181,6 +194,10 @@ func run(o options) error {
 			err = harness.ErrorBars(r, bs, w)
 		case "mtfft":
 			err = harness.MTFFT(r, w)
+		case "matrix":
+			// Detector × fault-model matrix on the first selected benchmark
+			// (not part of -exp all: it sweeps every registered model).
+			err = harness.DetectorMatrix(r, bs[0], w)
 		default:
 			err = fmt.Errorf("unknown experiment %q", name)
 		}
@@ -226,6 +243,8 @@ func writeReport(r *harness.Runner, o options, exp string, fromNode int) error {
 		Profile:     o.profile,
 		Seed:        o.seed,
 		Workers:     o.workers,
+		FaultModel:  o.faultModel,
+		Detector:    o.detector,
 		CacheDir:    r.Pipe.DiskDir(),
 		Nodes:       nodes,
 		NodeSummary: pipeline.Summarize(nodes),

@@ -19,19 +19,22 @@ import (
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sid"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "kmeans", "benchmark name (see -list)")
-		tech    = flag.String("tech", "minpsid", "protection technique: sid or minpsid")
-		level   = flag.Float64("level", 0.5, "protection level (fraction of dynamic cycles)")
-		quick   = flag.Bool("quick", true, "use reduced fault-injection budgets")
-		seed    = flag.Int64("seed", 1, "random seed")
-		dump    = flag.Bool("dump", false, "dump the protected IR module")
-		list    = flag.Bool("list", false, "list available benchmarks and exit")
-		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
-		jsonOut = flag.String("json", "", "write a machine-readable metrics report to this file")
+		bench    = flag.String("bench", "kmeans", "benchmark name (see -list)")
+		tech     = flag.String("tech", "minpsid", "protection technique: sid or minpsid")
+		level    = flag.Float64("level", 0.5, "protection level (fraction of dynamic cycles)")
+		quick    = flag.Bool("quick", true, "use reduced fault-injection budgets")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dump     = flag.Bool("dump", false, "dump the protected IR module")
+		model    = flag.String("fault-model", "", "fault model to tune for and inject (bitflip, bitflip2, byteflip, stuckat0, stuckat1, defect; empty = bitflip)")
+		detector = flag.String("detector", "", "detector portfolio (dup, inv, cfgsig, comma lists, or all; empty = dup)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		metrics  = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
+		jsonOut  = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine   = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		analyze  = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
@@ -61,7 +64,7 @@ func main() {
 		return
 	}
 
-	if err := run(*bench, *tech, *level, *quick, *seed, *dump, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
+	if err := run(*bench, *tech, *level, *quick, *seed, *model, *detector, *dump, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
@@ -89,7 +92,7 @@ func runAnalyze(bench string, seed int64, jsonOut string) error {
 	return nil
 }
 
-func run(bench, techName string, level float64, quick bool, seed int64, dump, metrics bool, jsonOut, traceOut, manifestOut string) error {
+func run(bench, techName string, level float64, quick bool, seed int64, model, detector string, dump, metrics bool, jsonOut, traceOut, manifestOut string) error {
 	technique, err := core.ParseTechnique(techName)
 	if err != nil {
 		return err
@@ -104,6 +107,8 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 		opts = core.QuickOptions()
 	}
 	opts.Seed = seed
+	opts.FaultModel = model
+	opts.Detector = detector
 	if metrics || jsonOut != "" {
 		opts.Cache = fault.NewCache(0)
 		opts.Metrics = fault.NewMetrics()
@@ -125,6 +130,10 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 
 	fmt.Printf("protecting %s with %s at %.0f%% level (faults/instr=%d)\n",
 		bench, technique, level*100, opts.FaultsPerInstr)
+	if model != "" || detector != "" {
+		fmt.Printf("fault model: %s, detector portfolio: %s\n",
+			pipeline.NormModel(model), pipeline.NormDetector(detector))
+	}
 
 	prot, err := prog.Protect(technique, level, opts)
 	if err != nil {
@@ -132,6 +141,25 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 	}
 
 	fmt.Printf("selected instructions:  %d of %d\n", len(prot.Chosen), prog.Module.NumInstrs())
+	if len(prot.Detectors) > 0 {
+		byDet := map[string]int{}
+		for _, d := range prot.Detectors {
+			byDet[d]++
+		}
+		fmt.Print("detector assignment:    ")
+		first := true
+		for _, name := range sid.DetectorNames() {
+			if byDet[name] == 0 {
+				continue
+			}
+			if !first {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %d", name, byDet[name])
+			first = false
+		}
+		fmt.Println()
+	}
 	fmt.Printf("expected SDC coverage:  %.2f%%\n", prot.ExpectedCoverage*100)
 	if technique == core.TechniqueMINPSID {
 		fmt.Printf("incubative instructions: %d\n", len(prot.Incubative))
@@ -172,6 +200,8 @@ func run(bench, techName string, level float64, quick bool, seed int64, dump, me
 			Schema:      pipeline.ReportSchema,
 			Tool:        "minpsid",
 			Seed:        seed,
+			FaultModel:  model,
+			Detector:    detector,
 			Nodes:       nodes,
 			NodeSummary: pipeline.Summarize(nodes),
 			Store:       &store,

@@ -10,7 +10,7 @@ import (
 
 func TestRunProtectsBenchmark(t *testing.T) {
 	jsonOut := filepath.Join(t.TempDir(), "minpsid.json")
-	if err := run("pathfinder", "sid", 0.3, true, 1, false, true, jsonOut, "", ""); err != nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "", "", false, true, jsonOut, "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(jsonOut); err != nil {
@@ -18,11 +18,17 @@ func TestRunProtectsBenchmark(t *testing.T) {
 	}
 }
 
+func TestRunWithPortfolio(t *testing.T) {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "byteflip", "all", false, false, "", "", ""); err != nil {
+		t.Fatalf("run with byteflip/all: %v", err)
+	}
+}
+
 func TestRunWritesManifestAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "manifest.json")
 	trace := filepath.Join(dir, "trace.json")
-	if err := run("pathfinder", "minpsid", 0.3, true, 1, false, false, "", trace, manifest); err != nil {
+	if err := run("pathfinder", "minpsid", 0.3, true, 1, "", "", false, false, "", trace, manifest); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(manifest)
@@ -42,10 +48,16 @@ func TestRunWritesManifestAndTrace(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "sid", 0.3, true, 1, false, false, "", "", ""); err == nil {
+	if err := run("nope", "sid", 0.3, true, 1, "", "", false, false, "", "", ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("pathfinder", "bogus", 0.3, true, 1, false, false, "", "", ""); err == nil {
+	if err := run("pathfinder", "bogus", 0.3, true, 1, "", "", false, false, "", "", ""); err == nil {
 		t.Fatal("unknown technique accepted")
+	}
+	if err := run("pathfinder", "sid", 0.3, true, 1, "nope", "", false, false, "", "", ""); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if err := run("pathfinder", "sid", 0.3, true, 1, "", "nope", false, false, "", "", ""); err == nil {
+		t.Fatal("unknown detector accepted")
 	}
 }

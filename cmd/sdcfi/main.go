@@ -1,11 +1,21 @@
 // Command sdcfi runs a fault-injection campaign (the LLFI-equivalent
-// step) on a built-in benchmark: it injects single-bit flips into random
-// dynamic instructions and reports the outcome distribution with 95%
-// confidence intervals.
+// step) on a built-in benchmark: it injects faults of a chosen model
+// into random dynamic instructions and reports the outcome distribution
+// with 95% confidence intervals.
 //
 // Usage:
 //
 //	sdcfi -bench fft -n 1000 [-input ref | -input-seed 7] [-seed 1]
+//	sdcfi -bench fft -fault-model byteflip                  # swap the model
+//	sdcfi -bench fft -level 0.5 -detector inv,dup           # protect, then
+//	                                                        # measure true coverage
+//
+// With -level > 0 the benchmark is first protected with baseline SID at
+// that level using the given detector portfolio, and the campaign
+// additionally reports the paper-definition SDC coverage of the
+// protection under the chosen fault model. The defaults (-fault-model
+// bitflip, -detector dup) reproduce the original single-bit/duplication
+// pipeline byte-for-byte.
 package main
 
 import (
@@ -13,13 +23,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/inputgen"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sid"
 	"repro/internal/stats"
 )
 
@@ -30,6 +43,9 @@ func main() {
 		input     = flag.String("input", "ref", "input selection: ref or random")
 		inputSeed = flag.Int64("input-seed", 7, "seed for -input random")
 		seed      = flag.Int64("seed", 1, "fault-site sampling seed")
+		model     = flag.String("fault-model", "", "fault model to inject (bitflip, bitflip2, byteflip, stuckat0, stuckat1, defect; empty = bitflip)")
+		detector  = flag.String("detector", "", "detector portfolio for -level protection (dup, inv, cfgsig, comma lists, or all; empty = dup)")
+		level     = flag.Float64("level", 0, "protect at this level first and report true SDC coverage (0 = campaign only)")
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
 		jsonOut   = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine    = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
@@ -42,10 +58,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(2)
 	}
-	if err := run(*bench, *n, *input, *inputSeed, *seed, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
+	o := options{
+		bench: *bench, n: *n, input: *input, inputSeed: *inputSeed, seed: *seed,
+		model: *model, detector: *detector, level: *level,
+		metrics: *metrics, jsonOut: *jsonOut, traceOut: *traceOut, manifest: *manifest,
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
 		os.Exit(1)
 	}
+}
+
+// options is the flag surface of one invocation (minus the engine, which
+// is process-global).
+type options struct {
+	bench     string
+	n         int
+	input     string
+	inputSeed int64
+	seed      int64
+	model     string
+	detector  string
+	level     float64
+	metrics   bool
+	jsonOut   string
+	traceOut  string
+	manifest  string
 }
 
 // setEngine applies the -engine flag to the process-wide default.
@@ -60,29 +98,40 @@ func setEngine(s string) error {
 	return nil
 }
 
-func run(bench string, n int, input string, inputSeed, seed int64, metrics bool, jsonOut, traceOut, manifestOut string) error {
-	prog, err := core.FromBenchmark(bench)
+func run(o options) error {
+	prog, err := core.FromBenchmark(o.bench)
 	if err != nil {
 		return err
 	}
-	in := prog.Reference
-	if input == "random" {
-		in = prog.RandomInput(rand.New(rand.NewSource(inputSeed)))
+	var model fault.Model
+	if o.model != "" {
+		var ok bool
+		if model, ok = fault.ModelByName(o.model); !ok {
+			return fmt.Errorf("unknown fault model %q (have %s)",
+				o.model, strings.Join(fault.ModelNames(), ", "))
+		}
 	}
-	fmt.Printf("benchmark %s, input: %s\n", bench, prog.Spec.String(in))
+	in := prog.Reference
+	if o.input == "random" {
+		in = prog.RandomInput(rand.New(rand.NewSource(o.inputSeed)))
+	}
+	fmt.Printf("benchmark %s, input: %s\n", o.bench, prog.Spec.String(in))
+	if o.model != "" {
+		fmt.Printf("fault model: %s\n", o.model)
+	}
 
 	var m *fault.Metrics
-	if metrics || jsonOut != "" {
+	if o.metrics || o.jsonOut != "" {
 		m = fault.NewMetrics()
 	}
 	var ob *obs.Obs
-	if traceOut != "" || manifestOut != "" {
+	if o.traceOut != "" || o.manifest != "" {
 		ob = obs.New("sdcfi")
 		interp.SetObs(ob.Reg)
 		defer interp.SetObs(nil)
 	}
-	csp := ob.Start("campaign:" + bench)
-	res, err := prog.InjectionCampaignOpts(in, n, seed, nil, m.Phase("program-fi"), ob.At(csp))
+	csp := ob.Start("campaign:" + o.bench)
+	res, err := prog.InjectionCampaignModel(in, o.n, o.seed, model, nil, m.Phase("program-fi"), ob.At(csp))
 	csp.End()
 	if err != nil {
 		return err
@@ -91,34 +140,82 @@ func run(bench string, n int, input string, inputSeed, seed int64, metrics bool,
 	if res.Shortfall > 0 {
 		fmt.Printf("shortfall: %d of %d requested trials could not be drawn\n", res.Shortfall, res.Requested)
 	}
-	for _, o := range []fault.Outcome{fault.OutcomeBenign, fault.OutcomeSDC,
+	for _, oc := range []fault.Outcome{fault.OutcomeBenign, fault.OutcomeSDC,
 		fault.OutcomeCrash, fault.OutcomeHang, fault.OutcomeDetected} {
-		k := res.Counts[o]
+		k := res.Counts[oc]
 		lo, hi := stats.WilsonInterval(k, res.Trials)
 		fmt.Printf("  %-9s %6d  (%6.2f%%, 95%% CI [%.2f%%, %.2f%%])\n",
-			o, k, 100*res.Rate(o), lo*100, hi*100)
+			oc, k, 100*res.Rate(oc), lo*100, hi*100)
 	}
-	if metrics {
+	if o.level > 0 {
+		if err := runProtected(prog, in, o); err != nil {
+			return err
+		}
+	}
+	if o.metrics {
 		if err := pipeline.RenderMetrics(os.Stdout, m, nil, nil); err != nil {
 			return err
 		}
 	}
-	if jsonOut != "" {
+	if o.jsonOut != "" {
 		rep := &pipeline.Report{
-			Schema: pipeline.ReportSchema,
-			Tool:   "sdcfi",
-			Seed:   seed,
-			Phases: m.Snapshots(),
+			Schema:     pipeline.ReportSchema,
+			Tool:       "sdcfi",
+			Seed:       o.seed,
+			FaultModel: o.model,
+			Detector:   o.detector,
+			Phases:     m.Snapshots(),
 		}
-		if err := pipeline.WriteReport(jsonOut, rep); err != nil {
+		if err := pipeline.WriteReport(o.jsonOut, rep); err != nil {
 			return err
 		}
 	}
 	if ob != nil {
 		m.Publish(ob.Reg)
-		if err := ob.WriteOutputs("sdcfi", seed, analysis.Version, manifestOut, traceOut); err != nil {
+		if err := ob.WriteOutputs("sdcfi", o.seed, analysis.Version, o.manifest, o.traceOut); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runProtected implements the -level path: protect with baseline SID at
+// o.level using the requested detector portfolio, then measure the
+// paper-definition true SDC coverage under the same fault model.
+func runProtected(prog *core.Program, in inputgen.Input, o options) error {
+	opts := core.QuickOptions()
+	opts.Seed = o.seed
+	opts.FaultModel = o.model
+	opts.Detector = o.detector
+	prot, err := prog.Protect(core.TechniqueSID, o.level, opts)
+	if err != nil {
+		return err
+	}
+	byDet := map[string]int{}
+	for i := range prot.Chosen {
+		name := "dup"
+		if i < len(prot.Detectors) {
+			name = prot.Detectors[i]
+		}
+		byDet[name]++
+	}
+	fmt.Printf("protection: level %.0f%%, %d sites (", o.level*100, len(prot.Chosen))
+	for i, name := range sid.DetectorNames() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d", name, byDet[name])
+	}
+	fmt.Printf("), expected coverage %.2f%%\n", prot.ExpectedCoverage*100)
+	tc, err := prot.EvaluateTrueCoverage(in, o.n, o.seed)
+	if err != nil {
+		return err
+	}
+	if tc.Defined {
+		fmt.Printf("true SDC coverage: %.2f%% (%d of %d SDC faults mitigated)\n",
+			tc.Coverage*100, tc.Result.Mitigated, tc.Result.SDCFaults)
+	} else {
+		fmt.Println("true SDC coverage: undefined (no SDC fault observed)")
 	}
 	return nil
 }

@@ -10,20 +10,37 @@ import (
 
 func TestRunCampaign(t *testing.T) {
 	jsonOut := filepath.Join(t.TempDir(), "sdcfi.json")
-	if err := run("pathfinder", 100, "ref", 7, 1, true, jsonOut, "", ""); err != nil {
+	o := options{bench: "pathfinder", n: 100, input: "ref", inputSeed: 7, seed: 1,
+		metrics: true, jsonOut: jsonOut}
+	if err := run(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(jsonOut); err != nil {
 		t.Errorf("missing JSON report: %v", err)
 	}
-	if err := run("fft", 50, "random", 7, 1, false, "", "", ""); err != nil {
+	if err := run(options{bench: "fft", n: 50, input: "random", inputSeed: 7, seed: 1}); err != nil {
 		t.Fatalf("run with random input: %v", err)
+	}
+}
+
+func TestRunModelAndProtection(t *testing.T) {
+	o := options{bench: "pathfinder", n: 100, input: "ref", inputSeed: 7, seed: 1,
+		model: "stuckat1", detector: "inv,dup", level: 0.5}
+	if err := run(o); err != nil {
+		t.Fatalf("run with stuckat1/inv,dup: %v", err)
+	}
+	if err := run(options{bench: "fft", n: 10, input: "ref", model: "nope"}); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if err := run(options{bench: "fft", n: 10, input: "ref", detector: "nope", level: 0.3}); err == nil {
+		t.Fatal("unknown detector accepted")
 	}
 }
 
 func TestRunWritesManifest(t *testing.T) {
 	manifest := filepath.Join(t.TempDir(), "manifest.json")
-	if err := run("pathfinder", 50, "ref", 7, 1, false, "", "", manifest); err != nil {
+	o := options{bench: "pathfinder", n: 50, input: "ref", inputSeed: 7, seed: 1, manifest: manifest}
+	if err := run(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(manifest)
@@ -43,7 +60,7 @@ func TestRunWritesManifest(t *testing.T) {
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", 10, "ref", 0, 0, false, "", "", ""); err == nil {
+	if err := run(options{bench: "nope", n: 10, input: "ref"}); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

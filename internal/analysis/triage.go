@@ -10,7 +10,28 @@ import (
 // cache keys so persisted campaign artifacts invalidate whenever the
 // analysis changes; bump it with any rule change that can alter a
 // classification.
-const Version = "sdc-triage/v1"
+const Version = "sdc-triage/v2"
+
+// FaultClass abstracts the properties of a fault model that triage
+// soundness depends on, without this package importing the injector.
+// A proof is consulted only for classes it is valid for.
+type FaultClass struct {
+	// ValueLocal: the fault perturbs only the result value of a single
+	// dynamic instruction (any combination of bits, by XOR or stuck-at).
+	// All register-level models are value-local; a model corrupting
+	// memory or control state directly would not be.
+	ValueLocal bool
+	// BitsBounded: the set of bits the fault can touch is fully
+	// described by the injector's (bit, mask) site description, so
+	// bit-granular proofs (ProofMaskedBits) may be applied. Models that
+	// re-perturb or spread beyond the declared mask must leave this
+	// false, restricting triage to whole-value proofs.
+	BitsBounded bool
+}
+
+// DefaultFaultClass describes the paper's single-bit-flip model (and
+// every register-value model currently registered by the injector).
+var DefaultFaultClass = FaultClass{ValueLocal: true, BitsBounded: true}
 
 // Proof tags the reason a site is provably masked. Tags are
 // machine-checkable: each names the fact that justifies the verdict,
@@ -33,6 +54,26 @@ const (
 	// objects that are never read, flagged dead by the memory pass.
 	ProofDeadStore
 )
+
+// ValidFor reports whether a verdict carrying proof p is sound under
+// fault class cl. Whole-value proofs (DeadValue, DeadStore) hold for
+// any value-local model: no matter how the bits are perturbed, the
+// result never reaches output, control flow, or a trap. Bit-granular
+// proofs (MaskedBits) additionally require the model's touched bits to
+// be bounded by the declared site mask.
+func (p Proof) ValidFor(cl FaultClass) bool {
+	if !cl.ValueLocal {
+		return false
+	}
+	switch p {
+	case ProofDeadValue, ProofDeadStore:
+		return true
+	case ProofMaskedBits:
+		return cl.BitsBounded
+	default:
+		return false
+	}
+}
 
 // String returns the tag name used in reports.
 func (p Proof) String() string {
@@ -165,23 +206,45 @@ func (t *Triage) Site(id int, bit uint) (Verdict, Proof) {
 // Masked reports whether the fault described by (bit, mask) — the
 // injector's single-bit Bit or, when mask is nonzero, a multi-bit XOR
 // mask — is provably benign at instruction id. The mask is narrowed
-// exactly as the interpreter narrows it before flipping.
+// exactly as the interpreter narrows it before flipping. Masked assumes
+// the default (single-bit-flip) fault class; campaigns running other
+// models use MaskedFor.
 func (t *Triage) Masked(id int, bit uint, mask uint64) bool {
-	if !t.sound {
+	return t.MaskedFor(DefaultFaultClass, id, bit, mask)
+}
+
+// MaskedFor is Masked under an explicit fault class: the verdict is
+// reported only when the proof backing it is valid for cl. Stuck-at
+// models narrow to their declared mask exactly like XOR models, so the
+// same subset check applies; classes without bounded bits fall back to
+// whole-value proofs only (demanded mask zero).
+func (t *Triage) MaskedFor(cl FaultClass, id int, bit uint, mask uint64) bool {
+	if !t.sound || !cl.ValueLocal {
 		return false
 	}
 	in := t.mod.Instrs[id]
 	if !in.IsInjectable() {
 		return false
 	}
+	if !cl.BitsBounded {
+		// The site description cannot be trusted bit-by-bit; only a
+		// whole-value proof (every perturbation of a dead value is
+		// benign) may prune, and only when valid for cl.
+		return t.demand[id] == 0 && t.proof[id].ValidFor(cl)
+	}
 	if mask != 0 {
 		if in.Type == ir.I1 {
 			mask &= 1
 		}
-		return mask&^t.masked[id] == 0
+		if mask == 0 {
+			// Narrowing zeroed the mask: the injector perturbs nothing
+			// (XOR and stuck-at alike), trivially benign for any model.
+			return true
+		}
+		return t.proof[id].ValidFor(cl) && mask&^t.masked[id] == 0
 	}
 	b := bit % in.Type.Bits()
-	return t.masked[id]&(1<<b) != 0
+	return t.proof[id].ValidFor(cl) && t.masked[id]&(1<<b) != 0
 }
 
 // triageKey identifies one immutable module snapshot, mirroring the

@@ -144,6 +144,12 @@ type Options struct {
 	// SearchStrategy selects the MINPSID input-search engine (GA by
 	// default; random and simulated-annealing variants are available).
 	SearchStrategy minpsid.Strategy
+	// FaultModel names the injected fault model and Detector the
+	// detector portfolio ("dup,inv,cfgsig" or "all"); empty values mean
+	// the paper's bitflip + duplication defaults, which reproduce the
+	// original pipeline byte-for-byte.
+	FaultModel string
+	Detector   string
 	// Seed drives all stochastic steps; Workers bounds FI parallelism.
 	Seed    int64
 	Workers int
@@ -197,6 +203,12 @@ type Protection struct {
 	Module    *ir.Module // the protected binary
 	// Chosen lists the selected instruction IDs (original module numbering).
 	Chosen []int
+	// Detectors names the detector protecting each chosen site (parallel
+	// to Chosen); nil means duplication everywhere.
+	Detectors []string
+	// FaultModel is the fault model the protection was tuned for and the
+	// model its evaluations inject ("" = single-bit flip).
+	FaultModel string
 	// ExpectedCoverage is the technique's own coverage estimate.
 	ExpectedCoverage float64
 	// Incubative lists incubative instruction IDs (MINPSID only).
@@ -222,9 +234,10 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 	}
 
 	mt := &pipeline.MeasureTask{Target: tgt, Input: p.Reference,
-		FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed, Env: env}
-	pt := &pipeline.ProtectTask{Target: tgt, Level: level, Measure: mt, Env: env}
-	prot := &Protection{Program: p, Technique: tech, Level: level}
+		FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed, Model: opts.FaultModel, Env: env}
+	pt := &pipeline.ProtectTask{Target: tgt, Level: level, Measure: mt,
+		Detector: opts.Detector, Model: opts.FaultModel, Env: env}
+	prot := &Protection{Program: p, Technique: tech, Level: level, FaultModel: opts.FaultModel}
 
 	switch tech {
 	case TechniqueMINPSID:
@@ -238,6 +251,7 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 		mo, sr, po := outs[0].(*pipeline.MeasureOut), outs[1].(*minpsid.SearchResult), outs[2].(*pipeline.ProtectOut)
 		prot.Module = po.Mod
 		prot.Chosen = po.Sel.Chosen
+		prot.Detectors = po.Sel.Detectors
 		prot.ExpectedCoverage = po.Sel.ExpectedCoverage
 		prot.Incubative = sr.Incubative
 		prot.Timing = minpsid.Timing{
@@ -254,9 +268,20 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 		po := outs[1].(*pipeline.ProtectOut)
 		prot.Module = po.Mod
 		prot.Chosen = po.Sel.Chosen
+		prot.Detectors = po.Sel.Detectors
 		prot.ExpectedCoverage = po.Sel.ExpectedCoverage
 		return prot, nil
 	}
+}
+
+// model resolves the protection's fault model; nil selects the
+// campaign engine's default (single-bit flip).
+func (pr *Protection) model() fault.Model {
+	if pr.FaultModel == "" {
+		return nil
+	}
+	m, _ := fault.ModelByName(pr.FaultModel)
+	return m
 }
 
 // CoverageReport is one coverage evaluation of a protected program.
@@ -274,7 +299,8 @@ func (pr *Protection) EvaluateCoverage(in inputgen.Input, n int, seed int64) (Co
 	if err != nil {
 		return CoverageReport{}, fmt.Errorf("core: input inadmissible: %w", err)
 	}
-	c := &fault.Campaign{Mod: pr.Module, Bind: bind, Cfg: pr.Program.Exec, Golden: golden}
+	c := &fault.Campaign{Mod: pr.Module, Bind: bind, Cfg: pr.Program.Exec, Golden: golden,
+		Model: pr.model()}
 	res := c.Run(n, seed)
 	cov, ok := res.SDCCoverage()
 	if !ok {
@@ -292,12 +318,19 @@ func (p *Program) InjectionCampaign(in inputgen.Input, n int, seed int64) (fault
 // InjectionCampaignOpts is InjectionCampaign with optional golden-run
 // memoization, campaign metrics, and unified observability.
 func (p *Program) InjectionCampaignOpts(in inputgen.Input, n int, seed int64, cache *fault.Cache, pm *fault.PhaseMetrics, o *obs.Obs) (fault.CampaignResult, error) {
+	return p.InjectionCampaignModel(in, n, seed, nil, cache, pm, o)
+}
+
+// InjectionCampaignModel is InjectionCampaignOpts under an explicit
+// fault model (nil = the paper's single-bit flip).
+func (p *Program) InjectionCampaignModel(in inputgen.Input, n int, seed int64, model fault.Model, cache *fault.Cache, pm *fault.PhaseMetrics, o *obs.Obs) (fault.CampaignResult, error) {
 	bind := p.Bind(in)
 	golden, err := cache.Golden(p.Module, bind, p.Exec, pm)
 	if err != nil {
 		return fault.CampaignResult{}, err
 	}
-	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden, Metrics: pm, Obs: o}
+	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden,
+		Model: model, Metrics: pm, Obs: o}
 	return c.Run(n, seed), nil
 }
 
@@ -316,9 +349,18 @@ type TrueCoverageReport struct {
 // + SDC) ratio, which also counts detections of faults that would have
 // been masked.)
 func (pr *Protection) EvaluateTrueCoverage(in inputgen.Input, n int, seed int64) (TrueCoverageReport, error) {
-	idMap := sid.ProtectedMap(pr.Program.Module, pr.Chosen)
-	res, err := fault.TrueCoverage(pr.Program.Module, pr.Module, idMap,
-		pr.Program.Bind(in), pr.Program.Exec, n, seed, 0)
+	// Heterogeneous lowerings insert different instruction counts per
+	// site, so the ID translation must come from the module pairing; the
+	// dup-only closed form is kept for the default path.
+	var idMap map[int]int
+	if len(pr.Detectors) > 0 {
+		idMap = sid.InstrMap(pr.Program.Module, pr.Module)
+	} else {
+		idMap = sid.ProtectedMap(pr.Program.Module, pr.Chosen)
+	}
+	res, err := fault.TrueCoverageOpts(pr.Program.Module, pr.Module, idMap,
+		pr.Program.Bind(in), pr.Program.Exec, fault.CoverageOptions{
+			Trials: n, Seed: seed, Model: pr.model()})
 	if err != nil {
 		return TrueCoverageReport{}, err
 	}

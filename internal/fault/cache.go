@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -62,6 +63,7 @@ type campaignKey struct {
 	mod        *ir.Module
 	cfg        interp.Config
 	bind       [sha256.Size]byte
+	model      string // fault-model name: isolates per-model site samples
 	n          int
 	seed       int64
 	excludeDup bool
@@ -206,9 +208,12 @@ func runGoldenTimed(m *ir.Module, bind interp.Binding, cfg interp.Config, pm *Ph
 // (site sample from seed plus index-aligned outcomes), executing it on
 // first use. The returned slices are shared and must not be mutated.
 func (c *Cache) unprotectedCampaign(camp *Campaign, excludeDup bool, n int, seed int64) (sites []interp.Fault, outcomes []Outcome, shortfall int64) {
+	m := camp.model()
 	run := func() ([]interp.Fault, []Outcome, int64) {
 		sampler := NewSampler(camp.Mod, camp.Golden, excludeDup)
-		sites, shortfall := sampleSites(n, seed, sampler.RandomSite)
+		sites, shortfall := sampleSites(n, seed, func(rng *rand.Rand) (interp.Fault, bool) {
+			return sampler.RandomSiteModel(m, rng)
+		})
 		return sites, camp.runSites(sites), shortfall
 	}
 	if c == nil {
@@ -216,7 +221,7 @@ func (c *Cache) unprotectedCampaign(camp *Campaign, excludeDup bool, n int, seed
 	}
 	key := campaignKey{
 		mod: camp.Mod, cfg: camp.Cfg, bind: BindingKey(camp.Bind),
-		n: n, seed: seed, excludeDup: excludeDup,
+		model: m.Name(), n: n, seed: seed, excludeDup: excludeDup,
 	}
 	c.mu.Lock()
 	if v, ok := c.campaigns.get(key); ok {

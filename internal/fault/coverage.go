@@ -59,6 +59,9 @@ type CoverageOptions struct {
 	Trials  int
 	Seed    int64
 	Workers int
+	// Model selects the fault model for both campaign phases; nil means
+	// the paper's single-bit flip.
+	Model   Model
 	Cache   *Cache
 	Metrics *PhaseMetrics
 	// Obs, if non-nil, is threaded into both campaigns (observational).
@@ -81,7 +84,7 @@ func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Bind
 	// Phase 1: campaign on the original program (memoized: identical for
 	// every protection of the same original under this input and seed).
 	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO,
-		Workers: opt.Workers, Metrics: opt.Metrics, Obs: opt.Obs}
+		Workers: opt.Workers, Model: opt.Model, Metrics: opt.Metrics, Obs: opt.Obs}
 	sites, outcomesO, shortfall := opt.Cache.unprotectedCampaign(campO, true, opt.Trials, opt.Seed)
 
 	res := TrueCoverageResult{Trials: int64(len(sites))}
@@ -100,12 +103,16 @@ func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Bind
 		if !ok {
 			return TrueCoverageResult{}, fmt.Errorf("fault: no protected mapping for instr %d", s.InstrID)
 		}
-		replay = append(replay, interp.Fault{InstrID: newID, DynIndex: s.DynIndex, Bit: s.Bit})
+		// Carry the full effect (Bit, Mask, Op): non-default models
+		// perturb via masks and stuck-at ops, and the replay must be the
+		// same physical fault at the translated static ID.
+		replay = append(replay, interp.Fault{InstrID: newID, DynIndex: s.DynIndex,
+			Bit: s.Bit, Mask: s.Mask, Op: s.Op})
 	}
 
 	// Phase 2: replay SDC sites against the protected program.
 	campP := &Campaign{Mod: prot, Bind: bind, Cfg: exec, Golden: goldenP,
-		Workers: opt.Workers, Metrics: opt.Metrics, Obs: opt.Obs}
+		Workers: opt.Workers, Model: opt.Model, Metrics: opt.Metrics, Obs: opt.Obs}
 	outcomesP := campP.runSites(replay)
 	for _, o := range outcomesP {
 		if o == OutcomeDetected {

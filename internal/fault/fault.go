@@ -155,9 +155,18 @@ func NewSampler(m *ir.Module, g *Golden, excludeDup bool) *Sampler {
 // Total returns the number of injectable dynamic instruction instances.
 func (s *Sampler) Total() int64 { return s.total }
 
-// RandomSite draws one program-level injection site. ok is false when the
-// program has no injectable dynamic instructions.
+// RandomSite draws one program-level injection site under the default
+// (single-bit flip) model. ok is false when the program has no injectable
+// dynamic instructions.
 func (s *Sampler) RandomSite(rng *rand.Rand) (interp.Fault, bool) {
+	return s.RandomSiteModel(DefaultModel(), rng)
+}
+
+// RandomSiteModel draws one program-level injection site and perturbs it
+// with fault model m. The dynamic-instance draw is model-independent, so
+// every model samples the same site stream for a fixed seed; only the
+// effect differs.
+func (s *Sampler) RandomSiteModel(m Model, rng *rand.Rand) (interp.Fault, bool) {
 	if s.total == 0 {
 		return interp.Fault{}, false
 	}
@@ -177,17 +186,20 @@ func (s *Sampler) RandomSite(rng *rand.Rand) (interp.Fault, bool) {
 	if lo > 0 {
 		base = s.cum[lo-1]
 	}
-	return interp.Fault{
-		InstrID:  id,
-		DynIndex: k - base,
-		Bit:      uint(rng.Intn(int(s.mod.Instrs[id].Type.Bits()))),
-	}, true
+	f := interp.Fault{InstrID: id, DynIndex: k - base}
+	m.Perturb(s.mod.Instrs[id].Type.Bits(), rng).apply(&f)
+	return f, true
 }
 
-// SiteFor draws an injection site targeting one static instruction,
-// uniform over its dynamic instances. ok is false if the instruction never
-// executed under this input or has no result.
+// SiteFor draws an injection site targeting one static instruction under
+// the default model, uniform over its dynamic instances. ok is false if
+// the instruction never executed under this input or has no result.
 func (s *Sampler) SiteFor(instrID int, rng *rand.Rand) (interp.Fault, bool) {
+	return s.SiteForModel(DefaultModel(), instrID, rng)
+}
+
+// SiteForModel is SiteFor perturbed by fault model m.
+func (s *Sampler) SiteForModel(m Model, instrID int, rng *rand.Rand) (interp.Fault, bool) {
 	in := s.mod.Instrs[instrID]
 	if !in.IsInjectable() {
 		return interp.Fault{}, false
@@ -196,11 +208,9 @@ func (s *Sampler) SiteFor(instrID int, rng *rand.Rand) (interp.Fault, bool) {
 	if c == 0 {
 		return interp.Fault{}, false
 	}
-	return interp.Fault{
-		InstrID:  instrID,
-		DynIndex: rng.Int63n(c),
-		Bit:      uint(rng.Intn(int(in.Type.Bits()))),
-	}, true
+	f := interp.Fault{InstrID: instrID, DynIndex: rng.Int63n(c)}
+	m.Perturb(in.Type.Bits(), rng).apply(&f)
+	return f, true
 }
 
 // CampaignResult aggregates trial outcomes. Requested records how many
@@ -276,6 +286,9 @@ type Campaign struct {
 	Cfg     interp.Config
 	Golden  *Golden
 	Workers int // 0 = GOMAXPROCS
+	// Model selects the fault model; nil means the paper's single-bit
+	// flip (DefaultModel).
+	Model   Model
 	Triage  TriagePolicy
 	Metrics *PhaseMetrics
 	// Obs, if non-nil, receives a span per injection batch plus trial and
@@ -290,20 +303,45 @@ func (c *Campaign) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runSites classifies the given fault sites and returns one outcome per
-// site (index-aligned), deterministic for fixed sites. Under TriageAuto
-// it first consults the static triage: provably masked sites are counted
-// Benign without execution (recorded in the Pruned metric) and only the
-// remainder is run. Because the triage is sound, the returned outcomes
-// are identical to an unpruned run.
+// model returns the campaign's fault model, defaulting to a single-bit
+// flip when unset.
+func (c *Campaign) model() Model {
+	if c.Model != nil {
+		return c.Model
+	}
+	return DefaultModel()
+}
+
+// runSites classifies the given fault sites under the campaign's model
+// and returns one outcome per site (index-aligned), deterministic for
+// fixed sites. Under TriageAuto it first consults the static triage:
+// provably masked sites are counted Benign without execution (recorded
+// in the per-model Pruned metric) and only the remainder is run. Pruning
+// is gated on the model's fault class, so a proof is applied only where
+// it is sound; the returned outcomes are identical to an unpruned run.
 func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
+	return c.runSitesModel(c.model(), sites)
+}
+
+// RunSites classifies explicitly constructed fault sites (replay and
+// differential tooling): one outcome per site, index-aligned,
+// deterministic for fixed sites. Triage pruning follows the campaign's
+// policy and model exactly as in Run.
+func (c *Campaign) RunSites(sites []interp.Fault) []Outcome {
+	return c.runSites(sites)
+}
+
+// runSitesModel is runSites with an explicit model (so helpers like
+// RunMultiBit can run a non-default model without mutating the campaign).
+func (c *Campaign) runSitesModel(m Model, sites []interp.Fault) []Outcome {
 	if c.Triage == TriageAuto && len(sites) > 0 {
 		t := analysis.TriageFor(c.Mod)
+		cl := m.Class()
 		outcomes := make([]Outcome, len(sites))
 		kept := make([]interp.Fault, 0, len(sites))
 		keptIdx := make([]int, 0, len(sites))
 		for i, s := range sites {
-			if t.Masked(s.InstrID, s.Bit, s.Mask) {
+			if t.MaskedFor(cl, s.InstrID, s.Bit, s.Mask) {
 				outcomes[i] = OutcomeBenign
 			} else {
 				kept = append(kept, s)
@@ -311,7 +349,7 @@ func (c *Campaign) runSites(sites []interp.Fault) []Outcome {
 			}
 		}
 		if pruned := int64(len(sites) - len(kept)); pruned > 0 {
-			c.Metrics.AddPruned(pruned)
+			c.Metrics.AddPruned(m.Name(), pruned)
 		}
 		if len(kept) == 0 {
 			return outcomes
@@ -387,6 +425,7 @@ func (c *Campaign) execSites(sites []interp.Fault) []Outcome {
 func (c *Campaign) finishSites(outcomes []Outcome, nw int, t0 time.Time) {
 	wall := time.Since(t0)
 	c.Obs.Counter("fault.trials").Add(int64(len(outcomes)))
+	c.Obs.Counter("fault.model." + c.model().Name() + ".trials").Add(int64(len(outcomes)))
 	c.Obs.Histogram("fault.batch_wall_ns").Observe(wall.Nanoseconds())
 	if c.Metrics == nil {
 		return
@@ -424,8 +463,11 @@ func sampleSites(n int, seed int64, draw func(*rand.Rand) (interp.Fault, bool)) 
 // than silently shrinking the sample. The result is deterministic for a
 // fixed (module, input, n, seed) regardless of worker count.
 func (c *Campaign) Run(n int, seed int64) CampaignResult {
+	m := c.model()
 	sampler := NewSampler(c.Mod, c.Golden, false)
-	sites, shortfall := sampleSites(n, seed, sampler.RandomSite)
+	sites, shortfall := sampleSites(n, seed, func(rng *rand.Rand) (interp.Fault, bool) {
+		return sampler.RandomSiteModel(m, rng)
+	})
 	res := CampaignResult{Requested: int64(n), Shortfall: shortfall}
 	c.Metrics.AddShortfall(shortfall)
 	for _, o := range c.runSites(sites) {
@@ -461,6 +503,7 @@ func (s InstrStats) SDCProb() float64 {
 // stats indexed by static instruction ID. Instructions that never execute
 // under this input get Executed=false and zero trials.
 func (c *Campaign) PerInstruction(k int, seed int64) []InstrStats {
+	m := c.model()
 	rng := rand.New(rand.NewSource(seed))
 	sampler := NewSampler(c.Mod, c.Golden, true)
 
@@ -477,7 +520,7 @@ func (c *Campaign) PerInstruction(k int, seed int64) []InstrStats {
 		}
 		stats[in.ID].Executed = true
 		for t := 0; t < k; t++ {
-			site, ok := sampler.SiteFor(in.ID, rng)
+			site, ok := sampler.SiteForModel(m, in.ID, rng)
 			if !ok {
 				break
 			}
@@ -505,40 +548,10 @@ func (c *Campaign) PerInstruction(k int, seed int64) []InstrStats {
 	return stats
 }
 
-// RandomMultiBitSite draws a program-level injection site flipping k
-// random distinct bits of the target value — the multi-bit extension of
-// the fault model. k is clamped to the value's width.
-func (s *Sampler) RandomMultiBitSite(rng *rand.Rand, k int) (interp.Fault, bool) {
-	site, ok := s.RandomSite(rng)
-	if !ok {
-		return site, false
-	}
-	bits := int(s.mod.Instrs[site.InstrID].Type.Bits())
-	if k > bits {
-		k = bits
-	}
-	var mask uint64
-	for picked := 0; picked < k; {
-		b := uint(rng.Intn(bits))
-		if mask&(1<<b) == 0 {
-			mask |= 1 << b
-			picked++
-		}
-	}
-	site.Mask = mask
-	return site, true
-}
-
-// RunMultiBit is Run with k-bit flips per trial instead of single-bit.
+// RunMultiBit is Run under the k-distinct-bit-flip model KBit(k); it is
+// the registry-backed replacement for the old bespoke multi-bit path.
 func (c *Campaign) RunMultiBit(n int, seed int64, k int) CampaignResult {
-	sampler := NewSampler(c.Mod, c.Golden, false)
-	sites, shortfall := sampleSites(n, seed, func(rng *rand.Rand) (interp.Fault, bool) {
-		return sampler.RandomMultiBitSite(rng, k)
-	})
-	res := CampaignResult{Requested: int64(n), Shortfall: shortfall}
-	c.Metrics.AddShortfall(shortfall)
-	for _, o := range c.runSites(sites) {
-		res.Add(o)
-	}
-	return res
+	cc := *c
+	cc.Model = KBit(k)
+	return cc.Run(n, seed)
 }

@@ -364,7 +364,7 @@ func TestMultiBitSiteMask(t *testing.T) {
 	s := NewSampler(m, g, false)
 	rng := rand.New(rand.NewSource(5))
 	for i := 0; i < 500; i++ {
-		site, ok := s.RandomMultiBitSite(rng, 3)
+		site, ok := s.RandomSiteModel(KBit(3), rng)
 		if !ok {
 			t.Fatal("no site")
 		}

@@ -62,6 +62,7 @@ type PhaseMetrics struct {
 	outcomes    [NumOutcomes]int64
 	shortfall   int64
 	pruned      int64
+	prunedBy    map[string]int64 // pruned trials per fault-model name
 	goldenRuns  int64
 	cacheHits   int64
 	cacheMisses int64
@@ -94,15 +95,22 @@ func (p *PhaseMetrics) AddShortfall(n int64) {
 }
 
 // AddPruned records trials the static triage proved benign and the
-// campaign therefore skipped. Pruned trials still appear as Benign in
-// campaign results; this counter is the audit trail distinguishing
-// proved-benign-unrun from executed-and-observed-benign.
-func (p *PhaseMetrics) AddPruned(n int64) {
+// campaign therefore skipped, attributed to the fault model the campaign
+// ran under. Pruned trials still appear as Benign in campaign results;
+// this counter is the audit trail distinguishing proved-benign-unrun
+// from executed-and-observed-benign, and the per-model breakdown lets
+// the differential re-injection suite assert triage soundness
+// model-by-model instead of in aggregate.
+func (p *PhaseMetrics) AddPruned(model string, n int64) {
 	if p == nil || n == 0 {
 		return
 	}
 	p.mu.Lock()
 	p.pruned += n
+	if p.prunedBy == nil {
+		p.prunedBy = make(map[string]int64)
+	}
+	p.prunedBy[model] += n
 	p.mu.Unlock()
 }
 
@@ -174,9 +182,12 @@ type PhaseSnapshot struct {
 	Name        string             `json:"name"`
 	Trials      int64              `json:"trials"` // executed faulty-run trials
 	Outcomes    [NumOutcomes]int64 `json:"outcomes"`
-	Shortfall   int64              `json:"shortfall"`   // requested-but-undrawable trials
-	Pruned      int64              `json:"pruned"`      // trials proved benign by static triage, not executed
-	GoldenRuns  int64              `json:"golden_runs"` // golden executions actually run (cache misses run once)
+	Shortfall   int64              `json:"shortfall"` // requested-but-undrawable trials
+	Pruned      int64              `json:"pruned"`    // trials proved benign by static triage, not executed
+	// PrunedByModel breaks Pruned down by fault-model name (absent when
+	// nothing was pruned).
+	PrunedByModel map[string]int64 `json:"pruned_by_model,omitempty"`
+	GoldenRuns    int64            `json:"golden_runs"` // golden executions actually run (cache misses run once)
 	CacheHits   int64              `json:"cache_hits"`
 	CacheMisses int64              `json:"cache_misses"`
 	Wall        time.Duration      `json:"wall_ns"` // wall-clock time inside instrumented sections
@@ -213,12 +224,20 @@ func (p *PhaseMetrics) Snapshot() PhaseSnapshot {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var byModel map[string]int64
+	if len(p.prunedBy) > 0 {
+		byModel = make(map[string]int64, len(p.prunedBy))
+		for k, v := range p.prunedBy {
+			byModel[k] = v
+		}
+	}
 	return PhaseSnapshot{
-		Name:        p.name,
-		Trials:      p.trials,
-		Outcomes:    p.outcomes,
-		Shortfall:   p.shortfall,
-		Pruned:      p.pruned,
+		Name:          p.name,
+		Trials:        p.trials,
+		Outcomes:      p.outcomes,
+		Shortfall:     p.shortfall,
+		Pruned:        p.pruned,
+		PrunedByModel: byModel,
 		GoldenRuns:  p.goldenRuns,
 		CacheHits:   p.cacheHits,
 		CacheMisses: p.cacheMisses,
@@ -264,6 +283,9 @@ func (m *Metrics) Publish(reg *obs.Registry) {
 		}
 		reg.Counter(prefix + "shortfall").Add(s.Shortfall)
 		reg.Counter(prefix + "pruned").Add(s.Pruned)
+		for model, n := range s.PrunedByModel {
+			reg.Counter(prefix + "pruned.model." + model).Add(n)
+		}
 		reg.Counter(prefix + "golden_runs").Add(s.GoldenRuns)
 		reg.Counter(prefix + "cache_hits").Add(s.CacheHits)
 		reg.Counter(prefix + "cache_misses").Add(s.CacheMisses)

@@ -1,0 +1,311 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+)
+
+// Effect is one perturbation of a value of a given bit width: either a
+// single-bit XOR flip (Bit, Mask zero — the legacy encoding the default
+// model keeps for replay compatibility) or a mask-wide perturbation
+// applied with Op (XOR flip, stuck-at-0, stuck-at-1).
+type Effect struct {
+	Bit  uint
+	Mask uint64
+	Op   interp.FaultOp
+}
+
+// apply transfers the effect onto a drawn site.
+func (e Effect) apply(f *interp.Fault) {
+	f.Bit, f.Mask, f.Op = e.Bit, e.Mask, e.Op
+}
+
+// Model abstracts how a transient fault perturbs the result value of
+// one dynamic instruction. Implementations must be stateless: Perturb's
+// randomness comes only from the supplied RNG (so campaigns replay
+// bit-identically from a seed) and Patterns is a pure function of its
+// arguments (so detector coverage estimates and differential tests are
+// deterministic).
+type Model interface {
+	// Name is the registry key and the -fault-model CLI spelling.
+	Name() string
+	// Class declares the triage-soundness properties of the model; the
+	// campaign consults it before pruning sites by static proof.
+	Class() analysis.FaultClass
+	// Perturb draws one effect for a value width bits wide. It must
+	// consume the RNG identically for equal widths so site streams are
+	// reproducible.
+	Perturb(width uint, rng *rand.Rand) Effect
+	// Patterns enumerates up to max representative effects for a value
+	// width bits wide, deterministically. Detectors use it to estimate
+	// per-model coverage; differential tests use it to replay every
+	// pattern through all engines. max <= 0 selects a model default.
+	Patterns(width uint, max int) []Effect
+}
+
+// widthMaskOf returns the value mask for a width in bits (64 -> all ones).
+func widthMaskOf(width uint) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// ---- registry ----
+
+var (
+	modelMu    sync.RWMutex
+	modelByKey = map[string]Model{}
+	modelOrder []string
+)
+
+// RegisterModel adds m to the registry under m.Name(). Registering a
+// duplicate name panics: model names participate in cache keys and must
+// be stable.
+func RegisterModel(m Model) {
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	name := m.Name()
+	if _, dup := modelByKey[name]; dup {
+		panic(fmt.Sprintf("fault: duplicate model %q", name))
+	}
+	modelByKey[name] = m
+	modelOrder = append(modelOrder, name)
+}
+
+// ModelByName returns the registered model named name.
+func ModelByName(name string) (Model, bool) {
+	modelMu.RLock()
+	defer modelMu.RUnlock()
+	m, ok := modelByKey[name]
+	return m, ok
+}
+
+// Models returns every registered model in registration order.
+func Models() []Model {
+	modelMu.RLock()
+	defer modelMu.RUnlock()
+	out := make([]Model, len(modelOrder))
+	for i, name := range modelOrder {
+		out[i] = modelByKey[name]
+	}
+	return out
+}
+
+// ModelNames returns every registered model name in registration order.
+func ModelNames() []string {
+	modelMu.RLock()
+	defer modelMu.RUnlock()
+	return append([]string(nil), modelOrder...)
+}
+
+// DefaultModel returns the paper's model: a single-bit flip.
+func DefaultModel() Model { return bitFlipModel{} }
+
+func init() {
+	RegisterModel(bitFlipModel{})
+	RegisterModel(KBit(2))
+	RegisterModel(byteFlipModel{})
+	RegisterModel(stuckAtModel{one: false})
+	RegisterModel(stuckAtModel{one: true})
+	RegisterModel(defectModel{})
+}
+
+// valueClass is shared by every register-value model here: the fault
+// touches exactly the bits its site mask declares on a single result.
+var valueClass = analysis.FaultClass{ValueLocal: true, BitsBounded: true}
+
+// ---- bitflip: the paper's single-bit flip (§II-A) ----
+
+type bitFlipModel struct{}
+
+func (bitFlipModel) Name() string               { return "bitflip" }
+func (bitFlipModel) Class() analysis.FaultClass { return valueClass }
+
+// Perturb draws exactly one rng.Intn(width), preserving the legacy site
+// stream so default campaigns stay byte-identical across the refactor.
+func (bitFlipModel) Perturb(width uint, rng *rand.Rand) Effect {
+	return Effect{Bit: uint(rng.Intn(int(width)))}
+}
+
+func (bitFlipModel) Patterns(width uint, max int) []Effect {
+	n := int(width)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Effect, n)
+	for i := range out {
+		out[i] = Effect{Mask: 1 << uint(i)}
+	}
+	return out
+}
+
+// ---- bitflip<k>: k distinct bits flipped per trial ----
+
+type kBitModel struct{ k int }
+
+// KBit returns the k-distinct-bit-flip model (the multi-bit extension
+// formerly reachable only through Campaign.RunMultiBit).
+func KBit(k int) Model {
+	if k < 1 {
+		k = 1
+	}
+	return kBitModel{k: k}
+}
+
+func (m kBitModel) Name() string               { return fmt.Sprintf("bitflip%d", m.k) }
+func (m kBitModel) Class() analysis.FaultClass { return valueClass }
+
+// Perturb keeps RandomMultiBitSite's draw discipline: rejection-sample
+// single bits until k distinct ones accumulate, k clamped to the width.
+func (m kBitModel) Perturb(width uint, rng *rand.Rand) Effect {
+	bits := int(width)
+	k := m.k
+	if k > bits {
+		k = bits
+	}
+	var mask uint64
+	for picked := 0; picked < k; {
+		b := uint(rng.Intn(bits))
+		if mask&(1<<b) == 0 {
+			mask |= 1 << b
+			picked++
+		}
+	}
+	return Effect{Mask: mask}
+}
+
+func (m kBitModel) Patterns(width uint, max int) []Effect {
+	if max <= 0 {
+		max = 32
+	}
+	return drawPatterns(m, width, max, int64(m.k))
+}
+
+// ---- byteflip: a whole byte lane corrupted at once ----
+
+type byteFlipModel struct{}
+
+func (byteFlipModel) Name() string               { return "byteflip" }
+func (byteFlipModel) Class() analysis.FaultClass { return valueClass }
+
+func (byteFlipModel) Perturb(width uint, rng *rand.Rand) Effect {
+	if width < 8 {
+		return Effect{Mask: widthMaskOf(width)}
+	}
+	lane := uint(rng.Intn(int(width) / 8))
+	pat := uint64(1 + rng.Intn(255))
+	return Effect{Mask: pat << (8 * lane)}
+}
+
+func (byteFlipModel) Patterns(width uint, max int) []Effect {
+	if width < 8 {
+		return []Effect{{Mask: widthMaskOf(width)}}
+	}
+	if max <= 0 {
+		max = 32
+	}
+	return drawPatterns(byteFlipModel{}, width, max, 0)
+}
+
+// ---- stuckat0 / stuckat1: one bit forced to a level ----
+
+type stuckAtModel struct{ one bool }
+
+func (m stuckAtModel) Name() string {
+	if m.one {
+		return "stuckat1"
+	}
+	return "stuckat0"
+}
+
+func (m stuckAtModel) Class() analysis.FaultClass { return valueClass }
+
+func (m stuckAtModel) op() interp.FaultOp {
+	if m.one {
+		return interp.FaultStuckAt1
+	}
+	return interp.FaultStuckAt0
+}
+
+func (m stuckAtModel) Perturb(width uint, rng *rand.Rand) Effect {
+	bit := uint(rng.Intn(int(width)))
+	return Effect{Mask: 1 << bit, Op: m.op()}
+}
+
+func (m stuckAtModel) Patterns(width uint, max int) []Effect {
+	n := int(width)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Effect, n)
+	for i := range out {
+		out[i] = Effect{Mask: 1 << uint(i), Op: m.op()}
+	}
+	return out
+}
+
+// ---- defect: a repeating stuck-at-1 line across every byte lane ----
+
+// defectModel models a defective datapath component corrupting the same
+// bit line of every byte lane at once (the repeating error patterns of
+// the GPU error study / ITHICA in PAPERS.md).
+type defectModel struct{}
+
+func (defectModel) Name() string               { return "defect" }
+func (defectModel) Class() analysis.FaultClass { return valueClass }
+
+const defectLanes = 0x0101010101010101
+
+func (defectModel) Perturb(width uint, rng *rand.Rand) Effect {
+	if width < 8 {
+		return Effect{Mask: widthMaskOf(width), Op: interp.FaultStuckAt1}
+	}
+	line := uint(rng.Intn(8))
+	return Effect{Mask: (defectLanes << line) & widthMaskOf(width), Op: interp.FaultStuckAt1}
+}
+
+func (defectModel) Patterns(width uint, max int) []Effect {
+	if width < 8 {
+		return []Effect{{Mask: widthMaskOf(width), Op: interp.FaultStuckAt1}}
+	}
+	n := 8
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]Effect, n)
+	for i := range out {
+		out[i] = Effect{Mask: (defectLanes << uint(i)) & widthMaskOf(width), Op: interp.FaultStuckAt1}
+	}
+	return out
+}
+
+// drawPatterns enumerates up to max distinct effects of m by drawing
+// from an RNG seeded purely by (model name, width, salt) — deterministic
+// for a fixed model and width, independent of campaign seeds.
+func drawPatterns(m Model, width uint, max int, salt int64) []Effect {
+	var seed int64 = salt*1_000_003 + int64(width)
+	for _, c := range m.Name() {
+		seed = seed*31 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[uint64]bool, max)
+	out := make([]Effect, 0, max)
+	for tries := 0; len(out) < max && tries < max*16; tries++ {
+		e := m.Perturb(width, rng)
+		key := e.Mask ^ uint64(e.Op)<<62
+		if e.Mask == 0 {
+			key = 1 << uint(e.Bit)
+			e = Effect{Mask: key}
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

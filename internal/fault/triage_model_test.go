@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+)
+
+// TestTriageModelSoundness extends the triage soundness enforcement to
+// every registered fault model: sites the triage prunes under a model's
+// FaultClass are re-injected for real (TriageOff) with that model's own
+// effect patterns, and every one must come back Benign. One SDC, crash,
+// hang, or detection is a soundness bug in MaskedFor/ValidFor for that
+// class — exactly the regression a new model is most likely to introduce.
+func TestTriageModelSoundness(t *testing.T) {
+	maxSites := 64
+	if testing.Short() {
+		maxSites = 16
+	}
+	var bench *benchprog.Benchmark
+	for _, b := range benchprog.All() {
+		if b.Name == "pathfinder" {
+			bench = b
+		}
+	}
+	m := bench.MustModule()
+	bind := bench.Bind(bench.Reference)
+	cfg := bench.ExecConfig()
+	cfg.Engine = interp.EngineLegacy
+	golden, err := RunGolden(m, bind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := analysis.TriageFor(m)
+
+	for _, mn := range ModelNames() {
+		model, _ := ModelByName(mn)
+		cl := model.Class()
+		t.Run(mn, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			var sites []interp.Fault
+			for _, in := range m.Instrs {
+				if !in.IsInjectable() || golden.Profile.InstrCount[in.ID] == 0 {
+					continue
+				}
+				for _, e := range model.Patterns(in.Type.Bits(), 4) {
+					if !tri.MaskedFor(cl, in.ID, e.Bit, e.Mask) {
+						continue
+					}
+					sites = append(sites, interp.Fault{
+						InstrID:  in.ID,
+						DynIndex: rng.Int63n(golden.Profile.InstrCount[in.ID]),
+						Bit:      e.Bit, Mask: e.Mask, Op: e.Op,
+					})
+				}
+			}
+			if len(sites) == 0 {
+				t.Skipf("%s: no prunable executed sites under model %s", bench.Name, mn)
+			}
+			if len(sites) > maxSites {
+				rng.Shuffle(len(sites), func(i, j int) { sites[i], sites[j] = sites[j], sites[i] })
+				sites = sites[:maxSites]
+			}
+			camp := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden, Triage: TriageOff}
+			for i, o := range camp.RunSites(sites) {
+				if o != OutcomeBenign {
+					s := sites[i]
+					t.Fatalf("UNSOUND under %s: [%d] %s bit %d mask %#x op %v dyn %d -> %s",
+						mn, s.InstrID, m.Instrs[s.InstrID].Op, s.Bit, s.Mask, s.Op, s.DynIndex, o)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignModelTriageEquivalence checks result purity per model: a
+// pruning campaign returns a bit-identical CampaignResult to an unpruned
+// one at the same seed for every registered model, and the pruned-trial
+// accounting is keyed by the model's name in PrunedByModel.
+func TestCampaignModelTriageEquivalence(t *testing.T) {
+	var bench *benchprog.Benchmark
+	for _, b := range benchprog.All() {
+		if b.Name == "kmeans" {
+			bench = b
+		}
+	}
+	m := bench.MustModule()
+	bind := bench.Bind(bench.Reference)
+	cfg := bench.ExecConfig()
+	golden, err := RunGolden(m, bind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 200
+	if testing.Short() {
+		trials = 60
+	}
+	for _, mn := range ModelNames() {
+		model, _ := ModelByName(mn)
+		t.Run(mn, func(t *testing.T) {
+			pm := &PhaseMetrics{name: "test"}
+			on := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden,
+				Model: model, Triage: TriageAuto, Metrics: pm}
+			off := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: golden,
+				Model: model, Triage: TriageOff}
+			ron := on.Run(trials, 42)
+			roff := off.Run(trials, 42)
+			if ron != roff {
+				t.Fatalf("triage changed the %s campaign result:\n  on:  %+v\n  off: %+v", mn, ron, roff)
+			}
+			snap := pm.Snapshot()
+			if snap.Pruned != 0 {
+				if got := snap.PrunedByModel[mn]; got != snap.Pruned {
+					t.Fatalf("PrunedByModel[%s] = %d, want %d (all pruning under one model)",
+						mn, got, snap.Pruned)
+				}
+			}
+			if snap.Trials+snap.Pruned != ron.Trials {
+				t.Fatalf("executed (%d) + pruned (%d) != total trials (%d)",
+					snap.Trials, snap.Pruned, ron.Trials)
+			}
+		})
+	}
+}

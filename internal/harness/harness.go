@@ -42,6 +42,12 @@ type Profile struct {
 	MaxGenerations   int
 	Seed             int64
 	Workers          int // 0 = GOMAXPROCS
+	// FaultModel names the injected fault model and Detector the
+	// detector portfolio; empty values select the paper's bitflip +
+	// duplication defaults and reproduce the original figures
+	// byte-for-byte.
+	FaultModel string
+	Detector   string
 }
 
 // Quick returns the reduced profile used by tests and benchmarks.
@@ -240,6 +246,8 @@ func (r *Runner) evalTask(b *benchprog.Benchmark) *pipeline.EvalTask {
 		FaultsPerInstr: p.FaultsPerInstr,
 		Seed:           p.Seed,
 		SearchCfg:      p.searchConfig(p.Seed + 17),
+		FaultModel:     p.FaultModel,
+		Detector:       p.Detector,
 		Env:            r.env(),
 	}
 }
@@ -294,23 +302,23 @@ func (r *Runner) Evaluate(b *benchprog.Benchmark) (*BenchEval, error) {
 
 // protection bundles a protected binary with what true-coverage replay
 // needs: the original module, the static instruction-ID mapping, and the
-// chosen instruction IDs that content-address its campaigns.
+// full selection (chosen IDs plus per-site detectors) that
+// content-addresses its campaigns.
 type protection struct {
-	orig   *ir.Module
-	mod    *ir.Module
-	ids    map[int]int
-	chosen []int
+	orig *ir.Module
+	mod  *ir.Module
+	ids  map[int]int
+	sel  sid.Selection
 }
 
 // protectionOf adapts a pipeline protection output.
 func protectionOf(p *pipeline.ProtectOut) protection {
-	return protection{orig: p.Orig, mod: p.Mod, ids: p.IDs, chosen: p.Sel.Chosen}
+	return protection{orig: p.Orig, mod: p.Mod, ids: p.IDs, sel: p.Sel}
 }
 
 // taskOf rebuilds the pipeline form of a protection.
 func (pr protection) taskOf() *pipeline.ProtectOut {
-	return &pipeline.ProtectOut{Orig: pr.orig, Mod: pr.mod, IDs: pr.ids,
-		Sel: sid.Selection{Chosen: pr.chosen}}
+	return &pipeline.ProtectOut{Orig: pr.orig, Mod: pr.mod, IDs: pr.ids, Sel: pr.sel}
 }
 
 // measureCoverage measures the paper-definition SDC coverage of a
@@ -328,6 +336,7 @@ func (r *Runner) measureCoverage(prot protection, bind interp.Binding, exec inte
 		Exec:   exec,
 		Trials: r.P.FaultsPerProgram,
 		Seed:   seed,
+		Model:  r.P.FaultModel,
 		Env:    r.env(),
 	})
 	if err != nil {

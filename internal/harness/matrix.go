@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/sid"
+)
+
+// MatrixCell is one (fault model, detector) cell of the detector-matrix
+// experiment: the portfolio's own coverage estimate and the measured
+// paper-definition true coverage on the reference input.
+type MatrixCell struct {
+	Expected float64 // selection's expected coverage under the model
+	Cov      float64 // measured true coverage
+	Ok       bool    // coverage defined (an SDC fault was observed)
+	Sites    int     // chosen sites
+}
+
+// matrixLevel is the protection level the matrix experiment evaluates:
+// the middle of the paper's 0.3/0.5/0.7 sweep.
+const matrixLevel = 0.5
+
+// DetectorMatrix protects one benchmark at the 50% level under every
+// registered fault model × single-detector portfolio and measures true
+// coverage on the reference input. Every protection and campaign is a
+// pipeline node, so the default (bitflip, dup) cell reuses the exact
+// nodes of the paper experiments, and a warm artifact store serves
+// repeats. Detectors that apply to no site in a benchmark simply select
+// fewer (or zero) sites; the cell still renders.
+func DetectorMatrix(r *Runner, b *benchprog.Benchmark, w io.Writer) error {
+	models := fault.ModelNames()
+	dets := sid.DetectorNames()
+	cells := make(map[[2]string]MatrixCell, len(models)*len(dets))
+	tgt := target(b)
+	for _, mn := range models {
+		mt := &pipeline.MeasureTask{Target: tgt, Input: b.Reference,
+			FaultsPerInstr: r.P.FaultsPerInstr, Seed: r.P.Seed, Model: mn, Env: r.env()}
+		for _, dn := range dets {
+			pt := &pipeline.ProtectTask{Target: tgt, Level: matrixLevel, Measure: mt,
+				Detector: dn, Model: mn, Env: r.env()}
+			v, err := r.Pipe.Run(pt)
+			if err != nil {
+				return fmt.Errorf("matrix %s/%s protect: %w", mn, dn, err)
+			}
+			po := v.(*pipeline.ProtectOut)
+			cv, err := r.Pipe.Run(&pipeline.CampaignTask{Prot: po, Bind: b.Bind(b.Reference),
+				Exec: tgt.Exec, Trials: r.P.FaultsPerProgram, Seed: r.P.Seed, Model: mn, Env: r.env()})
+			if err != nil {
+				return fmt.Errorf("matrix %s/%s campaign: %w", mn, dn, err)
+			}
+			co := cv.(*pipeline.CoverageOut)
+			cells[[2]string{mn, dn}] = MatrixCell{
+				Expected: po.Sel.ExpectedCoverage,
+				Cov:      co.Cov,
+				Ok:       co.Ok,
+				Sites:    len(po.Sel.Chosen),
+			}
+		}
+	}
+	return RenderDetectorMatrix(w, r.P.Name, b.Name, models, dets, cells)
+}
+
+// RenderDetectorMatrix prints the detector × fault-model matrix: one row
+// per model, one column group per detector showing measured true
+// coverage, the portfolio's expectation, and the selected site count.
+// Split from DetectorMatrix so golden tests can render fixed data.
+func RenderDetectorMatrix(w io.Writer, profileName, bench string, models, dets []string, cells map[[2]string]MatrixCell) error {
+	fmt.Fprintf(w, "Detector × fault-model true-coverage matrix (%s, level %.0f%%, profile %s)\n",
+		bench, matrixLevel*100, profileName)
+	tw := newTable(w)
+	fmt.Fprint(tw, "Model")
+	for _, d := range dets {
+		fmt.Fprintf(tw, "\t%s meas\texp\tsites", d)
+	}
+	fmt.Fprintln(tw)
+	for _, m := range models {
+		fmt.Fprint(tw, m)
+		for _, d := range dets {
+			c := cells[[2]string{m, d}]
+			meas := "n/a"
+			if c.Ok {
+				meas = fmt.Sprintf("%.2f%%", c.Cov*100)
+			}
+			fmt.Fprintf(tw, "\t%s\t%.2f%%\t%d", meas, c.Expected*100, c.Sites)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

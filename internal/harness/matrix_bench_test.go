@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/sid"
+)
+
+// BenchmarkDetectorCampaign measures fault-injection throughput on a
+// protected binary for every fault model × detector portfolio cell:
+// ns/trial is the per-injection cost of running the campaign against a
+// module carrying that detector's checks under that model's effects.
+// CI appends the results to BENCH_detectors.json and gates regressions
+// with cmd/benchdiff, so a detector lowering or flip-path change that
+// slows the campaign engine shows up per cell.
+func BenchmarkDetectorCampaign(b *testing.B) {
+	bench, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		b.Fatal("benchmark lookup failed")
+	}
+	const trials = 40
+	r := NewRunner(tinyProfile())
+	tgt := target(bench)
+	bind := bench.Bind(bench.Reference)
+	for _, mn := range fault.ModelNames() {
+		model, _ := fault.ModelByName(mn)
+		mt := &pipeline.MeasureTask{Target: tgt, Input: bench.Reference,
+			FaultsPerInstr: r.P.FaultsPerInstr, Seed: r.P.Seed, Model: mn, Env: r.env()}
+		for _, dn := range sid.DetectorNames() {
+			b.Run(fmt.Sprintf("model=%s/det=%s", mn, dn), func(b *testing.B) {
+				v, err := r.Pipe.Run(&pipeline.ProtectTask{Target: tgt, Level: matrixLevel,
+					Measure: mt, Detector: dn, Model: mn, Env: r.env()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				po := v.(*pipeline.ProtectOut)
+				cfg := tgt.Exec
+				g, err := fault.RunGolden(po.Mod, bind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := &fault.Campaign{Mod: po.Mod, Bind: bind, Cfg: cfg,
+					Golden: g, Model: model, Workers: 1}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Run(trials, int64(i)+1)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+			})
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sid"
+)
+
+// TestMatrixGolden pins the detector × fault-model table layout on fixed
+// synthetic cells (regenerate with -update, like the other renderers).
+func TestMatrixGolden(t *testing.T) {
+	models := []string{"bitflip", "byteflip"}
+	dets := []string{"dup", "inv"}
+	cells := map[[2]string]MatrixCell{
+		{"bitflip", "dup"}:  {Expected: 0.97, Cov: 0.9312, Ok: true, Sites: 38},
+		{"bitflip", "inv"}:  {Expected: 0.41, Cov: 0.3847, Ok: true, Sites: 12},
+		{"byteflip", "dup"}: {Expected: 0.95, Cov: 0.9104, Ok: true, Sites: 38},
+		{"byteflip", "inv"}: {Expected: 0.38, Sites: 0}, // no SDC observed
+	}
+	var buf bytes.Buffer
+	if err := RenderDetectorMatrix(&buf, "quick", "alpha", models, dets, cells); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	checkGolden(t, "detmatrix.golden", buf.Bytes())
+}
+
+// TestMatrixRuns executes the real matrix experiment on one benchmark at
+// a tiny budget: every registered model × detector cell must render, and
+// the dup column must select sites under every model.
+func TestMatrixRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model × detector sweep")
+	}
+	r := NewRunner(tinyProfile())
+	b := benchSubset(t, "pathfinder")[0]
+	var buf bytes.Buffer
+	if err := DetectorMatrix(r, b, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, mn := range fault.ModelNames() {
+		if !strings.Contains(out, mn+"\t") && !strings.Contains(out, "\n"+mn) {
+			t.Errorf("matrix output missing model row %s:\n%s", mn, out)
+		}
+	}
+	for _, dn := range sid.DetectorNames() {
+		if !strings.Contains(out, dn+" meas") {
+			t.Errorf("matrix output missing detector column %s:\n%s", dn, out)
+		}
+	}
+}
+
+// TestScenarioInvariance is the default-path guard for the pluggable
+// model/detector refactor: running non-default scenarios (the full
+// detector × fault-model matrix) on a Runner first must not perturb a
+// single byte of the default bitflip+dup figure output afterwards —
+// task keys, RNG streams, and selections of the default path may not be
+// touched by foreign-model artifacts sharing the store.
+func TestScenarioInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the matrix sweep twice-over budget")
+	}
+	benches := benchSubset(t, "pathfinder")
+
+	var clean bytes.Buffer
+	rClean := NewRunner(tinyProfile())
+	if err := Fig2(rClean, benches, &clean); err != nil {
+		t.Fatal(err)
+	}
+
+	var dirty bytes.Buffer
+	rDirty := NewRunner(tinyProfile())
+	if err := DetectorMatrix(rDirty, benches[0], &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig2(rDirty, benches, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean.Bytes(), dirty.Bytes()) {
+		t.Errorf("Fig2 output perturbed by a prior matrix sweep:\n--- clean ---\n%s\n--- after matrix ---\n%s",
+			clean.String(), dirty.String())
+	}
+}

@@ -1050,13 +1050,18 @@ func (r *Runner) takeEdgeFault(fr *frame, e int32) {
 // dynamic-occurrence counter either way (mirroring Runner.flip).
 func (r *Runner) flipSlot(regs []uint64, dst int32, tbits uint8) {
 	if r.faultSeen == r.fault.DynIndex {
-		if r.fault.Mask != 0 {
-			mask := r.fault.Mask
-			if tbits == 1 {
-				mask &= 1
-			}
+		mask := r.fault.Mask
+		if tbits == 1 {
+			mask &= 1
+		}
+		switch {
+		case r.fault.Op == FaultStuckAt0:
+			regs[dst] &^= mask
+		case r.fault.Op == FaultStuckAt1:
+			regs[dst] |= mask
+		case r.fault.Mask != 0:
 			regs[dst] ^= mask
-		} else {
+		default:
 			bit := r.fault.Bit % uint(tbits)
 			regs[dst] ^= 1 << bit
 		}

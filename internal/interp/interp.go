@@ -44,16 +44,46 @@ func (s Status) String() string {
 	}
 }
 
-// Fault requests a bit flip in the return value of the DynIndex-th
+// FaultOp selects how a fault perturbs the target value. The zero value
+// is the XOR flip of the original single-bit model, so existing Fault
+// literals keep their meaning.
+type FaultOp uint8
+
+const (
+	// FaultXor flips bits: the single bit Bit, or the whole Mask when
+	// Mask is nonzero (the classic transient-flip models).
+	FaultXor FaultOp = iota
+	// FaultStuckAt0 clears the Mask bits (a defective cell reading 0).
+	FaultStuckAt0
+	// FaultStuckAt1 sets the Mask bits (a defective cell reading 1).
+	FaultStuckAt1
+)
+
+// String returns the operation name.
+func (o FaultOp) String() string {
+	switch o {
+	case FaultStuckAt0:
+		return "stuck-at-0"
+	case FaultStuckAt1:
+		return "stuck-at-1"
+	default:
+		return "xor"
+	}
+}
+
+// Fault requests a perturbation of the return value of the DynIndex-th
 // dynamic execution (0-based) of static instruction InstrID. The default
-// model flips the single bit Bit; setting Mask to a nonzero value XORs the
-// whole mask instead (multi-bit faults, as studied by multi-bit resilience
-// work the paper cites).
+// model flips the single bit Bit; setting Mask to a nonzero value applies
+// Op over the whole mask instead: FaultXor flips the mask bits (multi-bit
+// faults, as studied by multi-bit resilience work the paper cites), and
+// the stuck-at ops force them to 0 or 1 (hard-defect models). The mask is
+// narrowed to the value width exactly as the single-bit path narrows Bit.
 type Fault struct {
 	InstrID  int
 	DynIndex int64
 	Bit      uint
-	Mask     uint64 // nonzero: flip these bits instead of Bit
+	Mask     uint64  // nonzero: perturb these bits instead of Bit
+	Op       FaultOp // how Mask perturbs the value (FaultXor flips)
 }
 
 // Binding supplies a program input: scalar arguments for main and the
@@ -959,13 +989,18 @@ func (r *Runner) flip(in *ir.Instr, fr *frame, hasRes bool, _ uint64) {
 		return
 	}
 	if r.faultSeen == r.fault.DynIndex {
-		if r.fault.Mask != 0 {
-			mask := r.fault.Mask
-			if in.Type == ir.I1 {
-				mask &= 1
-			}
+		mask := r.fault.Mask
+		if in.Type == ir.I1 {
+			mask &= 1
+		}
+		switch {
+		case r.fault.Op == FaultStuckAt0:
+			fr.regs[in.Dst] &^= mask
+		case r.fault.Op == FaultStuckAt1:
+			fr.regs[in.Dst] |= mask
+		case r.fault.Mask != 0:
 			fr.regs[in.Dst] ^= mask
-		} else {
+		default:
 			bit := r.fault.Bit % in.Type.Bits()
 			fr.regs[in.Dst] ^= 1 << bit
 		}

@@ -50,13 +50,19 @@ type EvalTask struct {
 	FaultsPerInstr int
 	Seed           int64
 	SearchCfg      minpsid.Config // carries the search seed
-	Env            Env
+	// FaultModel and Detector select the injected fault model and the
+	// detector portfolio for every protection and campaign of the
+	// evaluation ("" = the paper's bitflip + duplication defaults).
+	FaultModel string
+	Detector   string
+	Env        Env
 }
 
 // Measure returns the reference-measurement subtask (shared with
 // figure-specific drivers that need the raw measurement node).
 func (t *EvalTask) Measure() *MeasureTask {
-	return &MeasureTask{Target: t.Target, Input: t.Ref, FaultsPerInstr: t.FaultsPerInstr, Seed: t.Seed, Env: t.Env}
+	return &MeasureTask{Target: t.Target, Input: t.Ref, FaultsPerInstr: t.FaultsPerInstr,
+		Seed: t.Seed, Model: t.FaultModel, Env: t.Env}
 }
 
 // SearchNode returns the input-search subtask.
@@ -74,15 +80,20 @@ func (t *EvalTask) Kind() string { return "eval" }
 
 // Key implements Task.
 func (t *EvalTask) Key() Key {
-	return NewHasher("eval").
+	h := NewHasher("eval").
 		Key(t.Measure().Key()).
 		Key(t.SearchNode().Key()).
 		Key(t.InputsNode().Key()).
 		F64s(t.Levels).
 		I64(int64(t.EvalInputs)).
 		I64(int64(t.Trials)).
-		I64(t.Seed).
-		Sum()
+		I64(t.Seed)
+	// The model reaches the key through Measure().Key(); the detector
+	// portfolio extends it only when non-default.
+	if d := NormDetector(t.Detector); d != sid.DefaultDetector().Name() {
+		h.Str("detector").Str(d)
+	}
+	return h.Sum()
 }
 
 // Deps implements Task.
@@ -99,8 +110,10 @@ func (t *EvalTask) Run(rt *Runtime) (any, error) {
 	roots := []Task{mt, st, it}
 	for _, level := range t.Levels {
 		roots = append(roots,
-			&ProtectTask{Target: t.Target, Level: level, Measure: mt, Env: t.Env},
-			&ProtectTask{Target: t.Target, Level: level, Measure: mt, Search: st, Env: t.Env},
+			&ProtectTask{Target: t.Target, Level: level, Measure: mt,
+				Detector: t.Detector, Model: t.FaultModel, Env: t.Env},
+			&ProtectTask{Target: t.Target, Level: level, Measure: mt, Search: st,
+				Detector: t.Detector, Model: t.FaultModel, Env: t.Env},
 		)
 	}
 	outs, err := rt.Await(roots...)
@@ -128,8 +141,10 @@ func (t *EvalTask) Run(rt *Runtime) (any, error) {
 			seed := t.Seed + int64(i)*31 + int64(level*100)
 			bind := t.Target.Bind(in)
 			camps = append(camps,
-				&CampaignTask{Prot: base, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials, Seed: seed, Env: t.Env},
-				&CampaignTask{Prot: minp, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials, Seed: seed, Env: t.Env},
+				&CampaignTask{Prot: base, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials,
+					Seed: seed, Model: t.FaultModel, Env: t.Env},
+				&CampaignTask{Prot: minp, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials,
+					Seed: seed, Model: t.FaultModel, Env: t.Env},
 			)
 		}
 	}

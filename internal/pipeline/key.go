@@ -79,6 +79,15 @@ func (h *Hasher) Ints(vs []int) *Hasher {
 	return h
 }
 
+// Strs appends a length-prefixed []string component.
+func (h *Hasher) Strs(vs []string) *Hasher {
+	h.word('S', uint64(len(vs)))
+	for _, v := range vs {
+		h.Str(v)
+	}
+	return h
+}
+
 // F64s appends a length-prefixed []float64 component.
 func (h *Hasher) F64s(vs []float64) *Hasher {
 	h.word('F', uint64(len(vs)))

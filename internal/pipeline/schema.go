@@ -25,6 +25,11 @@ type Report struct {
 	Profile    string `json:"profile,omitempty"`
 	Seed       int64  `json:"seed"`
 	Workers    int    `json:"workers"`
+	// FaultModel and Detector record a non-default fault model and
+	// detector portfolio; empty for the paper's bitflip + duplication
+	// defaults, so default-path reports are byte-identical.
+	FaultModel string `json:"fault_model,omitempty"`
+	Detector   string `json:"detector,omitempty"`
 	// CacheDir is the versioned on-disk artifact directory, empty when the
 	// persistent tier was disabled.
 	CacheDir string `json:"cache_dir,omitempty"`

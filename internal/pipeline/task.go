@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -14,6 +15,35 @@ import (
 	"repro/internal/minpsid"
 	"repro/internal/sid"
 )
+
+// NormModel canonicalizes a fault-model spelling: "" means the paper's
+// default model. Task keys hash the canonical form only when it differs
+// from the default, so every pre-existing artifact key is unchanged.
+func NormModel(name string) string {
+	if name == "" {
+		return fault.DefaultModel().Name()
+	}
+	return name
+}
+
+// NormDetector canonicalizes a detector-portfolio spec: "" means the
+// dup-only portfolio the paper evaluates.
+func NormDetector(spec string) string {
+	if spec == "" {
+		return sid.DefaultDetector().Name()
+	}
+	return spec
+}
+
+// modelFor resolves a canonical model name against the registry.
+func modelFor(name string) (fault.Model, error) {
+	m, ok := fault.ModelByName(NormModel(name))
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown fault model %q (have %s)",
+			name, strings.Join(fault.ModelNames(), ", "))
+	}
+	return m, nil
+}
 
 // Env carries the observational machinery tasks thread into the campaign
 // engine: the in-memory golden-run/campaign cache, the per-phase metrics
@@ -66,7 +96,10 @@ type MeasureTask struct {
 	Input          inputgen.Input
 	FaultsPerInstr int
 	Seed           int64
-	Env            Env
+	// Model names the fault model the measurement campaign injects
+	// ("" = the paper's single-bit flip).
+	Model string
+	Env   Env
 }
 
 // Kind implements Task.
@@ -78,14 +111,19 @@ func (t *MeasureTask) Kind() string { return "measure" }
 // though a sound triage cannot change them (defense against an unsound
 // revision silently reusing stale artifacts).
 func (t *MeasureTask) Key() Key {
-	return NewHasher("measure").
+	h := NewHasher("measure").
 		Key(ModuleHash(t.Target.Mod)).
 		Key(BindingHash(t.Target.Bind(t.Input))).
 		Key(ExecHash(t.Target.Exec)).
 		I64(int64(t.FaultsPerInstr)).
 		I64(t.Seed).
-		Str(analysis.Version).
-		Sum()
+		Str(analysis.Version)
+	// Non-default models extend the key; the default path keys exactly as
+	// before, so persisted default artifacts stay valid.
+	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
+		h.Str("model").Str(m)
+	}
+	return h.Sum()
 }
 
 // Deps implements Task.
@@ -93,11 +131,16 @@ func (t *MeasureTask) Deps() []Task { return nil }
 
 // Run implements Task.
 func (t *MeasureTask) Run(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	meas, err := sid.Measure(t.Target.Mod, t.Target.Bind(t.Input), sid.Config{
 		Exec:           t.Target.Exec,
 		FaultsPerInstr: t.FaultsPerInstr,
 		Seed:           t.Seed,
+		Model:          model,
 		Workers:        t.Env.Workers,
 		Cache:          t.Env.Cache,
 		Metrics:        t.Env.Metrics.Phase(fault.PhaseRefFI),
@@ -305,7 +348,13 @@ type ProtectTask struct {
 	Level   float64
 	Measure *MeasureTask
 	Search  *SearchTask // nil = baseline SID
-	Env     Env
+	// Detector is the detector-portfolio spec ("" or "dup" = the legacy
+	// duplication-everywhere transform; "dup,inv,cfgsig" or "all" selects
+	// per site via the multi-choice knapsack). Model names the fault
+	// model the portfolio's coverage estimates assume.
+	Detector string
+	Model    string
+	Env      Env
 }
 
 // Kind implements Task.
@@ -318,6 +367,14 @@ func (t *ProtectTask) Key() Key {
 		h.Str("minpsid").Key(t.Search.Key())
 	} else {
 		h.Str("sid")
+	}
+	// A non-default portfolio changes both the selection (coverage-scaled
+	// benefits under the model) and the lowering; the default keys as
+	// before. The model alone does not extend the key here: with the
+	// dup-only portfolio it influences protection only through the
+	// measurement, which Measure.Key already pins.
+	if d := NormDetector(t.Detector); d != sid.DefaultDetector().Name() {
+		h.Str("detector").Str(d).Str(NormModel(t.Model))
 	}
 	return h.Sum()
 }
@@ -337,6 +394,26 @@ func (t *ProtectTask) Run(rt *Runtime) (any, error) {
 		sr := rt.Out(t.Search).(*minpsid.SearchResult)
 		meas = minpsid.Reprioritize(meas, sr)
 	}
+	if d := NormDetector(t.Detector); d != sid.DefaultDetector().Name() {
+		portfolio, err := sid.ParsePortfolio(d)
+		if err != nil {
+			return nil, err
+		}
+		model, err := modelFor(t.Model)
+		if err != nil {
+			return nil, err
+		}
+		sel := sid.SelectPortfolio(t.Target.Mod, meas, t.Level, sid.MethodDP, portfolio, model)
+		mod := sid.LowerSelection(t.Target.Mod, sel)
+		return &ProtectOut{
+			Orig: t.Target.Mod,
+			Mod:  mod,
+			IDs:  sid.InstrMap(t.Target.Mod, mod),
+			Sel:  sel,
+		}, nil
+	}
+	// Default portfolio: the legacy single-detector path, kept verbatim so
+	// the paper's defaults remain byte-identical.
 	sel := sid.Select(t.Target.Mod, meas, t.Level, sid.MethodDP)
 	return &ProtectOut{
 		Orig: t.Target.Mod,
@@ -447,7 +524,10 @@ type CampaignTask struct {
 	Exec   interp.Config
 	Trials int
 	Seed   int64
-	Env    Env
+	// Model names the fault model both campaign phases inject ("" = the
+	// paper's single-bit flip).
+	Model string
+	Env   Env
 }
 
 // Kind implements Task.
@@ -456,15 +536,25 @@ func (t *CampaignTask) Kind() string { return "campaign" }
 // Key implements Task. analysis.Version is hashed for the same reason
 // as in MeasureTask.Key: triage revisions invalidate cached campaigns.
 func (t *CampaignTask) Key() Key {
-	return NewHasher("campaign").
+	h := NewHasher("campaign").
 		Key(ModuleHash(t.Prot.Orig)).
-		Ints(t.Prot.Sel.Chosen).
-		Key(BindingHash(t.Bind)).
+		Ints(t.Prot.Sel.Chosen)
+	// Heterogeneous selections produce different protected binaries from
+	// the same chosen set, so the per-site detector assignment is part of
+	// the campaign identity. A nil slice (duplication everywhere) adds
+	// nothing, keeping legacy keys byte-identical.
+	if len(t.Prot.Sel.Detectors) > 0 {
+		h.Strs(t.Prot.Sel.Detectors)
+	}
+	h.Key(BindingHash(t.Bind)).
 		Key(ExecHash(t.Exec)).
 		I64(int64(t.Trials)).
 		I64(t.Seed).
-		Str(analysis.Version).
-		Sum()
+		Str(analysis.Version)
+	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
+		h.Str("model").Str(m)
+	}
+	return h.Sum()
 }
 
 // Deps implements Task.
@@ -472,9 +562,14 @@ func (t *CampaignTask) Deps() []Task { return nil }
 
 // Run implements Task.
 func (t *CampaignTask) Run(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
 	res, err := fault.TrueCoverageOpts(t.Prot.Orig, t.Prot.Mod, t.Prot.IDs, t.Bind, t.Exec, fault.CoverageOptions{
 		Trials:  t.Trials,
 		Seed:    t.Seed,
+		Model:   model,
 		Workers: t.Env.Workers,
 		Cache:   t.Env.Cache,
 		Metrics: t.Env.Metrics.Phase(fault.PhaseEvaluation),

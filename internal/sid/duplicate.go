@@ -121,7 +121,7 @@ func EvaluateCoverage(protected *ir.Module, bind interp.Binding, cfg Config, n i
 		return fault.CampaignResult{}, err
 	}
 	c := &fault.Campaign{Mod: protected, Bind: bind, Cfg: cfg.Exec, Golden: golden,
-		Workers: cfg.Workers, Metrics: cfg.Metrics}
+		Workers: cfg.Workers, Model: cfg.Model, Metrics: cfg.Metrics}
 	return c.Run(n, seed), nil
 }
 

@@ -32,6 +32,9 @@ type Config struct {
 	FaultsPerInstr int   // per-instruction FI trials (paper: 100)
 	Seed           int64 // RNG seed for site sampling
 	Workers        int   // 0 = GOMAXPROCS
+	// Model selects the fault model the measurement campaign injects;
+	// nil means the paper's single-bit flip.
+	Model fault.Model
 	// Cache, if non-nil, memoizes golden runs across measurements (the
 	// result is bit-identical either way); Metrics, if non-nil, receives
 	// the campaign accounting for this measurement's phase; Obs, if
@@ -59,7 +62,7 @@ func MeasureWithGolden(m *ir.Module, bind interp.Binding, cfg Config, golden *fa
 		cfg.FaultsPerInstr = 100
 	}
 	c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg.Exec, Golden: golden,
-		Workers: cfg.Workers, Metrics: cfg.Metrics, Obs: cfg.Obs}
+		Workers: cfg.Workers, Model: cfg.Model, Metrics: cfg.Metrics, Obs: cfg.Obs}
 	stats := c.PerInstruction(cfg.FaultsPerInstr, cfg.Seed)
 
 	n := m.NumInstrs()
@@ -103,7 +106,12 @@ func Duplicable(in *ir.Instr) bool {
 
 // Selection is the output of instruction selection.
 type Selection struct {
-	Chosen           []int   // selected static instruction IDs, ascending
+	Chosen []int // selected static instruction IDs, ascending
+	// Detectors names the detector assigned to each chosen site
+	// (parallel to Chosen). Nil means duplication everywhere — the
+	// single-detector Select leaves it nil so legacy selections lower
+	// through Duplicate unchanged.
+	Detectors        []string
 	ExpectedCoverage float64 // aggregated benefit share of the selection
 	CostUsed         float64 // total Eq.-1 cost of the selection
 	TotalBenefit     float64 // benefit mass over all candidates
