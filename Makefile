@@ -42,6 +42,14 @@ BENCH_ANALYSIS_JSON ?= BENCH_analysis.json
 # paths and detector lowerings.
 BENCH_DETECTORS_JSON ?= BENCH_detectors.json
 
+# Incremental-tier benchmarks: end-to-end sectional measure + campaign
+# wall-clock under the three cache regimes (cold store, one-function
+# edit on a warm store, fully-warm store), appended to
+# BENCH_incremental.json. CI gates these with cmd/benchdiff so a
+# sectional key-hygiene regression (edits re-running whole campaigns)
+# surfaces as a wall-clock cliff on the edit/warm rows.
+BENCH_INCREMENTAL_JSON ?= BENCH_incremental.json
+
 # Repetitions per benchmark. CI sets 3 and compares best-of-N
 # (benchdiff -agg min) so shared-runner noise doesn't gate single samples.
 BENCH_COUNT ?= 1
@@ -67,3 +75,7 @@ bench:
 		rec = sprintf("{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3); \
 		if ($$6 == "ns/trial") rec = rec sprintf(",\"ns_per_trial\":%s", $$5); \
 		rec = rec "}"; print rec }' >> $(BENCH_DETECTORS_JSON)
+	$(GO) test -bench Incremental -benchtime 1x -count $(BENCH_COUNT) -run '^$$' \
+		./internal/pipeline | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}\n", ts, $$1, $$2, $$3 }' >> $(BENCH_INCREMENTAL_JSON)

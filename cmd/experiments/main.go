@@ -40,18 +40,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments, or all")
-		full    = flag.Bool("full", false, "paper-scale fault counts (slow)")
-		medium  = flag.Bool("medium", false, "intermediate fault counts (~1h single-core)")
-		benches = flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
-		seed    = flag.Int64("seed", 2022, "experiment seed")
-		workers = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
-		metrics = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
-		engine  = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
+		exp      = flag.String("exp", "all", "comma-separated experiments, or all")
+		full     = flag.Bool("full", false, "paper-scale fault counts (slow)")
+		medium   = flag.Bool("medium", false, "intermediate fault counts (~1h single-core)")
+		benches  = flag.String("bench", "", "comma-separated benchmark subset (default: all 11)")
+		seed     = flag.Int64("seed", 2022, "experiment seed")
+		workers  = flag.Int("workers", 0, "FI worker count (0 = GOMAXPROCS)")
+		metrics  = flag.Bool("metrics", false, "report per-phase campaign metrics and cache stats")
+		engine   = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		model    = flag.String("fault-model", "", "fault model to inject (bitflip, bitflip2, byteflip, stuckat0, stuckat1, defect; empty = bitflip)")
 		detector = flag.String("detector", "", "detector portfolio (dup, inv, cfgsig, comma lists, or all; empty = dup)")
 		outDir   = flag.String("out", "results", "directory for per-experiment JSON reports (empty disables)")
 		cache    = flag.Bool("cache", true, "persist task artifacts under <out>/cache for resumable reruns")
+		incr     = flag.Bool("incremental", false, "key fault-injection artifacts per program section: edits re-run only the sections they touch (defaults off; default runs reproduce the paper byte-for-byte)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
 		manifest = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)
@@ -72,18 +73,19 @@ func main() {
 		profile = "full"
 	}
 	o := options{
-		exps:       *exp,
-		profile:    profile,
-		benches:    *benches,
-		seed:       *seed,
-		workers:    *workers,
-		metrics:    *metrics,
-		faultModel: *model,
-		detector:   *detector,
-		resultsDir: *outDir,
-		tracePath:  *traceOut,
-		manifest:   *manifest,
-		out:        os.Stdout,
+		exps:        *exp,
+		profile:     profile,
+		benches:     *benches,
+		seed:        *seed,
+		workers:     *workers,
+		metrics:     *metrics,
+		faultModel:  *model,
+		detector:    *detector,
+		incremental: *incr,
+		resultsDir:  *outDir,
+		tracePath:   *traceOut,
+		manifest:    *manifest,
+		out:         os.Stdout,
 	}
 	if *cache && *outDir != "" {
 		o.cacheDir = filepath.Join(*outDir, "cache")
@@ -105,11 +107,14 @@ type options struct {
 	metrics    bool
 	faultModel string // injected fault model; "" = bitflip
 	detector   string // detector portfolio; "" = dup
-	resultsDir string // per-experiment JSON reports; "" disables
-	cacheDir   string // on-disk artifact tier; "" disables
-	tracePath  string // Chrome trace_event output; "" disables
-	manifest   string // run-manifest output; "" disables
-	out        io.Writer
+	// incremental keys FI artifacts per program section (sectional
+	// campaigns); off by default.
+	incremental bool
+	resultsDir  string // per-experiment JSON reports; "" disables
+	cacheDir    string // on-disk artifact tier; "" disables
+	tracePath   string // Chrome trace_event output; "" disables
+	manifest    string // run-manifest output; "" disables
+	out         io.Writer
 }
 
 func run(o options) error {
@@ -124,6 +129,7 @@ func run(o options) error {
 	p.Workers = o.workers
 	p.FaultModel = o.faultModel
 	p.Detector = o.detector
+	p.Incremental = o.incremental
 	r := harness.NewRunner(p)
 	if o.cacheDir != "" {
 		if err := r.Pipe.EnableDisk(o.cacheDir); err != nil {
@@ -245,6 +251,7 @@ func writeReport(r *harness.Runner, o options, exp string, fromNode int) error {
 		Workers:     o.workers,
 		FaultModel:  o.faultModel,
 		Detector:    o.detector,
+		Incremental: o.incremental,
 		CacheDir:    r.Pipe.DiskDir(),
 		Nodes:       nodes,
 		NodeSummary: pipeline.Summarize(nodes),

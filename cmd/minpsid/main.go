@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/interp"
+	"repro/internal/minpsid"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/sid"
@@ -37,6 +38,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine   = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		analyze  = flag.Bool("analyze", false, "print the static SDC-masking triage report for -bench and exit")
+		incr     = flag.Bool("incremental", false, "key fault-injection artifacts per program section (sectional campaigns); defaults off and reproduces the paper byte-for-byte")
+		cacheDir = flag.String("cache-dir", "", "persist task artifacts under this directory for resumable (and incremental) reruns")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
 		manifest = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
 	)
@@ -57,22 +60,25 @@ func main() {
 	}
 
 	if *analyze {
-		if err := runAnalyze(*bench, *seed, *jsonOut); err != nil {
+		if err := runAnalyze(*bench, *seed, *quick, *incr, *model, *jsonOut, *cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, "minpsid:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*bench, *tech, *level, *quick, *seed, *model, *detector, *dump, *metrics, *jsonOut, *traceOut, *manifest); err != nil {
+	if err := run(*bench, *tech, *level, *quick, *seed, *model, *detector, *dump, *metrics, *incr, *jsonOut, *traceOut, *manifest, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "minpsid:", err)
 		os.Exit(1)
 	}
 }
 
-// runAnalyze implements -analyze: the triage of one benchmark module,
-// as a human-readable table and optionally the shared JSON report.
-func runAnalyze(bench string, seed int64, jsonOut string) error {
+// runAnalyze implements -analyze: the triage of one benchmark module as
+// a human-readable table, plus — with -incremental — the per-section
+// partition table (shape, provably-masked share, content-hash prefix,
+// and per-section artifact cache status when -cache-dir points at a
+// store). Optionally both are embedded in the shared JSON report.
+func runAnalyze(bench string, seed int64, quick, incremental bool, model, jsonOut, cacheDir string) error {
 	prog, err := core.FromBenchmark(bench)
 	if err != nil {
 		return err
@@ -81,18 +87,42 @@ func runAnalyze(bench string, seed int64, jsonOut string) error {
 	if err := rep.Render(os.Stdout); err != nil {
 		return err
 	}
+	var secs *pipeline.SectionalAnalysis
+	if incremental {
+		var store *pipeline.DiskStore
+		if cacheDir != "" {
+			if store, err = pipeline.NewDiskStore(cacheDir); err != nil {
+				return err
+			}
+		}
+		opts := core.DefaultOptions()
+		if quick {
+			opts = core.QuickOptions()
+		}
+		tgt := minpsid.Target{Mod: prog.Module, Spec: prog.Spec, Bind: prog.Bind, Exec: prog.Exec}
+		secs, err = pipeline.BuildSectionalAnalysis(tgt, prog.Reference,
+			opts.FaultsPerInstr, seed, model, store)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := secs.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 	if jsonOut != "" {
 		return pipeline.WriteReport(jsonOut, &pipeline.Report{
 			Schema:   pipeline.ReportSchema,
 			Tool:     "minpsid",
 			Seed:     seed,
 			Analysis: rep,
+			Sections: secs,
 		})
 	}
 	return nil
 }
 
-func run(bench, techName string, level float64, quick bool, seed int64, model, detector string, dump, metrics bool, jsonOut, traceOut, manifestOut string) error {
+func run(bench, techName string, level float64, quick bool, seed int64, model, detector string, dump, metrics, incremental bool, jsonOut, traceOut, manifestOut, cacheDir string) error {
 	technique, err := core.ParseTechnique(techName)
 	if err != nil {
 		return err
@@ -109,6 +139,7 @@ func run(bench, techName string, level float64, quick bool, seed int64, model, d
 	opts.Seed = seed
 	opts.FaultModel = model
 	opts.Detector = detector
+	opts.Incremental = incremental
 	if metrics || jsonOut != "" {
 		opts.Cache = fault.NewCache(0)
 		opts.Metrics = fault.NewMetrics()
@@ -116,6 +147,11 @@ func run(bench, techName string, level float64, quick bool, seed int64, model, d
 	// The protection runs as a task graph; keep the pipeline so the
 	// metrics output can report its nodes.
 	pipe := pipeline.NewMem(0)
+	if cacheDir != "" {
+		if err := pipe.EnableDisk(cacheDir); err != nil {
+			return err
+		}
+	}
 	opts.Pipe = pipe
 	var ob *obs.Obs
 	if traceOut != "" || manifestOut != "" {

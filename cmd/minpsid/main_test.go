@@ -1,16 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 func TestRunProtectsBenchmark(t *testing.T) {
 	jsonOut := filepath.Join(t.TempDir(), "minpsid.json")
-	if err := run("pathfinder", "sid", 0.3, true, 1, "", "", false, true, jsonOut, "", ""); err != nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "", "", false, true, false, jsonOut, "", "", ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if _, err := os.Stat(jsonOut); err != nil {
@@ -19,7 +21,7 @@ func TestRunProtectsBenchmark(t *testing.T) {
 }
 
 func TestRunWithPortfolio(t *testing.T) {
-	if err := run("pathfinder", "sid", 0.3, true, 1, "byteflip", "all", false, false, "", "", ""); err != nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "byteflip", "all", false, false, false, "", "", "", ""); err != nil {
 		t.Fatalf("run with byteflip/all: %v", err)
 	}
 }
@@ -28,7 +30,7 @@ func TestRunWritesManifestAndTrace(t *testing.T) {
 	dir := t.TempDir()
 	manifest := filepath.Join(dir, "manifest.json")
 	trace := filepath.Join(dir, "trace.json")
-	if err := run("pathfinder", "minpsid", 0.3, true, 1, "", "", false, false, "", trace, manifest); err != nil {
+	if err := run("pathfinder", "minpsid", 0.3, true, 1, "", "", false, false, false, "", trace, manifest, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(manifest)
@@ -47,17 +49,67 @@ func TestRunWritesManifestAndTrace(t *testing.T) {
 	}
 }
 
+// TestAnalyzeIncremental drives the -analyze -incremental path: the
+// JSON report must carry the per-section table with cache statuses that
+// flip from miss to hit once an incremental run populates the store.
+func TestAnalyzeIncremental(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	report := func(name string) *pipeline.Report {
+		t.Helper()
+		jsonOut := filepath.Join(dir, name)
+		if err := runAnalyze("pathfinder", 1, true, true, "", jsonOut, cacheDir); err != nil {
+			t.Fatalf("runAnalyze: %v", err)
+		}
+		data, err := os.ReadFile(jsonOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep pipeline.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return &rep
+	}
+
+	cold := report("cold.json")
+	if cold.Sections == nil || len(cold.Sections.Sections) == 0 {
+		t.Fatal("JSON report carries no sectional table")
+	}
+	if cold.Sections.Schema != pipeline.SectionSchema {
+		t.Errorf("sectional schema %q, want %q", cold.Sections.Schema, pipeline.SectionSchema)
+	}
+	for _, s := range cold.Sections.Sections {
+		if s.Cached != "miss" {
+			t.Errorf("%s: cold cache status %q, want miss", s.Name, s.Cached)
+		}
+	}
+
+	// Populate the store with a full incremental protection run at the
+	// same seed/model, then re-analyze: every section must hit.
+	if err := run("pathfinder", "sid", 0.3, true, 1, "", "", false, false, true, "", "", "", cacheDir); err != nil {
+		t.Fatalf("incremental run: %v", err)
+	}
+	warm := report("warm.json")
+	for _, s := range warm.Sections.Sections {
+		if s.Cached != "hit" {
+			t.Errorf("%s: warm cache status %q, want hit", s.Name, s.Cached)
+		}
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("nope", "sid", 0.3, true, 1, "", "", false, false, "", "", ""); err == nil {
+	if err := run("nope", "sid", 0.3, true, 1, "", "", false, false, false, "", "", "", ""); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if err := run("pathfinder", "bogus", 0.3, true, 1, "", "", false, false, "", "", ""); err == nil {
+	if err := run("pathfinder", "bogus", 0.3, true, 1, "", "", false, false, false, "", "", "", ""); err == nil {
 		t.Fatal("unknown technique accepted")
 	}
-	if err := run("pathfinder", "sid", 0.3, true, 1, "nope", "", false, false, "", "", ""); err == nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "nope", "", false, false, false, "", "", "", ""); err == nil {
 		t.Fatal("unknown fault model accepted")
 	}
-	if err := run("pathfinder", "sid", 0.3, true, 1, "", "nope", false, false, "", "", ""); err == nil {
+	if err := run("pathfinder", "sid", 0.3, true, 1, "", "nope", false, false, false, "", "", "", ""); err == nil {
 		t.Fatal("unknown detector accepted")
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 		detector  = flag.String("detector", "", "detector portfolio for -level protection (dup, inv, cfgsig, comma lists, or all; empty = dup)")
 		level     = flag.Float64("level", 0, "protect at this level first and report true SDC coverage (0 = campaign only)")
 		metrics   = flag.Bool("metrics", false, "report campaign metrics (outcome histogram, wall/busy time, workers)")
+		incr      = flag.Bool("incremental", false, "run the campaign sectionally: per-section trial apportionment and RNG sub-streams, with a per-section breakdown")
 		jsonOut   = flag.String("json", "", "write a machine-readable metrics report to this file")
 		engine    = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
@@ -61,7 +62,8 @@ func main() {
 	o := options{
 		bench: *bench, n: *n, input: *input, inputSeed: *inputSeed, seed: *seed,
 		model: *model, detector: *detector, level: *level,
-		metrics: *metrics, jsonOut: *jsonOut, traceOut: *traceOut, manifest: *manifest,
+		metrics: *metrics, incremental: *incr,
+		jsonOut: *jsonOut, traceOut: *traceOut, manifest: *manifest,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
@@ -81,9 +83,12 @@ type options struct {
 	detector  string
 	level     float64
 	metrics   bool
-	jsonOut   string
-	traceOut  string
-	manifest  string
+	// incremental switches the characterization campaign to the
+	// sectional planner (per-section sub-streams + composition).
+	incremental bool
+	jsonOut     string
+	traceOut    string
+	manifest    string
 }
 
 // setEngine applies the -engine flag to the process-wide default.
@@ -131,7 +136,13 @@ func run(o options) error {
 		defer interp.SetObs(nil)
 	}
 	csp := ob.Start("campaign:" + o.bench)
-	res, err := prog.InjectionCampaignModel(in, o.n, o.seed, model, nil, m.Phase("program-fi"), ob.At(csp))
+	var res fault.CampaignResult
+	var profiles []fault.SectionProfile
+	if o.incremental {
+		res, profiles, err = prog.InjectionCampaignSectional(in, o.n, o.seed, model, nil, m.Phase("program-fi"), ob.At(csp))
+	} else {
+		res, err = prog.InjectionCampaignModel(in, o.n, o.seed, model, nil, m.Phase("program-fi"), ob.At(csp))
+	}
 	csp.End()
 	if err != nil {
 		return err
@@ -147,6 +158,14 @@ func run(o options) error {
 		fmt.Printf("  %-9s %6d  (%6.2f%%, 95%% CI [%.2f%%, %.2f%%])\n",
 			oc, k, 100*res.Rate(oc), lo*100, hi*100)
 	}
+	if len(profiles) > 0 {
+		fmt.Printf("sections: %d with apportioned trials\n", len(profiles))
+		for _, pr := range profiles {
+			sr := pr.Result()
+			fmt.Printf("  %-24s trials %5d  sdc %5d  detected %5d\n",
+				pr.Name, sr.Trials, sr.Counts[fault.OutcomeSDC], sr.Counts[fault.OutcomeDetected])
+		}
+	}
 	if o.level > 0 {
 		if err := runProtected(prog, in, o); err != nil {
 			return err
@@ -159,12 +178,13 @@ func run(o options) error {
 	}
 	if o.jsonOut != "" {
 		rep := &pipeline.Report{
-			Schema:     pipeline.ReportSchema,
-			Tool:       "sdcfi",
-			Seed:       o.seed,
-			FaultModel: o.model,
-			Detector:   o.detector,
-			Phases:     m.Snapshots(),
+			Schema:      pipeline.ReportSchema,
+			Tool:        "sdcfi",
+			Seed:        o.seed,
+			FaultModel:  o.model,
+			Detector:    o.detector,
+			Incremental: o.incremental,
+			Phases:      m.Snapshots(),
 		}
 		if err := pipeline.WriteReport(o.jsonOut, rep); err != nil {
 			return err

@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/ir"
+)
+
+// TestBoundariesAllBenchmarks builds boundary summaries for every
+// registered benchmark and checks the structural composition proof
+// obligations plus memoization and hash determinism.
+func TestBoundariesAllBenchmarks(t *testing.T) {
+	for _, bm := range benchprog.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			m := bm.MustModule()
+			b := analysis.BuildBoundaries(m)
+			if got := analysis.BuildBoundaries(m); got != b {
+				t.Fatal("boundaries not memoized per (module, version)")
+			}
+			if len(b.Secs) != len(b.Set.Sections) {
+				t.Fatalf("summaries (%d) misaligned with partition (%d)",
+					len(b.Secs), len(b.Set.Sections))
+			}
+			if err := b.CheckComposition(); err != nil {
+				t.Fatalf("composition obligations violated: %v", err)
+			}
+			for si := range b.Secs {
+				if b.HashOf(si) != b.HashOf(si) {
+					t.Fatalf("section %s: HashOf not deterministic", b.Secs[si].Name)
+				}
+			}
+			// Every function-entry section must list the entry block.
+			for fi := range m.Funcs {
+				secs := b.Set.FuncSections(fi)
+				found := false
+				for _, si := range secs {
+					for _, e := range b.Secs[si].Entries {
+						if e.Block == 0 {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("func %s: no section exposes the entry block", m.Funcs[fi].Name)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundaryHashBuildStable rebuilds the same benchmark from source
+// twice and requires identical per-section boundary hashes: the summary
+// must be a pure function of program content.
+func TestBoundaryHashBuildStable(t *testing.T) {
+	bm, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder benchmark missing")
+	}
+	m1, m2 := bm.MustModule(), bm.MustModule()
+	b1, b2 := analysis.BuildBoundaries(m1), analysis.BuildBoundaries(m2)
+	if len(b1.Secs) != len(b2.Secs) {
+		t.Fatalf("partitions differ: %d vs %d sections", len(b1.Secs), len(b2.Secs))
+	}
+	for si := range b1.Secs {
+		if b1.Secs[si].Name != b2.Secs[si].Name {
+			t.Fatalf("section %d named %s vs %s", si, b1.Secs[si].Name, b2.Secs[si].Name)
+		}
+		if b1.HashOf(si) != b2.HashOf(si) {
+			t.Fatalf("section %s: boundary hash unstable across builds", b1.Secs[si].Name)
+		}
+	}
+}
+
+// TestBoundaryHashSeesCalleeInterface: a caller section's boundary hash
+// must change when a callee's interface facts (return demand) change,
+// even though the caller's own text is untouched — that is the seam
+// through which sectional reuse would otherwise be unsound.
+func TestBoundaryHashSeesCalleeInterface(t *testing.T) {
+	build := func(mask int64) *ir.Module {
+		m := ir.NewModule("calleetest")
+		callee := m.AddFunction("callee", []ir.Type{ir.I64}, ir.I64)
+		cb := ir.NewBuilder(m, callee)
+		v := cb.Bin(ir.OpAnd, ir.Reg(0, ir.I64), ir.ConstI(mask))
+		cb.Ret(v)
+
+		mf := m.AddFunction("main", []ir.Type{}, ir.I64)
+		b := ir.NewBuilder(m, mf)
+		r := b.Call(0, ir.I64, ir.ConstI(41))
+		r = b.Bin(ir.OpAdd, r, ir.ConstI(1))
+		b.CallB(ir.BuiltinEmitI, r) // program output: seeds full demand
+		b.Ret(r)
+		m.Finalize()
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("module does not verify: %v", err)
+		}
+		return m
+	}
+	wide, narrow := build(-1), build(0xff)
+	bw, bn := analysis.BuildBoundaries(wide), analysis.BuildBoundaries(narrow)
+	var wm, nm [32]byte
+	for si := range bw.Secs {
+		if bw.Secs[si].Name == "main" {
+			wm = bw.HashOf(si)
+		}
+	}
+	for si := range bn.Secs {
+		if bn.Secs[si].Name == "main" {
+			nm = bn.HashOf(si)
+		}
+	}
+	if wm == nm {
+		t.Fatal("caller boundary hash ignored a callee interface change")
+	}
+}

@@ -150,6 +150,11 @@ type Options struct {
 	// original pipeline byte-for-byte.
 	FaultModel string
 	Detector   string
+	// Incremental switches the reference measurement to the sectional
+	// (per-section) artifact path: a later edit to the program re-runs
+	// only the sections it touched. Off by default; the default path
+	// reproduces the paper byte-for-byte.
+	Incremental bool
 	// Seed drives all stochastic steps; Workers bounds FI parallelism.
 	Seed    int64
 	Workers int
@@ -234,7 +239,8 @@ func (p *Program) Protect(tech Technique, level float64, opts Options) (*Protect
 	}
 
 	mt := &pipeline.MeasureTask{Target: tgt, Input: p.Reference,
-		FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed, Model: opts.FaultModel, Env: env}
+		FaultsPerInstr: opts.FaultsPerInstr, Seed: opts.Seed, Model: opts.FaultModel,
+		Incremental: opts.Incremental, Env: env}
 	pt := &pipeline.ProtectTask{Target: tgt, Level: level, Measure: mt,
 		Detector: opts.Detector, Model: opts.FaultModel, Env: env}
 	prot := &Protection{Program: p, Technique: tech, Level: level, FaultModel: opts.FaultModel}
@@ -332,6 +338,25 @@ func (p *Program) InjectionCampaignModel(in inputgen.Input, n int, seed int64, m
 	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden,
 		Model: model, Metrics: pm, Obs: o}
 	return c.Run(n, seed), nil
+}
+
+// InjectionCampaignSectional runs the characterization campaign through
+// the sectional planner: trials are apportioned over the module's
+// sections by injectable dynamic weight and drawn from per-section
+// deterministic RNG sub-streams, then composed into one CampaignResult.
+// The per-section profiles are returned alongside for reporting. The
+// composed result is the same shape as InjectionCampaign's; only the
+// sampling stream structure differs.
+func (p *Program) InjectionCampaignSectional(in inputgen.Input, n int, seed int64, model fault.Model, cache *fault.Cache, pm *fault.PhaseMetrics, o *obs.Obs) (fault.CampaignResult, []fault.SectionProfile, error) {
+	bind := p.Bind(in)
+	golden, err := cache.Golden(p.Module, bind, p.Exec, pm)
+	if err != nil {
+		return fault.CampaignResult{}, nil, err
+	}
+	c := &fault.Campaign{Mod: p.Module, Bind: bind, Cfg: p.Exec, Golden: golden,
+		Model: model, Metrics: pm, Obs: o}
+	res, profiles := c.RunSectional(n, seed)
+	return res, profiles, nil
 }
 
 // TrueCoverageReport is the paper-definition coverage measurement.

@@ -76,21 +76,35 @@ func TrueCoverageOpts(orig, prot *ir.Module, idMap map[int]int, bind interp.Bind
 	if err != nil {
 		return TrueCoverageResult{}, fmt.Errorf("fault: original golden: %w", err)
 	}
-	goldenP, err := opt.Cache.Golden(prot, bind, exec, opt.Metrics)
-	if err != nil {
-		return TrueCoverageResult{}, fmt.Errorf("fault: protected golden: %w", err)
-	}
 
 	// Phase 1: campaign on the original program (memoized: identical for
 	// every protection of the same original under this input and seed).
 	campO := &Campaign{Mod: orig, Bind: bind, Cfg: exec, Golden: goldenO,
 		Workers: opt.Workers, Model: opt.Model, Metrics: opt.Metrics, Obs: opt.Obs}
 	sites, outcomesO, shortfall := opt.Cache.unprotectedCampaign(campO, true, opt.Trials, opt.Seed)
+	campO.Metrics.AddShortfall(shortfall)
+	return ReplayCoverage(prot, idMap, bind, exec, opt, sites, outcomesO, int64(opt.Trials), shortfall)
+}
+
+// ReplayCoverage finishes a true-coverage measurement from an explicit
+// phase-1 sample: the sites drawn on the ORIGINAL program and their
+// outcomes there. SDC sites are replayed against the protected program.
+// The sectional (incremental) pipeline composes its per-section campaign
+// slices into exactly this shape, so composed and whole-program
+// coverage measurements share one phase-2 implementation by
+// construction.
+func ReplayCoverage(prot *ir.Module, idMap map[int]int, bind interp.Binding,
+	exec interp.Config, opt CoverageOptions, sites []interp.Fault, outcomesO []Outcome,
+	requested, shortfall int64) (TrueCoverageResult, error) {
+
+	goldenP, err := opt.Cache.Golden(prot, bind, exec, opt.Metrics)
+	if err != nil {
+		return TrueCoverageResult{}, fmt.Errorf("fault: protected golden: %w", err)
+	}
 
 	res := TrueCoverageResult{Trials: int64(len(sites))}
-	res.Unprotect.Requested = int64(opt.Trials)
+	res.Unprotect.Requested = requested
 	res.Unprotect.Shortfall = shortfall
-	campO.Metrics.AddShortfall(shortfall)
 	var replay []interp.Fault
 	for i, o := range outcomesO {
 		res.Unprotect.Add(o)

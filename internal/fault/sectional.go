@@ -1,0 +1,372 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// This file implements sectional (FastFlip-style) campaigns: trials are
+// planned per section of ir.PartitionSections, drawn from per-section
+// deterministic RNG sub-streams, executed as ordinary site batches, and
+// composed back into a whole-program SDC table. Because a section's plan
+// depends only on its own content, golden weight, seed, and trial share,
+// an edit re-runs exactly the sections it touches; everything else is
+// replayed from the artifact store byte-identically (DESIGN.md §13).
+
+// SectionSeed derives the deterministic RNG sub-stream seed of one
+// section from the campaign seed and the section's stable identity
+// (function name + ordinal — never module-wide instruction IDs, so the
+// stream survives renumbering caused by edits elsewhere).
+func SectionSeed(seed int64, funcName string, secIdx int) int64 {
+	h := sha256.New()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(funcName))
+	binary.LittleEndian.PutUint64(b[:], uint64(secIdx))
+	h.Write(b[:])
+	sum := h.Sum(nil)
+	return int64(binary.LittleEndian.Uint64(sum[:8]))
+}
+
+// Apportion distributes total trials over the given non-negative weights
+// by largest remainder: shares are proportional, sum exactly to total,
+// and zero-weight entries get zero. Ties in remainder break toward the
+// lower index, so the split is deterministic.
+func Apportion(total int, weights []int64) []int {
+	out := make([]int, len(weights))
+	var wsum int64
+	for _, w := range weights {
+		wsum += w
+	}
+	if wsum == 0 || total == 0 {
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac int64 // remainder numerator (scaled by wsum)
+	}
+	rems := make([]rem, 0, len(weights))
+	given := 0
+	for i, w := range weights {
+		q := int64(total) * w
+		out[i] = int(q / wsum)
+		given += out[i]
+		rems = append(rems, rem{idx: i, frac: q % wsum})
+	}
+	// Hand the leftover trials to the largest remainders.
+	for given < total {
+		best := -1
+		for j := range rems {
+			if rems[j].frac < 0 {
+				continue
+			}
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		given++
+	}
+	return out
+}
+
+// NewSamplerIDs builds a sampler restricted to the given static
+// instruction IDs (ascending), keeping only injectable instructions that
+// executed under g. It is the per-section analogue of NewSampler.
+func NewSamplerIDs(m *ir.Module, g *Golden, ids []int, excludeDup bool) *Sampler {
+	s := &Sampler{mod: m, g: g}
+	for _, id := range ids {
+		in := m.Instrs[id]
+		if !in.IsInjectable() || (excludeDup && in.Dup) {
+			continue
+		}
+		c := g.Profile.InstrCount[id]
+		if c == 0 {
+			continue
+		}
+		s.total += c
+		s.ids = append(s.ids, id)
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+// LocalSite is an injection site in section-local coordinates: Ordinal
+// indexes the section's sorted Instrs list instead of carrying a
+// module-wide static ID, so a stored profile stays valid when an edit
+// elsewhere renumbers the module.
+type LocalSite struct {
+	Ordinal  int     `json:"ord"`
+	DynIndex int64   `json:"dyn"`
+	Bit      uint    `json:"bit,omitempty"`
+	Mask     uint64  `json:"mask,omitempty"`
+	Op       uint8   `json:"op,omitempty"`
+	Outcome  Outcome `json:"out"`
+}
+
+// SectionProfile is the per-section campaign slice — the unit the
+// incremental artifact store caches and the composition step merges.
+type SectionProfile struct {
+	Name      string      `json:"name"`
+	Requested int64       `json:"requested"`
+	Shortfall int64       `json:"shortfall"`
+	Sites     []LocalSite `json:"sites,omitempty"`
+}
+
+// Result folds the profile's outcomes into a CampaignResult slice.
+func (p *SectionProfile) Result() CampaignResult {
+	res := CampaignResult{Requested: p.Requested, Shortfall: p.Shortfall}
+	for _, s := range p.Sites {
+		res.Add(s.Outcome)
+	}
+	return res
+}
+
+// Faults maps the profile's sites back to module coordinates of sec.
+func (p *SectionProfile) Faults(sec *ir.Section) []interp.Fault {
+	out := make([]interp.Fault, len(p.Sites))
+	for i, s := range p.Sites {
+		out[i] = interp.Fault{InstrID: sec.Instrs[s.Ordinal], DynIndex: s.DynIndex,
+			Bit: s.Bit, Mask: s.Mask, Op: interp.FaultOp(s.Op)}
+	}
+	return out
+}
+
+// SectionGoldenHash canonically hashes the golden-run weight of one
+// section: the dynamic execution count of each member instruction by
+// section-local ordinal, plus the whole-program golden context (output
+// hash and dynamic length) that classification and the hang budget
+// depend on. Like the content hash it never mentions module-wide IDs.
+func SectionGoldenHash(sec *ir.Section, g *Golden) [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "secgolden/v1 %s out=%x dyn=%d\n", sec.Name(), g.OutputHash, g.DynInstrs)
+	for ord, id := range sec.Instrs {
+		fmt.Fprintf(h, "%d=%d\n", ord, g.Profile.InstrCount[id])
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// SectionTrialPlan is one section's share of a sectional campaign.
+type SectionTrialPlan struct {
+	Sec  *ir.Section
+	N    int   // trials apportioned to this section
+	Seed int64 // the section's RNG sub-stream seed
+}
+
+// PlanSectional apportions n program-level trials over the module's
+// sections proportionally to each section's injectable dynamic weight
+// under the golden run, and derives each section's sub-stream seed. The
+// plan is deterministic and — by construction — independent of every
+// other section's content.
+func (c *Campaign) PlanSectional(n int, seed int64, excludeDup bool) []SectionTrialPlan {
+	set := ir.PartitionSections(c.Mod)
+	weights := make([]int64, len(set.Sections))
+	for i, sec := range set.Sections {
+		weights[i] = sectionWeight(c.Mod, c.Golden, sec, excludeDup)
+	}
+	counts := Apportion(n, weights)
+	plans := make([]SectionTrialPlan, 0, len(set.Sections))
+	for i, sec := range set.Sections {
+		if counts[i] == 0 {
+			continue
+		}
+		plans = append(plans, SectionTrialPlan{
+			Sec:  sec,
+			N:    counts[i],
+			Seed: SectionSeed(seed, sec.FuncName, sec.SecIdx),
+		})
+	}
+	return plans
+}
+
+// sectionWeight is the number of injectable dynamic instruction
+// instances inside sec under the golden run.
+func sectionWeight(m *ir.Module, g *Golden, sec *ir.Section, excludeDup bool) int64 {
+	var w int64
+	for _, id := range sec.Instrs {
+		in := m.Instrs[id]
+		if !in.IsInjectable() || (excludeDup && in.Dup) {
+			continue
+		}
+		w += g.Profile.InstrCount[id]
+	}
+	return w
+}
+
+// RunSection executes one section's share of a sectional campaign: n
+// sites drawn from the section's sub-stream, classified exactly as a
+// whole-program batch would classify them (triage pruning included), and
+// recorded in section-local coordinates.
+func (c *Campaign) RunSection(sec *ir.Section, n int, seed int64, excludeDup bool) SectionProfile {
+	sampler := NewSamplerIDs(c.Mod, c.Golden, sec.Instrs, excludeDup)
+	m := c.model()
+	sites, shortfall := sampleSites(n, seed, func(rng *rand.Rand) (interp.Fault, bool) {
+		return sampler.RandomSiteModel(m, rng)
+	})
+	c.Metrics.AddShortfall(shortfall)
+	outcomes := c.runSites(sites)
+	prof := SectionProfile{Name: sec.Name(), Requested: int64(n), Shortfall: shortfall}
+	ord := make(map[int]int, len(sec.Instrs))
+	for o, id := range sec.Instrs {
+		ord[id] = o
+	}
+	for i, s := range sites {
+		prof.Sites = append(prof.Sites, LocalSite{
+			Ordinal: ord[s.InstrID], DynIndex: s.DynIndex,
+			Bit: s.Bit, Mask: s.Mask, Op: uint8(s.Op), Outcome: outcomes[i],
+		})
+	}
+	return prof
+}
+
+// ComposeSections merges per-section profiles into the whole-program
+// campaign table. Merge order follows the plan order (section index), so
+// composition is deterministic.
+func ComposeSections(profiles []SectionProfile) CampaignResult {
+	var res CampaignResult
+	for i := range profiles {
+		res.Merge(profiles[i].Result())
+	}
+	return res
+}
+
+// RunSectional is the sectional counterpart of Run: n trials apportioned
+// over sections, drawn from per-section sub-streams, composed into one
+// table. It also returns the per-section profiles so callers (the
+// incremental pipeline) can cache each slice independently.
+func (c *Campaign) RunSectional(n int, seed int64) (CampaignResult, []SectionProfile) {
+	plans := c.PlanSectional(n, seed, false)
+	profiles := make([]SectionProfile, len(plans))
+	for i, p := range plans {
+		profiles[i] = c.RunSection(p.Sec, p.N, p.Seed, false)
+	}
+	res := ComposeSections(profiles)
+	// Trials that could not be apportioned anywhere (no injectable weight
+	// at all) surface as shortfall, mirroring Run.
+	var planned int64
+	for _, p := range plans {
+		planned += int64(p.N)
+	}
+	if missing := int64(n) - planned; missing > 0 {
+		res.Requested += missing
+		res.Shortfall += missing
+		c.Metrics.AddShortfall(missing)
+	}
+	return res, profiles
+}
+
+// SectionInstrStats is the per-instruction measurement of one section in
+// section-local coordinates (Ordinal aligns with Section.Instrs), the
+// cacheable unit behind incremental SID measurement.
+type SectionInstrStats struct {
+	Name  string       `json:"name"`
+	Stats []InstrStats `json:"stats"` // InstrID holds the LOCAL ordinal
+}
+
+// PerInstructionSection runs k trials against every injectable
+// original-program instruction of one section, drawing from the
+// section's RNG sub-stream. Stats are returned in section-local
+// coordinates so the artifact survives module renumbering.
+func (c *Campaign) PerInstructionSection(sec *ir.Section, k int, seed int64) SectionInstrStats {
+	m := c.model()
+	rng := rand.New(rand.NewSource(seed))
+	sampler := NewSamplerIDs(c.Mod, c.Golden, sec.Instrs, true)
+
+	out := SectionInstrStats{Name: sec.Name(), Stats: make([]InstrStats, len(sec.Instrs))}
+	var sites []interp.Fault
+	var owner []int // local ordinal per site
+	for ord, id := range sec.Instrs {
+		in := c.Mod.Instrs[id]
+		out.Stats[ord].InstrID = ord
+		if !in.IsInjectable() || in.Dup {
+			continue
+		}
+		if c.Golden.Profile.InstrCount[id] == 0 {
+			continue
+		}
+		out.Stats[ord].Executed = true
+		for t := 0; t < k; t++ {
+			site, ok := sampler.SiteForModel(m, id, rng)
+			if !ok {
+				break
+			}
+			sites = append(sites, site)
+			owner = append(owner, ord)
+		}
+	}
+	for i, o := range c.runSites(sites) {
+		st := &out.Stats[owner[i]]
+		st.Trials++
+		switch o {
+		case OutcomeSDC:
+			st.SDC++
+		case OutcomeCrash:
+			st.Crash++
+		case OutcomeHang:
+			st.Hang++
+		case OutcomeDetected:
+			st.Detected++
+		default:
+			st.Benign++
+		}
+	}
+	return out
+}
+
+// ComposeInstrStats translates per-section stats back into a
+// module-indexed per-instruction table (the shape PerInstruction
+// returns). Sections must align with the module's current partition.
+func ComposeInstrStats(m *ir.Module, perSec []SectionInstrStats) ([]InstrStats, error) {
+	set := ir.PartitionSections(m)
+	byName := make(map[string]*ir.Section, len(set.Sections))
+	for _, sec := range set.Sections {
+		byName[sec.Name()] = sec
+	}
+	stats := make([]InstrStats, m.NumInstrs())
+	for i := range stats {
+		stats[i].InstrID = i
+	}
+	for si := range perSec {
+		sec, ok := byName[perSec[si].Name]
+		if !ok {
+			return nil, fmt.Errorf("fault: section %q not in current partition", perSec[si].Name)
+		}
+		if len(perSec[si].Stats) != len(sec.Instrs) {
+			return nil, fmt.Errorf("fault: section %q has %d stats for %d instrs",
+				perSec[si].Name, len(perSec[si].Stats), len(sec.Instrs))
+		}
+		for ord, st := range perSec[si].Stats {
+			id := sec.Instrs[ord]
+			st.InstrID = id
+			stats[id] = st
+		}
+	}
+	return stats, nil
+}
+
+// PerInstructionSectional is the sectional counterpart of
+// PerInstruction: every section measured under its own sub-stream, then
+// composed into the module-indexed table.
+func (c *Campaign) PerInstructionSectional(k int, seed int64) ([]InstrStats, []SectionInstrStats) {
+	set := ir.PartitionSections(c.Mod)
+	perSec := make([]SectionInstrStats, len(set.Sections))
+	for i, sec := range set.Sections {
+		perSec[i] = c.PerInstructionSection(sec, k, SectionSeed(seed, sec.FuncName, sec.SecIdx))
+	}
+	stats, err := ComposeInstrStats(c.Mod, perSec)
+	if err != nil {
+		// The sections came from the same partition we compose against;
+		// a mismatch is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return stats, perSec
+}

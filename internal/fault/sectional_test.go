@@ -1,0 +1,357 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minicc"
+	"repro/internal/passes"
+)
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []int64
+		want    []int
+	}{
+		{10, []int64{1, 1}, []int{5, 5}},
+		{10, []int64{0, 1}, []int{0, 10}},
+		{0, []int64{3, 7}, []int{0, 0}},
+		{10, nil, nil},
+		{7, []int64{1, 1, 1}, []int{3, 2, 2}}, // remainder to lowest index
+		{100, []int64{1, 999}, []int{0, 100}},
+		{5, []int64{0, 0}, []int{0, 0}}, // no weight: nothing apportioned
+	}
+	for _, c := range cases {
+		got := Apportion(c.total, c.weights)
+		sum := 0
+		for i, n := range got {
+			sum += n
+			if c.weights[i] == 0 && n != 0 {
+				t.Errorf("Apportion(%d,%v): zero weight got %d trials", c.total, c.weights, n)
+			}
+		}
+		var wsum int64
+		for _, w := range c.weights {
+			wsum += w
+		}
+		if wsum > 0 && c.total > 0 && sum != c.total {
+			t.Errorf("Apportion(%d,%v) sums to %d", c.total, c.weights, sum)
+		}
+		if len(c.want) > 0 && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Apportion(%d,%v) = %v, want %v", c.total, c.weights, got, c.want)
+		}
+	}
+}
+
+func TestSectionSeed(t *testing.T) {
+	a := SectionSeed(7, "f", 0)
+	if a != SectionSeed(7, "f", 0) {
+		t.Fatal("SectionSeed not deterministic")
+	}
+	if a == SectionSeed(7, "f", 1) || a == SectionSeed(7, "g", 0) || a == SectionSeed(8, "f", 0) {
+		t.Fatal("SectionSeed ignores part of its identity")
+	}
+}
+
+func sectionalSetup(t testing.TB, name string) (*ir.Module, interp.Binding, interp.Config, *Golden) {
+	t.Helper()
+	bench, ok := benchprog.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	m, err := bench.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := bench.Bind(bench.Reference)
+	cfg := bench.ExecConfig()
+	g, err := RunGolden(m, bind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, bind, cfg, g
+}
+
+// TestSectionalCompositionOracle is the differential safety net of the
+// sectional path: the exact per-section site lists produced by
+// RunSectional, flattened back to module coordinates and classified by
+// the ordinary whole-program batch runner, must yield bit-identical
+// outcomes — so sectional grouping, triage pruning, and merging cannot
+// change any classification. Checked per benchmark, and for one
+// benchmark across all three engines and every registered fault model.
+func TestSectionalCompositionOracle(t *testing.T) {
+	names := []string{"pathfinder", "kmeans", "bfs", "needle", "fft", "hpccg"}
+	if testing.Short() {
+		names = names[:3]
+	}
+	const trials = 80
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, bind, cfg, g := sectionalSetup(t, name)
+			c := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g}
+			res, profiles := c.RunSectional(trials, 11)
+			if res.Requested != trials {
+				t.Fatalf("requested %d of %d trials", res.Requested, trials)
+			}
+			set := ir.PartitionSections(m)
+			byName := map[string]*ir.Section{}
+			for _, s := range set.Sections {
+				byName[s.Name()] = s
+			}
+			var flat []interp.Fault
+			var want []Outcome
+			for i := range profiles {
+				sec := byName[profiles[i].Name]
+				if sec == nil {
+					t.Fatalf("profile for unknown section %q", profiles[i].Name)
+				}
+				flat = append(flat, profiles[i].Faults(sec)...)
+				for _, s := range profiles[i].Sites {
+					want = append(want, s.Outcome)
+				}
+			}
+			got := c.RunSites(flat)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("site %d: sectional outcome %s, whole-program %s",
+						i, want[i], got[i])
+				}
+			}
+			// Composition is a pure fold of the profiles.
+			sum := ComposeSections(profiles)
+			sum.Requested, sum.Shortfall = res.Requested, res.Shortfall
+			if sum != res {
+				t.Fatalf("ComposeSections disagrees with RunSectional: %+v vs %+v", sum, res)
+			}
+		})
+	}
+
+	// Engine × model sweep on one benchmark: the sectional outcomes must
+	// be invariant across engines and composable under every model.
+	t.Run("engines-models", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("engine×model sweep skipped in -short")
+		}
+		m, bind, cfg, g := sectionalSetup(t, "kmeans")
+		engines := []interp.Engine{interp.EngineLegacy, interp.EngineImage, interp.EngineCompiled}
+		for _, model := range ModelNames() {
+			mod, _ := ModelByName(model)
+			var first []SectionProfile
+			for _, eng := range engines {
+				ecfg := cfg
+				ecfg.Engine = eng
+				c := &Campaign{Mod: m, Bind: bind, Cfg: ecfg, Golden: g, Model: mod}
+				_, profiles := c.RunSectional(40, 5)
+				set := ir.PartitionSections(m)
+				byName := map[string]*ir.Section{}
+				for _, s := range set.Sections {
+					byName[s.Name()] = s
+				}
+				for i := range profiles {
+					sec := byName[profiles[i].Name]
+					var want []Outcome
+					for _, s := range profiles[i].Sites {
+						want = append(want, s.Outcome)
+					}
+					for j, o := range c.RunSites(profiles[i].Faults(sec)) {
+						if o != want[j] {
+							t.Fatalf("model %s engine %s: section %s site %d mismatch",
+								model, eng, profiles[i].Name, j)
+						}
+					}
+				}
+				if first == nil {
+					first = profiles
+				} else if !reflect.DeepEqual(first, profiles) {
+					t.Fatalf("model %s: sectional profiles differ between engines", model)
+				}
+			}
+		}
+	})
+}
+
+// swapCandidate finds two adjacent, independent, pure value-producing
+// instructions inside one block of m. Swapping them preserves program
+// semantics and dynamic counts but changes exactly one section's text.
+func swapCandidate(m *ir.Module) (f *ir.Function, blk *ir.Block, idx int) {
+	pure := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpShl, ir.OpShr, ir.OpICmp:
+			return in.HasResult()
+		}
+		return false
+	}
+	uses := func(in *ir.Instr, reg int) bool {
+		for _, a := range in.Args {
+			if a.Kind == ir.OperReg && a.Reg == reg {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fn := range m.Funcs {
+		for _, b := range fn.Blocks {
+			for i := 0; i+1 < len(b.Instrs); i++ {
+				x, y := b.Instrs[i], b.Instrs[i+1]
+				if pure(x) && pure(y) && x.Dst != y.Dst &&
+					!uses(y, x.Dst) && !uses(x, y.Dst) {
+					return fn, b, i
+				}
+			}
+		}
+	}
+	return nil, nil, -1
+}
+
+// TestSectionalMutationIsolation is the incremental-reuse contract at
+// the fault layer: a semantics-preserving one-section edit must leave
+// every other section's hash, trial plan, and full site/outcome profile
+// byte-identical, and the edited section must account for a minority of
+// the campaign's trials.
+// freshModule compiles a private copy of a benchmark's module:
+// Benchmark.MustModule caches and shares one module per process, and the
+// mutation test below must not edit the shared copy other tests use.
+func freshModule(t *testing.T, bench *benchprog.Benchmark) *ir.Module {
+	t.Helper()
+	m, err := minicc.Compile(bench.Name+".mc", bench.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSectionalMutationIsolation(t *testing.T) {
+	const trials = 200
+	tried := 0
+	for _, bench := range benchprog.All() {
+		m := freshModule(t, bench)
+		fn, blk, idx := swapCandidate(m)
+		if fn == nil {
+			continue
+		}
+		tried++
+		bind := bench.Bind(bench.Reference)
+		cfg := bench.ExecConfig()
+		g, err := RunGolden(m, bind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g}
+		basePlans := c.PlanSectional(trials, 3, false)
+		_, baseProfiles := c.RunSectional(trials, 3)
+		baseSet := ir.PartitionSections(m)
+		baseHash := map[string][32]byte{}
+		for _, s := range baseSet.Sections {
+			baseHash[s.Name()] = s.Hash
+		}
+
+		// Apply the edit on a fresh build of the same benchmark.
+		m2 := freshModule(t, bench)
+		fn2 := m2.Funcs[fn.Index]
+		b2 := fn2.Blocks[blk.Index]
+		b2.Instrs[idx], b2.Instrs[idx+1] = b2.Instrs[idx+1], b2.Instrs[idx]
+		m2.Finalize()
+		if err := ir.Verify(m2); err != nil {
+			t.Fatalf("%s: swapped module does not verify: %v", bench.Name, err)
+		}
+		g2, err := RunGolden(m2, bind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.OutputHash != g.OutputHash || g2.DynInstrs != g.DynInstrs {
+			t.Fatalf("%s: swap was not semantics-preserving", bench.Name)
+		}
+
+		set2 := ir.PartitionSections(m2)
+		var editedName string
+		changed := 0
+		for _, s := range set2.Sections {
+			if baseHash[s.Name()] != s.Hash {
+				changed++
+				editedName = s.Name()
+			}
+		}
+		if changed != 1 {
+			t.Fatalf("%s: edit changed %d section hashes, want 1", bench.Name, changed)
+		}
+
+		c2 := &Campaign{Mod: m2, Bind: bind, Cfg: cfg, Golden: g2}
+		plans2 := c2.PlanSectional(trials, 3, false)
+		if len(plans2) != len(basePlans) {
+			t.Fatalf("%s: plan shape changed: %d vs %d", bench.Name, len(plans2), len(basePlans))
+		}
+		var editedTrials int
+		for i, p := range plans2 {
+			if p.Sec.Name() != basePlans[i].Sec.Name() || p.N != basePlans[i].N || p.Seed != basePlans[i].Seed {
+				t.Fatalf("%s: plan for %s perturbed by edit elsewhere", bench.Name, p.Sec.Name())
+			}
+			if p.Sec.Name() == editedName {
+				editedTrials = p.N
+			}
+		}
+		if frac := float64(editedTrials) / float64(trials); frac >= 0.20 {
+			// This benchmark concentrates its weight in the edited
+			// section; the <20% target needs a multi-section benchmark,
+			// so keep looking for one.
+			continue
+		}
+
+		_, profiles2 := c2.RunSectional(trials, 3)
+		for i := range profiles2 {
+			if profiles2[i].Name == editedName {
+				continue
+			}
+			if !reflect.DeepEqual(profiles2[i], baseProfiles[i]) {
+				t.Fatalf("%s: untouched section %s re-derived a different profile",
+					bench.Name, profiles2[i].Name)
+			}
+		}
+		return // one benchmark satisfying the <20% bound proves the property
+	}
+	if tried == 0 {
+		t.Fatal("no benchmark offered a swappable instruction pair")
+	}
+	t.Fatal("no benchmark kept the edited section under 20% of trials")
+}
+
+// TestPerInstructionSectionalShape checks that the sectional measure
+// path composes into the module-indexed table shape PerInstruction
+// produces, deterministically, with the same executed-instruction set.
+func TestPerInstructionSectionalShape(t *testing.T) {
+	m, bind, cfg, g := sectionalSetup(t, "pathfinder")
+	c := &Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g}
+	stats1, perSec := c.PerInstructionSectional(2, 17)
+	stats2, _ := c.PerInstructionSectional(2, 17)
+	if !reflect.DeepEqual(stats1, stats2) {
+		t.Fatal("PerInstructionSectional not deterministic")
+	}
+	whole := c.PerInstruction(2, 17)
+	if len(stats1) != len(whole) {
+		t.Fatalf("composed table has %d entries, whole-program %d", len(stats1), len(whole))
+	}
+	for id := range whole {
+		if stats1[id].Executed != whole[id].Executed {
+			t.Fatalf("instr %d: Executed=%v sectional vs %v whole", id, stats1[id].Executed, whole[id].Executed)
+		}
+		if stats1[id].InstrID != id {
+			t.Fatalf("instr %d: composed InstrID %d", id, stats1[id].InstrID)
+		}
+	}
+	// Round-trip through ComposeInstrStats must be exact.
+	again, err := ComposeInstrStats(m, perSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, stats1) {
+		t.Fatal("ComposeInstrStats round-trip differs")
+	}
+}

@@ -48,6 +48,11 @@ type Profile struct {
 	// byte-for-byte.
 	FaultModel string
 	Detector   string
+	// Incremental keys fault-injection artifacts per program section
+	// instead of per whole program, so edits re-run only the sections
+	// they touch. Off by default: the default path reproduces the paper's
+	// figures byte-for-byte.
+	Incremental bool
 }
 
 // Quick returns the reduced profile used by tests and benchmarks.
@@ -248,6 +253,7 @@ func (r *Runner) evalTask(b *benchprog.Benchmark) *pipeline.EvalTask {
 		SearchCfg:      p.searchConfig(p.Seed + 17),
 		FaultModel:     p.FaultModel,
 		Detector:       p.Detector,
+		Incremental:    p.Incremental,
 		Env:            r.env(),
 	}
 }

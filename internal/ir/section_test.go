@@ -1,0 +1,217 @@
+package ir
+
+import (
+	"testing"
+)
+
+// loopFunc emits a function with two sequential counted loops, each with
+// enough body instructions to clear the subdivision threshold. mul
+// selects a constant used in the second loop body so tests can produce
+// two variants differing only inside that loop.
+func loopFunc(m *Module, name string, mul int64) *Function {
+	f := m.AddFunction(name, []Type{I64}, I64)
+	b := NewBuilder(m, f)
+	n := Reg(0, I64)
+
+	head1 := b.NewBlock("head1")
+	body1 := b.NewBlock("body1")
+	head2 := b.NewBlock("head2")
+	body2 := b.NewBlock("body2")
+	exit := b.NewBlock("exit")
+
+	// entry: pad with straight-line work so the function crosses the
+	// subdivision threshold even with small loop bodies.
+	var acc Operand = ConstI(0)
+	for i := 0; i < 8; i++ {
+		acc = b.Bin(OpAdd, acc, ConstI(int64(i)))
+	}
+	b.Br(head1)
+
+	b.SetBlock(head1)
+	i1 := b.Phi(I64, []Operand{ConstI(0), {}}, []*Block{b.Fn.Blocks[0], body1})
+	s1 := b.Phi(I64, []Operand{acc, {}}, []*Block{b.Fn.Blocks[0], body1})
+	c1 := b.ICmp(PredLT, i1, n)
+	b.CondBr(c1, body1, head2)
+
+	b.SetBlock(body1)
+	s1n := b.Bin(OpAdd, s1, i1)
+	s1n = b.Bin(OpXor, s1n, ConstI(3))
+	i1n := b.Bin(OpAdd, i1, ConstI(1))
+	b.Br(head1)
+	patchPhi(head1, 0, i1n, body1)
+	patchPhi(head1, 1, s1n, body1)
+
+	b.SetBlock(head2)
+	i2 := b.Phi(I64, []Operand{ConstI(0), {}}, []*Block{head1, body2})
+	s2 := b.Phi(I64, []Operand{s1, {}}, []*Block{head1, body2})
+	c2 := b.ICmp(PredLT, i2, n)
+	b.CondBr(c2, body2, exit)
+
+	b.SetBlock(body2)
+	s2n := b.Bin(OpMul, s2, ConstI(mul))
+	s2n = b.Bin(OpAdd, s2n, i2)
+	i2n := b.Bin(OpAdd, i2, ConstI(1))
+	b.Br(head2)
+	patchPhi(head2, 0, i2n, body2)
+	patchPhi(head2, 1, s2n, body2)
+
+	b.SetBlock(exit)
+	b.Ret(s2)
+	return f
+}
+
+// patchPhi fills in the loop-carried operand of the idx-th phi of blk.
+func patchPhi(blk *Block, idx int, val Operand, from *Block) {
+	phi := blk.Instrs[idx]
+	for i, s := range phi.Succs {
+		if s == from.Index {
+			phi.Args[i] = val
+		}
+	}
+}
+
+// smallFunc emits a tiny straight-line function (below the threshold).
+func smallFunc(m *Module, name string) {
+	f := m.AddFunction(name, []Type{I64}, I64)
+	b := NewBuilder(m, f)
+	x := b.Bin(OpAdd, Reg(0, I64), ConstI(7))
+	b.Ret(x)
+}
+
+func sectionMod(t *testing.T, build func(m *Module)) *Module {
+	t.Helper()
+	m := NewModule("sectest")
+	build(m)
+	m.Finalize()
+	if err := Verify(m); err != nil {
+		t.Fatalf("module does not verify: %v", err)
+	}
+	return m
+}
+
+func TestPartitionTotalAndDisjoint(t *testing.T) {
+	m := sectionMod(t, func(m *Module) {
+		smallFunc(m, "main")
+		loopFunc(m, "loopy", 5)
+	})
+	ss := PartitionSections(m)
+	seen := make(map[int]int)
+	for _, sec := range ss.Sections {
+		for _, id := range sec.Instrs {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("instr %d in sections %d and %d", id, prev, sec.Index)
+			}
+			seen[id] = sec.Index
+			if ss.SectionOf(id) != sec.Index {
+				t.Fatalf("SectionOf(%d) = %d, want %d", id, ss.SectionOf(id), sec.Index)
+			}
+		}
+	}
+	if len(seen) != m.NumInstrs() {
+		t.Fatalf("partition covers %d of %d instrs", len(seen), m.NumInstrs())
+	}
+	// Memoization: same snapshot returns the same partition.
+	if PartitionSections(m) != ss {
+		t.Fatal("partition not memoized per (module, version)")
+	}
+}
+
+func TestPartitionSubdividesLoops(t *testing.T) {
+	m := sectionMod(t, func(m *Module) { smallFunc(m, "main"); loopFunc(m, "loopy", 5) })
+	ss := PartitionSections(m)
+	var loops, bodies int
+	for _, sec := range ss.Sections {
+		switch sec.Kind {
+		case SectionLoop:
+			loops++
+		case SectionBody:
+			bodies++
+		}
+	}
+	if loops != 2 || bodies != 1 {
+		for _, sec := range ss.Sections {
+			t.Logf("section %s kind=%s blocks=%v", sec.Name(), sec.Kind, sec.Blocks)
+		}
+		t.Fatalf("got %d loop + %d body sections, want 2 + 1", loops, bodies)
+	}
+	// A small function never subdivides.
+	m2 := sectionMod(t, func(m *Module) { smallFunc(m, "main") })
+	ss2 := PartitionSections(m2)
+	if len(ss2.Sections) != 1 || ss2.Sections[0].Kind != SectionFunc {
+		t.Fatalf("small function partitioned into %d sections", len(ss2.Sections))
+	}
+}
+
+// TestSectionHashStability is the incremental contract: editing one
+// loop's body changes exactly that section's hash, and renumbering the
+// module by adding an unrelated function changes no hash at all.
+func TestSectionHashStability(t *testing.T) {
+	base := sectionMod(t, func(m *Module) {
+		smallFunc(m, "main")
+		loopFunc(m, "loopy", 5)
+	})
+	edited := sectionMod(t, func(m *Module) {
+		smallFunc(m, "main")
+		loopFunc(m, "loopy", 9) // differs only inside loop 2's body
+	})
+	bs, es := PartitionSections(base), PartitionSections(edited)
+	if len(bs.Sections) != len(es.Sections) {
+		t.Fatalf("partition shape changed: %d vs %d sections", len(bs.Sections), len(es.Sections))
+	}
+	var changed []string
+	for i := range bs.Sections {
+		b, e := bs.Sections[i], es.Sections[i]
+		if b.Name() != e.Name() {
+			t.Fatalf("section %d renamed: %s vs %s", i, b.Name(), e.Name())
+		}
+		if b.Hash != e.Hash {
+			changed = append(changed, b.Name())
+		}
+	}
+	if len(changed) != 1 || changed[0] != "loopy#loop2" {
+		t.Fatalf("changed sections = %v, want exactly [loopy#loop2]", changed)
+	}
+
+	// Prepending a function shifts every module-wide instruction ID; the
+	// canonical hashes must not notice.
+	shifted := sectionMod(t, func(m *Module) {
+		smallFunc(m, "extra")
+		smallFunc(m, "main")
+		loopFunc(m, "loopy", 5)
+	})
+	sh := PartitionSections(shifted)
+	byName := make(map[string][32]byte)
+	for _, sec := range sh.Sections {
+		byName[sec.Name()] = sec.Hash
+	}
+	for _, sec := range bs.Sections {
+		got, ok := byName[sec.Name()]
+		if !ok {
+			t.Fatalf("section %s missing after renumbering", sec.Name())
+		}
+		if got != sec.Hash {
+			t.Fatalf("section %s hash changed after ID renumbering", sec.Name())
+		}
+	}
+}
+
+func TestFuncSections(t *testing.T) {
+	m := sectionMod(t, func(m *Module) {
+		smallFunc(m, "main")
+		loopFunc(m, "loopy", 5)
+	})
+	ss := PartitionSections(m)
+	if got := ss.FuncSections(0); len(got) != 1 {
+		t.Fatalf("tiny has %d sections, want 1", len(got))
+	}
+	loopy := ss.FuncSections(1)
+	if len(loopy) != 3 {
+		t.Fatalf("loopy has %d sections, want 3", len(loopy))
+	}
+	for i, si := range loopy {
+		sec := ss.Sections[si]
+		if sec.SecIdx != i {
+			t.Fatalf("section %s has SecIdx %d, want %d", sec.Name(), sec.SecIdx, i)
+		}
+	}
+}

@@ -55,14 +55,19 @@ type EvalTask struct {
 	// evaluation ("" = the paper's bitflip + duplication defaults).
 	FaultModel string
 	Detector   string
-	Env        Env
+	// Incremental switches the measurement and campaigns of this
+	// evaluation to the sectional path: artifacts are keyed per section,
+	// so an edit to the benchmark re-runs only the sections it touched.
+	// Off by default; defaults reproduce the paper byte-identically.
+	Incremental bool
+	Env         Env
 }
 
 // Measure returns the reference-measurement subtask (shared with
 // figure-specific drivers that need the raw measurement node).
 func (t *EvalTask) Measure() *MeasureTask {
 	return &MeasureTask{Target: t.Target, Input: t.Ref, FaultsPerInstr: t.FaultsPerInstr,
-		Seed: t.Seed, Model: t.FaultModel, Env: t.Env}
+		Seed: t.Seed, Model: t.FaultModel, Incremental: t.Incremental, Env: t.Env}
 }
 
 // SearchNode returns the input-search subtask.
@@ -88,6 +93,11 @@ func (t *EvalTask) Key() Key {
 		I64(int64(t.EvalInputs)).
 		I64(int64(t.Trials)).
 		I64(t.Seed)
+	// Incremental campaigns key differently (the measurement already
+	// does, through Measure().Key()).
+	if t.Incremental {
+		h.Str("incremental").Str(SectionSchema)
+	}
 	// The model reaches the key through Measure().Key(); the detector
 	// portfolio extends it only when non-default.
 	if d := NormDetector(t.Detector); d != sid.DefaultDetector().Name() {
@@ -142,9 +152,9 @@ func (t *EvalTask) Run(rt *Runtime) (any, error) {
 			bind := t.Target.Bind(in)
 			camps = append(camps,
 				&CampaignTask{Prot: base, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials,
-					Seed: seed, Model: t.FaultModel, Env: t.Env},
+					Seed: seed, Model: t.FaultModel, Incremental: t.Incremental, Env: t.Env},
 				&CampaignTask{Prot: minp, Bind: bind, Exec: t.Target.Exec, Trials: t.Trials,
-					Seed: seed, Model: t.FaultModel, Env: t.Env},
+					Seed: seed, Model: t.FaultModel, Incremental: t.Incremental, Env: t.Env},
 			)
 		}
 	}

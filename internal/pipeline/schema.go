@@ -30,6 +30,9 @@ type Report struct {
 	// defaults, so default-path reports are byte-identical.
 	FaultModel string `json:"fault_model,omitempty"`
 	Detector   string `json:"detector,omitempty"`
+	// Incremental records that fault-injection artifacts were keyed per
+	// program section; omitted (false) for default whole-program runs.
+	Incremental bool `json:"incremental,omitempty"`
 	// CacheDir is the versioned on-disk artifact directory, empty when the
 	// persistent tier was disabled.
 	CacheDir string `json:"cache_dir,omitempty"`
@@ -50,6 +53,11 @@ type Report struct {
 	// -analyze), present only when the invocation requested it. Additive
 	// and optional, so it shares schema version 1.
 	Analysis *analysis.ModuleReport `json:"analysis,omitempty"`
+
+	// Sections is the per-section partition table (minpsid -analyze with
+	// -incremental): section shapes, triage aggregates, content-hash
+	// prefixes, and artifact cache status. Additive and optional.
+	Sections *SectionalAnalysis `json:"sections,omitempty"`
 }
 
 // Summarize aggregates node metrics into kind -> source -> count.

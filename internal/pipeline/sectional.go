@@ -1,0 +1,340 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/minpsid"
+	"repro/internal/sid"
+)
+
+// SectionSchema versions every sectional artifact key and payload
+// envelope. Bump it whenever the section partition, the boundary
+// summary, the per-section RNG sub-stream derivation, or a sectional
+// payload changes meaning: stale sectional entries are then pruned from
+// the disk store on open (see DiskStore), while whole-program artifacts
+// — which carry no section schema — survive untouched.
+const SectionSchema = "section-schema/v1"
+
+// sectionalKind reports whether an artifact kind stores per-section
+// (incremental) artifacts. Sectional kinds share the "sec" prefix by
+// convention; they are the only entries a SectionSchema bump retires.
+func sectionalKind(kind string) bool {
+	return len(kind) >= 3 && kind[:3] == "sec"
+}
+
+// SectionCtx pins one section's identity for artifact keying: the
+// section itself plus the three canonical hashes that make reuse valid —
+// content (what the section computes), boundary (the dataflow facts at
+// its seams, including callee interface summaries), and golden (its
+// dynamic weight plus the whole-program golden context). None of the
+// three mentions module-wide instruction IDs, so an edit elsewhere in
+// the module leaves all three unchanged and the stored artifact hits.
+type SectionCtx struct {
+	Sec      *ir.Section
+	Content  [sha256.Size]byte
+	Boundary [sha256.Size]byte
+	Golden   [sha256.Size]byte
+}
+
+// SectionContexts computes the keying contexts of every section of mod
+// under one golden execution.
+func SectionContexts(mod *ir.Module, golden *fault.Golden) []SectionCtx {
+	b := analysis.BuildBoundaries(mod)
+	out := make([]SectionCtx, len(b.Set.Sections))
+	for si, sec := range b.Set.Sections {
+		out[si] = SectionCtx{
+			Sec:      sec,
+			Content:  sec.Hash,
+			Boundary: b.HashOf(si),
+			Golden:   fault.SectionGoldenHash(sec, golden),
+		}
+	}
+	return out
+}
+
+// sectionKeyOf appends a section identity to a key under construction:
+// the section schema, the stable section name, and the three canonical
+// hashes. Deliberately NO ModuleHash — that is the whole point of
+// sectional keying.
+func sectionKeyOf(h *Hasher, c *SectionCtx) *Hasher {
+	return h.Str(SectionSchema).
+		Str(c.Sec.Name()).
+		Str(hex.EncodeToString(c.Content[:])).
+		Str(hex.EncodeToString(c.Boundary[:])).
+		Str(hex.EncodeToString(c.Golden[:]))
+}
+
+// ---------------------------------------------------------------------
+// SectionMeasureTask
+
+// SectionMeasureTask runs the per-instruction FI measurement of ONE
+// section, drawing from the section's deterministic RNG sub-stream. Its
+// key is content-addressed on the section (not the module), so after an
+// edit every untouched section's measurement is served from the store
+// with zero re-injected faults.
+type SectionMeasureTask struct {
+	Target         minpsid.Target
+	Input          inputgen.Input
+	Ctx            SectionCtx
+	FaultsPerInstr int
+	Seed           int64 // the section's sub-stream seed
+	Model          string
+	Env            Env
+}
+
+// Kind implements Task.
+func (t *SectionMeasureTask) Kind() string { return "secmeasure" }
+
+// Key implements Task.
+func (t *SectionMeasureTask) Key() Key {
+	h := NewHasher("secmeasure")
+	sectionKeyOf(h, &t.Ctx).
+		Key(BindingHash(t.Target.Bind(t.Input))).
+		Key(ExecHash(t.Target.Exec)).
+		I64(int64(t.FaultsPerInstr)).
+		I64(t.Seed).
+		Str(analysis.Version)
+	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
+		h.Str("model").Str(m)
+	}
+	return h.Sum()
+}
+
+// Deps implements Task.
+func (t *SectionMeasureTask) Deps() []Task { return nil }
+
+// Run implements Task.
+func (t *SectionMeasureTask) Run(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
+	bind := t.Target.Bind(t.Input)
+	golden, err := t.Env.Cache.Golden(t.Target.Mod, bind, t.Target.Exec,
+		t.Env.Metrics.Phase(fault.PhaseRefFI))
+	if err != nil {
+		return nil, err
+	}
+	c := &fault.Campaign{Mod: t.Target.Mod, Bind: bind, Cfg: t.Target.Exec, Golden: golden,
+		Workers: t.Env.Workers, Model: model,
+		Metrics: t.Env.Metrics.Phase(fault.PhaseRefFI), Obs: rt.Obs()}
+	out := c.PerInstructionSection(t.Ctx.Sec, t.FaultsPerInstr, t.Seed)
+	return &out, nil
+}
+
+// Encode implements Persistable. Sectional payloads are stored in
+// section-local coordinates, so the artifact is valid under any module
+// renumbering that preserves the section.
+func (t *SectionMeasureTask) Encode(v any) ([]byte, error) {
+	return encodeSectional(t.Kind(), v.(*fault.SectionInstrStats))
+}
+
+// Decode implements Persistable.
+func (t *SectionMeasureTask) Decode(data []byte) (any, error) {
+	var out fault.SectionInstrStats
+	if err := decodeSectional(t.Kind(), data, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Stats) != len(t.Ctx.Sec.Instrs) {
+		return nil, fmt.Errorf("pipeline: section %q artifact has %d stats for %d instrs",
+			out.Name, len(out.Stats), len(t.Ctx.Sec.Instrs))
+	}
+	return &out, nil
+}
+
+// ---------------------------------------------------------------------
+// SectionCampaignTask
+
+// SectionCampaignTask runs ONE section's slice of a program-level
+// characterization campaign on the original (unprotected) program: its
+// apportioned trials, drawn from its sub-stream, classified and stored
+// in section-local coordinates.
+type SectionCampaignTask struct {
+	Mod   *ir.Module // the ORIGINAL program
+	Bind  interp.Binding
+	Exec  interp.Config
+	Ctx   SectionCtx
+	N     int   // trials apportioned to this section
+	Seed  int64 // the section's sub-stream seed
+	Model string
+	Env   Env
+}
+
+// Kind implements Task.
+func (t *SectionCampaignTask) Kind() string { return "seccampaign" }
+
+// Key implements Task.
+func (t *SectionCampaignTask) Key() Key {
+	h := NewHasher("seccampaign")
+	sectionKeyOf(h, &t.Ctx).
+		Key(BindingHash(t.Bind)).
+		Key(ExecHash(t.Exec)).
+		I64(int64(t.N)).
+		I64(t.Seed).
+		Str(analysis.Version)
+	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
+		h.Str("model").Str(m)
+	}
+	return h.Sum()
+}
+
+// Deps implements Task.
+func (t *SectionCampaignTask) Deps() []Task { return nil }
+
+// Run implements Task.
+func (t *SectionCampaignTask) Run(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := t.Env.Cache.Golden(t.Mod, t.Bind, t.Exec,
+		t.Env.Metrics.Phase(fault.PhaseEvaluation))
+	if err != nil {
+		return nil, err
+	}
+	c := &fault.Campaign{Mod: t.Mod, Bind: t.Bind, Cfg: t.Exec, Golden: golden,
+		Workers: t.Env.Workers, Model: model,
+		Metrics: t.Env.Metrics.Phase(fault.PhaseEvaluation), Obs: rt.Obs()}
+	out := c.RunSection(t.Ctx.Sec, t.N, t.Seed, true)
+	return &out, nil
+}
+
+// Encode implements Persistable.
+func (t *SectionCampaignTask) Encode(v any) ([]byte, error) {
+	return encodeSectional(t.Kind(), v.(*fault.SectionProfile))
+}
+
+// Decode implements Persistable.
+func (t *SectionCampaignTask) Decode(data []byte) (any, error) {
+	var out fault.SectionProfile
+	if err := decodeSectional(t.Kind(), data, &out); err != nil {
+		return nil, err
+	}
+	for _, s := range out.Sites {
+		if s.Ordinal < 0 || s.Ordinal >= len(t.Ctx.Sec.Instrs) {
+			return nil, fmt.Errorf("pipeline: section %q artifact site ordinal %d out of range",
+				out.Name, s.Ordinal)
+		}
+	}
+	return &out, nil
+}
+
+// ---------------------------------------------------------------------
+// Incremental drivers (called from MeasureTask/CampaignTask.Run)
+
+// runIncremental fans the per-instruction measurement out into one
+// SectionMeasureTask per section, awaits the artifacts (warm sections
+// load from the store with zero injected faults), and composes the
+// module-indexed measurement through sid.MeasurementFromStats — the same
+// code path the whole-program measurement uses.
+func (t *MeasureTask) runIncremental(rt *Runtime) (any, error) {
+	t0 := time.Now()
+	bind := t.Target.Bind(t.Input)
+	golden, err := t.Env.Cache.Golden(t.Target.Mod, bind, t.Target.Exec,
+		t.Env.Metrics.Phase(fault.PhaseRefFI))
+	if err != nil {
+		return nil, err
+	}
+	ctxs := SectionContexts(t.Target.Mod, golden)
+	tasks := make([]Task, len(ctxs))
+	for i := range ctxs {
+		sec := ctxs[i].Sec
+		tasks[i] = &SectionMeasureTask{
+			Target: t.Target, Input: t.Input, Ctx: ctxs[i],
+			FaultsPerInstr: t.FaultsPerInstr,
+			Seed:           fault.SectionSeed(t.Seed, sec.FuncName, sec.SecIdx),
+			Model:          t.Model, Env: t.Env,
+		}
+	}
+	outs, err := rt.Await(tasks...)
+	if err != nil {
+		return nil, err
+	}
+	perSec := make([]fault.SectionInstrStats, len(outs))
+	for i := range outs {
+		perSec[i] = *outs[i].(*fault.SectionInstrStats)
+	}
+	stats, err := fault.ComposeInstrStats(t.Target.Mod, perSec)
+	if err != nil {
+		return nil, err
+	}
+	meas := sid.MeasurementFromStats(t.Target.Mod, golden, stats)
+	return &MeasureOut{Meas: meas, Wall: time.Since(t0)}, nil
+}
+
+// runIncremental plans the phase-1 characterization campaign per
+// section, awaits the per-section slices, flattens them back to module
+// coordinates, and finishes through fault.ReplayCoverage — phase 2 is
+// shared verbatim with the whole-program path.
+func (t *CampaignTask) runIncremental(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
+	pm := t.Env.Metrics.Phase(fault.PhaseEvaluation)
+	goldenO, err := t.Env.Cache.Golden(t.Prot.Orig, t.Bind, t.Exec, pm)
+	if err != nil {
+		// Inadmissible input: deterministically undefined, not a failure
+		// (mirrors the whole-program path).
+		return &CoverageOut{}, nil
+	}
+	camp := &fault.Campaign{Mod: t.Prot.Orig, Bind: t.Bind, Cfg: t.Exec, Golden: goldenO,
+		Workers: t.Env.Workers, Model: model, Metrics: pm}
+	plans := camp.PlanSectional(t.Trials, t.Seed, true)
+	ctxs := SectionContexts(t.Prot.Orig, goldenO)
+	ctxOf := make(map[string]SectionCtx, len(ctxs))
+	for _, c := range ctxs {
+		ctxOf[c.Sec.Name()] = c
+	}
+	tasks := make([]Task, len(plans))
+	for i, p := range plans {
+		tasks[i] = &SectionCampaignTask{
+			Mod: t.Prot.Orig, Bind: t.Bind, Exec: t.Exec,
+			Ctx: ctxOf[p.Sec.Name()], N: p.N, Seed: p.Seed,
+			Model: t.Model, Env: t.Env,
+		}
+	}
+	outs, err := rt.Await(tasks...)
+	if err != nil {
+		return nil, err
+	}
+	var sites []interp.Fault
+	var outcomes []fault.Outcome
+	var shortfall, planned int64
+	for i, o := range outs {
+		prof := o.(*fault.SectionProfile)
+		sites = append(sites, prof.Faults(plans[i].Sec)...)
+		for _, s := range prof.Sites {
+			outcomes = append(outcomes, s.Outcome)
+		}
+		shortfall += prof.Shortfall
+		planned += int64(plans[i].N)
+	}
+	if missing := int64(t.Trials) - planned; missing > 0 {
+		shortfall += missing // no injectable weight anywhere to place them
+	}
+	res, err := fault.ReplayCoverage(t.Prot.Mod, t.Prot.IDs, t.Bind, t.Exec,
+		fault.CoverageOptions{
+			Trials: t.Trials, Seed: t.Seed, Model: model, Workers: t.Env.Workers,
+			Cache: t.Env.Cache, Metrics: pm, Obs: rt.Obs(),
+		}, sites, outcomes, int64(t.Trials), shortfall)
+	if err != nil {
+		return &CoverageOut{}, nil
+	}
+	cov, ok := res.Coverage()
+	return &CoverageOut{
+		Cov:       cov,
+		Ok:        ok,
+		Trials:    res.Trials,
+		SDCFaults: res.SDCFaults,
+		Mitigated: res.Mitigated,
+	}, nil
+}

@@ -1,0 +1,143 @@
+package pipeline
+
+// BenchmarkIncremental measures the three cache regimes of the sectional
+// tier end to end (incremental MeasureTask + CampaignTask against a disk
+// store): cold (empty store, everything injects), edit (store warmed by
+// the baseline build, then a single-function semantics-preserving edit —
+// only the touched section re-runs), and warm (fully-populated store,
+// nothing injects). `make bench` appends the three regimes to
+// BENCH_incremental.json and CI gates edit and warm against the merge
+// base with cmd/benchdiff, so a key-hygiene regression that silently
+// turns edits back into cold runs shows up as a wall-clock cliff.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/ir"
+	"repro/internal/minpsid"
+)
+
+const benchFaultsPerInstr, benchTrials = 2, 150
+
+// pickEditable returns the first benchmark offering a multi-section
+// partition and a semantics-preserving pure-instruction swap (the same
+// edit shape the cache-smoke test uses).
+func pickEditable(tb testing.TB) (*benchprog.Benchmark, *ir.Module, *ir.Function, *ir.Block, int) {
+	tb.Helper()
+	for _, bench := range benchprog.All() {
+		m := freshModule(tb, bench)
+		fn, blk, idx := swapPure(m)
+		if fn == nil || len(ir.PartitionSections(m).Sections) < 3 {
+			continue
+		}
+		return bench, m, fn, blk, idx
+	}
+	tb.Fatal("no benchmark offers a multi-section edit site")
+	return nil, nil, nil, nil, 0
+}
+
+// runIncrementalOnce executes one incremental measure + campaign pair
+// over a disk store rooted at dir.
+func runIncrementalOnce(tb testing.TB, bench *benchprog.Benchmark, m *ir.Module, dir string) {
+	tb.Helper()
+	p, err := New(Options{Workers: 4, DiskDir: dir})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env := newEnv()
+	tgt := minpsid.Target{Mod: m, Spec: bench.Spec, Bind: bench.Bind, Exec: bench.ExecConfig()}
+	mt := &MeasureTask{Target: tgt, Input: bench.Reference,
+		FaultsPerInstr: benchFaultsPerInstr, Seed: 7, Incremental: true, Env: env}
+	ct := &CampaignTask{Prot: identityProtect(m), Bind: bench.Bind(bench.Reference),
+		Exec: bench.ExecConfig(), Trials: benchTrials, Seed: 5, Incremental: true, Env: env}
+	if _, err := p.Run(mt); err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := p.Run(ct); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// copyDir clones a disk store so each timed iteration starts from an
+// identical cache state without re-warming.
+func copyDir(tb testing.TB, src, dst string) {
+	tb.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		w, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(w, in); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func BenchmarkIncremental(b *testing.B) {
+	bench, m, fn, blk, idx := pickEditable(b)
+
+	// Edited build: swap the two adjacent independent pure instructions.
+	m2 := freshModule(b, bench)
+	b2 := m2.Funcs[fn.Index].Blocks[blk.Index]
+	b2.Instrs[idx], b2.Instrs[idx+1] = b2.Instrs[idx+1], b2.Instrs[idx]
+	m2.Finalize()
+	if err := ir.Verify(m2); err != nil {
+		b.Fatal(err)
+	}
+
+	// Warm reference store, populated once from the baseline build.
+	warmDir := b.TempDir()
+	runIncrementalOnce(b, bench, m, warmDir)
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(b.TempDir(), "store")
+			b.StartTimer()
+			runIncrementalOnce(b, bench, m, dir)
+		}
+	})
+	b.Run("edit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(b.TempDir(), "store")
+			copyDir(b, warmDir, dir)
+			b.StartTimer()
+			runIncrementalOnce(b, bench, m2, dir)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(b.TempDir(), "store")
+			copyDir(b, warmDir, dir)
+			b.StartTimer()
+			runIncrementalOnce(b, bench, m, dir)
+		}
+	})
+}

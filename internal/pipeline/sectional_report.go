@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/bits"
+	"text/tabwriter"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/minpsid"
+)
+
+// SectionReport is one row of the per-section analysis table (minpsid
+// -analyze): the section's static shape, how much of its fault surface
+// the triage proves masked, its content-hash prefix, and whether its
+// measurement artifact is already present in the disk store.
+type SectionReport struct {
+	Name       string  `json:"name"`
+	Kind       string  `json:"kind"`
+	Blocks     int     `json:"blocks"`
+	Instrs     int     `json:"instrs"`
+	Injectable int     `json:"injectable"`
+	MaskedBits int     `json:"masked_bits"`
+	TotalBits  int     `json:"total_bits"`
+	MaskedFrac float64 `json:"masked_frac"`
+	// Hash is a 16-hex-digit prefix of the section content hash.
+	Hash string `json:"content_hash"`
+	// Cached reports the secmeasure artifact status under the queried
+	// parameters: "hit", "miss", or "-" when no disk store was attached.
+	Cached string `json:"cached"`
+}
+
+// SectionalAnalysis is the full per-section table of one module.
+type SectionalAnalysis struct {
+	Module   string          `json:"module"`
+	Schema   string          `json:"schema"`
+	Sections []SectionReport `json:"sections"`
+}
+
+// BuildSectionalAnalysis computes the per-section analysis table of a
+// target under one input: the stable section partition, per-section
+// triage aggregates, and — when store is non-nil — whether each
+// section's per-instruction measurement at (faultsPerInstr, seed, model)
+// is already on disk.
+func BuildSectionalAnalysis(tgt minpsid.Target, input inputgen.Input,
+	faultsPerInstr int, seed int64, model string, store *DiskStore) (*SectionalAnalysis, error) {
+
+	bind := tgt.Bind(input)
+	golden, err := fault.RunGolden(tgt.Mod, bind, tgt.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: sectional analysis golden: %w", err)
+	}
+	tri := analysis.TriageFor(tgt.Mod)
+	out := &SectionalAnalysis{Module: tgt.Mod.Name, Schema: SectionSchema}
+	for _, c := range SectionContexts(tgt.Mod, golden) {
+		sec := c.Sec
+		r := SectionReport{
+			Name:   sec.Name(),
+			Kind:   sec.Kind.String(),
+			Blocks: len(sec.Blocks),
+			Instrs: len(sec.Instrs),
+			Hash:   hex.EncodeToString(c.Content[:8]),
+			Cached: "-",
+		}
+		for _, id := range sec.Instrs {
+			in := tgt.Mod.Instrs[id]
+			if !in.IsInjectable() {
+				continue
+			}
+			r.Injectable++
+			r.TotalBits += int(in.Type.Bits())
+			r.MaskedBits += bits.OnesCount64(tri.MaskedBits(id))
+		}
+		if r.TotalBits > 0 {
+			r.MaskedFrac = float64(r.MaskedBits) / float64(r.TotalBits)
+		}
+		if store != nil {
+			task := &SectionMeasureTask{Target: tgt, Input: input, Ctx: c,
+				FaultsPerInstr: faultsPerInstr,
+				Seed:           fault.SectionSeed(seed, sec.FuncName, sec.SecIdx),
+				Model:          model}
+			if _, ok := store.Get(task.Kind(), task.Key()); ok {
+				r.Cached = "hit"
+			} else {
+				r.Cached = "miss"
+			}
+		}
+		out.Sections = append(out.Sections, r)
+	}
+	return out, nil
+}
+
+// Render prints the human-readable per-section table (minpsid -analyze
+// with -incremental).
+func (r *SectionalAnalysis) Render(w io.Writer) error {
+	fmt.Fprintf(w, "Sectional partition: %s (%s)\n", r.Module, r.Schema)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section\tKind\tBlocks\tInstrs\tInjectable\tMasked%\tContentHash\tCached")
+	var injectable, masked, total int
+	for _, s := range r.Sections {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f%%\t%s\t%s\n",
+			s.Name, s.Kind, s.Blocks, s.Instrs, s.Injectable,
+			100*s.MaskedFrac, s.Hash, s.Cached)
+		injectable += s.Injectable
+		masked += s.MaskedBits
+		total += s.TotalBits
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(masked) / float64(total)
+	}
+	_, err := fmt.Fprintf(w, "sections: %d, injectable sites: %d, %d/%d bits provably masked (%.2f%%)\n",
+		len(r.Sections), injectable, masked, total, 100*frac)
+	return err
+}

@@ -1,0 +1,155 @@
+package pipeline
+
+// Golden-file test for the per-section analysis renderer (minpsid
+// -analyze -incremental) plus a live BuildSectionalAnalysis test pinning
+// the cache-status column against a real disk store. Regenerate the
+// golden with:
+//
+//	go test ./internal/pipeline -run TestSectionalRenderGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/minpsid"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestSectionalRenderGolden renders a fixed synthetic table so column
+// layout, percentage formatting, and the footer aggregate are pinned
+// byte-for-byte.
+func TestSectionalRenderGolden(t *testing.T) {
+	a := &SectionalAnalysis{
+		Module: "synthetic",
+		Schema: SectionSchema,
+		Sections: []SectionReport{
+			{Name: "main#body", Kind: "body", Blocks: 3, Instrs: 40,
+				Injectable: 28, MaskedBits: 96, TotalBits: 1792,
+				MaskedFrac: 96.0 / 1792, Hash: "00112233aabbccdd", Cached: "hit"},
+			{Name: "main#loop1", Kind: "loop", Blocks: 4, Instrs: 31,
+				Injectable: 25, MaskedBits: 320, TotalBits: 1600,
+				MaskedFrac: 320.0 / 1600, Hash: "8f00ba5e8f00ba5e", Cached: "miss"},
+			{Name: "helper", Kind: "func", Blocks: 1, Instrs: 7,
+				Injectable: 4, MaskedBits: 0, TotalBits: 256,
+				MaskedFrac: 0, Hash: "deadbeef00000000", Cached: "-"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := a.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sectional.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("render drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestBuildSectionalAnalysis pins the live table on a real benchmark:
+// totals are consistent, the cache column reads "-" without a store,
+// all-"miss" against an empty store, and flips to "hit" for exactly the
+// sections whose measurement artifacts a prior incremental run stored.
+func TestBuildSectionalAnalysis(t *testing.T) {
+	bench, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder missing")
+	}
+	tgt := minpsid.Target{Mod: bench.MustModule(), Spec: bench.Spec,
+		Bind: bench.Bind, Exec: bench.ExecConfig()}
+
+	noStore, err := BuildSectionalAnalysis(tgt, bench.Reference, 1, 3, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noStore.Sections) == 0 {
+		t.Fatal("no sections reported")
+	}
+	if noStore.Schema != SectionSchema {
+		t.Errorf("schema %q, want %q", noStore.Schema, SectionSchema)
+	}
+	for _, s := range noStore.Sections {
+		if s.Cached != "-" {
+			t.Errorf("%s: cache status %q without a store, want -", s.Name, s.Cached)
+		}
+		if s.Injectable > s.Instrs || s.MaskedBits > s.TotalBits || len(s.Hash) != 16 {
+			t.Errorf("%s: inconsistent row %+v", s.Name, s)
+		}
+	}
+
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := BuildSectionalAnalysis(tgt, bench.Reference, 1, 3, "", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cold.Sections {
+		if s.Cached != "miss" {
+			t.Errorf("%s: cache status %q on empty store, want miss", s.Name, s.Cached)
+		}
+	}
+
+	// Populate the store by running the incremental measurement at the
+	// same (faultsPerInstr, seed, model) parameters, then rebuild.
+	p, err := New(Options{Workers: 2, DiskDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := &MeasureTask{Target: tgt, Input: bench.Reference,
+		FaultsPerInstr: 1, Seed: 3, Incremental: true, Env: newEnv()}
+	if _, err := p.Run(mt); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildSectionalAnalysis(tgt, bench.Reference, 1, 3, "", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range warm.Sections {
+		if s.Cached != "hit" {
+			t.Errorf("%s: cache status %q after incremental run, want hit", s.Name, s.Cached)
+		}
+	}
+
+	// A different seed addresses a different artifact universe.
+	other, err := BuildSectionalAnalysis(tgt, bench.Reference, 1, 4, "", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range other.Sections {
+		if s.Cached != "miss" {
+			t.Errorf("%s: cache status %q under a different seed, want miss", s.Name, s.Cached)
+		}
+	}
+
+	// The table serializes under the report schema's "sections" field.
+	data, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SectionalAnalysis
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Sections) != len(warm.Sections) || back.Sections[0].Cached != "hit" {
+		t.Error("sectional analysis did not round-trip through JSON")
+	}
+}

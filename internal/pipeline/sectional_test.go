@@ -1,0 +1,440 @@
+package pipeline
+
+// Tests for the sectional (incremental) artifact tier: the schema-scoped
+// disk pruning, the sectional envelope, and the end-to-end cache-smoke
+// property the tentpole promises — a single-function edit re-runs only
+// the sections it touched, with zero faults re-injected anywhere else.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/minicc"
+	"repro/internal/minpsid"
+	"repro/internal/passes"
+)
+
+// freshModule compiles a private copy of a benchmark's module.
+// Benchmark.MustModule caches and shares one module per process; the
+// mutation tests below need an independently editable build.
+func freshModule(t testing.TB, bench *benchprog.Benchmark) *ir.Module {
+	t.Helper()
+	m, err := minicc.Compile(bench.Name+".mc", bench.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Optimize(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSectionalKindPrefix(t *testing.T) {
+	for kind, want := range map[string]bool{
+		"secmeasure": true, "seccampaign": true, "sec": true,
+		"measure": false, "campaign": false, "search": false, "se": false, "": false,
+	} {
+		if got := sectionalKind(kind); got != want {
+			t.Errorf("sectionalKind(%q) = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestSectionalEnvelopeSchema(t *testing.T) {
+	prof := &fault.SectionProfile{Name: "f#body", Requested: 3,
+		Sites: []fault.LocalSite{{Ordinal: 1, DynIndex: 2, Bit: 3, Outcome: fault.OutcomeSDC}}}
+	data, err := encodeSectional("seccampaign", prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back fault.SectionProfile
+	if err := decodeSectional("seccampaign", data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, prof) {
+		t.Fatalf("round trip: got %+v, want %+v", back, *prof)
+	}
+	// A payload written under a different section schema must be rejected
+	// even if version and kind agree.
+	stale := []byte(`{"v":1,"kind":"seccampaign","schema":"section-schema/v0","data":{}}`)
+	if err := decodeSectional("seccampaign", stale, &back); err == nil {
+		t.Fatal("stale section schema decoded without error")
+	}
+	// Plain artifacts lack the schema field entirely and must be rejected.
+	plain, err := encodeArtifact("seccampaign", prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeSectional("seccampaign", plain, &back); err == nil {
+		t.Fatal("schema-less envelope decoded as sectional")
+	}
+}
+
+// TestSectionalStorePrune pins the eviction contract: a SectionSchema
+// bump (simulated by tampering the marker) retires exactly the sectional
+// kind directories on open, leaving whole-program artifacts intact.
+func TestSectionalStorePrune(t *testing.T) {
+	root := t.TempDir()
+	s, err := NewDiskStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewHasher("x").Str("k").Sum()
+	for _, kind := range []string{"secmeasure", "seccampaign", "campaign", "measure"} {
+		if err := s.Put(kind, k, []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Same schema: reopen keeps everything.
+	if _, err := NewDiskStore(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"secmeasure", "seccampaign", "campaign", "measure"} {
+		if _, ok := s.Get(kind, k); !ok {
+			t.Fatalf("%s entry lost on same-schema reopen", kind)
+		}
+	}
+
+	// Stale schema: reopen prunes sectional kinds only and restamps.
+	marker := filepath.Join(s.Dir(), sectionalMarker)
+	if err := os.WriteFile(marker, []byte("section-schema/v0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(root); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"secmeasure", "seccampaign"} {
+		if _, ok := s.Get(kind, k); ok {
+			t.Errorf("stale %s entry survived the schema bump", kind)
+		}
+	}
+	for _, kind := range []string{"campaign", "measure"} {
+		if _, ok := s.Get(kind, k); !ok {
+			t.Errorf("whole-program %s entry was pruned by a section schema bump", kind)
+		}
+	}
+	if cur, err := os.ReadFile(marker); err != nil || string(cur) != SectionSchema {
+		t.Errorf("marker not restamped: %q, %v", cur, err)
+	}
+
+	// A missing marker (store predating the sectional tier, or deleted by
+	// hand) is treated as unknown schema: sectional entries cannot be
+	// trusted and are pruned.
+	if err := s.Put("secmeasure", k, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(marker); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDiskStore(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("secmeasure", k); ok {
+		t.Error("sectional entry survived a missing marker")
+	}
+}
+
+// swapPure finds two adjacent, independent, pure value-producing
+// instructions in one block — a semantics-preserving single-function
+// edit (mirrors the mutation used by the fault-layer isolation test).
+func swapPure(m *ir.Module) (f *ir.Function, blk *ir.Block, idx int) {
+	pure := func(in *ir.Instr) bool {
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+			ir.OpShl, ir.OpShr, ir.OpICmp:
+			return in.HasResult()
+		}
+		return false
+	}
+	uses := func(in *ir.Instr, reg int) bool {
+		for _, a := range in.Args {
+			if a.Kind == ir.OperReg && a.Reg == reg {
+				return true
+			}
+		}
+		return false
+	}
+	for _, fn := range m.Funcs {
+		for _, b := range fn.Blocks {
+			for i := 0; i+1 < len(b.Instrs); i++ {
+				x, y := b.Instrs[i], b.Instrs[i+1]
+				if pure(x) && pure(y) && x.Dst != y.Dst &&
+					!uses(y, x.Dst) && !uses(x, y.Dst) {
+					return fn, b, i
+				}
+			}
+		}
+	}
+	return nil, nil, -1
+}
+
+// identityProtect wraps a module as its own "protection" (empty
+// selection, identity ID map) so a CampaignTask can run without the
+// protect machinery.
+func identityProtect(m *ir.Module) *ProtectOut {
+	ids := make(map[int]int, m.NumInstrs())
+	for i := 0; i < m.NumInstrs(); i++ {
+		ids[i] = i
+	}
+	return &ProtectOut{Orig: m, Mod: m, IDs: ids}
+}
+
+// sourcesByKind tallies node sources for one task kind.
+func sourcesByKind(p *Pipeline, kind string) map[string]int {
+	out := map[string]int{}
+	for _, n := range p.Nodes() {
+		if n.Kind == kind {
+			out[n.Source]++
+		}
+	}
+	return out
+}
+
+// TestIncrementalCacheSmoke is the tentpole's end-to-end acceptance on a
+// real benchmark: a cold incremental run populates per-section
+// artifacts; a warm rerun re-injects nothing; after a single-function
+// semantics-preserving edit, only the edited section's artifacts miss,
+// the re-run trial share stays under 20%, and no faults are re-injected
+// into untouched sections.
+func TestIncrementalCacheSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incremental cache smoke is slow")
+	}
+	const faultsPerInstr, trials = 2, 150
+
+	for _, bench := range benchprog.All() {
+		m := freshModule(t, bench)
+		fn, blk, idx := swapPure(m)
+		if fn == nil {
+			continue
+		}
+		set := ir.PartitionSections(m)
+		if len(set.Sections) < 3 {
+			continue
+		}
+
+		// The edit must stay under 20% of campaign trials for the
+		// acceptance bound; pick the first benchmark where it does.
+		bind := bench.Bind(bench.Reference)
+		cfg := bench.ExecConfig()
+		g, err := fault.RunGolden(m, bind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		camp := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg, Golden: g}
+		plans := camp.PlanSectional(trials, 5, true)
+		edited := set.Sections[set.SectionOf(blk.Instrs[idx].ID)]
+		editedShare := 0
+		for _, p := range plans {
+			if p.Sec == edited {
+				editedShare = p.N
+			}
+		}
+		if float64(editedShare) >= 0.20*trials {
+			continue
+		}
+
+		t.Logf("benchmark %s: %d sections, edited function holds %d/%d trials",
+			bench.Name, len(set.Sections), editedShare, trials)
+		runIncrementalSmoke(t, bench, m, fn, blk, idx, faultsPerInstr, trials)
+		return
+	}
+	t.Fatal("no benchmark offered a multi-section edit site under 20 percent trial share")
+}
+
+func runIncrementalSmoke(t *testing.T, bench *benchprog.Benchmark, m *ir.Module,
+	fn *ir.Function, blk *ir.Block, idx, faultsPerInstr, trials int) {
+
+	dir := t.TempDir()
+	target := func(mod *ir.Module) minpsid.Target {
+		return minpsid.Target{Mod: mod, Spec: bench.Spec, Bind: bench.Bind, Exec: bench.ExecConfig()}
+	}
+	tasksFor := func(mod *ir.Module, env Env) (*MeasureTask, *CampaignTask) {
+		mt := &MeasureTask{Target: target(mod), Input: bench.Reference,
+			FaultsPerInstr: faultsPerInstr, Seed: 7, Incremental: true, Env: env}
+		ct := &CampaignTask{Prot: identityProtect(mod), Bind: bench.Bind(bench.Reference),
+			Exec: bench.ExecConfig(), Trials: trials, Seed: 5, Incremental: true, Env: env}
+		return mt, ct
+	}
+	run := func(p *Pipeline, mod *ir.Module) (*MeasureOut, *CoverageOut) {
+		env := newEnv()
+		mt, ct := tasksFor(mod, env)
+		mv, err := p.Run(mt)
+		if err != nil {
+			t.Fatalf("incremental measure: %v", err)
+		}
+		cv, err := p.Run(ct)
+		if err != nil {
+			t.Fatalf("incremental campaign: %v", err)
+		}
+		return mv.(*MeasureOut), cv.(*CoverageOut)
+	}
+	newDisk := func() *Pipeline {
+		p, err := New(Options{Workers: 4, DiskDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Cold: everything sectional runs.
+	p1 := newDisk()
+	meas1, cov1 := run(p1, m)
+	cold := sourcesByKind(p1, "secmeasure")
+	if cold[SourceRun] == 0 {
+		t.Fatalf("cold run executed no secmeasure tasks: %v", cold)
+	}
+
+	// Warm, identical module: nothing fault-injecting re-runs.
+	p2 := newDisk()
+	meas2, cov2 := run(p2, m)
+	for _, kind := range []string{"measure", "campaign", "secmeasure", "seccampaign"} {
+		if n := sourcesByKind(p2, kind)[SourceRun]; n != 0 {
+			t.Errorf("warm rerun executed %d %s tasks, want 0", n, kind)
+		}
+	}
+	if !reflect.DeepEqual(meas1.Meas.SDCProb, meas2.Meas.SDCProb) || !reflect.DeepEqual(cov1, cov2) {
+		t.Fatal("warm rerun changed composed results")
+	}
+
+	// Edit: swap the two independent instructions in fn, rebuild.
+	m2 := freshModule(t, bench)
+	b2 := m2.Funcs[fn.Index].Blocks[blk.Index]
+	b2.Instrs[idx], b2.Instrs[idx+1] = b2.Instrs[idx+1], b2.Instrs[idx]
+	m2.Finalize()
+	if err := ir.Verify(m2); err != nil {
+		t.Fatalf("edited module does not verify: %v", err)
+	}
+	changed := map[string]bool{}
+	base := map[string][32]byte{}
+	for _, s := range ir.PartitionSections(m).Sections {
+		base[s.Name()] = s.Hash
+	}
+	for _, s := range ir.PartitionSections(m2).Sections {
+		if base[s.Name()] != s.Hash {
+			changed[s.Name()] = true
+		}
+	}
+	if len(changed) != 1 {
+		t.Fatalf("edit changed %d section hashes, want 1", len(changed))
+	}
+
+	// Post-edit run: the composite tasks miss (module hash changed) and
+	// fan out; only the edited section's artifacts may execute.
+	p3 := newDisk()
+	run(p3, m2)
+	for _, kind := range []string{"secmeasure", "seccampaign"} {
+		src := sourcesByKind(p3, kind)
+		if src[SourceRun] > 1 {
+			t.Errorf("post-edit run executed %d %s tasks, want <=1 (the edited section)", src[SourceRun], kind)
+		}
+		if src[SourceDisk] == 0 {
+			t.Errorf("post-edit run loaded no %s artifacts from disk: %v", kind, src)
+		}
+	}
+
+	// Zero re-injection outside the edit: re-running the post-edit
+	// workload once more must execute nothing sectional at all.
+	p4 := newDisk()
+	run(p4, m2)
+	for _, kind := range []string{"secmeasure", "seccampaign"} {
+		if n := sourcesByKind(p4, kind)[SourceRun]; n != 0 {
+			t.Errorf("second post-edit run executed %d %s tasks, want 0", n, kind)
+		}
+	}
+}
+
+// TestSectionMeasureArtifactRoundTrip pins the persistable contract of
+// the per-section measurement through a real store: encode, decode, and
+// the arity guard against a partition drift.
+func TestSectionMeasureArtifactRoundTrip(t *testing.T) {
+	bench, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder missing")
+	}
+	m := bench.MustModule()
+	bind := bench.Bind(bench.Reference)
+	g, err := fault.RunGolden(m, bind, bench.ExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := SectionContexts(m, g)
+	task := &SectionMeasureTask{
+		Target: minpsid.Target{Mod: m, Spec: bench.Spec, Bind: bench.Bind, Exec: bench.ExecConfig()},
+		Input:  bench.Reference, Ctx: ctxs[0], FaultsPerInstr: 1, Seed: 3,
+		Env: newEnv(),
+	}
+	out := fault.SectionInstrStats{Name: ctxs[0].Sec.Name(),
+		Stats: make([]fault.InstrStats, len(ctxs[0].Sec.Instrs))}
+	data, err := task.Encode(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := task.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, &out) {
+		t.Fatal("section measurement artifact did not round-trip")
+	}
+	// Wrong arity (stale artifact for a re-partitioned section) must fail
+	// decoding rather than compose garbage.
+	bad := fault.SectionInstrStats{Name: out.Name, Stats: make([]fault.InstrStats, len(out.Stats)+1)}
+	data, err = task.Encode(&bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Decode(data); err == nil {
+		t.Fatal("arity-mismatched artifact decoded without error")
+	}
+}
+
+// TestSectionKeyIgnoresModuleIdentity pins the load-bearing property of
+// sectional keys: two different modules sharing a section with equal
+// content, boundary, and golden hashes produce the same artifact key —
+// and perturbing any one of the three hashes changes it.
+func TestSectionKeyIgnoresModuleIdentity(t *testing.T) {
+	bench, ok := benchprog.ByName("pathfinder")
+	if !ok {
+		t.Fatal("pathfinder missing")
+	}
+	m1, m2 := bench.MustModule(), bench.MustModule()
+	bind := bench.Bind(bench.Reference)
+	g1, err := fault.RunGolden(m1, bind, bench.ExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := fault.RunGolden(m2, bind, bench.ExecConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := SectionContexts(m1, g1), SectionContexts(m2, g2)
+	if len(c1) != len(c2) {
+		t.Fatalf("partition sizes differ: %d vs %d", len(c1), len(c2))
+	}
+	mk := func(c SectionCtx) Key {
+		return sectionKeyOf(NewHasher("probe"), &c).Sum()
+	}
+	for i := range c1 {
+		if mk(c1[i]) != mk(c2[i]) {
+			t.Fatalf("section %s keyed differently across identical builds", c1[i].Sec.Name())
+		}
+		for name, mut := range map[string]func(*SectionCtx){
+			"content":  func(c *SectionCtx) { c.Content[0] ^= 1 },
+			"boundary": func(c *SectionCtx) { c.Boundary[0] ^= 1 },
+			"golden":   func(c *SectionCtx) { c.Golden[0] ^= 1 },
+		} {
+			c := c1[i]
+			mut(&c)
+			if mk(c) == mk(c1[i]) {
+				t.Fatalf("section %s key ignores the %s hash", c1[i].Sec.Name(), name)
+			}
+		}
+	}
+}

@@ -76,13 +76,43 @@ type DiskStore struct {
 }
 
 // NewDiskStore opens (creating if needed) the versioned artifact
-// directory under root.
+// directory under root. Sectional artifact kinds carry their own schema
+// version (SectionSchema); entries written under a different section
+// schema are pruned here, on open, so a schema bump invalidates exactly
+// the sectional tiers and leaves whole-program artifacts untouched.
 func NewDiskStore(root string) (*DiskStore, error) {
 	dir := filepath.Join(root, fmt.Sprintf("v%d", StoreVersion))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: disk store: %w", err)
 	}
+	if err := pruneStaleSectional(dir); err != nil {
+		return nil, fmt.Errorf("pipeline: disk store: %w", err)
+	}
 	return &DiskStore{dir: dir}, nil
+}
+
+// sectionalMarker names the file recording which section schema the
+// store's sectional entries were written under.
+const sectionalMarker = "sectional.schema"
+
+// pruneStaleSectional retires sectional artifact directories written
+// under a different (or unknown) section schema and stamps the current
+// one. Whole-program kinds are never touched.
+func pruneStaleSectional(dir string) error {
+	marker := filepath.Join(dir, sectionalMarker)
+	cur, err := os.ReadFile(marker)
+	if err == nil && string(cur) == SectionSchema {
+		return nil
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.IsDir() && sectionalKind(e.Name()) {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return os.WriteFile(marker, []byte(SectionSchema), 0o644)
 }
 
 // Dir returns the versioned artifact directory.
@@ -153,6 +183,46 @@ func decodeArtifact(kind string, data []byte, out any) error {
 	}
 	if env.Kind != kind {
 		return fmt.Errorf("pipeline: artifact kind %q, want %q", env.Kind, kind)
+	}
+	return json.Unmarshal(env.Data, out)
+}
+
+// sectionalEnvelope extends the artifact envelope with the section
+// schema, so a sectional artifact that somehow survives the open-time
+// prune (e.g. copied in by hand) still fails decoding under a different
+// schema and degrades to a cache miss.
+type sectionalEnvelope struct {
+	V      int             `json:"v"`
+	Kind   string          `json:"kind"`
+	Schema string          `json:"schema"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// encodeSectional wraps a sectional payload with store version, kind,
+// and section schema.
+func encodeSectional(kind string, v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sectionalEnvelope{V: StoreVersion, Kind: kind, Schema: SectionSchema, Data: data})
+}
+
+// decodeSectional unwraps a sectional envelope, verifying version, kind,
+// and section schema.
+func decodeSectional(kind string, data []byte, out any) error {
+	var env sectionalEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return err
+	}
+	if env.V != StoreVersion {
+		return fmt.Errorf("pipeline: artifact version %d, want %d", env.V, StoreVersion)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("pipeline: artifact kind %q, want %q", env.Kind, kind)
+	}
+	if env.Schema != SectionSchema {
+		return fmt.Errorf("pipeline: sectional artifact schema %q, want %q", env.Schema, SectionSchema)
 	}
 	return json.Unmarshal(env.Data, out)
 }

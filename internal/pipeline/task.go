@@ -99,7 +99,12 @@ type MeasureTask struct {
 	// Model names the fault model the measurement campaign injects
 	// ("" = the paper's single-bit flip).
 	Model string
-	Env   Env
+	// Incremental runs the measurement sectionally: one sub-task per
+	// section, keyed by section content (not module), composed into the
+	// same Measurement shape. Off by default — the flag extends the key,
+	// so every default artifact key is byte-identical to before.
+	Incremental bool
+	Env         Env
 }
 
 // Kind implements Task.
@@ -123,6 +128,12 @@ func (t *MeasureTask) Key() Key {
 	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
 		h.Str("model").Str(m)
 	}
+	// Incremental measurements draw from per-section RNG sub-streams, so
+	// they are a distinct artifact; the section schema version retires
+	// them when the sectioning contract changes.
+	if t.Incremental {
+		h.Str("incremental").Str(SectionSchema)
+	}
 	return h.Sum()
 }
 
@@ -131,6 +142,9 @@ func (t *MeasureTask) Deps() []Task { return nil }
 
 // Run implements Task.
 func (t *MeasureTask) Run(rt *Runtime) (any, error) {
+	if t.Incremental {
+		return t.runIncremental(rt)
+	}
 	model, err := modelFor(t.Model)
 	if err != nil {
 		return nil, err
@@ -527,7 +541,12 @@ type CampaignTask struct {
 	// Model names the fault model both campaign phases inject ("" = the
 	// paper's single-bit flip).
 	Model string
-	Env   Env
+	// Incremental computes phase 1 sectionally (per-section sub-tasks
+	// keyed by section content) and replays phase 2 through the shared
+	// fault.ReplayCoverage path. Off by default; extends the key only
+	// when set.
+	Incremental bool
+	Env         Env
 }
 
 // Kind implements Task.
@@ -554,6 +573,9 @@ func (t *CampaignTask) Key() Key {
 	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
 		h.Str("model").Str(m)
 	}
+	if t.Incremental {
+		h.Str("incremental").Str(SectionSchema)
+	}
 	return h.Sum()
 }
 
@@ -562,6 +584,9 @@ func (t *CampaignTask) Deps() []Task { return nil }
 
 // Run implements Task.
 func (t *CampaignTask) Run(rt *Runtime) (any, error) {
+	if t.Incremental {
+		return t.runIncremental(rt)
+	}
 	model, err := modelFor(t.Model)
 	if err != nil {
 		return nil, err

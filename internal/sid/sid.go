@@ -64,7 +64,14 @@ func MeasureWithGolden(m *ir.Module, bind interp.Binding, cfg Config, golden *fa
 	c := &fault.Campaign{Mod: m, Bind: bind, Cfg: cfg.Exec, Golden: golden,
 		Workers: cfg.Workers, Model: cfg.Model, Metrics: cfg.Metrics, Obs: cfg.Obs}
 	stats := c.PerInstruction(cfg.FaultsPerInstr, cfg.Seed)
+	return MeasurementFromStats(m, golden, stats), nil
+}
 
+// MeasurementFromStats derives the SID cost/benefit model from an
+// already-computed per-instruction stats table (either PerInstruction or
+// the composed sectional table — the incremental pipeline assembles
+// stats per section and builds the measurement through this one path).
+func MeasurementFromStats(m *ir.Module, golden *fault.Golden, stats []fault.InstrStats) *Measurement {
 	n := m.NumInstrs()
 	meas := &Measurement{
 		Cost:    make([]float64, n),
@@ -82,7 +89,7 @@ func MeasureWithGolden(m *ir.Module, bind interp.Binding, cfg Config, golden *fa
 		meas.SDCProb[id] = stats[id].SDCProb()
 		meas.Benefit[id] = meas.SDCProb[id] * meas.Cost[id]
 	}
-	return meas, nil
+	return meas
 }
 
 // Duplicable reports whether SID may duplicate instruction in: it must
