@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet lint test race check bench
 
 all: check
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific determinism lints (tools/sdclint): map iteration feeding
+# content keys, wall-clock/rand in key derivation, and the obs
+# nil-receiver contract. Stdlib-only; CI runs it in the static-analysis
+# job and additionally asserts it FAILS on the seeded fixture tree.
+lint: vet
+	$(GO) run ./tools/sdclint ./internal ./cmd ./tools
 
 test:
 	$(GO) test ./...
@@ -50,6 +57,13 @@ BENCH_DETECTORS_JSON ?= BENCH_detectors.json
 # surfaces as a wall-clock cliff on the edit/warm rows.
 BENCH_INCREMENTAL_JSON ?= BENCH_incremental.json
 
+# Analysis-v2 triage benchmarks: campaign ns/trial and pruned-trial
+# fraction on full-DMR (duplication-protected) modules with triage on
+# and off, appended to BENCH_triage2.json. CI gates the rows with
+# cmd/benchdiff: a pruning regression shows up as an ns/trial cliff and
+# a pruned_frac collapse on the triage=on rows.
+BENCH_TRIAGE2_JSON ?= BENCH_triage2.json
+
 # Repetitions per benchmark. CI sets 3 and compares best-of-N
 # (benchdiff -agg min) so shared-runner noise doesn't gate single samples.
 BENCH_COUNT ?= 1
@@ -79,3 +93,10 @@ bench:
 		./internal/pipeline | tee /dev/stderr | \
 	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
 		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s}\n", ts, $$1, $$2, $$3 }' >> $(BENCH_INCREMENTAL_JSON)
+	$(GO) test -bench Triage2 -benchtime 50ms -count $(BENCH_COUNT) -run '^$$' \
+		./internal/harness | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		rec = sprintf("{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3); \
+		if ($$6 == "ns/trial") rec = rec sprintf(",\"ns_per_trial\":%s", $$5); \
+		if ($$8 == "pruned_frac") rec = rec sprintf(",\"pruned_frac\":%s", $$7); \
+		rec = rec "}"; print rec }' >> $(BENCH_TRIAGE2_JSON)

@@ -9,7 +9,9 @@
 // Experiments: table1, fig2, chart2 (ASCII candlesticks), table2, fig3,
 // fig5, fig6, chart6, table3, fig7, fig8, fig9 (includes table4),
 // overhead (§VIII-A), mtfft (§VIII-B), matrix (detector × fault-model
-// true-coverage matrix; not part of all).
+// true-coverage matrix; not part of all), static-rank (Spearman rank
+// correlation of the static propagation-graph SDC score against FI
+// ground truth; not part of all).
 //
 // -fault-model and -detector swap the injected fault model and the
 // detector portfolio for every experiment; the defaults (bitflip, dup)
@@ -200,6 +202,8 @@ func run(o options) error {
 			err = harness.ErrorBars(r, bs, w)
 		case "mtfft":
 			err = harness.MTFFT(r, w)
+		case "static-rank":
+			err = harness.StaticRank(r, bs, w)
 		case "matrix":
 			// Detector × fault-model matrix on the first selected benchmark
 			// (not part of -exp all: it sweeps every registered model).

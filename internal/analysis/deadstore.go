@@ -2,152 +2,53 @@ package analysis
 
 import "repro/internal/ir"
 
-// DeadStores flags stores whose stored value can never be observed: the
-// store's address provably points only into memory objects (globals or
-// allocas) that are never loaded from and whose address never escapes
-// the provenance analysis. The granularity is whole objects — "dead
-// before any load" holds trivially because no load from the object
-// exists anywhere in the module — which keeps the escape reasoning
-// airtight in the presence of threads and calls.
+// DeadStores flags stores whose stored value can never be observed.
+// Two proofs feed it, both layered on the PointsTo provenance analysis
+// (memssa.go):
+//
+//   - Dead: the store's address provably points only into memory
+//     objects (globals or allocas) that are never loaded from and whose
+//     address never escapes. The granularity is whole objects — "dead
+//     before any load" holds trivially because no load from the object
+//     exists anywhere in the module — which keeps the escape reasoning
+//     airtight in the presence of threads and calls.
+//   - Shadowed: the store is provably overwritten before any load can
+//     observe it (MemSSA's same-block store→store chains over
+//     non-escaping allocas).
 type DeadStores struct {
 	// Dead[id] is true when static store instruction id is dead.
 	Dead map[int]bool
+	// Shadowed[id] is true when static store instruction id is
+	// overwritten before any possible load (may be nil when the caller
+	// built only the object-liveness tier).
+	Shadowed map[int]bool
 }
 
-// object ids: globals get 0..G-1, each alloca instruction one id above.
-type objSet struct {
-	top  bool
-	objs []int
+// DeadAt reports whether store instruction id's value is unobservable,
+// by either proof.
+func (ds *DeadStores) DeadAt(id int) bool {
+	return ds.Dead[id] || ds.Shadowed[id]
 }
 
-func (s *objSet) add(o int) bool {
-	for _, x := range s.objs {
-		if x == o {
-			return false
-		}
-	}
-	s.objs = append(s.objs, o)
-	return true
-}
-
-func (s *objSet) union(o objSet) bool {
-	if s.top {
-		return false
-	}
-	if o.top {
-		s.top = true
-		s.objs = nil
-		return true
-	}
-	changed := false
-	for _, x := range o.objs {
-		if s.add(x) {
-			changed = true
-		}
-	}
-	return changed
-}
-
-// BuildDeadStores runs the module-wide provenance analysis.
+// BuildDeadStores runs the module-wide provenance analysis and flags
+// stores into never-read objects. The Shadowed tier is left nil; use
+// buildDeadStoresPts with a MemSSA (as FactsFor does) to include it.
 func BuildDeadStores(m *ir.Module) *DeadStores {
-	numGlobals := len(m.Globals)
-	allocaObj := make(map[int]int) // alloca instr ID -> object id
-	for _, in := range m.Instrs {
-		if in.Op == ir.OpAlloca {
-			allocaObj[in.ID] = numGlobals + len(allocaObj)
-		}
-	}
-	numObjs := numGlobals + len(allocaObj)
+	return buildDeadStoresPts(m, BuildPointsTo(m), nil)
+}
 
-	loaded := make([]bool, numObjs)
-	escaped := make([]bool, numObjs)
-	allLoaded := false
-	markAll := func(flags []bool, s objSet) {
-		for _, o := range s.objs {
-			flags[o] = true
-		}
-	}
-
-	funcPts := make([][]objSet, len(m.Funcs))
-	for fi, f := range m.Funcs {
-		pts := make([]objSet, f.NumRegs)
-		// Pointer-typed parameters have unknown provenance.
-		for r, t := range f.Params {
-			if t == ir.Ptr {
-				pts[r].top = true
-			}
-		}
-		for changed := true; changed; {
-			changed = false
-			for _, b := range f.Blocks {
-				for _, in := range b.Instrs {
-					if !in.HasResult() {
-						continue
-					}
-					var s objSet
-					switch in.Op {
-					case ir.OpAlloca:
-						s.objs = []int{allocaObj[in.ID]}
-					case ir.OpGlobalAddr:
-						s.objs = []int{in.Global}
-					case ir.OpGEP:
-						s = operandPts(in.Args[0], pts)
-					case ir.OpPhi:
-						for _, a := range in.Args {
-							o := operandPts(a, pts)
-							s.union(o)
-						}
-					case ir.OpSelect:
-						s = operandPts(in.Args[1], pts)
-						o := operandPts(in.Args[2], pts)
-						s.union(o)
-					default:
-						// Loads, calls, arithmetic: unknown provenance.
-						s.top = true
-					}
-					if pts[in.Dst].union(s) {
-						changed = true
-					}
-				}
-			}
-		}
-		funcPts[fi] = pts
-	}
-
-	// Collect loads and escapes module-wide.
-	for fi, f := range m.Funcs {
-		pts := funcPts[fi]
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				switch in.Op {
-				case ir.OpLoad:
-					s := operandPts(in.Args[0], pts)
-					if s.top {
-						allLoaded = true
-					}
-					markAll(loaded, s)
-				case ir.OpStore:
-					// The stored VALUE escaping as a pointer: if a
-					// tracked object's address is written to memory, a
-					// later load can resurrect it.
-					s := operandPts(in.Args[0], pts)
-					markAll(escaped, s)
-				case ir.OpCall, ir.OpSpawn, ir.OpCallB, ir.OpRet:
-					for _, a := range in.Args {
-						s := operandPts(a, pts)
-						markAll(escaped, s)
-					}
-				}
-			}
-		}
-	}
-
+// buildDeadStoresPts derives the store flags from an existing
+// provenance solution, optionally folding in MemSSA's shadowed stores.
+func buildDeadStoresPts(m *ir.Module, p *PointsTo, ms *MemSSA) *DeadStores {
 	ds := &DeadStores{Dead: make(map[int]bool)}
-	if allLoaded {
+	if ms != nil {
+		ds.Shadowed = ms.Shadowed
+	}
+	if p.AllLoaded {
 		return ds
 	}
 	for fi, f := range m.Funcs {
-		pts := funcPts[fi]
+		pts := p.Regs[fi]
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				if in.Op != ir.OpStore {
@@ -159,7 +60,7 @@ func BuildDeadStores(m *ir.Module) *DeadStores {
 				}
 				dead := true
 				for _, o := range s.objs {
-					if loaded[o] || escaped[o] {
+					if p.Loaded[o] || p.Escaped[o] {
 						dead = false
 						break
 					}
@@ -171,13 +72,4 @@ func BuildDeadStores(m *ir.Module) *DeadStores {
 		}
 	}
 	return ds
-}
-
-func operandPts(o ir.Operand, pts []objSet) objSet {
-	if o.Kind == ir.OperReg {
-		p := pts[o.Reg]
-		return objSet{top: p.top, objs: p.objs}
-	}
-	// Constant addresses (or anything else) have unknown provenance.
-	return objSet{top: true}
 }

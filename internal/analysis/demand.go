@@ -258,7 +258,7 @@ func (d *Demand) transfer(in *ir.Instr, dem []uint64, bump func(ir.Operand, uint
 	case ir.OpLoad:
 		bump(in.Args[0], fullDemand) // out-of-bounds trap
 	case ir.OpStore:
-		if ds == nil || !ds.Dead[in.ID] {
+		if ds == nil || !ds.DeadAt(in.ID) {
 			bump(in.Args[0], fullDemand)
 		}
 		bump(in.Args[1], fullDemand) // out-of-bounds trap
@@ -321,6 +321,24 @@ func (d *Demand) transfer(in *ir.Instr, dem []uint64, bump func(ir.Operand, uint
 	case ir.OpGlobalAddr, ir.OpArrayLen:
 		// no value operands
 	}
+}
+
+// UseDemand returns the demand mask one use instruction u (in function
+// fi) imposes on register reg, by re-running the per-instruction
+// transfer with a recording sink. At the fixpoint the transfer is
+// side-effect free (every |= is a no-op), so this is a pure query; it
+// lets consumers (rangemask.go) attribute the total demand of a
+// register to individual uses without duplicating the transfer rules.
+func (d *Demand) UseDemand(fi int, u *ir.Instr, reg int, ds *DeadStores) uint64 {
+	var acc uint64
+	record := func(o ir.Operand, mask uint64) {
+		if o.Kind == ir.OperReg && o.Reg == reg {
+			acc |= mask & widthMask(o.Type)
+		}
+	}
+	var dirty bool
+	d.transfer(u, d.Regs[fi], record, &dirty, ds)
+	return acc
 }
 
 // retDemand returns the demand flowing into a return statement of the

@@ -23,6 +23,17 @@ type ForwardProblem[S any] interface {
 	Clone(s S) S
 }
 
+// EdgeRefiner is an optional extension of ForwardProblem: a problem
+// implementing it has each predecessor's out-fact refined per CFG edge
+// before the meet. This is how branch-condition refinement enters the
+// engine — on the edge pred→succ the refiner may sharpen the fact with
+// whatever the terminator's condition implies for that edge (e.g. the
+// true edge of `icmp slt x, 10` bounds x above). RefineEdge receives a
+// clone it may mutate and return.
+type EdgeRefiner[S any] interface {
+	RefineEdge(pred, succ int, out S) S
+}
+
 // Forward solves p over c with a worklist seeded in reverse postorder
 // and returns the in- and out-facts per block (indexed by block number;
 // unreachable blocks keep Top).
@@ -47,6 +58,7 @@ func Forward[S any](c *CFG, p ForwardProblem[S]) (in, out []S) {
 	for _, b := range c.RPO {
 		push(b)
 	}
+	refiner, _ := any(p).(EdgeRefiner[S])
 	for len(work) > 0 {
 		// Pop from the front to keep near-RPO processing order.
 		b := work[0]
@@ -59,9 +71,14 @@ func Forward[S any](c *CFG, p ForwardProblem[S]) (in, out []S) {
 		} else {
 			cur = p.Top()
 			for _, pr := range c.Preds[b] {
-				if c.Reachable(pr) {
-					cur = p.Meet(cur, out[pr])
+				if !c.Reachable(pr) {
+					continue
 				}
+				po := out[pr]
+				if refiner != nil {
+					po = refiner.RefineEdge(pr, b, p.Clone(po))
+				}
+				cur = p.Meet(cur, po)
 			}
 		}
 		in[b] = cur

@@ -5,3 +5,8 @@ package analysis
 // benchprog without creating an import cycle through the interpreter's
 // compiled tier (interp imports analysis for known-bits facts).
 var WidthMask = widthMask
+
+// FactsBuildCount exposes the buildFacts invocation counter so the
+// single-build test can assert Triage/-analyze consumers share one
+// memoized fact bundle per module snapshot.
+func FactsBuildCount() int64 { return factsBuilds.Load() }

@@ -1,0 +1,333 @@
+package analysis
+
+import "repro/internal/ir"
+
+// This file is the memory-SSA/alias layer: a module-wide flow-
+// insensitive points-to analysis over allocas, globals, and GEPs
+// (PointsTo), plus per-object store→load def-use chains layered on top
+// of it (MemSSA). The dead-store pass (deadstore.go) and the
+// store-shadowing proof both consume it.
+//
+// The object model is provenance-based, matching the interpreter's
+// memory model as documented in DESIGN.md §9: an address derived from
+// an alloca or global-addr carries that object's provenance through
+// GEP/phi/select, and the analysis only draws conclusions for accesses
+// whose provenance is a known object set. Accesses through unknown
+// pointers (loads, call results, constants) are top and conservatively
+// may touch everything.
+
+// PointsTo is the module-wide provenance solution.
+type PointsTo struct {
+	Mod *ir.Module
+
+	// Object ids: globals get 0..NumGlobals-1, each alloca instruction
+	// one id above (AllocaObj maps the alloca's instruction ID).
+	NumGlobals int
+	NumObjs    int
+	AllocaObj  map[int]int
+
+	// Regs[f][r] is the object set register r in function f may point
+	// into.
+	Regs [][]objSet
+
+	// Loaded[o] / Escaped[o]: object o has a load through tracked
+	// provenance / its address flows somewhere the analysis cannot
+	// follow (stored to memory, passed to a call/spawn/builtin,
+	// returned). AllLoaded is set when any load has top provenance.
+	Loaded    []bool
+	Escaped   []bool
+	AllLoaded bool
+}
+
+// object ids: globals get 0..G-1, each alloca instruction one id above.
+type objSet struct {
+	top  bool
+	objs []int
+}
+
+func (s *objSet) add(o int) bool {
+	for _, x := range s.objs {
+		if x == o {
+			return false
+		}
+	}
+	s.objs = append(s.objs, o)
+	return true
+}
+
+func (s *objSet) union(o objSet) bool {
+	if s.top {
+		return false
+	}
+	if o.top {
+		s.top = true
+		s.objs = nil
+		return true
+	}
+	changed := false
+	for _, x := range o.objs {
+		if s.add(x) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s objSet) intersects(o objSet) bool {
+	if s.top || o.top {
+		return true
+	}
+	for _, x := range s.objs {
+		for _, y := range o.objs {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuildPointsTo runs the module-wide provenance analysis.
+func BuildPointsTo(m *ir.Module) *PointsTo {
+	p := &PointsTo{
+		Mod:        m,
+		NumGlobals: len(m.Globals),
+		AllocaObj:  make(map[int]int),
+	}
+	for _, in := range m.Instrs {
+		if in.Op == ir.OpAlloca {
+			p.AllocaObj[in.ID] = p.NumGlobals + len(p.AllocaObj)
+		}
+	}
+	p.NumObjs = p.NumGlobals + len(p.AllocaObj)
+	p.Loaded = make([]bool, p.NumObjs)
+	p.Escaped = make([]bool, p.NumObjs)
+
+	p.Regs = make([][]objSet, len(m.Funcs))
+	for fi, f := range m.Funcs {
+		pts := make([]objSet, f.NumRegs)
+		// Pointer-typed parameters have unknown provenance.
+		for r, t := range f.Params {
+			if t == ir.Ptr {
+				pts[r].top = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if !in.HasResult() {
+						continue
+					}
+					var s objSet
+					switch in.Op {
+					case ir.OpAlloca:
+						s.objs = []int{p.AllocaObj[in.ID]}
+					case ir.OpGlobalAddr:
+						s.objs = []int{in.Global}
+					case ir.OpGEP:
+						s = operandPts(in.Args[0], pts)
+					case ir.OpPhi:
+						for _, a := range in.Args {
+							o := operandPts(a, pts)
+							s.union(o)
+						}
+					case ir.OpSelect:
+						s = operandPts(in.Args[1], pts)
+						o := operandPts(in.Args[2], pts)
+						s.union(o)
+					default:
+						// Loads, calls, arithmetic: unknown provenance.
+						s.top = true
+					}
+					if pts[in.Dst].union(s) {
+						changed = true
+					}
+				}
+			}
+		}
+		p.Regs[fi] = pts
+	}
+
+	// Collect loads and escapes module-wide.
+	markAll := func(flags []bool, s objSet) {
+		for _, o := range s.objs {
+			flags[o] = true
+		}
+	}
+	for fi, f := range m.Funcs {
+		pts := p.Regs[fi]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpLoad:
+					s := operandPts(in.Args[0], pts)
+					if s.top {
+						p.AllLoaded = true
+					}
+					markAll(p.Loaded, s)
+				case ir.OpStore:
+					// The stored VALUE escaping as a pointer: if a
+					// tracked object's address is written to memory, a
+					// later load can resurrect it.
+					s := operandPts(in.Args[0], pts)
+					markAll(p.Escaped, s)
+				case ir.OpCall, ir.OpSpawn, ir.OpCallB, ir.OpRet:
+					for _, a := range in.Args {
+						s := operandPts(a, pts)
+						markAll(p.Escaped, s)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+// OperandObjects returns the object ids operand o may point into in
+// function fi, and whether that set is exact (known=false means the
+// provenance is top: o may point anywhere).
+func (p *PointsTo) OperandObjects(fi int, o ir.Operand) (objs []int, known bool) {
+	s := operandPts(o, p.Regs[fi])
+	if s.top {
+		return nil, false
+	}
+	return s.objs, true
+}
+
+func operandPts(o ir.Operand, pts []objSet) objSet {
+	if o.Kind == ir.OperReg {
+		p := pts[o.Reg]
+		return objSet{top: p.top, objs: p.objs}
+	}
+	// Constant addresses (or anything else) have unknown provenance.
+	return objSet{top: true}
+}
+
+// MemSSA layers per-object store→load def-use chains over PointsTo and
+// derives the shadowed-store facts the StoreShadowed triage proof is
+// built on.
+type MemSSA struct {
+	Pts *PointsTo
+
+	// Stores[o] / Loads[o]: static instruction IDs that may write /
+	// read object o through tracked provenance. TopStores / TopLoads
+	// collect accesses whose provenance is unknown (they may touch any
+	// object).
+	Stores, Loads       [][]int
+	TopStores, TopLoads []int
+
+	// Shadowed[id]: store id is provably overwritten before any load
+	// can observe it — a later store in the same block writes through
+	// the same address register with no intervening may-alias load, no
+	// call/spawn/join, and the object is a non-escaping alloca (so no
+	// other thread or callee can read between them). KilledBy[id] names
+	// the overwriting store.
+	Shadowed map[int]bool
+	KilledBy map[int]int
+}
+
+// BuildMemSSA builds the store/load chains and shadowed-store facts.
+func BuildMemSSA(m *ir.Module, p *PointsTo) *MemSSA {
+	ms := &MemSSA{
+		Pts:      p,
+		Stores:   make([][]int, p.NumObjs),
+		Loads:    make([][]int, p.NumObjs),
+		Shadowed: make(map[int]bool),
+		KilledBy: make(map[int]int),
+	}
+	for fi, f := range m.Funcs {
+		pts := p.Regs[fi]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpStore:
+					s := operandPts(in.Args[1], pts)
+					if s.top {
+						ms.TopStores = append(ms.TopStores, in.ID)
+					}
+					for _, o := range s.objs {
+						ms.Stores[o] = append(ms.Stores[o], in.ID)
+					}
+				case ir.OpLoad:
+					s := operandPts(in.Args[0], pts)
+					if s.top {
+						ms.TopLoads = append(ms.TopLoads, in.ID)
+					}
+					for _, o := range s.objs {
+						ms.Loads[o] = append(ms.Loads[o], in.ID)
+					}
+				}
+			}
+		}
+	}
+
+	for fi, f := range m.Funcs {
+		pts := p.Regs[fi]
+		for _, b := range f.Blocks {
+			ms.scanBlock(b, pts)
+		}
+		_ = fi
+	}
+	return ms
+}
+
+// scanBlock finds shadowed stores within one block.
+//
+// Soundness argument (DESIGN.md §14): the pair (s1, s2) writes through
+// the SAME address register, so within one execution of the block both
+// hit the same address. Between them there is no load that may alias
+// the object, no call/spawn/join (nothing can read memory on this
+// thread), and the object is a non-escaping alloca, so no OTHER thread
+// can reach it either (threads reach only globals, spawn arguments,
+// and their own allocas — all of which escape or differ). If execution
+// halts between the two stores (trap, detect, hang budget), the stored
+// value is simply never read. Therefore the value stored by s1 is
+// observable by no execution, faulty or not.
+func (ms *MemSSA) scanBlock(b *ir.Block, pts []objSet) {
+	for i, s1 := range b.Instrs {
+		if s1.Op != ir.OpStore {
+			continue
+		}
+		addr := s1.Args[1]
+		if addr.Kind != ir.OperReg {
+			continue
+		}
+		objs := operandPts(addr, pts)
+		if objs.top || len(objs.objs) == 0 {
+			continue
+		}
+		safe := true
+		for _, o := range objs.objs {
+			if o < ms.Pts.NumGlobals || ms.Pts.Escaped[o] {
+				safe = false // global or escaping alloca: other threads/callees may read
+				break
+			}
+		}
+		if !safe {
+			continue
+		}
+	scan:
+		for j := i + 1; j < len(b.Instrs); j++ {
+			u := b.Instrs[j]
+			if u.HasResult() && u.Dst == addr.Reg {
+				break // address register redefined: later stores hit elsewhere
+			}
+			switch u.Op {
+			case ir.OpStore:
+				if u.Args[1].Kind == ir.OperReg && u.Args[1].Reg == addr.Reg {
+					ms.Shadowed[s1.ID] = true
+					ms.KilledBy[s1.ID] = u.ID
+					break scan
+				}
+			case ir.OpLoad:
+				lp := operandPts(u.Args[0], pts)
+				if lp.top || lp.intersects(objs) {
+					break scan
+				}
+			case ir.OpCall, ir.OpSpawn, ir.OpJoin:
+				break scan // callees and joined threads may load
+			}
+		}
+	}
+}

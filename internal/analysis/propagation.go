@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// This file builds the static error-propagation graph: a per-site
+// combination of the demanded-bits, value-range, known-bits, detection,
+// and dominance facts into
+//
+//   - MaskedFrac: a SOUND lower bound on the fraction of single-bit
+//     faults at the site that are masked (provably-masked bits over
+//     width, including the range-absorbed bits);
+//   - DetectedFrac: a sound lower bound on the fraction guaranteed to
+//     be caught by an armed detector (1 for detectAll sites, 1/width
+//     for detectNext, else 0);
+//   - Score: a heuristic SDC likelihood for the remaining vulnerable
+//     bits, computed by walking the def-use graph from the site to its
+//     observable sinks with per-hop damping. Unlike the bounds, Score
+//     carries no soundness claim — it exists to RANK sites, and is
+//     validated against campaign ground truth by the static-rank
+//     experiment (cmd/experiments -exp static-rank).
+//
+// The sink weights encode how each observable typically converts a
+// corrupt value: program output is an SDC by definition (weight 1);
+// live stores usually resurface (0.8); control-flow and trap-sensitive
+// positions mostly crash, hang, or mask rather than silently corrupt
+// (low weights). Each register hop multiplies by propDamping — deep
+// chains give arithmetic masking more chances to absorb the error, the
+// same intuition the paper's incubative-site search exploits.
+
+const (
+	propDamping = 0.93
+	// Sink weights: the probability a corrupt value reaching this sink
+	// class becomes a silent corruption.
+	propWeightEmit    = 1.0
+	propWeightStore   = 0.8
+	propWeightRet     = 0.9
+	propWeightCall    = 0.6
+	propWeightControl = 0.25
+	propWeightTrap    = 0.1
+	// Dominator-depth damping: sites deep in the dominator tree sit
+	// under more control dependences, which historically mask more.
+	propDepthDamping = 0.3
+)
+
+// Propagation is the propagation-graph solution, indexed by
+// instruction ID. Non-injectable sites hold zeros.
+type Propagation struct {
+	Mod          *ir.Module
+	MaskedFrac   []float64
+	DetectedFrac []float64
+	Score        []float64
+}
+
+// buildPropagation combines the fact bundle into per-site bounds and
+// scores. All inputs are per the module in fa.
+func buildPropagation(fa *Facts) *Propagation {
+	m := fa.Mod
+	p := &Propagation{
+		Mod:          m,
+		MaskedFrac:   make([]float64, m.NumInstrs()),
+		DetectedFrac: make([]float64, m.NumInstrs()),
+		Score:        make([]float64, m.NumInstrs()),
+	}
+	for fi, f := range m.Funcs {
+		du := fa.DefUses[fi]
+		depths := propDomDepths(fa.Doms[fi])
+		maxDepth := 1
+		for _, d := range depths {
+			if d > maxDepth {
+				maxDepth = d
+			}
+		}
+		// weights memoizes the sink weight per register; propStateBusy
+		// marks in-progress registers so phi cycles terminate.
+		weights := make([]float64, f.NumRegs)
+		state := make([]uint8, f.NumRegs)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsInjectable() {
+					continue
+				}
+				width := int(in.Type.Bits())
+				masked := bits.OnesCount64(fa.masked(in.ID) | fa.RangeMasked[in.ID])
+				p.MaskedFrac[in.ID] = float64(masked) / float64(width)
+				switch {
+				case fa.Detect.all[in.ID]:
+					p.DetectedFrac[in.ID] = 1
+				case fa.Detect.next[in.ID]:
+					p.DetectedFrac[in.ID] = 1 / float64(width)
+				}
+				vuln := 1 - p.MaskedFrac[in.ID] - p.DetectedFrac[in.ID]
+				if vuln <= 0 {
+					continue
+				}
+				depth := 1 - propDepthDamping*float64(depths[b.Index])/float64(maxDepth)
+				p.Score[in.ID] = vuln * propSinkWeight(fa, fi, du, in.Dst, weights, state) * depth
+			}
+		}
+	}
+	return p
+}
+
+// masked returns the demand-complement mask of instruction id within
+// its width (helper over the facts bundle).
+func (fa *Facts) masked(id int) uint64 {
+	in := fa.Mod.Instrs[id]
+	if !in.IsInjectable() {
+		return 0
+	}
+	loc := fa.Mod.Loc(id)
+	return widthMask(in.Type) &^ fa.Dem.Regs[loc.Func][in.Dst]
+}
+
+const (
+	propStateFresh uint8 = iota
+	propStateBusy
+	propStateDone
+)
+
+// propSinkWeight returns the memoized sink weight of register r: the
+// maximum over all uses of the per-use conversion weight, with
+// register hops damped. Cycles (loop-carried phis) contribute nothing
+// on the back edge; their forward uses still count.
+func propSinkWeight(fa *Facts, fi int, du *DefUse, r int, weights []float64, state []uint8) float64 {
+	switch state[r] {
+	case propStateDone:
+		return weights[r]
+	case propStateBusy:
+		return 0
+	}
+	state[r] = propStateBusy
+	var w float64
+	for _, u := range du.Uses[r] {
+		uw := propUseWeight(fa, fi, du, u, r, weights, state)
+		if uw > w {
+			w = uw
+		}
+	}
+	weights[r] = w
+	state[r] = propStateDone
+	return w
+}
+
+// propUseWeight scores one use of register r.
+func propUseWeight(fa *Facts, fi int, du *DefUse, u *ir.Instr, r int, weights []float64, state []uint8) float64 {
+	hop := func() float64 {
+		if !u.HasResult() {
+			return 0
+		}
+		return propDamping * propSinkWeight(fa, fi, du, u.Dst, weights, state)
+	}
+	switch u.Op {
+	case ir.OpCallB:
+		if u.BFunc == ir.BuiltinEmitI || u.BFunc == ir.BuiltinEmitF {
+			return propWeightEmit
+		}
+		return hop()
+	case ir.OpStore:
+		if readsOnly(u.Args[1], r) && !readsOnly(u.Args[0], r) {
+			return propWeightTrap // address position: OOB trap dominates
+		}
+		if fa.DS.DeadAt(u.ID) {
+			return 0
+		}
+		return propWeightStore
+	case ir.OpRet:
+		return propWeightRet
+	case ir.OpCall, ir.OpSpawn:
+		return propWeightCall
+	case ir.OpCondBr, ir.OpDetect:
+		return propWeightControl
+	case ir.OpDiv, ir.OpRem:
+		if readsOnly(u.Args[1], r) {
+			rhs := u.Args[1]
+			if rhs.Kind != ir.OperConst || rhs.Imm == 0 || rhs.Imm == -1 {
+				return propWeightTrap
+			}
+		}
+		return hop()
+	case ir.OpLoad, ir.OpAlloca, ir.OpFToI:
+		return propWeightTrap // trap-sensitive positions
+	case ir.OpICmp, ir.OpFCmp:
+		// A comparison collapses 64 bits to one: strong masking, and
+		// its result usually feeds control.
+		if !u.HasResult() {
+			return 0
+		}
+		return 0.5 * propDamping * propSinkWeight(fa, fi, du, u.Dst, weights, state)
+	default:
+		return hop()
+	}
+}
+
+// propDomDepths returns each block's depth in the dominator tree.
+func propDomDepths(dom *DomTree) []int {
+	depths := make([]int, len(dom.CFG.F.Blocks))
+	var walk func(b, d int)
+	walk = func(b, d int) {
+		depths[b] = d
+		for _, c := range dom.Children[b] {
+			walk(c, d+1)
+		}
+	}
+	walk(0, 0)
+	return depths
+}

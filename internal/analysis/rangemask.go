@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// This file derives the RangeMasked facts: result bits whose
+// single-bit corruption is provably absorbed by every demanding use,
+// because each such use is a comparison or division against a CONSTANT
+// whose outcome the value-range analysis proves invariant under the
+// flip. This recovers sites the demanded-bits analysis alone cannot
+// prune — a bit can be demanded (it influences the comparison input)
+// yet still provably masked (the comparison's RESULT never changes).
+//
+// Soundness within the demand framework (DESIGN.md §9 rule 3): the
+// only register fact consulted is the interval of the INJECTED
+// register itself, which describes its fault-free value — and the
+// injection model perturbs the result after it is computed, so the
+// golden value always lies in the interval. Every use combines that
+// interval only with the use's own constant operand; no fact about any
+// other register is consulted, so reconvergent corruption cannot
+// invalidate the proof. The absorption condition is checked for the
+// golden value x AND the flipped value x^(1<<b) over the whole
+// interval: both give the same use result, so the execution after the
+// use is bit-identical to golden at every dynamic instance.
+//
+// The proof is per single bit and does not compose across bits (two
+// absorbed flips can straddle a comparison threshold), so triage
+// applies it only to effects with exactly one perturbed bit — which
+// includes single-bit stuck-at effects, whose perturbed value is
+// either x (trivially benign) or x^(1<<b) (covered).
+
+// rangeEnumLimit bounds the exhaustive-check fallback: intervals with
+// at most this many values are checked value by value, which catches
+// absorptions the interval closed form cannot see.
+const rangeEnumLimit = 4096
+
+// buildRangeMask computes, per instruction ID, the mask of demanded
+// result bits whose single-bit flip every demanding use provably
+// absorbs.
+func buildRangeMask(m *ir.Module, dus []*DefUse, ranges []*ValueRanges, dem *Demand, ds *DeadStores) []uint64 {
+	out := make([]uint64, m.NumInstrs())
+	for fi, f := range m.Funcs {
+		du, vr := dus[fi], ranges[fi]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsInjectable() || in.Type != ir.I64 {
+					continue
+				}
+				cand := dem.Regs[fi][in.Dst] & widthMask(in.Type)
+				if cand == 0 {
+					continue // wholly undemanded: already ProofDeadValue
+				}
+				r := vr.At(in.Dst)
+				absorbed := cand
+				for _, u := range du.Uses[in.Dst] {
+					um := dem.UseDemand(fi, u, in.Dst, ds)
+					pending := absorbed & um
+					for pending != 0 {
+						bit := uint(bits.TrailingZeros64(pending))
+						pending &^= 1 << bit
+						if !useAbsorbs(u, in.Dst, bit, r) {
+							absorbed &^= 1 << bit
+						}
+					}
+					if absorbed == 0 {
+						break
+					}
+				}
+				out[in.ID] = absorbed
+			}
+		}
+	}
+	return out
+}
+
+// useAbsorbs reports whether use u produces the same result for x and
+// x^(1<<bit), for every x in r, where register v may appear in u.
+func useAbsorbs(u *ir.Instr, v int, bit uint, r Interval) bool {
+	if r.Empty() {
+		return true // unreachable definition: no dynamic instance exists
+	}
+	switch u.Op {
+	case ir.OpICmp:
+		a0, a1 := u.Args[0], u.Args[1]
+		a0v := a0.Kind == ir.OperReg && a0.Reg == v
+		a1v := a1.Kind == ir.OperReg && a1.Reg == v
+		if a0v && a1v {
+			// icmp v, v: reflexive — both sides corrupt identically, the
+			// result is the same constant either way.
+			return true
+		}
+		var c int64
+		pr := u.Pred
+		switch {
+		case a0v && a1.Kind == ir.OperConst:
+			c = a1.Imm
+		case a1v && a0.Kind == ir.OperConst:
+			c = a0.Imm
+			pr = swapPred(pr)
+		default:
+			return false
+		}
+		return icmpInvariant(pr, r, c, bit)
+	case ir.OpDiv, ir.OpRem:
+		// Only the dividend position is absorbable; a corrupt divisor
+		// is trap-sensitive (and fully demanded) anyway.
+		if !(u.Args[0].Kind == ir.OperReg && u.Args[0].Reg == v) {
+			return false
+		}
+		rhs := u.Args[1]
+		if rhs.Kind != ir.OperConst || rhs.Imm == 0 || rhs.Imm == -1 {
+			return false
+		}
+		n, ok := r.Size()
+		if !ok || n > rangeEnumLimit {
+			return false
+		}
+		for x := r.Lo; ; x++ {
+			y := x ^ (1 << bit)
+			if u.Op == ir.OpDiv {
+				if x/rhs.Imm != y/rhs.Imm {
+					return false
+				}
+			} else if x%rhs.Imm != y%rhs.Imm {
+				return false
+			}
+			if x == r.Hi {
+				break
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// icmpInvariant reports whether `x <pred> c` has the same truth value
+// for x and x^(1<<bit) across all x in r: first by the interval closed
+// form (the predicate is constant over both r and its flip image),
+// then by exhaustive check for small intervals.
+func icmpInvariant(pred ir.Pred, r Interval, c int64, bit uint) bool {
+	if v1 := cmpAlways(pred, r, c); v1 >= 0 {
+		f := flipImage(r, bit)
+		if v2 := cmpAlways(pred, f, c); v2 == v1 {
+			return true
+		}
+	}
+	n, ok := r.Size()
+	if !ok || n > rangeEnumLimit {
+		return false
+	}
+	for x := r.Lo; ; x++ {
+		if evalPred(pred, x, c) != evalPred(pred, x^(1<<bit), c) {
+			return false
+		}
+		if x == r.Hi {
+			break
+		}
+	}
+	return true
+}
+
+// cmpAlways evaluates `x <pred> c` over the interval: 1 when true for
+// every x, 0 when false for every x, -1 when mixed or empty.
+func cmpAlways(pred ir.Pred, r Interval, c int64) int {
+	if r.Empty() {
+		return -1
+	}
+	b2i := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch pred {
+	case ir.PredEQ:
+		if r.Lo == c && r.Hi == c {
+			return 1
+		}
+		if c < r.Lo || c > r.Hi {
+			return 0
+		}
+	case ir.PredNE:
+		if r.Lo == c && r.Hi == c {
+			return 0
+		}
+		if c < r.Lo || c > r.Hi {
+			return 1
+		}
+	case ir.PredLT:
+		if r.Hi < c || r.Lo >= c {
+			return b2i(r.Hi < c)
+		}
+	case ir.PredLE:
+		if r.Hi <= c || r.Lo > c {
+			return b2i(r.Hi <= c)
+		}
+	case ir.PredGT:
+		if r.Lo > c || r.Hi <= c {
+			return b2i(r.Lo > c)
+		}
+	case ir.PredGE:
+		if r.Lo >= c || r.Hi < c {
+			return b2i(r.Lo >= c)
+		}
+	}
+	return -1
+}
+
+// evalPred evaluates one signed comparison.
+func evalPred(pred ir.Pred, x, c int64) bool {
+	switch pred {
+	case ir.PredEQ:
+		return x == c
+	case ir.PredNE:
+		return x != c
+	case ir.PredLT:
+		return x < c
+	case ir.PredLE:
+		return x <= c
+	case ir.PredGT:
+		return x > c
+	default:
+		return x >= c
+	}
+}
+
+// flipImage returns an interval containing {x ^ (1<<bit) : x in r}.
+// When every x in r lies in the same 2^(bit+1)-aligned block with the
+// same value of the flipped bit, the image is the exact translate;
+// otherwise a conservative widening by 2^bit each way (the flip moves
+// a value by exactly ±2^bit).
+func flipImage(r Interval, bit uint) Interval {
+	if r.Empty() {
+		return r
+	}
+	if bit == 63 {
+		switch {
+		case r.Lo >= 0: // x ^ 2^63 = x + MinInt64 for x >= 0
+			return Interval{r.Lo + math.MinInt64, r.Hi + math.MinInt64}
+		case r.Hi < 0: // x ^ 2^63 = x - MinInt64 for x < 0
+			return Interval{r.Lo - math.MinInt64, r.Hi - math.MinInt64}
+		default:
+			return fullIvl
+		}
+	}
+	step := int64(1) << bit
+	if r.Lo>>(bit+1) == r.Hi>>(bit+1) && (r.Lo>>bit)&1 == (r.Hi>>bit)&1 {
+		if (r.Lo>>bit)&1 == 0 {
+			return Interval{r.Lo + step, r.Hi + step}
+		}
+		return Interval{r.Lo - step, r.Hi - step}
+	}
+	lo, ok1 := subOv(r.Lo, step)
+	hi, ok2 := addOv(r.Hi, step)
+	if !ok1 || !ok2 {
+		return fullIvl
+	}
+	return Interval{lo, hi}
+}

@@ -1,0 +1,192 @@
+package analysis_test
+
+// Differential fact checker: every fact the static analyses emit is
+// replayed against a concrete fault-free execution of every benchmark
+// via the interpreter's trace hook. A single violated fact fails the
+// test with the offending instruction — this is the runtime half of
+// the soundness argument in DESIGN.md §14.
+//
+// Facts validated per executed instruction:
+//
+//   - value ranges: every integer result lies in its static interval;
+//   - known bits: no result sets a provably-zero bit or clears a
+//     provably-one bit;
+//   - points-to: every load/store through a register with a non-top
+//     points-to set dereferences an address inside one of that set's
+//     concrete object extents (allocas observed at runtime, globals
+//     from the module layout);
+//   - shadowed stores: a store the memory-SSA layer proved shadowed is
+//     never read — no load touches its address word before the killing
+//     store overwrites it.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// extent is one concrete object instance: memory words [Base, End).
+type extent struct{ Base, End uint64 }
+
+// factChecker validates analysis facts against one traced execution.
+type factChecker struct {
+	t  *testing.T
+	m  *ir.Module
+	fa *analysis.Facts
+
+	// extents[obj] lists every runtime instance of static object obj
+	// (one per global, one per executed alloca).
+	extents map[int][]extent
+	// pending maps a memory word to the shadowed store that last wrote
+	// it; any load of a pending word is a violation.
+	pending map[uint64]int
+
+	checked  int64
+	failures int
+}
+
+// operandVal evaluates an operand against the live register file.
+func operandVal(o ir.Operand, regs []uint64) uint64 {
+	switch o.Kind {
+	case ir.OperReg:
+		return regs[o.Reg]
+	case ir.OperConst:
+		return uint64(o.Imm)
+	default:
+		return 0
+	}
+}
+
+// globalExtents precomputes each global object's memory extent from the
+// module layout: globals are laid out contiguously from the reserved
+// null page in index order, dynamically sized ones taking their size
+// from the binding. The first observed OpGlobalAddr cross-checks the
+// assumed layout.
+func (fc *factChecker) globalExtents(bind interp.Binding) {
+	base := uint64(16) // interp's reservedLow null page
+	for gi, g := range fc.m.Globals {
+		size := g.Size
+		if size < 0 {
+			size = len(bind.Globals[g.Name])
+		}
+		fc.extents[gi] = []extent{{Base: base, End: base + uint64(size)}}
+		base += uint64(size)
+	}
+}
+
+func (fc *factChecker) fail(in *ir.Instr, format string, args ...any) {
+	fc.failures++
+	if fc.failures <= 10 {
+		fc.t.Errorf("[%d] %s: %s", in.ID, in.Op, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkAddr asserts an executed memory access through operand o lands
+// inside an instance of an object its points-to set names.
+func (fc *factChecker) checkAddr(fi int, in *ir.Instr, o ir.Operand, addr uint64) {
+	objs, known := fc.fa.Pts.OperandObjects(fi, o)
+	if !known {
+		return
+	}
+	for _, obj := range objs {
+		for _, e := range fc.extents[obj] {
+			if addr >= e.Base && addr < e.End {
+				fc.checked++
+				return
+			}
+		}
+	}
+	fc.fail(in, "address %d outside every extent of points-to set %v", addr, objs)
+}
+
+// hook is the Tracer.Hook callback: one executed instruction.
+func (fc *factChecker) hook(fn *ir.Function, in *ir.Instr, regs []uint64, result uint64, hasResult bool) {
+	fi := fn.Index
+	switch in.Op {
+	case ir.OpAlloca:
+		if hasResult {
+			n := operandVal(in.Args[0], regs)
+			if obj, ok := fc.fa.Pts.AllocaObj[in.ID]; ok {
+				fc.extents[obj] = append(fc.extents[obj], extent{Base: result, End: result + n})
+			}
+		}
+	case ir.OpGlobalAddr:
+		if hasResult {
+			if e := fc.extents[in.Global][0]; result != e.Base {
+				fc.fail(in, "global %d base %d, layout assumed %d", in.Global, result, e.Base)
+			}
+		}
+	case ir.OpLoad:
+		if hasResult {
+			addr := operandVal(in.Args[0], regs)
+			fc.checkAddr(fi, in, in.Args[0], addr)
+			if sid, ok := fc.pending[addr]; ok {
+				fc.fail(in, "reads word %d written by shadowed store [%d]", addr, sid)
+			}
+		}
+	case ir.OpStore:
+		addr := operandVal(in.Args[1], regs)
+		fc.checkAddr(fi, in, in.Args[1], addr)
+		delete(fc.pending, addr) // any store kills the previous value
+		if fc.fa.Mem != nil && fc.fa.Mem.Shadowed[in.ID] {
+			fc.pending[addr] = in.ID
+			fc.checked++
+		}
+	}
+
+	if !hasResult || in.Op == ir.OpCall {
+		return
+	}
+	// Known bits hold for every result type (they describe the stored
+	// representation); intervals only for integer results.
+	if z := fc.fa.Known[fi].Zero[in.Dst]; result&z != 0 {
+		fc.fail(in, "result %#x sets known-zero bits %#x", result, result&z)
+	}
+	if o := fc.fa.Known[fi].One[in.Dst]; ^result&o != 0 {
+		fc.fail(in, "result %#x clears known-one bits %#x", result, ^result&o)
+	}
+	if in.Type != ir.F64 {
+		if iv := fc.fa.Ranges[fi].At(in.Dst); !iv.Contains(int64(result)) {
+			fc.fail(in, "result %d outside interval [%d, %d]", int64(result), iv.Lo, iv.Hi)
+		}
+	}
+	fc.checked++
+}
+
+// TestFactsHoldOnConcreteTraces replays every benchmark's reference
+// input under the legacy interpreter with the fact checker attached.
+func TestFactsHoldOnConcreteTraces(t *testing.T) {
+	for _, b := range benchprog.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			m := b.MustModule()
+			fa := analysis.FactsFor(m)
+			if !fa.SingleAssignment {
+				t.Fatalf("%s is not in single-assignment form; value facts unavailable", b.Name)
+			}
+			bind := b.Bind(b.Reference)
+			fc := &factChecker{
+				t: t, m: m, fa: fa,
+				extents: make(map[int][]extent),
+				pending: make(map[uint64]int),
+			}
+			fc.globalExtents(bind)
+			r := interp.NewRunner(m, b.ExecConfig())
+			res := r.RunTraced(bind, nil, &interp.Tracer{Hook: fc.hook})
+			if res.Status != interp.StatusOK {
+				t.Fatalf("golden run halted %v: %s", res.Status, res.Trap)
+			}
+			if fc.failures > 10 {
+				t.Errorf("... and %d more fact violations", fc.failures-10)
+			}
+			if fc.checked == 0 {
+				t.Fatal("checker validated zero facts")
+			}
+			t.Logf("%s: %d facts checked over %d dynamic instructions", b.Name, fc.checked, res.DynInstrs)
+		})
+	}
+}

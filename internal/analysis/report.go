@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/bits"
 	"text/tabwriter"
+
+	"repro/internal/ir"
 )
 
 // FuncReport summarizes the triage of one function.
@@ -15,14 +17,37 @@ type FuncReport struct {
 	// an i1 result 1.
 	TotalBits  int `json:"total_bits"`
 	MaskedBits int `json:"masked_bits"`
+	// RangeMaskedBits: demanded bits additionally absorbed under
+	// single-bit flips (value-range proofs).
+	RangeMaskedBits int `json:"range_masked_bits"`
+	// DetectedBits: bits whose corruption is provably caught by an
+	// armed detector (counted Detected unrun).
+	DetectedBits int `json:"detected_bits"`
 	// Instructions fully masked (every result bit provable) and
-	// partially masked (a proper subset).
+	// partially masked (a proper subset), including range proofs.
 	FullyMasked     int `json:"fully_masked"`
 	PartiallyMasked int `json:"partially_masked"`
-	// Proof tag histogram over masked instructions.
-	DeadValue  int `json:"dead_value"`
-	MaskedOnly int `json:"masked_bits_tag"`
-	DeadStore  int `json:"dead_store"`
+	// Proof tag histogram over classified instructions.
+	DeadValue     int `json:"dead_value"`
+	MaskedOnly    int `json:"masked_bits_tag"`
+	DeadStore     int `json:"dead_store"`
+	StoreShadowed int `json:"store_shadowed"`
+	RangeMasked   int `json:"range_masked"` // instrs with range-absorbed bits
+	DupDetected   int `json:"dup_detected"` // instrs with a detectAll proof
+	// BoundedRanges: injectable i64 definitions whose value-range fact
+	// is a proper (non-full) interval.
+	BoundedRanges int `json:"bounded_ranges"`
+}
+
+// AliasReport summarizes the provenance/memory-SSA layer.
+type AliasReport struct {
+	Objects        int `json:"objects"` // globals + allocas
+	Globals        int `json:"globals"`
+	Allocas        int `json:"allocas"`
+	LoadedObjects  int `json:"loaded_objects"`
+	EscapedObjects int `json:"escaped_objects"`
+	DeadStores     int `json:"dead_stores"`
+	ShadowedStores int `json:"shadowed_stores"`
 }
 
 // ModuleReport is the per-module triage summary emitted by the
@@ -34,9 +59,16 @@ type ModuleReport struct {
 	Injectable int          `json:"injectable"`
 	TotalBits  int          `json:"total_bits"`
 	MaskedBits int          `json:"masked_bits"`
-	// MaskedSiteFrac is MaskedBits / TotalBits: the fraction of static
-	// single-bit fault sites the campaign engine may skip.
-	MaskedSiteFrac float64 `json:"masked_site_frac"`
+	// RangeMaskedBits / DetectedBits aggregate the per-function counts.
+	RangeMaskedBits int `json:"range_masked_bits"`
+	DetectedBits    int `json:"detected_bits"`
+	// MaskedSiteFrac is (MaskedBits+RangeMaskedBits) / TotalBits: the
+	// fraction of static single-bit fault sites the campaign engine may
+	// count benign unrun; DetectedSiteFrac the fraction it may count
+	// detected unrun.
+	MaskedSiteFrac   float64      `json:"masked_site_frac"`
+	DetectedSiteFrac float64      `json:"detected_site_frac"`
+	Alias            *AliasReport `json:"alias,omitempty"`
 }
 
 // Report summarizes t per function and module-wide.
@@ -52,12 +84,24 @@ func (t *Triage) Report() *ModuleReport {
 				fr.Injectable++
 				width := int(in.Type.Bits())
 				fr.TotalBits += width
+				rm := t.RangeMaskedBits(in.ID)
 				mb := bits.OnesCount64(t.masked[in.ID])
+				rb := bits.OnesCount64(rm)
 				fr.MaskedBits += mb
-				if mb == width {
+				fr.RangeMaskedBits += rb
+				if mb+rb == width {
 					fr.FullyMasked++
-				} else if mb > 0 {
+				} else if mb+rb > 0 {
 					fr.PartiallyMasked++
+				}
+				if rb > 0 {
+					fr.RangeMasked++
+				}
+				if t.sound && t.detectAll[in.ID] {
+					fr.DupDetected++
+					fr.DetectedBits += width - mb - rb
+				} else if t.sound && t.detectNext[in.ID] && mb+rb < width && t.masked[in.ID]&1 == 0 && rm&1 == 0 {
+					fr.DetectedBits++
 				}
 				switch t.proof[in.ID] {
 				case ProofDeadValue:
@@ -66,6 +110,13 @@ func (t *Triage) Report() *ModuleReport {
 					fr.MaskedOnly++
 				case ProofDeadStore:
 					fr.DeadStore++
+				case ProofStoreShadowed:
+					fr.StoreShadowed++
+				}
+				if t.facts != nil && t.facts.SingleAssignment && in.Type == ir.I64 {
+					if !t.facts.Ranges[f.Index].At(in.Dst).Full() {
+						fr.BoundedRanges++
+					}
 				}
 			}
 		}
@@ -73,9 +124,30 @@ func (t *Triage) Report() *ModuleReport {
 		rep.Injectable += fr.Injectable
 		rep.TotalBits += fr.TotalBits
 		rep.MaskedBits += fr.MaskedBits
+		rep.RangeMaskedBits += fr.RangeMaskedBits
+		rep.DetectedBits += fr.DetectedBits
 	}
 	if rep.TotalBits > 0 {
-		rep.MaskedSiteFrac = float64(rep.MaskedBits) / float64(rep.TotalBits)
+		rep.MaskedSiteFrac = float64(rep.MaskedBits+rep.RangeMaskedBits) / float64(rep.TotalBits)
+		rep.DetectedSiteFrac = float64(rep.DetectedBits) / float64(rep.TotalBits)
+	}
+	if fa := t.facts; fa != nil && fa.Pts != nil {
+		ar := &AliasReport{
+			Objects: fa.Pts.NumObjs,
+			Globals: fa.Pts.NumGlobals,
+			Allocas: fa.Pts.NumObjs - fa.Pts.NumGlobals,
+		}
+		for o := 0; o < fa.Pts.NumObjs; o++ {
+			if fa.Pts.Loaded[o] {
+				ar.LoadedObjects++
+			}
+			if fa.Pts.Escaped[o] {
+				ar.EscapedObjects++
+			}
+		}
+		ar.DeadStores = len(fa.DS.Dead)
+		ar.ShadowedStores = len(fa.Mem.Shadowed)
+		rep.Alias = ar
 	}
 	return rep
 }
@@ -89,16 +161,28 @@ func (t *Triage) Func(fn int) FuncReport {
 func (r *ModuleReport) Render(w io.Writer) error {
 	fmt.Fprintf(w, "Static SDC-masking triage: %s (%s)\n", r.Module, r.Version)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Function\tInjectable\tFullyMasked\tPartial\tMaskedBits\tTotalBits\tdead-value\tmasked-bits\tdead-store")
+	fmt.Fprintln(tw, "Function\tInjectable\tFullyMasked\tPartial\tMaskedBits\tRangeBits\tDetBits\tTotalBits\tdead-value\tmasked-bits\tdead-store\tstore-shadowed\trange-masked\tdup-detected")
 	for _, f := range r.Funcs {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			f.Name, f.Injectable, f.FullyMasked, f.PartiallyMasked,
-			f.MaskedBits, f.TotalBits, f.DeadValue, f.MaskedOnly, f.DeadStore)
+			f.MaskedBits, f.RangeMaskedBits, f.DetectedBits, f.TotalBits,
+			f.DeadValue, f.MaskedOnly, f.DeadStore, f.StoreShadowed,
+			f.RangeMasked, f.DupDetected)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if r.Alias != nil {
+		a := r.Alias
+		fmt.Fprintf(w, "alias: %d objects (%d globals, %d allocas), %d loaded, %d escaped; %d dead stores, %d shadowed stores\n",
+			a.Objects, a.Globals, a.Allocas, a.LoadedObjects, a.EscapedObjects,
+			a.DeadStores, a.ShadowedStores)
+	}
+	if r.DetectedBits > 0 {
+		fmt.Fprintf(w, "module: %d/%d fault sites provably detected (%.2f%%)\n",
+			r.DetectedBits, r.TotalBits, 100*r.DetectedSiteFrac)
+	}
 	_, err := fmt.Fprintf(w, "module: %d/%d fault sites provably masked (%.2f%%)\n",
-		r.MaskedBits, r.TotalBits, 100*r.MaskedSiteFrac)
+		r.MaskedBits+r.RangeMaskedBits, r.TotalBits, 100*r.MaskedSiteFrac)
 	return err
 }

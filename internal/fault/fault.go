@@ -340,16 +340,34 @@ func (c *Campaign) runSitesModel(m Model, sites []interp.Fault) []Outcome {
 		outcomes := make([]Outcome, len(sites))
 		kept := make([]interp.Fault, 0, len(sites))
 		keptIdx := make([]int, 0, len(sites))
+		var byProof map[analysis.Proof]int64
 		for i, s := range sites {
-			if t.MaskedFor(cl, s.InstrID, s.Bit, s.Mask) {
+			switch v, pf := t.ClassifyFor(cl, s.InstrID, s.Bit, s.Mask); v {
+			case analysis.VerdictProvablyMasked:
 				outcomes[i] = OutcomeBenign
-			} else {
+				if byProof == nil {
+					byProof = make(map[analysis.Proof]int64)
+				}
+				byProof[pf]++
+			case analysis.VerdictProvablyDetected:
+				// The proof guarantees the armed detector fires before
+				// any other observable; an executed trial would report
+				// exactly this outcome.
+				outcomes[i] = OutcomeDetected
+				if byProof == nil {
+					byProof = make(map[analysis.Proof]int64)
+				}
+				byProof[pf]++
+			default:
 				kept = append(kept, s)
 				keptIdx = append(keptIdx, i)
 			}
 		}
 		if pruned := int64(len(sites) - len(kept)); pruned > 0 {
 			c.Metrics.AddPruned(m.Name(), pruned)
+			for pf, n := range byProof {
+				c.Metrics.AddPrunedProof(pf.String(), n)
+			}
 		}
 		if len(kept) == 0 {
 			return outcomes

@@ -61,8 +61,9 @@ type PhaseMetrics struct {
 	trials      int64
 	outcomes    [NumOutcomes]int64
 	shortfall   int64
-	pruned      int64
-	prunedBy    map[string]int64 // pruned trials per fault-model name
+	pruned        int64
+	prunedBy      map[string]int64 // pruned trials per fault-model name
+	prunedByProof map[string]int64 // pruned trials per triage proof class
 	goldenRuns  int64
 	cacheHits   int64
 	cacheMisses int64
@@ -111,6 +112,23 @@ func (p *PhaseMetrics) AddPruned(model string, n int64) {
 		p.prunedBy = make(map[string]int64)
 	}
 	p.prunedBy[model] += n
+	p.mu.Unlock()
+}
+
+// AddPrunedProof attributes already-counted pruned trials to the triage
+// proof class that justified them ("dead-value", "range-masked",
+// "dup-detected", ...). Complementary to AddPruned: AddPruned carries
+// the per-model total, this carries the per-proof breakdown, so reports
+// can show which analysis tier earned each skipped trial.
+func (p *PhaseMetrics) AddPrunedProof(proof string, n int64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	if p.prunedByProof == nil {
+		p.prunedByProof = make(map[string]int64)
+	}
+	p.prunedByProof[proof] += n
 	p.mu.Unlock()
 }
 
@@ -184,9 +202,11 @@ type PhaseSnapshot struct {
 	Outcomes    [NumOutcomes]int64 `json:"outcomes"`
 	Shortfall   int64              `json:"shortfall"` // requested-but-undrawable trials
 	Pruned      int64              `json:"pruned"`    // trials proved benign by static triage, not executed
-	// PrunedByModel breaks Pruned down by fault-model name (absent when
-	// nothing was pruned).
+	// PrunedByModel breaks Pruned down by fault-model name, and
+	// PrunedByProof by the triage proof class that justified the skip
+	// (absent when nothing was pruned).
 	PrunedByModel map[string]int64 `json:"pruned_by_model,omitempty"`
+	PrunedByProof map[string]int64 `json:"pruned_by_proof,omitempty"`
 	GoldenRuns    int64            `json:"golden_runs"` // golden executions actually run (cache misses run once)
 	CacheHits   int64              `json:"cache_hits"`
 	CacheMisses int64              `json:"cache_misses"`
@@ -224,11 +244,17 @@ func (p *PhaseMetrics) Snapshot() PhaseSnapshot {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var byModel map[string]int64
+	var byModel, byProof map[string]int64
 	if len(p.prunedBy) > 0 {
 		byModel = make(map[string]int64, len(p.prunedBy))
 		for k, v := range p.prunedBy {
 			byModel[k] = v
+		}
+	}
+	if len(p.prunedByProof) > 0 {
+		byProof = make(map[string]int64, len(p.prunedByProof))
+		for k, v := range p.prunedByProof {
+			byProof[k] = v
 		}
 	}
 	return PhaseSnapshot{
@@ -238,6 +264,7 @@ func (p *PhaseMetrics) Snapshot() PhaseSnapshot {
 		Shortfall:     p.shortfall,
 		Pruned:        p.pruned,
 		PrunedByModel: byModel,
+		PrunedByProof: byProof,
 		GoldenRuns:  p.goldenRuns,
 		CacheHits:   p.cacheHits,
 		CacheMisses: p.cacheMisses,
@@ -285,6 +312,9 @@ func (m *Metrics) Publish(reg *obs.Registry) {
 		reg.Counter(prefix + "pruned").Add(s.Pruned)
 		for model, n := range s.PrunedByModel {
 			reg.Counter(prefix + "pruned.model." + model).Add(n)
+		}
+		for proof, n := range s.PrunedByProof {
+			reg.Counter(prefix + "pruned.proof." + proof).Add(n)
 		}
 		reg.Counter(prefix + "golden_runs").Add(s.GoldenRuns)
 		reg.Counter(prefix + "cache_hits").Add(s.CacheHits)

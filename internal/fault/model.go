@@ -117,14 +117,21 @@ func init() {
 
 // valueClass is shared by every register-value model here: the fault
 // touches exactly the bits its site mask declares on a single result.
-var valueClass = analysis.FaultClass{ValueLocal: true, BitsBounded: true}
+// xorClass additionally guarantees every effect CHANGES the value (an
+// XOR with a nonzero narrowed mask), which the detection proofs
+// require; stuck-at models stay on valueClass because a stuck-at
+// perturbation may be the identity, leaving the detector quiet.
+var (
+	valueClass = analysis.FaultClass{ValueLocal: true, BitsBounded: true}
+	xorClass   = analysis.FaultClass{ValueLocal: true, BitsBounded: true, AlwaysFlips: true}
+)
 
 // ---- bitflip: the paper's single-bit flip (§II-A) ----
 
 type bitFlipModel struct{}
 
 func (bitFlipModel) Name() string               { return "bitflip" }
-func (bitFlipModel) Class() analysis.FaultClass { return valueClass }
+func (bitFlipModel) Class() analysis.FaultClass { return xorClass }
 
 // Perturb draws exactly one rng.Intn(width), preserving the legacy site
 // stream so default campaigns stay byte-identical across the refactor.
@@ -158,7 +165,7 @@ func KBit(k int) Model {
 }
 
 func (m kBitModel) Name() string               { return fmt.Sprintf("bitflip%d", m.k) }
-func (m kBitModel) Class() analysis.FaultClass { return valueClass }
+func (m kBitModel) Class() analysis.FaultClass { return xorClass }
 
 // Perturb keeps RandomMultiBitSite's draw discipline: rejection-sample
 // single bits until k distinct ones accumulate, k clamped to the width.
@@ -191,7 +198,7 @@ func (m kBitModel) Patterns(width uint, max int) []Effect {
 type byteFlipModel struct{}
 
 func (byteFlipModel) Name() string               { return "byteflip" }
-func (byteFlipModel) Class() analysis.FaultClass { return valueClass }
+func (byteFlipModel) Class() analysis.FaultClass { return xorClass }
 
 func (byteFlipModel) Perturb(width uint, rng *rand.Rand) Effect {
 	if width < 8 {

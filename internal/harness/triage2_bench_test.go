@@ -1,0 +1,53 @@
+package harness
+
+// BenchmarkTriage2 measures what the analysis-v2 triage buys a campaign
+// on duplication-protected modules: ns/trial and the pruned-trial
+// fraction with pruning on versus off, per benchmark program. The
+// detection proofs (dup-detected) dominate on full-DMR binaries, so
+// this is the macro view of the static-triage win; CI appends results
+// to BENCH_triage2.json and gates them with cmd/benchdiff, where a
+// soundness-preserving but pruning-destroying analysis change shows up
+// as a pruned_frac collapse and an ns/trial cliff on the "on" rows.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchprog"
+	"repro/internal/fault"
+	"repro/internal/sid"
+)
+
+func BenchmarkTriage2(b *testing.B) {
+	const trials = 60
+	for _, name := range []string{"pathfinder", "kmeans", "fft"} {
+		bench, ok := benchprog.ByName(name)
+		if !ok {
+			b.Fatalf("benchmark %s lookup failed", name)
+		}
+		prot := sid.FullDuplication(bench.MustModule())
+		bind := bench.Bind(bench.Reference)
+		cfg := bench.ExecConfig()
+		golden, err := fault.RunGolden(prot, bind, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pol := range []struct {
+			name   string
+			triage fault.TriagePolicy
+		}{{"on", fault.TriageAuto}, {"off", fault.TriageOff}} {
+			b.Run(fmt.Sprintf("%s/triage=%s", name, pol.name), func(b *testing.B) {
+				pm := fault.NewMetrics().Phase("bench")
+				c := &fault.Campaign{Mod: prot, Bind: bind, Cfg: cfg,
+					Golden: golden, Triage: pol.triage, Workers: 1, Metrics: pm}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Run(trials, int64(i)+1)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+				snap := pm.Snapshot()
+				b.ReportMetric(float64(snap.Pruned)/float64(int64(b.N)*trials), "pruned_frac")
+			})
+		}
+	}
+}

@@ -774,7 +774,7 @@ func (r *Runner) step(t *thread) {
 		return
 	}
 	if r.tracer != nil && (!in.HasResult() || in.Op == ir.OpCall) {
-		r.tracer.note(fr.fn, in, 0, false)
+		r.tracer.note(fr.fn, in, fr.regs, 0, false)
 	}
 
 	var res uint64
@@ -976,7 +976,7 @@ func (r *Runner) step(t *thread) {
 		fr.regs[in.Dst] = res
 		r.flip(in, fr, hasRes, res)
 		if r.tracer != nil {
-			r.tracer.note(fr.fn, in, fr.regs[in.Dst], true)
+			r.tracer.note(fr.fn, in, fr.regs, fr.regs[in.Dst], true)
 		}
 	}
 	fr.pc++

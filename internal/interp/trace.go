@@ -11,9 +11,20 @@ import (
 // Tracer receives a line per executed instruction when attached to a run
 // via RunTraced. It is a debugging aid: traces are verbose, so Limit
 // bounds the emitted instruction count.
+//
+// When Hook is set it is called for every executed instruction with the
+// current frame's register file, bypassing W and Limit entirely. The
+// differential fact checker uses it to validate static analysis facts
+// against concrete execution. The regs slice is the live register file:
+// callees must not retain or mutate it.
 type Tracer struct {
 	W     io.Writer
 	Limit int64 // maximum instructions to trace (0 = DefaultTraceLimit)
+
+	// Hook, when non-nil, observes every executed instruction. For
+	// instructions with a result it runs after the result (and any
+	// injected fault) has been written to regs[in.Dst].
+	Hook func(fn *ir.Function, in *ir.Instr, regs []uint64, result uint64, hasResult bool)
 
 	emitted int64
 }
@@ -29,7 +40,13 @@ func (t *Tracer) limit() int64 {
 }
 
 // note records one executed instruction with its result value.
-func (t *Tracer) note(fn *ir.Function, in *ir.Instr, result uint64, hasResult bool) {
+func (t *Tracer) note(fn *ir.Function, in *ir.Instr, regs []uint64, result uint64, hasResult bool) {
+	if t.Hook != nil {
+		t.Hook(fn, in, regs, result, hasResult)
+	}
+	if t.W == nil {
+		return
+	}
 	if t.emitted >= t.limit() {
 		if t.emitted == t.limit() {
 			fmt.Fprintf(t.W, "... trace limit (%d) reached\n", t.limit())

@@ -90,8 +90,9 @@ func domDepths(dom *analysis.DomTree) []int {
 	return depth
 }
 
-// AnalysisMeasure is HeuristicMeasure with the analysis-refined scores:
-// still a single fault-free profiling run, no fault injection.
+// AnalysisMeasure is HeuristicMeasure with the propagation-graph
+// scores (StaticSDCProb): still a single fault-free profiling run, no
+// fault injection.
 func AnalysisMeasure(m *ir.Module, bind interp.Binding, exec interp.Config) (*Measurement, error) {
 	golden, err := fault.RunGolden(m, bind, exec)
 	if err != nil {
@@ -101,7 +102,7 @@ func AnalysisMeasure(m *ir.Module, bind interp.Binding, exec interp.Config) (*Me
 	meas := &Measurement{
 		Cost:    make([]float64, n),
 		DynFrac: make([]float64, n),
-		SDCProb: AnalysisSDCProb(m),
+		SDCProb: StaticSDCProb(m),
 		Benefit: make([]float64, n),
 		Golden:  golden,
 	}

@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// SpearmanRank returns Spearman's rank-correlation coefficient between
+// the paired samples x and y: Pearson correlation over average-tie
+// ranks. It answers "does a static score order sites the way measured
+// SDC probability does" without assuming the relationship is linear.
+// Mismatched lengths, fewer than two pairs, or a constant sample (zero
+// rank variance) return NaN.
+func SpearmanRank(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	mx := Mean(rx)
+	my := Mean(ry)
+	var sxy, sxx, syy float64
+	for i := range rx {
+		dx := rx[i] - mx
+		dy := ry[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ranks assigns 1-based ranks to xs, ties receiving the average of the
+// rank positions they span (the fractional-rank convention).
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the value; average 1-based rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

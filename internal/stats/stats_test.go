@@ -167,3 +167,37 @@ func TestPercentileEmptyAndNaN(t *testing.T) {
 		t.Fatalf("clean median = %v, want 2", v)
 	}
 }
+
+func TestSpearmanRank(t *testing.T) {
+	near := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+
+	// Perfect monotone agreement, even through a nonlinear map.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	if r := SpearmanRank(x, y); !near(r, 1) {
+		t.Fatalf("monotone rho = %v, want 1", r)
+	}
+	// Perfect inversion.
+	if r := SpearmanRank(x, []float64{5, 4, 3, 2, 1}); !near(r, -1) {
+		t.Fatalf("inverted rho = %v, want -1", r)
+	}
+	// Hand-checked tie case: x ranks {1, 2.5, 2.5, 4}, y ranks
+	// {1.5, 1.5, 3, 4} -> rho = 0.8//sqrt(0.9*0.9) ... compute directly.
+	xt := []float64{1, 2, 2, 3}
+	yt := []float64{0, 0, 5, 9}
+	r := SpearmanRank(xt, yt)
+	// ranks: rx = {1, 2.5, 2.5, 4}, ry = {1.5, 1.5, 3, 4}
+	// centered: rx-2.5 = {-1.5, 0, 0, 1.5}; ry-2.5 = {-1, -1, .5, 1.5}
+	// sxy = 1.5 + 0 + 0 + 2.25 = 3.75; sxx = 4.5; syy = 1+1+.25+2.25 = 4.5
+	want := 3.75 / 4.5
+	if !near(r, want) {
+		t.Fatalf("tied rho = %v, want %v", r, want)
+	}
+	// Degenerate inputs are NaN, not a fake zero.
+	if r := SpearmanRank([]float64{1, 2}, []float64{3}); !math.IsNaN(r) {
+		t.Fatalf("mismatched lengths rho = %v, want NaN", r)
+	}
+	if r := SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(r) {
+		t.Fatalf("constant sample rho = %v, want NaN", r)
+	}
+}

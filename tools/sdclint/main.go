@@ -1,0 +1,510 @@
+// Command sdclint is the repo's determinism linter: a small,
+// stdlib-only static checker for the invariants that keep artifact keys
+// and campaign results reproducible, which generic linters cannot know
+// about. It parses Go source (no type checking, no build) and reports
+// findings as `file:line:col: [check] message`, exiting 1 when any are
+// found.
+//
+// Checks:
+//
+//	map-order     an iteration over a map-typed value feeds a
+//	              pipeline.Hasher or seeds an RNG inside the loop body.
+//	              Map iteration order is randomized per run, so any key
+//	              or seed derived through it breaks the content-keyed
+//	              store (DESIGN.md §8). Iterate a sorted copy instead.
+//	wallclock-key a function that derives a content key (constructs or
+//	              writes a pipeline.Hasher) also reads time.Now or
+//	              math/rand: keys must be functions of task content
+//	              only, never of when or where they were computed.
+//	obs-nil-guard an exported pointer-receiver method on one of package
+//	              obs's nil-safe types accesses a receiver field without
+//	              a receiver nil-check in the body. The obs contract is
+//	              that a nil *Obs disables everything (DESIGN.md §10);
+//	              an unguarded field access turns "disabled" into a
+//	              panic at the first instrumented call site.
+//
+// Usage: sdclint [dir ...] (default "."). Directories are walked
+// recursively; vendor, .git, and testdata subtrees are skipped (a
+// testdata root given explicitly is linted, which is how the linter's
+// own fixture test and the CI seeded-violation check work). _test.go
+// files are skipped: tests may legitimately vary seeds by wall clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type finding struct {
+	pos   token.Position
+	check string
+	msg   string
+}
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" || name == ".git") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	fset := token.NewFileSet()
+	var finds []finding
+	for _, path := range files {
+		af, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdclint: %v\n", err)
+			os.Exit(2)
+		}
+		finds = append(finds, lintFile(fset, af)...)
+	}
+	sort.Slice(finds, func(i, j int) bool {
+		a, b := finds[i].pos, finds[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range finds {
+		fmt.Printf("%s: [%s] %s\n", f.pos, f.check, f.msg)
+	}
+	if len(finds) > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintFile runs every check over one parsed file.
+func lintFile(fset *token.FileSet, af *ast.File) []finding {
+	timeName, randName := importNames(af)
+	var finds []finding
+	for _, decl := range af.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fi := newFuncInfo(af, fd)
+		finds = append(finds, checkMapOrder(fset, fi, randName)...)
+		finds = append(finds, checkWallclockKey(fset, fi, timeName, randName)...)
+	}
+	if af.Name.Name == "obs" {
+		finds = append(finds, checkObsNilGuard(fset, af)...)
+	}
+	return finds
+}
+
+// importNames returns the local names of the time and math/rand imports
+// ("" when not imported), so aliased imports don't evade the checks.
+func importNames(af *ast.File) (timeName, randName string) {
+	for _, im := range af.Imports {
+		path := strings.Trim(im.Path.Value, `"`)
+		name := ""
+		if im.Name != nil {
+			name = im.Name.Name
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeName = name
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randName = name
+		}
+	}
+	return timeName, randName
+}
+
+// funcInfo carries the per-function syntactic facts the checks share:
+// which identifiers are map-typed and which hold a *pipeline.Hasher.
+type funcInfo struct {
+	decl *ast.FuncDecl
+	// inPipeline marks files of package pipeline itself, where the
+	// Hasher type is referenced without qualification.
+	inPipeline bool
+	mapIdents  map[string]bool
+	hashIdents map[string]bool
+}
+
+func newFuncInfo(af *ast.File, fd *ast.FuncDecl) *funcInfo {
+	fi := &funcInfo{
+		decl:       fd,
+		inPipeline: af.Name.Name == "pipeline",
+		mapIdents:  map[string]bool{},
+		hashIdents: map[string]bool{},
+	}
+	if fd.Recv != nil {
+		fi.collectFields(fd.Recv)
+	}
+	fi.collectFields(fd.Type.Params)
+	// Two passes over the body so `h := mkHasher()`-style chains
+	// assigned before the helper returning a hasher ident are still
+	// resolved (good enough without dataflow ordering).
+	ast.Inspect(fd.Body, fi.collectAssign)
+	ast.Inspect(fd.Body, fi.collectAssign)
+	return fi
+}
+
+func (fi *funcInfo) collectFields(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		for _, n := range f.Names {
+			if _, ok := f.Type.(*ast.MapType); ok {
+				fi.mapIdents[n.Name] = true
+			}
+			if fi.isHasherType(f.Type) {
+				fi.hashIdents[n.Name] = true
+			}
+		}
+	}
+}
+
+// isHasherType recognizes the syntactic forms of the hasher type:
+// *pipeline.Hasher anywhere, *Hasher (or Hasher receivers) inside
+// package pipeline.
+func (fi *funcInfo) isHasherType(t ast.Expr) bool {
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch x := t.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := x.X.(*ast.Ident)
+		return ok && pkg.Name == "pipeline" && x.Sel.Name == "Hasher"
+	case *ast.Ident:
+		return fi.inPipeline && x.Name == "Hasher"
+	}
+	return false
+}
+
+// collectAssign records map- and hasher-typed local bindings from
+// declarations and assignments.
+func (fi *funcInfo) collectAssign(n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(st.Rhs) && len(st.Rhs) != 1 {
+				continue
+			}
+			rhs := st.Rhs[0]
+			if len(st.Rhs) == len(st.Lhs) {
+				rhs = st.Rhs[i]
+			}
+			if isMapValue(rhs) {
+				fi.mapIdents[id.Name] = true
+			}
+			if fi.isHasherValue(rhs) {
+				fi.hashIdents[id.Name] = true
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			isMapT := false
+			if vs.Type != nil {
+				if _, ok := vs.Type.(*ast.MapType); ok {
+					isMapT = true
+				}
+				if fi.isHasherType(vs.Type) {
+					for _, n := range vs.Names {
+						fi.hashIdents[n.Name] = true
+					}
+				}
+			}
+			for i, n := range vs.Names {
+				if isMapT || (i < len(vs.Values) && isMapValue(vs.Values[i])) {
+					fi.mapIdents[n.Name] = true
+				}
+				if i < len(vs.Values) && fi.isHasherValue(vs.Values[i]) {
+					fi.hashIdents[n.Name] = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// isMapValue reports whether an expression is syntactically map-typed:
+// make(map[...]...) or a map composite literal.
+func isMapValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+			_, isMap := x.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.CompositeLit:
+		_, isMap := x.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+// isHasherValue reports whether an expression produces a hasher: a
+// NewHasher call or a method-chain call rooted at a known hasher (the
+// builder methods all return the receiver).
+func (fi *funcInfo) isHasherValue(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok && pkg.Name == "pipeline" && fun.Sel.Name == "NewHasher" {
+			return true
+		}
+		return fi.hasherRoot(fun.X)
+	case *ast.Ident:
+		return fi.inPipeline && fun.Name == "NewHasher"
+	}
+	return false
+}
+
+// hasherRoot resolves a method-chain receiver (h, h.Str(x),
+// h.Str(x).I64(y), ...) to its root identifier and reports whether that
+// root is a known hasher.
+func (fi *funcInfo) hasherRoot(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return fi.hashIdents[x.Name]
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			e = sel.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkMapOrder flags map-range bodies that write into a hasher or seed
+// an RNG: both launder the randomized iteration order into something
+// that must be deterministic.
+func checkMapOrder(fset *token.FileSet, fi *funcInfo, randName string) []finding {
+	var finds []finding
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		id, ok := rs.X.(*ast.Ident)
+		if !ok || !fi.mapIdents[id.Name] {
+			return true
+		}
+		// One finding per loop per category: a builder chain like
+		// h.Str(k).I64(v) is one bug, not two.
+		hashHit, randHit := false, false
+		ast.Inspect(rs.Body, func(b ast.Node) bool {
+			call, ok := b.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if !hashHit && fi.hasherRoot(sel.X) {
+					hashHit = true
+					finds = append(finds, finding{
+						pos:   fset.Position(call.Pos()),
+						check: "map-order",
+						msg: fmt.Sprintf("map iteration over %q feeds a pipeline.Hasher; iterate sorted keys so the content key is deterministic",
+							id.Name),
+					})
+					return true
+				}
+				if pkg, ok := sel.X.(*ast.Ident); ok && !randHit && randName != "" && pkg.Name == randName {
+					switch sel.Sel.Name {
+					case "Seed", "NewSource", "New":
+						randHit = true
+						finds = append(finds, finding{
+							pos:   fset.Position(call.Pos()),
+							check: "map-order",
+							msg: fmt.Sprintf("map iteration over %q seeds an RNG; derive seeds from sorted, content-keyed data",
+								id.Name),
+						})
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return finds
+}
+
+// checkWallclockKey flags functions that both derive a content key and
+// read a nondeterministic source.
+func checkWallclockKey(fset *token.FileSet, fi *funcInfo, timeName, randName string) []finding {
+	usesHasher := len(fi.hashIdents) > 0
+	if !usesHasher {
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && fi.isHasherValue(call) {
+				usesHasher = true
+				return false
+			}
+			return true
+		})
+	}
+	if !usesHasher {
+		return nil
+	}
+	var finds []finding
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now":
+			finds = append(finds, finding{
+				pos:   fset.Position(sel.Pos()),
+				check: "wallclock-key",
+				msg:   "time.Now in a function that derives a content key; keys must depend on task content only",
+			})
+		case randName != "" && pkg.Name == randName:
+			finds = append(finds, finding{
+				pos:   fset.Position(sel.Pos()),
+				check: "wallclock-key",
+				msg:   "math/rand in a function that derives a content key; keys must depend on task content only",
+			})
+		}
+		return true
+	})
+	return finds
+}
+
+// obsNilSafe lists package obs's receiver types documented as nil-safe
+// (a nil *Obs disables the whole layer). Snapshot/value types like
+// TraceSnapshot are plain data and exempt.
+var obsNilSafe = map[string]bool{
+	"Obs": true, "Trace": true, "Span": true, "Registry": true,
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// checkObsNilGuard enforces the nil-receiver contract: an exported
+// pointer-receiver method on a nil-safe obs type that reads or writes a
+// receiver FIELD must contain a receiver nil-comparison. Methods that
+// only forward to other methods (e.g. Counter.Inc) are safe without
+// one, since a nil receiver is an ordinary argument.
+func checkObsNilGuard(fset *token.FileSet, af *ast.File) []finding {
+	var finds []finding
+	for _, decl := range af.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		recvField := fd.Recv.List[0]
+		star, ok := recvField.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		base, ok := star.X.(*ast.Ident)
+		if !ok || !obsNilSafe[base.Name] || len(recvField.Names) == 0 {
+			continue
+		}
+		recv := recvField.Names[0].Name
+		if recv == "" || recv == "_" {
+			continue
+		}
+		fieldAccess := false
+		nilCheck := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.EQL || x.Op == token.NEQ {
+					if exprIsIdent(x.X, recv) && exprIsNil(x.Y) ||
+						exprIsIdent(x.Y, recv) && exprIsNil(x.X) {
+						nilCheck = true
+					}
+				}
+			case *ast.CallExpr:
+				// A method call on the receiver is fine; only inspect
+				// its arguments for field accesses.
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && exprIsIdent(sel.X, recv) {
+					for _, a := range x.Args {
+						ast.Inspect(a, func(m ast.Node) bool {
+							if s, ok := m.(*ast.SelectorExpr); ok && exprIsIdent(s.X, recv) {
+								fieldAccess = true
+							}
+							return true
+						})
+					}
+					return false
+				}
+			case *ast.SelectorExpr:
+				if exprIsIdent(x.X, recv) {
+					fieldAccess = true
+				}
+			}
+			return true
+		})
+		if fieldAccess && !nilCheck {
+			finds = append(finds, finding{
+				pos:   fset.Position(fd.Pos()),
+				check: "obs-nil-guard",
+				msg: fmt.Sprintf("method (*%s).%s accesses receiver fields without a nil check; obs receivers must be nil-safe",
+					base.Name, fd.Name.Name),
+			})
+		}
+	}
+	return finds
+}
+
+func exprIsIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func exprIsNil(e ast.Expr) bool { return exprIsIdent(e, "nil") }

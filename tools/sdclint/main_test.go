@@ -1,0 +1,74 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// lintTestdata lints one fixture file and returns findings per check.
+func lintTestdata(t *testing.T, name string) map[string]int {
+	t.Helper()
+	fset := token.NewFileSet()
+	af, err := parser.ParseFile(fset, filepath.Join("testdata", name), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCheck := map[string]int{}
+	for _, f := range lintFile(fset, af) {
+		byCheck[f.check]++
+		t.Logf("%s: [%s] %s", f.pos, f.check, f.msg)
+	}
+	return byCheck
+}
+
+// TestSeededViolations pins the linter to the fixture tree: each
+// seeded bug is found, each deliberately-good function is not.
+func TestSeededViolations(t *testing.T) {
+	got := lintTestdata(t, "maporder.go")
+	if got["map-order"] != 2 {
+		t.Errorf("map-order findings = %d, want 2 (hasher feed + RNG seed)", got["map-order"])
+	}
+	// badWallclockKey reads time.Now and rand once each; goodSortedKey
+	// must not add more.
+	if got["wallclock-key"] != 2 {
+		t.Errorf("wallclock-key findings = %d, want 2 (time.Now + rand)", got["wallclock-key"])
+	}
+
+	got = lintTestdata(t, "obsbad.go")
+	if got["obs-nil-guard"] != 1 {
+		t.Errorf("obs-nil-guard findings = %d, want 1 (BadCount only)", got["obs-nil-guard"])
+	}
+}
+
+// TestRepoRunsClean lints the real source tree: the invariants the
+// linter enforces must hold in the repository itself.
+func TestRepoRunsClean(t *testing.T) {
+	fset := token.NewFileSet()
+	var total int
+	for _, root := range []string{"../../internal", "../../cmd"} {
+		paths, err := filepath.Glob(filepath.Join(root, "*", "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		more, err := filepath.Glob(filepath.Join(root, "*", "*", "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range append(paths, more...) {
+			if filepath.Base(filepath.Dir(p)) == "testdata" {
+				continue
+			}
+			af, err := parser.ParseFile(fset, p, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range lintFile(fset, af) {
+				t.Errorf("%s: [%s] %s", f.pos, f.check, f.msg)
+				total++
+			}
+		}
+	}
+	t.Logf("linted repo tree, %d findings", total)
+}

@@ -1,0 +1,52 @@
+// Seeded violations for the map-order and wallclock-key checks. This
+// tree is never compiled (testdata is invisible to the go tool); it
+// exists so the linter's own test and the CI static-analysis job can
+// assert sdclint fails on known-bad code.
+package fixtures
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// badMapKey hashes map entries in iteration order: the classic
+// nondeterministic-key bug. want: map-order finding.
+func badMapKey(parts map[string]int64) pipeline.Key {
+	h := pipeline.NewHasher("bad-map-key")
+	for k, v := range parts {
+		h.Str(k).I64(v)
+	}
+	return h.Sum()
+}
+
+// badMapSeed seeds an RNG per map entry: trial draws then depend on
+// iteration order. want: map-order finding.
+func badMapSeed(shards map[int]int64) int64 {
+	total := int64(0)
+	for id, n := range shards {
+		r := rand.New(rand.NewSource(int64(id)))
+		total += r.Int63n(n)
+	}
+	return total
+}
+
+// badWallclockKey stamps the key with the build time. want:
+// wallclock-key finding (plus the rand read below).
+func badWallclockKey(name string) pipeline.Key {
+	h := pipeline.NewHasher("bad-wallclock")
+	h.Str(name).I64(time.Now().UnixNano())
+	h.I64(rand.Int63())
+	return h.Sum()
+}
+
+// goodSortedKey is the deterministic pattern the linter must accept:
+// want: no finding.
+func goodSortedKey(parts map[string]int64, keys []string) pipeline.Key {
+	h := pipeline.NewHasher("good")
+	for _, k := range keys { // caller passes sorted keys
+		h.Str(k).I64(parts[k])
+	}
+	return h.Sum()
+}

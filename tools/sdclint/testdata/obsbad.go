@@ -1,0 +1,21 @@
+// Seeded violation for the obs-nil-guard check (the file claims
+// package obs so the check applies; testdata is never compiled).
+package obs
+
+// Obs mirrors the real type's shape for the fixture.
+type Obs struct{ n int }
+
+// BadCount reads a receiver field with no nil check. want:
+// obs-nil-guard finding.
+func (o *Obs) BadCount() int {
+	return o.n
+}
+
+// GoodCount is the guarded form the linter must accept. want: no
+// finding.
+func (o *Obs) GoodCount() int {
+	if o == nil {
+		return 0
+	}
+	return o.n
+}
