@@ -21,10 +21,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the fault campaign engine
-# (cache single-flight, parallel runSites) and the parallel GA fitness
-# evaluation. -short trims the invariance matrix to keep this quick.
+# (cache single-flight, parallel runSites), the parallel GA fitness
+# evaluation, and the campaign service (concurrent submits, single-flight
+# dedup, admission control). -short trims the invariance matrix to keep
+# this quick.
 race:
-	$(GO) test -race -short ./internal/fault/... ./internal/minpsid/...
+	$(GO) test -race -short ./internal/fault/... ./internal/minpsid/... ./internal/server/...
 
 check: build vet test race
 
@@ -64,6 +66,14 @@ BENCH_INCREMENTAL_JSON ?= BENCH_incremental.json
 # a pruned_frac collapse on the triage=on rows.
 BENCH_TRIAGE2_JSON ?= BENCH_triage2.json
 
+# Campaign-service benchmarks: end-to-end scheduler cost on a cold
+# store, the warm dedup path (with its dedup_hit_rate column), the
+# inline-campaign baseline, and job-key derivation, appended to
+# BENCH_server.json. CI gates these with cmd/benchdiff so scheduler or
+# store-path overhead regressions surface before they tax every fleet
+# submission.
+BENCH_SERVER_JSON ?= BENCH_server.json
+
 # Repetitions per benchmark. CI sets 3 and compares best-of-N
 # (benchdiff -agg min) so shared-runner noise doesn't gate single samples.
 BENCH_COUNT ?= 1
@@ -100,3 +110,10 @@ bench:
 		if ($$6 == "ns/trial") rec = rec sprintf(",\"ns_per_trial\":%s", $$5); \
 		if ($$8 == "pruned_frac") rec = rec sprintf(",\"pruned_frac\":%s", $$7); \
 		rec = rec "}"; print rec }' >> $(BENCH_TRIAGE2_JSON)
+	$(GO) test -bench 'ServerCampaign|DirectCampaign|JobKey' -benchtime 1x -count $(BENCH_COUNT) -run '^$$' \
+		./internal/server | tee /dev/stderr | \
+	awk -v ts="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^Benchmark/ { \
+		printf "{\"ts\":\"%s\",\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", ts, $$1, $$2, $$3; \
+		for (i = 5; i < NF; i += 2) \
+			if ($$(i+1) ~ /^[a-z_]+$$/) printf ",\"%s\":%s", $$(i+1), $$i; \
+		print "}" }' >> $(BENCH_SERVER_JSON)

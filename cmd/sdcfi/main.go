@@ -32,11 +32,15 @@ import (
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/server"
 	"repro/internal/sid"
 	"repro/internal/stats"
 )
 
 func main() {
+	if code, handled := dispatch(os.Args[1:]); handled {
+		os.Exit(code)
+	}
 	var (
 		bench     = flag.String("bench", "fft", "benchmark name")
 		n         = flag.Int("n", 1000, "number of fault-injection trials")
@@ -52,6 +56,7 @@ func main() {
 		engine    = flag.String("engine", "image", "execution engine: image, compiled, legacy, or auto")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file (Perfetto-loadable) to this path")
 		manifest  = flag.String("manifest", "", "write a run manifest (span tree + metrics registry) to this path")
+		resultOut = flag.String("result-out", "", "write the canonical campaign result document to this path (requires -incremental; byte-comparable to a server job result)")
 	)
 	flag.Parse()
 
@@ -64,6 +69,7 @@ func main() {
 		model: *model, detector: *detector, level: *level,
 		metrics: *metrics, incremental: *incr,
 		jsonOut: *jsonOut, traceOut: *traceOut, manifest: *manifest,
+		resultOut: *resultOut,
 	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sdcfi:", err)
@@ -89,6 +95,10 @@ type options struct {
 	jsonOut     string
 	traceOut    string
 	manifest    string
+	// resultOut writes the canonical result document (server.Result)
+	// after an incremental campaign — the direct-path half of the CI
+	// client/server bit-identity check.
+	resultOut string
 }
 
 // setEngine applies the -engine flag to the process-wide default.
@@ -157,6 +167,15 @@ func run(o options) error {
 		lo, hi := stats.WilsonInterval(k, res.Trials)
 		fmt.Printf("  %-9s %6d  (%6.2f%%, 95%% CI [%.2f%%, %.2f%%])\n",
 			oc, k, 100*res.Rate(oc), lo*100, hi*100)
+	}
+	if o.resultOut != "" {
+		if !o.incremental {
+			return fmt.Errorf("-result-out requires -incremental (the server composes campaigns sectionally)")
+		}
+		doc := server.BuildResult(o.bench, prog.Spec.String(in), o.seed, o.model, res, profiles)
+		if err := os.WriteFile(o.resultOut, server.EncodeResult(doc), 0o644); err != nil {
+			return err
+		}
 	}
 	if len(profiles) > 0 {
 		fmt.Printf("sections: %d with apportioned trials\n", len(profiles))

@@ -17,6 +17,7 @@ const (
 	PhaseSearchEngine = "search-engine" // ③-⑥ input search incl. fitness golden runs
 	PhaseIncubativeFI = "incubative-fi" // ⑦ per-instruction FI on searched inputs
 	PhaseEvaluation   = "evaluation"    // coverage campaigns on evaluation inputs
+	PhaseProgramFI    = "program-fi"    // raw characterization campaigns (sdcfi, server jobs)
 )
 
 // Metrics aggregates campaign-engine measurements grouped by pipeline

@@ -239,6 +239,36 @@ func ComposeSections(profiles []SectionProfile) CampaignResult {
 	return res
 }
 
+// PlannedShortfall returns the trials a plan could not place anywhere
+// (a request larger than the module's total injectable weight can
+// apportion): n minus the sum of planned per-section shares.
+func PlannedShortfall(n int, plans []SectionTrialPlan) int64 {
+	var planned int64
+	for _, p := range plans {
+		planned += int64(p.N)
+	}
+	if missing := int64(n) - planned; missing > 0 {
+		return missing
+	}
+	return 0
+}
+
+// ComposePlanned merges per-section profiles produced under the given
+// plan into the whole-program campaign table, accounting trials the plan
+// could not apportion anywhere as shortfall so the composed result keeps
+// Run's Requested/Shortfall contract. Profiles must be in plan order;
+// composition is deterministic and independent of how (or where, or in
+// which process) each profile was computed — the property the campaign
+// server's resumable shards rely on.
+func ComposePlanned(n int, plans []SectionTrialPlan, profiles []SectionProfile) CampaignResult {
+	res := ComposeSections(profiles)
+	if missing := PlannedShortfall(n, plans); missing > 0 {
+		res.Requested += missing
+		res.Shortfall += missing
+	}
+	return res
+}
+
 // RunSectional is the sectional counterpart of Run: n trials apportioned
 // over sections, drawn from per-section sub-streams, composed into one
 // table. It also returns the per-section profiles so callers (the
@@ -249,19 +279,10 @@ func (c *Campaign) RunSectional(n int, seed int64) (CampaignResult, []SectionPro
 	for i, p := range plans {
 		profiles[i] = c.RunSection(p.Sec, p.N, p.Seed, false)
 	}
-	res := ComposeSections(profiles)
 	// Trials that could not be apportioned anywhere (no injectable weight
 	// at all) surface as shortfall, mirroring Run.
-	var planned int64
-	for _, p := range plans {
-		planned += int64(p.N)
-	}
-	if missing := int64(n) - planned; missing > 0 {
-		res.Requested += missing
-		res.Shortfall += missing
-		c.Metrics.AddShortfall(missing)
-	}
-	return res, profiles
+	c.Metrics.AddShortfall(PlannedShortfall(n, plans))
+	return ComposePlanned(n, plans, profiles), profiles
 }
 
 // SectionInstrStats is the per-instruction measurement of one section in

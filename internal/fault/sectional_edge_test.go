@@ -1,0 +1,105 @@
+package fault
+
+import "testing"
+
+// TestApportionFewerTrialsThanShards covers the shard-edge the
+// campaign server hits on tiny budgets: fewer trials than sections.
+// Every trial must land somewhere, the total must be exact, and ties
+// must break toward the lower index so the plan is deterministic.
+func TestApportionFewerTrialsThanShards(t *testing.T) {
+	got := Apportion(2, []int64{5, 5, 5, 5, 5})
+	want := []int{1, 1, 0, 0, 0}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	sum := 0
+	for i := range got {
+		sum += got[i]
+		if got[i] != want[i] {
+			t.Errorf("Apportion(2, equal×5)[%d] = %d, want %d (lower-index tie break)",
+				i, got[i], want[i])
+		}
+	}
+	if sum != 2 {
+		t.Errorf("total apportioned %d, want 2", sum)
+	}
+}
+
+// TestApportionZeroWeightSections: sections with no injectable
+// dynamic weight (never-executed code) must get exactly zero trials
+// regardless of budget, and must not disturb the others' shares.
+func TestApportionZeroWeightSections(t *testing.T) {
+	got := Apportion(9, []int64{0, 3, 0, 6, 0})
+	want := []int{0, 3, 0, 6, 0}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("Apportion(9, {0,3,0,6,0})[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestApportionSingleSiteRanges: weight-1 sections (a single dynamic
+// instance) still receive proportional shares with an exact total —
+// the largest-remainder pass must not over- or under-fill them.
+func TestApportionSingleSiteRanges(t *testing.T) {
+	weights := []int64{1, 1, 1, 1, 1, 1, 1}
+	for _, total := range []int{1, 3, 7, 10, 700} {
+		got := Apportion(total, weights)
+		sum := 0
+		for _, n := range got {
+			sum += n
+		}
+		if sum != total {
+			t.Errorf("Apportion(%d, 1×7): total %d, want %d", total, sum, total)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] > got[i-1] {
+				t.Errorf("Apportion(%d, 1×7): share[%d]=%d > share[%d]=%d (remainders must fill low indexes first)",
+					total, i, got[i], i-1, got[i-1])
+			}
+		}
+	}
+}
+
+// TestPlannedShortfall pins the budget-overflow accounting the
+// scheduler and RunSectional share: trials that cannot be apportioned
+// anywhere count as shortfall, and a fully-placed plan has none.
+func TestPlannedShortfall(t *testing.T) {
+	plans := []SectionTrialPlan{{N: 3}, {N: 4}}
+	if got := PlannedShortfall(7, plans); got != 0 {
+		t.Errorf("PlannedShortfall(7, 3+4) = %d, want 0", got)
+	}
+	if got := PlannedShortfall(10, plans); got != 3 {
+		t.Errorf("PlannedShortfall(10, 3+4) = %d, want 3", got)
+	}
+	if got := PlannedShortfall(5, plans); got != 0 {
+		t.Errorf("PlannedShortfall(5, 3+4) = %d, want 0 (overplacement is not negative shortfall)", got)
+	}
+	if got := PlannedShortfall(4, nil); got != 4 {
+		t.Errorf("PlannedShortfall(4, empty plan) = %d, want 4", got)
+	}
+}
+
+// TestComposePlannedAccounting: composition must preserve the
+// Requested/Shortfall contract of Campaign.Run — per-profile numbers
+// plus whatever the plan could not place.
+func TestComposePlannedAccounting(t *testing.T) {
+	plans := []SectionTrialPlan{{N: 2}, {N: 1}}
+	profiles := []SectionProfile{
+		{Name: "a", Requested: 2, Sites: []LocalSite{{Outcome: OutcomeSDC}, {Outcome: OutcomeBenign}}},
+		{Name: "b", Requested: 1, Sites: []LocalSite{{Outcome: OutcomeDetected}}},
+	}
+	res := ComposePlanned(5, plans, profiles)
+	if res.Requested != 5 {
+		t.Errorf("Requested = %d, want 5", res.Requested)
+	}
+	if res.Shortfall != 2 {
+		t.Errorf("Shortfall = %d, want 2 (unplaceable budget)", res.Shortfall)
+	}
+	if res.Trials != 3 {
+		t.Errorf("Trials = %d, want 3", res.Trials)
+	}
+	if res.Counts[OutcomeSDC] != 1 || res.Counts[OutcomeDetected] != 1 || res.Counts[OutcomeBenign] != 1 {
+		t.Errorf("outcome counts %v, want one SDC, one detected, one benign", res.Counts)
+	}
+}

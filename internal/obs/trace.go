@@ -2,6 +2,7 @@ package obs
 
 import (
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -157,6 +158,43 @@ func (t *Trace) snapshotLocked(s *Span, now time.Time) *SpanSnapshot {
 		out.Children = append(out.Children, t.snapshotLocked(c, now))
 	}
 	return out
+}
+
+// Progress summarizes the completion state of a family of spans: how
+// many spans with a given name prefix exist, and how many have ended.
+// It is the unit the campaign server streams over SSE — shard spans
+// open when a shard is dispatched and end when its artifact commits, so
+// Done/Total is exactly committed/planned shards.
+type Progress struct {
+	Prefix string `json:"prefix"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+}
+
+// Progress counts this span's descendants (the span itself excluded)
+// whose name starts with prefix, splitting them into ended and still
+// open. Nil-safe: a nil span reports zero progress.
+func (s *Span) Progress(prefix string) Progress {
+	p := Progress{Prefix: prefix}
+	if s == nil {
+		return p
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		for _, c := range sp.children {
+			if strings.HasPrefix(c.name, prefix) {
+				p.Total++
+				if !c.end.IsZero() {
+					p.Done++
+				}
+			}
+			walk(c)
+		}
+	}
+	walk(s)
+	return p
 }
 
 // Walk visits every span of the snapshot tree depth-first, passing the

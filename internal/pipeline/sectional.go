@@ -228,6 +228,89 @@ func (t *SectionCampaignTask) Decode(data []byte) (any, error) {
 }
 
 // ---------------------------------------------------------------------
+// SectionCharTask
+
+// SectionCharTask runs ONE section's slice of a raw characterization
+// campaign (the sdcfi path: all injectable instructions, duplicates
+// included — the excludeDup=false stream RunSectional draws). It is the
+// shard unit of the campaign server: each shard is content-addressed on
+// the section, so a preempted or killed job resumes by loading every
+// committed shard from the store and re-injects zero faults into them,
+// and two jobs over the same program content share shards byte-for-byte.
+type SectionCharTask struct {
+	Mod   *ir.Module
+	Bind  interp.Binding
+	Exec  interp.Config
+	Ctx   SectionCtx
+	N     int   // trials apportioned to this section
+	Seed  int64 // the section's sub-stream seed
+	Model string
+	Env   Env
+}
+
+// Kind implements Task. The "sec" prefix opts the artifacts into the
+// section-schema prune on store open.
+func (t *SectionCharTask) Kind() string { return "secchar" }
+
+// Key implements Task. Identity is derived from content hashes only —
+// never from submission time, tenant, or placement (enforced by the
+// sdclint job-identity rule).
+func (t *SectionCharTask) Key() Key {
+	h := NewHasher("secchar")
+	sectionKeyOf(h, &t.Ctx).
+		Key(BindingHash(t.Bind)).
+		Key(ExecHash(t.Exec)).
+		I64(int64(t.N)).
+		I64(t.Seed).
+		Str(analysis.Version)
+	if m := NormModel(t.Model); m != fault.DefaultModel().Name() {
+		h.Str("model").Str(m)
+	}
+	return h.Sum()
+}
+
+// Deps implements Task.
+func (t *SectionCharTask) Deps() []Task { return nil }
+
+// Run implements Task.
+func (t *SectionCharTask) Run(rt *Runtime) (any, error) {
+	model, err := modelFor(t.Model)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := t.Env.Cache.Golden(t.Mod, t.Bind, t.Exec,
+		t.Env.Metrics.Phase(fault.PhaseProgramFI))
+	if err != nil {
+		return nil, err
+	}
+	c := &fault.Campaign{Mod: t.Mod, Bind: t.Bind, Cfg: t.Exec, Golden: golden,
+		Workers: t.Env.Workers, Model: model,
+		Metrics: t.Env.Metrics.Phase(fault.PhaseProgramFI), Obs: rt.Obs()}
+	out := c.RunSection(t.Ctx.Sec, t.N, t.Seed, false)
+	return &out, nil
+}
+
+// Encode implements Persistable.
+func (t *SectionCharTask) Encode(v any) ([]byte, error) {
+	return encodeSectional(t.Kind(), v.(*fault.SectionProfile))
+}
+
+// Decode implements Persistable.
+func (t *SectionCharTask) Decode(data []byte) (any, error) {
+	var out fault.SectionProfile
+	if err := decodeSectional(t.Kind(), data, &out); err != nil {
+		return nil, err
+	}
+	for _, s := range out.Sites {
+		if s.Ordinal < 0 || s.Ordinal >= len(t.Ctx.Sec.Instrs) {
+			return nil, fmt.Errorf("pipeline: section %q artifact site ordinal %d out of range",
+				out.Name, s.Ordinal)
+		}
+	}
+	return &out, nil
+}
+
+// ---------------------------------------------------------------------
 // Incremental drivers (called from MeasureTask/CampaignTask.Run)
 
 // runIncremental fans the per-instruction measurement out into one

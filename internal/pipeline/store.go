@@ -2,10 +2,13 @@ package pipeline
 
 import (
 	"container/list"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 )
 
 // StoreVersion versions every on-disk artifact. Bump it whenever an
@@ -118,6 +121,34 @@ func pruneStaleSectional(dir string) error {
 // Dir returns the versioned artifact directory.
 func (s *DiskStore) Dir() string { return s.dir }
 
+// Keys enumerates the stored artifact keys of one kind in sorted (hex)
+// order. Unparseable file names — temp files from in-flight atomic
+// writes, stray editor droppings — are skipped, so a concurrent writer
+// can never make enumeration fail. The campaign server uses this to
+// recover persisted job envelopes after a restart.
+func (s *DiskStore) Keys(kind string) []Key {
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil {
+		return nil
+	}
+	var keys []Key
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".json"))
+		if err != nil || len(raw) != len(Key{}) {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Hex() < keys[j].Hex() })
+	return keys
+}
+
 func (s *DiskStore) path(kind string, k Key) string {
 	return filepath.Join(s.dir, kind, k.Hex()+".json")
 }
@@ -161,6 +192,20 @@ type envelope struct {
 	V    int             `json:"v"`
 	Kind string          `json:"kind"`
 	Data json.RawMessage `json:"data"`
+}
+
+// EncodeArtifact wraps a payload in the versioned store envelope. It is
+// the exported form of the task-persistence codec, for packages (the
+// campaign server's job envelopes) that store their own artifact kinds
+// in a DiskStore without going through the Task machinery.
+func EncodeArtifact(kind string, v any) ([]byte, error) {
+	return encodeArtifact(kind, v)
+}
+
+// DecodeArtifact unwraps an envelope written by EncodeArtifact,
+// verifying store version and kind.
+func DecodeArtifact(kind string, data []byte, out any) error {
+	return decodeArtifact(kind, data, out)
 }
 
 // encodeArtifact wraps v in the versioned envelope.

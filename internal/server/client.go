@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a campaign server over its HTTP API. The zero
+// HTTP client is usable; Base is the server root ("http://host:port").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given server base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// apiError decodes a non-2xx reply into an error carrying the server's
+// message and, for 429s, the Retry-After hint.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er errorResponse
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("server busy (HTTP 429, Retry-After %ss): %s",
+			resp.Header.Get("Retry-After"), msg)
+	}
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a campaign job.
+func (c *Client) Submit(spec JobSpec) (SubmitResponse, error) {
+	var out SubmitResponse
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.http().Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return out, apiError(resp)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON("/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Jobs lists every job in admission order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.getJSON("/v1/jobs", &out)
+	return out, err
+}
+
+// Result fetches the canonical result document of a completed job.
+func (c *Client) Result(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel cancels a job and returns its resulting status.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return JobStatus{}, apiError(resp)
+	}
+	var st JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Watch follows a job's SSE progress stream until it reaches a
+// terminal state, writing human-readable progress lines to w (pass
+// io.Discard to wait silently). It returns the final status.
+func (c *Client) Watch(id string, w io.Writer) (JobStatus, error) {
+	resp, err := c.http().Get(c.Base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return JobStatus{}, apiError(resp)
+	}
+	var (
+		last  JobStatus
+		event string
+		sc    = bufio.NewScanner(resp.Body)
+	)
+	var lastLine string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var st JobStatus
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				return last, fmt.Errorf("bad event payload: %w", err)
+			}
+			last = st
+			if msg := progressLine(st); msg != lastLine {
+				fmt.Fprintln(w, msg)
+				lastLine = msg
+			}
+			if event == "done" {
+				return last, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	// Stream ended without a done frame (server shutdown or resubmit);
+	// report the last status observed.
+	if !terminal(last.State) {
+		return last, fmt.Errorf("event stream ended with job %s still %s", id, last.State)
+	}
+	return last, nil
+}
+
+// Wait blocks until the job is terminal, discarding progress output.
+func (c *Client) Wait(id string) (JobStatus, error) {
+	return c.Watch(id, io.Discard)
+}
+
+// progressLine renders one status frame for Watch output.
+func progressLine(st JobStatus) string {
+	msg := fmt.Sprintf("job %s %s: shards %d/%d", shortID(st.ID), st.State,
+		st.Shards.Done, st.Shards.Total)
+	if st.Error != "" {
+		msg += " (" + st.Error + ")"
+	}
+	return msg
+}
+
+// shortID abbreviates a job ID for display.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

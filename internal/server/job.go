@@ -1,0 +1,218 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/inputgen"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Job states. A job is terminal in StateDone, StateFailed, or
+// StateCanceled; terminal failed/canceled jobs may be resubmitted.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminal reports whether a state admits no further transitions.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// JobSpec is one campaign submission. Tenant scopes quota accounting
+// only — it is deliberately excluded from the job identity, so two
+// tenants submitting the same campaign share one execution.
+type JobSpec struct {
+	Bench     string `json:"bench"`
+	Input     string `json:"input"`                // "ref" (default) or "random"
+	InputSeed int64  `json:"input_seed,omitempty"` // seed for Input == "random"
+	Trials    int    `json:"trials"`
+	Seed      int64  `json:"seed"`
+	Model     string `json:"model,omitempty"` // "" = the paper's bitflip
+	Tenant    string `json:"tenant,omitempty"`
+}
+
+// resolved is a spec bound to its program and concrete input values.
+type resolved struct {
+	spec JobSpec
+	prog *core.Program
+	in   inputgen.Input
+}
+
+// resolve validates a spec and pins its concrete input. The "random"
+// input is drawn deterministically from the input seed, so the same
+// spec always resolves to the same input values.
+func resolve(spec JobSpec) (*resolved, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("server: trials must be positive, got %d", spec.Trials)
+	}
+	prog, err := core.FromBenchmark(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	var in inputgen.Input
+	switch spec.Input {
+	case "", "ref":
+		in = prog.Reference
+	case "random":
+		in = prog.RandomInput(rand.New(rand.NewSource(spec.InputSeed)))
+	default:
+		return nil, fmt.Errorf("server: input must be \"ref\" or \"random\", got %q", spec.Input)
+	}
+	if _, ok := fault.ModelByName(pipeline.NormModel(spec.Model)); !ok {
+		return nil, fmt.Errorf("server: unknown fault model %q", spec.Model)
+	}
+	return &resolved{spec: spec, prog: prog, in: in}, nil
+}
+
+// jobKey derives the content-addressed job identity: benchmark, the
+// resolved input values (not the spelling that produced them), trial
+// budget, seed, canonical model, and the analysis and section schema
+// versions whose changes invalidate campaign semantics. Nothing
+// temporal, tenant-scoped, or placement-dependent may enter this hash
+// (enforced by the sdclint job-identity rule).
+func jobKey(r *resolved) pipeline.Key {
+	h := pipeline.NewHasher("job").Str(r.spec.Bench)
+	h.I64(int64(len(r.in.I)))
+	for _, v := range r.in.I {
+		h.I64(v)
+	}
+	h.I64(int64(len(r.in.F)))
+	for _, v := range r.in.F {
+		h.F64(v)
+	}
+	h.I64(int64(r.spec.Trials)).
+		I64(r.spec.Seed).
+		Str(pipeline.NormModel(r.spec.Model)).
+		Str(analysis.Version).
+		Str(pipeline.SectionSchema)
+	return h.Sum()
+}
+
+// Job is the in-memory state of one admitted campaign. Persisted state
+// lives in jobRecord; everything here can be rebuilt from the store.
+type Job struct {
+	ID   string
+	Key  pipeline.Key
+	Spec JobSpec
+	Seq  int64 // admission order (monotonic per server, not wall clock)
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	total  int // planned shard count (0 until planning completes)
+	result *Result
+	cancel bool
+	span   *obs.Span
+	done   chan struct{} // closed on every terminal transition
+}
+
+// newJob builds a queued job.
+func newJob(id string, key pipeline.Key, spec JobSpec, seq int64) *Job {
+	return &Job{ID: id, Key: key, Spec: spec, Seq: seq,
+		state: StateQueued, done: make(chan struct{})}
+}
+
+// State returns the current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns the channel closed when the job reaches a terminal
+// state. Resubmission replaces it, so callers must re-fetch after a
+// wake-up.
+func (j *Job) Done() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// Result returns the canonical result (nil unless StateDone).
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// requestCancel marks the job for cancellation; the scheduler stops
+// dispatching new shards at the next boundary.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	j.cancel = true
+	j.mu.Unlock()
+}
+
+func (j *Job) canceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancel
+}
+
+// Status snapshots the job for API consumers. Shard progress comes
+// from the job's span subtree: one "shard:" child per dispatched
+// shard, ended when its artifact committed.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := j.span.Progress(shardSpanPrefix)
+	if j.total > p.Total {
+		p.Total = j.total
+	}
+	return JobStatus{
+		ID:     j.ID,
+		State:  j.state,
+		Bench:  j.Spec.Bench,
+		Trials: j.Spec.Trials,
+		Seed:   j.Spec.Seed,
+		Model:  pipeline.NormModel(j.Spec.Model),
+		Tenant: j.Spec.Tenant,
+		Seq:    j.Seq,
+		Shards: p,
+		Error:  j.errMsg,
+	}
+}
+
+// JobStatus is the wire form of a job snapshot.
+type JobStatus struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Bench  string       `json:"bench"`
+	Trials int          `json:"trials"`
+	Seed   int64        `json:"seed"`
+	Model  string       `json:"model"`
+	Tenant string       `json:"tenant,omitempty"`
+	Seq    int64        `json:"seq"`
+	Shards obs.Progress `json:"shards"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// jobRecord is the persisted job envelope (artifact kind "job", keyed
+// by the job's content hash). It carries no timestamps: replaying the
+// store after a crash must reconstruct the same records byte-for-byte
+// regardless of when the replay happens. Seq orders resumption.
+type jobRecord struct {
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State string  `json:"state"`
+	Seq   int64   `json:"seq"`
+	Error string  `json:"error,omitempty"`
+}
+
+// Artifact kinds of the job store. Neither carries the "sec" prefix:
+// job envelopes survive section-schema bumps (the job key hashes the
+// schema, so stale records are simply never matched again).
+const (
+	kindJob       = "job"
+	kindJobResult = "jobresult"
+)

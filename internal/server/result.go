@@ -1,0 +1,101 @@
+// Package server implements the fleet-scale campaign service: an
+// HTTP/JSON API over a sharded, resumable campaign scheduler. A
+// submitted job names a benchmark, an input, a trial budget, a seed,
+// and a fault model; the scheduler partitions the campaign into
+// per-section shards (the same plan fault.RunSectional executes
+// inline), runs them across a bounded worker pool through the
+// content-addressed pipeline store, and composes the whole-program SDC
+// table. Because every shard is a pure function of its content key,
+// jobs are preemptible and resumable: a killed server restarted on the
+// same store re-executes only the shards that never committed, and two
+// identical submissions — from the same tenant or different ones —
+// cost one campaign (DESIGN.md §15).
+package server
+
+import (
+	"encoding/json"
+
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+)
+
+// ResultSchema versions the canonical campaign result document.
+const ResultSchema = "sdcfi-result/v1"
+
+// SectionLine is one section's slice of the composed campaign in the
+// canonical result document, in plan order.
+type SectionLine struct {
+	Name     string `json:"name"`
+	Trials   int64  `json:"trials"`
+	SDC      int64  `json:"sdc"`
+	Detected int64  `json:"detected"`
+}
+
+// Result is the canonical campaign result: the one document both the
+// server path and the direct CLI path (-result-out) emit, so CI can
+// assert bit-identity between them with a plain byte compare. Field
+// order is fixed by the struct and every field is derived from the
+// deterministic campaign outcome — never from timing, placement, or
+// tenancy.
+type Result struct {
+	Schema    string        `json:"schema"`
+	Bench     string        `json:"bench"`
+	Input     string        `json:"input"`
+	Seed      int64         `json:"seed"`
+	Model     string        `json:"model"`
+	Requested int64         `json:"requested"`
+	Trials    int64         `json:"trials"`
+	Shortfall int64         `json:"shortfall"`
+	Benign    int64         `json:"benign"`
+	SDC       int64         `json:"sdc"`
+	Crash     int64         `json:"crash"`
+	Hang      int64         `json:"hang"`
+	Detected  int64         `json:"detected"`
+	Sections  []SectionLine `json:"sections,omitempty"`
+}
+
+// BuildResult folds a composed sectional campaign into the canonical
+// result document. Profiles must be in plan order (the order
+// RunSectional returns and the scheduler preserves); the model name is
+// canonicalized so "" and "bitflip" render identically.
+func BuildResult(bench, input string, seed int64, model string,
+	res fault.CampaignResult, profiles []fault.SectionProfile) *Result {
+	r := &Result{
+		Schema:    ResultSchema,
+		Bench:     bench,
+		Input:     input,
+		Seed:      seed,
+		Model:     pipeline.NormModel(model),
+		Requested: res.Requested,
+		Trials:    res.Trials,
+		Shortfall: res.Shortfall,
+		Benign:    res.Counts[fault.OutcomeBenign],
+		SDC:       res.Counts[fault.OutcomeSDC],
+		Crash:     res.Counts[fault.OutcomeCrash],
+		Hang:      res.Counts[fault.OutcomeHang],
+		Detected:  res.Counts[fault.OutcomeDetected],
+	}
+	for i := range profiles {
+		sr := profiles[i].Result()
+		r.Sections = append(r.Sections, SectionLine{
+			Name:     profiles[i].Name,
+			Trials:   sr.Trials,
+			SDC:      sr.Counts[fault.OutcomeSDC],
+			Detected: sr.Counts[fault.OutcomeDetected],
+		})
+	}
+	return r
+}
+
+// EncodeResult renders the canonical byte form of a result: indented
+// JSON with a trailing newline. encoding/json emits struct fields in
+// declaration order, so equal results encode to equal bytes.
+func EncodeResult(r *Result) []byte {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// A Result holds only scalars and slices of scalars; Marshal
+		// cannot fail on it.
+		panic(err)
+	}
+	return append(data, '\n')
+}

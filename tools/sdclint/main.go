@@ -16,6 +16,17 @@
 //	              writes a pipeline.Hasher) also reads time.Now or
 //	              math/rand: keys must be functions of task content
 //	              only, never of when or where they were computed.
+//	job-identity  a function on a job-ID or shard-key derivation path
+//	              (its name mentions a job key/ID, shard key/seed, or
+//	              section seed) reads time.Now or math/rand. Job identity
+//	              is what makes fleet-wide dedup and kill-and-resume
+//	              sound (DESIGN.md §15): two submissions of the same
+//	              campaign must derive the same ID on any machine at any
+//	              time, and a resumed shard must re-derive the exact seed
+//	              sub-stream it was first planned with. Unlike
+//	              wallclock-key this fires even when the function never
+//	              touches a pipeline.Hasher — plain arithmetic seed
+//	              derivation is just as easy to poison with wall clock.
 //	obs-nil-guard an exported pointer-receiver method on one of package
 //	              obs's nil-safe types accesses a receiver field without
 //	              a receiver nil-check in the body. The obs contract is
@@ -119,6 +130,7 @@ func lintFile(fset *token.FileSet, af *ast.File) []finding {
 		fi := newFuncInfo(af, fd)
 		finds = append(finds, checkMapOrder(fset, fi, randName)...)
 		finds = append(finds, checkWallclockKey(fset, fi, timeName, randName)...)
+		finds = append(finds, checkJobIdentity(fset, fi, timeName, randName)...)
 	}
 	if af.Name.Name == "obs" {
 		finds = append(finds, checkObsNilGuard(fset, af)...)
@@ -418,6 +430,62 @@ func checkWallclockKey(fset *token.FileSet, fi *funcInfo, timeName, randName str
 				pos:   fset.Position(sel.Pos()),
 				check: "wallclock-key",
 				msg:   "math/rand in a function that derives a content key; keys must depend on task content only",
+			})
+		}
+		return true
+	})
+	return finds
+}
+
+// identityFuncMarkers are the name fragments that put a function on a
+// job-identity derivation path. Matching is case-insensitive and
+// substring-based so jobKey, JobID, newShardSeed, sectionSeedFor, ...
+// are all covered without a type checker.
+var identityFuncMarkers = []string{"jobkey", "jobid", "shardkey", "shardseed", "sectionseed"}
+
+// isIdentityFunc reports whether a function name marks it as deriving a
+// job ID or shard key/seed.
+func isIdentityFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, m := range identityFuncMarkers {
+		if strings.Contains(lower, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkJobIdentity flags nondeterministic sources inside job-ID and
+// shard-key derivation functions, hasher or not: identity must be a
+// pure function of the campaign spec, or dedup and resume both break.
+func checkJobIdentity(fset *token.FileSet, fi *funcInfo, timeName, randName string) []finding {
+	if !isIdentityFunc(fi.decl.Name.Name) {
+		return nil
+	}
+	var finds []finding
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now":
+			finds = append(finds, finding{
+				pos:   fset.Position(sel.Pos()),
+				check: "job-identity",
+				msg: fmt.Sprintf("time.Now in identity function %s; job IDs and shard keys must derive from the campaign spec only",
+					fi.decl.Name.Name),
+			})
+		case randName != "" && pkg.Name == randName:
+			finds = append(finds, finding{
+				pos:   fset.Position(sel.Pos()),
+				check: "job-identity",
+				msg: fmt.Sprintf("math/rand in identity function %s; job IDs and shard keys must derive from the campaign spec only",
+					fi.decl.Name.Name),
 			})
 		}
 		return true

@@ -36,6 +36,16 @@ func TestSeededViolations(t *testing.T) {
 		t.Errorf("wallclock-key findings = %d, want 2 (time.Now + rand)", got["wallclock-key"])
 	}
 
+	got = lintTestdata(t, "jobident.go")
+	if got["job-identity"] != 3 {
+		t.Errorf("job-identity findings = %d, want 3 (clocked ID + rand shard seed + stamped key)", got["job-identity"])
+	}
+	// The stamped hashed key trips wallclock-key too; the two good
+	// functions must stay clean.
+	if got["wallclock-key"] != 1 {
+		t.Errorf("wallclock-key findings = %d, want 1 (stamped key only)", got["wallclock-key"])
+	}
+
 	got = lintTestdata(t, "obsbad.go")
 	if got["obs-nil-guard"] != 1 {
 		t.Errorf("obs-nil-guard findings = %d, want 1 (BadCount only)", got["obs-nil-guard"])

@@ -1,0 +1,54 @@
+// Seeded violations for the job-identity check: nondeterminism in
+// job-ID and shard-key derivation paths. Like the other fixtures this
+// tree is parsed, never compiled.
+package fixtures
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// badJobIDFromClock stamps the job ID with admission time — two
+// identical submissions get different IDs and dedup never fires. No
+// hasher involved, so only job-identity catches it. want: job-identity
+// finding.
+func badJobIDFromClock(bench string) string {
+	return fmt.Sprintf("%s-%d", bench, time.Now().UnixNano())
+}
+
+// badShardSeedRand draws the shard sub-stream seed from the global
+// RNG: a resumed shard replays a different fault sequence than the one
+// it was planned with. want: job-identity finding.
+func badShardSeedRand(base int64, shard int) int64 {
+	return base + rand.Int63n(int64(shard)+1)
+}
+
+// badJobKeyStamped mixes wall clock into a hashed job key. want: one
+// job-identity finding AND one wallclock-key finding (the checks
+// overlap by design when a hasher is present).
+func badJobKeyStamped(bench string, trials int) pipeline.Key {
+	h := pipeline.NewHasher("job")
+	h.Str(bench).I64(int64(trials)).I64(time.Now().Unix())
+	return h.Sum()
+}
+
+// goodJobKey derives identity from the campaign spec alone. want: no
+// finding.
+func goodJobKey(bench string, trials int, seed int64) pipeline.Key {
+	h := pipeline.NewHasher("job")
+	h.Str(bench).I64(int64(trials)).I64(seed)
+	return h.Sum()
+}
+
+// goodShardSeed is the deterministic sub-stream split the scheduler
+// uses: pure arithmetic over spec-derived inputs. want: no finding.
+func goodShardSeed(campaignSeed int64, section string, idx int) int64 {
+	var acc int64 = campaignSeed
+	for _, c := range section {
+		acc = acc*131 + int64(c)
+	}
+	return acc + int64(idx)
+}
