@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/server"
 )
@@ -70,7 +71,16 @@ func cmdServe(args []string) int {
 		return fail(err)
 	}
 	fmt.Printf("sdcfi serve: listening on %s, store %s\n", *addr, *store)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound how long a client may dribble headers or a request body
+		// at the multi-tenant service. WriteTimeout stays off: the SSE
+		// events endpoint streams for the life of a job.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
 		return fail(err)
 	}
 	return 0

@@ -143,6 +143,21 @@ func getJSON(t *testing.T, c *Client, path string, out any) error {
 	return c.getJSON(path, out)
 }
 
+// TestHTTPSubmitBodyBounded: a submission body over the cap is cut off
+// with 413, not decoded without bound.
+func TestHTTPSubmitBodyBounded(t *testing.T) {
+	_, c := newTestServer(t, Options{})
+	body := strings.NewReader(`{"bench":"` + strings.Repeat("x", maxSubmitBytes+1) + `"}`)
+	resp, err := http.Post(c.Base+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatalf("oversized submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized submit status = %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
 // TestHTTPHealthz pins the liveness endpoint.
 func TestHTTPHealthz(t *testing.T) {
 	_, c := newTestServer(t, Options{})

@@ -169,6 +169,12 @@ func (j *Job) Status() JobStatus {
 	if j.total > p.Total {
 		p.Total = j.total
 	}
+	if j.state == StateDone {
+		// Every shard of a done job committed by definition; this also
+		// covers results joined from a prior server run, which carry a
+		// section count but no span tree.
+		p.Done = p.Total
+	}
 	return JobStatus{
 		ID:     j.ID,
 		State:  j.state,

@@ -167,8 +167,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, bool, error) {
 		j.mu.Unlock()
 		if state == StateFailed || state == StateCanceled {
 			// A failed or canceled job may be resubmitted: it re-enters
-			// admission as a fresh attempt under the same identity.
-			if rej := s.admitLocked(j); rej != nil {
+			// admission as a fresh attempt under the same identity, charged
+			// to the resubmitting tenant.
+			if rej := s.admitLocked(j, spec.Tenant); rej != nil {
 				return nil, false, rej
 			}
 			return j, false, nil
@@ -182,13 +183,17 @@ func (s *Server) Submit(spec JobSpec) (*Job, bool, error) {
 		j := newJob(id, key, spec, s.nextSeq())
 		j.state = StateDone
 		j.result = res
+		// A disk-joined job has no span tree to count shards from; its
+		// sections ARE its committed shards, so seed total from them and
+		// let Status synthesize the matching done count.
+		j.total = len(res.Sections)
 		close(j.done)
 		s.jobs[id] = j
 		s.ob.Counter("server.dedup.joins").Inc()
 		return j, true, nil
 	}
 	j := newJob(id, key, spec, s.nextSeq())
-	if rej := s.admitLocked(j); rej != nil {
+	if rej := s.admitLocked(j, spec.Tenant); rej != nil {
 		return nil, false, rej
 	}
 	s.jobs[id] = j
@@ -203,8 +208,11 @@ func (s *Server) nextSeq() int64 {
 
 // admitLocked applies admission control to a new or resubmitted job
 // and enqueues it (mu held). The job's state is reset to queued.
-func (s *Server) admitLocked(j *Job) *RejectError {
-	tenant := j.Spec.Tenant
+// Quota follows the actual submitter: a resubmission of a failed or
+// canceled job by a different tenant is checked and charged against
+// THAT tenant, and j.Spec.Tenant is updated so the terminal release
+// drains the same account.
+func (s *Server) admitLocked(j *Job, tenant string) *RejectError {
 	if s.tenants[tenant] >= s.opt.TenantMax {
 		s.ob.Counter("server.jobs.rejected").Inc()
 		return &RejectError{Reason: fmt.Sprintf("tenant %q over quota (%d jobs)", tenant, s.opt.TenantMax),
@@ -222,6 +230,7 @@ func (s *Server) admitLocked(j *Job) *RejectError {
 	j.state = StateQueued
 	j.errMsg = ""
 	j.cancel = false
+	j.Spec.Tenant = tenant
 	j.mu.Unlock()
 	s.tenants[tenant]++
 	s.ob.Counter("server.jobs.admitted").Inc()
@@ -232,11 +241,19 @@ func (s *Server) admitLocked(j *Job) *RejectError {
 }
 
 // pumpLocked starts queued jobs while running slots are free (mu held).
+// The running transition happens HERE, under s.mu, before the job
+// goroutine exists: a Cancel arriving between dispatch and the first
+// instruction of runJob must observe StateRunning and take the
+// cooperative path, not the queued path (which would drain the tenant
+// charge a second time and race finishJob on the done channel).
 func (s *Server) pumpLocked() {
 	for s.active < s.opt.MaxActive && len(s.queue) > 0 {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		s.active++
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
 		go s.runJob(j)
 	}
 }
@@ -306,12 +323,12 @@ func (s *Server) Get(id string) (*Job, bool) {
 // Scheduler core
 
 // runJob executes one admitted job: plan the sectional campaign,
-// dispatch shards across the worker pool, compose, persist.
+// dispatch shards across the worker pool, compose, persist. The job is
+// already StateRunning — pumpLocked transitions it before spawning.
 func (s *Server) runJob(j *Job) {
 	s.persistRecord(j, StateRunning, "")
 	span := s.ob.Start("job:" + j.Key.Short())
 	j.mu.Lock()
-	j.state = StateRunning
 	j.span = span
 	j.mu.Unlock()
 	if s.opt.holdJobs != nil {
@@ -469,10 +486,17 @@ func (s *Server) runShards(j *Job, span *obs.Span) (composed, []fault.SectionPro
 
 // finishJob applies a terminal transition: releases the running slot
 // and tenant charge, persists the terminal record (unless parked by
-// the crash-test hook), and wakes every waiter.
+// the crash-test hook), and wakes every waiter. A job that is already
+// terminal is left untouched — finishing is single-shot, so two racing
+// paths can never double-release accounting or close done twice.
 func (s *Server) finishJob(j *Job, state, errMsg string, result *Result, park bool) {
 	s.mu.Lock()
 	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return
+	}
 	if j.state == StateRunning {
 		// Queued cancels drained their tenant charge in Cancel already.
 		s.active--
@@ -569,7 +593,7 @@ func (s *Server) resume() {
 		j := newJob(rec.ID, key, rec.Spec, s.nextSeq())
 		s.jobs[rec.ID] = j
 		s.ob.Counter("server.jobs.resumed").Inc()
-		if rej := s.admitLocked(j); rej != nil {
+		if rej := s.admitLocked(j, rec.Spec.Tenant); rej != nil {
 			// A resumed job over the restart-time quota stays failed; a
 			// later resubmission re-enters admission normally.
 			j.mu.Lock()

@@ -314,6 +314,114 @@ func TestAdmissionControl(t *testing.T) {
 	close(hold)
 }
 
+// TestCancelRunningDrainsOnce pins the cancel/start race fix: a job
+// is StateRunning the moment its run slot is taken (before the runJob
+// goroutine is scheduled), so a cancel racing job start always takes
+// the cooperative path. Repeated cancels — running, then terminal —
+// must drain the tenant charge and running slot exactly once and never
+// re-close the done channel.
+func TestCancelRunningDrainsOnce(t *testing.T) {
+	hold := make(chan struct{})
+	s, err := New(Options{StoreDir: t.TempDir(), Workers: 1, MaxActive: 1, holdJobs: hold})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j, _, err := s.Submit(JobSpec{Bench: "fft", Trials: 50, Seed: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st := j.State(); st != StateRunning {
+		t.Fatalf("job state %s immediately after admission to a free slot, want running", st)
+	}
+	for i := 0; i < 2; i++ { // second cancel of a running job is a no-op
+		if _, ok := s.Cancel(j.ID); !ok {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	close(hold)
+	if st := waitDone(t, j); st != StateCanceled {
+		t.Fatalf("job ended %s, want canceled", st)
+	}
+	if _, ok := s.Cancel(j.ID); !ok { // cancel of a terminal job: no-op, no panic
+		t.Fatalf("cancel of terminal job failed")
+	}
+	s.mu.Lock()
+	tenant, active := s.tenants["alice"], s.active
+	s.mu.Unlock()
+	if tenant != 0 {
+		t.Errorf("tenant charge = %d after cancel, want 0 (drained exactly once)", tenant)
+	}
+	if active != 0 {
+		t.Errorf("active = %d after cancel, want 0", active)
+	}
+}
+
+// TestResubmitQuotaFollowsSubmitter: resubmitting a canceled job from
+// a different tenant charges (and quota-checks) the resubmitter, not
+// the original submitter.
+func TestResubmitQuotaFollowsSubmitter(t *testing.T) {
+	hold := make(chan struct{})
+	s, err := New(Options{StoreDir: t.TempDir(), Workers: 1,
+		MaxActive: 1, MaxQueue: 4, TenantMax: 1, holdJobs: hold})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// The filler occupies the only run slot so the target stays queued.
+	filler, _, err := s.Submit(JobSpec{Bench: "fft", Trials: 50, Seed: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("submit filler: %v", err)
+	}
+	target := JobSpec{Bench: "fft", Trials: 50, Seed: 2, Tenant: "bob"}
+	j, _, err := s.Submit(target)
+	if err != nil {
+		t.Fatalf("submit target: %v", err)
+	}
+	if _, ok := s.Cancel(j.ID); !ok {
+		t.Fatalf("cancel queued target failed")
+	}
+	if st := waitDone(t, j); st != StateCanceled {
+		t.Fatalf("target ended %s, want canceled", st)
+	}
+
+	resub := target
+	resub.Tenant = "carol"
+	j2, deduped, err := s.Submit(resub)
+	if err != nil {
+		t.Fatalf("resubmit as carol: %v", err)
+	}
+	if deduped || j2 != j {
+		t.Fatalf("resubmit: deduped=%v same-job=%v, want fresh attempt on the same job", deduped, j2 == j)
+	}
+	if got := j2.Status().Tenant; got != "carol" {
+		t.Errorf("resubmitted job tenant %q, want carol", got)
+	}
+	s.mu.Lock()
+	bob, carol := s.tenants["bob"], s.tenants["carol"]
+	s.mu.Unlock()
+	if bob != 0 || carol != 1 {
+		t.Errorf("tenant charges bob=%d carol=%d, want 0 and 1 (quota follows the resubmitter)", bob, carol)
+	}
+	// Carol is now at her quota of 1; her next distinct job rejects.
+	if _, _, err := s.Submit(JobSpec{Bench: "fft", Trials: 50, Seed: 3, Tenant: "carol"}); err == nil {
+		t.Errorf("carol over quota was admitted")
+	} else if _, ok := err.(*RejectError); !ok {
+		t.Errorf("carol over quota returned %v, want *RejectError", err)
+	}
+	close(hold)
+	if st := waitDone(t, filler); st != StateDone {
+		t.Errorf("filler ended %s", st)
+	}
+	if st := waitDone(t, j2); st != StateDone {
+		t.Errorf("resubmitted job ended %s: %s", st, j2.Status().Error)
+	}
+	s.mu.Lock()
+	carol = s.tenants["carol"]
+	s.mu.Unlock()
+	if carol != 0 {
+		t.Errorf("carol charge = %d after completion, want 0", carol)
+	}
+}
+
 // TestJobIDContentAddressed pins what may and may not move the job
 // identity: tenant never; trials, seed, model, and resolved input
 // always.
@@ -415,6 +523,14 @@ func TestRestartServesPersistedResult(t *testing.T) {
 	}
 	if runs := s2.StoreStats().Runs; runs != 0 {
 		t.Errorf("restart re-ran %d shards, want 0", runs)
+	}
+	// A disk-joined job reports full shard progress (synthesized from
+	// its section count), consistent with a freshly completed job.
+	if p := j2.Status().Shards; p.Total == 0 || p.Done != p.Total {
+		t.Errorf("disk-joined job reports shards %d/%d, want full progress", p.Done, p.Total)
+	}
+	if p1, p2 := j1.Status().Shards, j2.Status().Shards; p1 != p2 {
+		t.Errorf("disk-joined progress %+v differs from fresh job's %+v", p2, p1)
 	}
 }
 
